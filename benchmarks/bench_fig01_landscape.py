@@ -1,0 +1,10 @@
+"""Fig. 1: rendering quality vs speed landscape (reported values)."""
+
+from conftest import show
+
+
+def test_fig01_landscape(benchmark, experiments):
+    output = experiments("fig1")
+    show(output)
+    result = benchmark(lambda: experiments("fig1"))
+    assert len(output.data) == 9

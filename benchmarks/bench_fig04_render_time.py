@@ -1,0 +1,18 @@
+"""Fig. 4: end-to-end baseline rendering time on all 12 scenes.
+
+Paper shape: no scene reaches 60 FPS on the edge GPU alone; static
+frames take 60-130 ms, dynamic ~55 ms, avatars ~25 ms.
+"""
+
+from conftest import show
+from repro.harness import run_experiment
+
+
+def test_fig04_render_time(benchmark, experiments):
+    output = experiments("fig4_fig5")
+    show(output)
+    for profile in output.data:
+        assert profile.breakdown.fps < 60.0, profile.scene
+    benchmark.pedantic(
+        lambda: run_experiment("fig4_fig5", detail=0.3), rounds=1, iterations=1
+    )

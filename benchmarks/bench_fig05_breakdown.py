@@ -1,0 +1,27 @@
+"""Fig. 5: per-stage latency breakdown on all 12 scenes.
+
+Paper bands: Step 3 takes 70-78% (static), 62-65% (dynamic),
+48-51% (avatar); sorting 14-24%.
+"""
+
+from conftest import show
+from repro.harness import run_experiment
+from repro.scenes.catalog import AppType
+
+BANDS = {
+    AppType.STATIC: (0.65, 0.85),
+    AppType.DYNAMIC: (0.55, 0.75),
+    AppType.AVATAR: (0.45, 0.68),
+}
+
+
+def test_fig05_breakdown(benchmark, experiments):
+    output = experiments("fig4_fig5")
+    show(output)
+    for profile in output.data:
+        lo, hi = BANDS[profile.app_type]
+        f3 = profile.breakdown.fractions[2]
+        assert lo <= f3 <= hi, (profile.scene, f3)
+    benchmark.pedantic(
+        lambda: run_experiment("fig4_fig5", detail=0.3), rounds=1, iterations=1
+    )

@@ -1,0 +1,21 @@
+"""Fig. 6 + Challenge 1/2: per-fragment FLOPs and redundancy.
+
+Paper shape: 11 PFS FLOPs vs 2-3 IRSS FLOPs per fragment (up to 5.5x),
+skip rates approaching 92.3%, significant fractions near 7.6-13.7%.
+"""
+
+from conftest import show
+from repro.harness import run_experiment
+
+
+def test_fig06_flops(benchmark, experiments):
+    output = experiments("fig6")
+    show(output)
+    for profile in output.data:
+        comp = profile.comparison
+        assert comp.fragment_skip_rate > 0.75, profile.scene
+        assert comp.per_fragment_reduction > 2.5, profile.scene
+        assert 0.03 < profile.significant_fraction < 0.25, profile.scene
+    benchmark.pedantic(
+        lambda: run_experiment("fig6", detail=0.3), rounds=1, iterations=1
+    )

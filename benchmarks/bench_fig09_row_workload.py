@@ -1,0 +1,14 @@
+"""Fig. 9: per-row workload imbalance that motivates the Row-Centric
+Tile Engine."""
+
+from conftest import show
+from repro.harness import run_experiment
+
+
+def test_fig09_row_workload(benchmark, experiments):
+    output = experiments("fig9")
+    show(output)
+    assert output.data["imbalance"] > 1.5
+    benchmark.pedantic(
+        lambda: run_experiment("fig9", detail=0.3), rounds=1, iterations=1
+    )

@@ -1,0 +1,26 @@
+"""Fig. 14: end-to-end FPS, baseline vs GBU-enhanced, all 12 scenes.
+
+Paper shape: every scene clears 60 FPS with the GBU (averages
+91.5 / 80 / 102 across static / dynamic / avatar vs 12.8 / 18 / 41).
+"""
+
+import numpy as np
+
+from conftest import show
+from repro.harness import run_experiment
+
+
+def test_fig14_fps(benchmark, experiments):
+    output = experiments("fig14_fig15")
+    show(output)
+    for scene, results in output.data.items():
+        assert results["gbu_full"].fps > 60.0, scene
+        assert results["gbu_full"].fps > 1.5 * results["gpu_pfs"].fps, scene
+    static = [
+        output.data[s]["gpu_pfs"].fps
+        for s in ("bicycle", "bonsai", "counter", "kitchen", "room", "stump")
+    ]
+    assert 7 <= np.mean(static) <= 17  # Fig. 4's baseline band
+    benchmark.pedantic(
+        lambda: run_experiment("fig14_fig15", detail=0.25), rounds=1, iterations=1
+    )

@@ -1,0 +1,32 @@
+"""Fig. 15: energy-efficiency improvement per scene.
+
+Paper shape: static >> dynamic > avatar (10.8x / 4.4x / 2.5x), because
+avatar frames keep the GPU busy with preprocessing.
+"""
+
+import numpy as np
+
+from conftest import show
+from repro.harness import run_experiment
+from repro.metrics.energy import EnergyModel
+from repro.scenes.catalog import CATALOG, AppType
+
+
+def test_fig15_energy(benchmark, experiments):
+    output = experiments("fig14_fig15")
+    show(output)
+    per_app = {app: [] for app in AppType}
+    for scene, results in output.data.items():
+        eff = EnergyModel.efficiency_improvement(
+            results["gpu_pfs"].energy, results["gbu_full"].energy
+        )
+        per_app[CATALOG[scene].app_type].append(eff)
+    static = np.mean(per_app[AppType.STATIC])
+    dynamic = np.mean(per_app[AppType.DYNAMIC])
+    avatar = np.mean(per_app[AppType.AVATAR])
+    print(f"\nenergy efficiency: static={static:.1f}x dynamic={dynamic:.1f}x "
+          f"avatar={avatar:.1f}x (paper: 10.8 / 4.4 / 2.5)")
+    assert static > dynamic > avatar > 1.5
+    benchmark.pedantic(
+        lambda: run_experiment("fig14_fig15", detail=0.25), rounds=1, iterations=1
+    )

@@ -1,0 +1,20 @@
+"""Fig. 16: rendering-resolution scaling on the dynamic scenes.
+
+Paper shape: the GBU's speedup grows with resolution (3.7-4.1x at
+676x507 up to 9.5-13.2x at 2704x2028) because fragments dominate.
+"""
+
+from conftest import show
+from repro.harness import run_experiment
+
+
+def test_fig16_resolution(benchmark, experiments):
+    output = experiments("fig16")
+    show(output)
+    for scene, points in output.data.items():
+        speedups = [p.speedup for p in points]
+        assert speedups[-1] > speedups[0], scene  # grows with resolution
+        assert points[-1].baseline_fps < points[0].baseline_fps, scene
+    benchmark.pedantic(
+        lambda: run_experiment("fig16", detail=0.3), rounds=1, iterations=1
+    )

@@ -1,0 +1,25 @@
+"""Fig. 17: Gaussian Reuse Cache hit rate vs capacity.
+
+Paper shape: hit rate climbs with size and saturates around 32 KB
+(59.7% / 47.4% / 37.7% at 64 KB across static / dynamic / avatar).
+"""
+
+from conftest import show
+from repro.harness import run_experiment
+from repro.scenes.catalog import AppType
+
+
+def test_fig17_cache(benchmark, experiments):
+    output = experiments("fig17")
+    show(output)
+    for app, curve in output.data.items():
+        sizes = sorted(curve)
+        rates = [curve[s] for s in sizes]
+        assert rates[0] == 0.0
+        assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:])), app
+        # Saturation: 32 KB within 3 points of 64 KB.
+        assert curve[64 * 1024] - curve[32 * 1024] < 0.03, app
+        assert 0.3 < curve[64 * 1024] < 0.9, app
+    benchmark.pedantic(
+        lambda: run_experiment("fig17", detail=0.3), rounds=1, iterations=1
+    )

@@ -1,0 +1,19 @@
+"""Sec. IV-D: IRSS deployed directly on the GPU.
+
+Paper: 13 -> 22 FPS (1.71x), Step-3 latency -59%, utilization 18.9%.
+"""
+
+from conftest import show
+from repro.harness import run_experiment
+
+
+def test_sec4d_irss_gpu(benchmark, experiments):
+    output = experiments("sec4d")
+    show(output)
+    result = output.data
+    assert 1.4 < result.speedup < 2.8
+    assert 0.45 < result.step3_reduction < 0.80
+    assert result.irss_fps < 60.0  # still short of real time
+    benchmark.pedantic(
+        lambda: run_experiment("sec4d", detail=0.3), rounds=1, iterations=1
+    )

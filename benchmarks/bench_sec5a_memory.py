@@ -1,0 +1,20 @@
+"""Sec. V-A: DRAM pressure of Rendering Step 3 and the reuse cache.
+
+Paper: Step 3 needs 62.1% of DRAM bandwidth at 60 FPS; the cache cuts
+off-chip feature accesses by 44.9%, avoiding a 13.5% slowdown.
+"""
+
+from conftest import show
+from repro.harness import run_experiment
+
+
+def test_sec5a_memory(benchmark, experiments):
+    output = experiments("sec5a")
+    show(output)
+    data = output.data
+    assert 0.3 < data["dram"] < 1.0
+    assert 0.25 < data["reduction"] < 0.8
+    assert data["slowdown"] >= 0.0
+    benchmark.pedantic(
+        lambda: run_experiment("sec5a", detail=0.3), rounds=1, iterations=1
+    )

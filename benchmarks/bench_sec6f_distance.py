@@ -1,0 +1,19 @@
+"""Sec. VI-F: distant cameras erode the IRSS advantage.
+
+Paper: 4x camera distance drops the static speedup from 10.8x to 4.7x.
+"""
+
+from conftest import show
+from repro.harness import run_experiment
+
+
+def test_sec6f_distance(benchmark, experiments):
+    output = experiments("sec6f")
+    show(output)
+    points = output.data
+    assert points[-1].factor == 4.0
+    assert points[-1].speedup < points[0].speedup  # advantage shrinks
+    assert points[-1].speedup > 1.0  # but never inverts
+    benchmark.pedantic(
+        lambda: run_experiment("sec6f", detail=0.3), rounds=1, iterations=1
+    )

@@ -1,0 +1,10 @@
+"""Tab. I: the evaluation-scene catalog."""
+
+from conftest import show
+
+
+def test_tab01_datasets(benchmark, experiments):
+    output = experiments("tab1")
+    show(output)
+    benchmark(lambda: experiments("tab1"))
+    assert len(output.data) == 12

@@ -1,0 +1,11 @@
+"""Tab. II/III: GBU and Orin NX specifications."""
+
+from conftest import show
+
+
+def test_tab02_03_specs(benchmark, experiments):
+    output = experiments("tab2_tab3")
+    show(output)
+    benchmark(lambda: experiments("tab2_tab3"))
+    specs, modules = output.data
+    assert len(modules) == 4

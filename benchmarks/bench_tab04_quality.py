@@ -1,0 +1,19 @@
+"""Tab. IV: rendering quality parity between 3D-GS and the GBU.
+
+Paper shape: the fp16 Tile PE costs < 0.1 dB PSNR and < 0.01 LPIPS.
+"""
+
+from conftest import show
+from repro.harness import run_experiment
+
+
+def test_tab04_quality(benchmark, experiments):
+    output = experiments("tab4")
+    show(output)
+    for app, result in output.data.items():
+        assert abs(result.psnr_delta) < 0.5, app
+        assert abs(result.lpips_delta) < 0.02, app
+        assert result.reference_psnr > 20.0, app
+    benchmark.pedantic(
+        lambda: run_experiment("tab4", detail=0.3), rounds=1, iterations=1
+    )

@@ -1,0 +1,28 @@
+"""Tab. V: adding the techniques one by one on static scenes.
+
+Paper: 12.8 -> 22.0 -> 66.1 -> 80.6 -> 91.5 FPS; energy 1x -> 10.8x;
+quality flat until the fp16 Tile Engine enters (-0.06 dB).
+"""
+
+from conftest import show
+from repro.harness import run_experiment
+
+
+def test_tab05_ablation(benchmark, experiments):
+    output = experiments("tab5")
+    show(output)
+    rows = output.data
+    fps = [r.fps for r in rows]
+    # Monotonic FPS and energy-efficiency as techniques stack.
+    assert all(b >= a * 0.98 for a, b in zip(fps, fps[1:]))
+    assert rows[-1].fps > 60.0
+    assert rows[-1].energy_efficiency > 5.0
+    # Quality unchanged by IRSS (the transform is exact: >100 dB is
+    # floating-point noise); the only real drop comes from the fp16
+    # Tile Engine, and it stays far above visible thresholds.
+    assert rows[0].psnr > 100.0 and rows[1].psnr > 100.0
+    assert rows[2].psnr < rows[1].psnr  # fp16 enters here
+    assert rows[-1].psnr > 50.0
+    benchmark.pedantic(
+        lambda: run_experiment("tab5", detail=0.25), rounds=1, iterations=1
+    )

@@ -1,0 +1,18 @@
+"""Tab. VI: GBU-Standalone vs GS-Core on area and power."""
+
+from conftest import show
+from repro.analysis.literature import GSCORE
+from repro.harness import run_experiment
+
+
+def test_tab06_standalone(benchmark, experiments):
+    output = experiments("tab6_tab7")
+    show(output)
+    measured = output.data
+    assert measured.area_mm2 < GSCORE.area_mm2
+    assert measured.power_w < GSCORE.power_w
+    assert measured.step3_area_mm2 < GSCORE.step3_area_mm2
+    assert measured.step3_power_w < GSCORE.step3_power_w
+    benchmark.pedantic(
+        lambda: run_experiment("tab6_tab7", detail=0.3), rounds=1, iterations=1
+    )

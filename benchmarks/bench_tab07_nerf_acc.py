@@ -1,0 +1,21 @@
+"""Tab. VII: GBU-Standalone vs NeRF accelerators on NeRF-Synthetic.
+
+Paper: 172 FPS at 1.78 mm2 / 0.78 W — faster and smaller than ICARUS,
+RT-NeRF and Instant-3D.
+"""
+
+from conftest import show
+from repro.analysis.literature import NERF_ACCELERATORS
+from repro.harness import run_experiment
+
+
+def test_tab07_nerf_accelerators(benchmark, experiments):
+    output = experiments("tab6_tab7")
+    show(output)
+    measured = output.data
+    for accelerator in NERF_ACCELERATORS:
+        assert measured.fps > accelerator.fps, accelerator.name
+    assert measured.fps > 60.0
+    benchmark.pedantic(
+        lambda: run_experiment("tab6_tab7", detail=0.3), rounds=1, iterations=1
+    )

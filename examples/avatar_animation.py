@@ -1,0 +1,59 @@
+"""Avatar animation: pose-driven Gaussians through the full pipeline.
+
+Animates the 'female_4' stand-in through a walk cycle: linear blend
+skinning poses the splats (the application-specific Rendering Step 1),
+then the shared Steps 2-3 run on the GBU.  Shows why avatars have the
+largest Step-1 share (Fig. 5) and the smallest energy win (Fig. 15):
+the GPU stays busy skinning while the GBU blends.
+
+Run:  python examples/avatar_animation.py
+"""
+
+import numpy as np
+
+from repro import project
+from repro.analysis.endtoend import evaluate_scene
+from repro.dynamics.avatar import walking_pose
+from repro.harness import format_table
+from repro.metrics.energy import EnergyModel
+from repro.scenes import build_scene
+
+
+def main() -> None:
+    bundle = build_scene("female_4")
+    model = bundle.avatar_model
+    print(
+        f"avatar: {len(model)} splats bound to "
+        f"{model.skeleton.n_joints} joints"
+    )
+
+    rows = []
+    for frame in range(8):
+        t = frame / 8
+        theta = walking_pose(t)
+        posed = model.at_pose(theta)
+        projected = project(posed, bundle.camera)
+        baseline = evaluate_scene(bundle.spec, "gpu_pfs", frame=frame, bundle=bundle)
+        gbu = evaluate_scene(bundle.spec, "gbu_full", frame=frame, bundle=bundle)
+        eff = EnergyModel.efficiency_improvement(baseline.energy, gbu.energy)
+        rows.append(
+            [
+                frame,
+                f"{np.rad2deg(theta[11]):+.0f}deg",  # left hip swing
+                len(projected),
+                baseline.fps,
+                gbu.fps,
+                gbu.gpu_seconds * 1e3,
+                eff,
+            ]
+        )
+    print(format_table(
+        ["frame", "hip", "visible", "Orin FPS", "GBU FPS", "GPU-side ms", "energy eff"],
+        rows,
+    ))
+    print("\nNote the GPU-side milliseconds: skinning keeps the GPU busy, "
+          "capping the avatar energy win near the paper's 2.5x.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Cache design-space exploration (Fig. 17 and beyond).
+
+Sweeps the Gaussian Reuse Cache capacity on one scene per application
+class, compares the paper's precomputed reuse-distance policy against
+LRU and FIFO at the shipping 32 KB size, and reports the saturation
+point that justifies the paper's capacity choice (Sec. VI-E).
+
+Run:  python examples/cache_explorer.py
+"""
+
+from repro.analysis.cache_study import CACHE_SIZES, compare_policies, sweep_scene
+from repro.harness import format_table
+
+SCENES = ("bonsai", "flame_steak", "female_4")
+
+
+def main() -> None:
+    print("hit rate vs cache capacity (reuse-distance policy):\n")
+    rows = []
+    for scene in SCENES:
+        result = sweep_scene(scene)
+        rows.append(
+            [scene, result.app_type.value]
+            + [result.hit_rates[s] for s in CACHE_SIZES]
+            + [f"{result.saturation_size() // 1024}KB"]
+        )
+    headers = (
+        ["scene", "type"]
+        + [f"{s // 1024}KB" for s in CACHE_SIZES]
+        + ["saturates@"]
+    )
+    print(format_table(headers, rows))
+
+    # At the simulated scene scale a 32 KB cache already holds the
+    # working set (every policy ties); compare policies where capacity
+    # is actually contended, mirroring the paper's full-scale regime.
+    print("\nreplacement-policy comparison at 4 KB (capacity-contended):\n")
+    rows = []
+    for scene in SCENES:
+        comparison = compare_policies(scene, capacity_bytes=4 * 1024)
+        rates = comparison.hit_rates
+        rows.append(
+            [
+                scene,
+                rates["reuse_distance"],
+                rates["lru"],
+                rates["fifo"],
+                comparison.rd_advantage_over_lru,
+            ]
+        )
+    print(format_table(
+        ["scene", "reuse-distance", "LRU", "FIFO", "RD advantage"], rows
+    ))
+    print("\nThe precomputable access trace is what lets the hardware "
+          "realize a Belady-style policy (Sec. V-D): under capacity "
+          "pressure a generic LRU leaves hit rate on the table.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""GBU design-space exploration (beyond the paper's shipping config).
+
+Varies the hardware parameters the paper fixed — Row PE count, row
+assignment, cache size, cross-tile streaming — and measures simulated
+Step-3 latency on a static scene.  This is the kind of what-if a
+downstream architect would run with this library.
+
+Run:  python examples/design_space.py
+"""
+
+from dataclasses import replace
+
+from repro import project
+from repro.core.gbu import GBUConfig, GBUDevice
+from repro.gpu.specs import GBU_SPEC
+from repro.gpu.workload import ScaleFactors
+from repro.harness import format_table
+from repro.scenes import build_scene
+
+
+def main() -> None:
+    bundle = build_scene("kitchen")
+    cloud, _ = bundle.frame_cloud(0)
+    projected = project(cloud, bundle.camera)
+    scales = ScaleFactors.for_scene(bundle.spec)
+
+    variants = [
+        ("shipping (8 PEs, interleaved, 32KB)", GBU_SPEC, GBUConfig()),
+        ("4 Row PEs", replace(GBU_SPEC, n_row_pes=4, rows_per_pe=4), GBUConfig()),
+        ("16 Row PEs", replace(GBU_SPEC, n_row_pes=16, rows_per_pe=1), GBUConfig()),
+        ("contiguous row pairs", GBU_SPEC, GBUConfig(interleaved_rows=False)),
+        ("per-tile barrier", GBU_SPEC, GBUConfig(cross_tile_overlap=False)),
+        ("no reuse cache", GBU_SPEC, GBUConfig(use_cache=False)),
+        ("8KB cache", replace(GBU_SPEC, cache_bytes=8 * 1024), GBUConfig()),
+        ("128KB cache", replace(GBU_SPEC, cache_bytes=128 * 1024), GBUConfig()),
+        ("LRU cache", GBU_SPEC, GBUConfig(cache_policy="lru")),
+    ]
+
+    rows = []
+    shipping_s = None
+    for label, spec, config in variants:
+        report = GBUDevice(spec=spec, config=config).render(
+            projected, scales=scales
+        )
+        if shipping_s is None:
+            shipping_s = report.step3_seconds
+        rows.append(
+            [
+                label,
+                report.step3_seconds * 1e3,
+                shipping_s / report.step3_seconds,
+                report.utilization,
+                report.cache.hit_rate,
+            ]
+        )
+    print(format_table(
+        ["design point", "step-3 ms", "vs shipping", "PE util", "cache hit"],
+        rows,
+    ))
+    print("\nThe shipping point is on the knee everywhere: more PEs win "
+          "little (generation engine and memory take over), smaller "
+          "caches or LRU give up hit rate, and the per-tile barrier "
+          "shows what the Row Buffers buy.")
+
+
+if __name__ == "__main__":
+    main()

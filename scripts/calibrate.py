@@ -1,0 +1,68 @@
+"""Calibration driver: print per-scene workload stats, stage fractions
+and baseline FPS at unit workload scale, then the workload_scale each
+scene needs to hit its Fig. 4 frame-time anchor.
+
+Usage:  python scripts/calibrate.py [scene ...]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.irss import render_irss
+from repro.gaussians import build_render_lists, project, render_reference
+from repro.gpu import FrameWorkload, GPUTimingModel, ScaleFactors
+from repro.scenes import build_scene
+from repro.scenes.catalog import EVALUATION_SCENES
+
+# Fig. 4 anchors: paper baseline FPS per scene (read off the figure).
+TARGET_BASELINE_FPS = {
+    "bicycle": 8.0, "bonsai": 16.0, "counter": 14.0, "kitchen": 12.0,
+    "room": 15.0, "stump": 10.5,
+    "flame_steak": 18.0, "sear_steak": 19.0, "cut_beef": 17.0,
+    "female_4": 40.0, "male_3": 42.0, "male_4": 41.0,
+}
+
+
+def main() -> None:
+    names = sys.argv[1:] or EVALUATION_SCENES
+    model = GPUTimingModel()
+    for name in names:
+        t0 = time.time()
+        bundle = build_scene(name)
+        cloud, extra = bundle.frame_cloud(0)
+        proj = project(cloud, bundle.camera)
+        lists = build_render_lists(proj)
+        ref = render_reference(proj, lists)
+        ir = render_irss(proj, lists)
+        wl = FrameWorkload.from_renders(
+            ref, ir, lists, len(proj), extra, ScaleFactors.identity()
+        )
+        pfs = model.frame_pfs(wl)
+        irss = model.frame_irss(wl)
+        dup = lists.n_instances / max(len(proj), 1)
+        ratio = ir.stats.fragments_shaded / max(len(proj), 1)
+        target = TARGET_BASELINE_FPS.get(name)
+        scale = 1.0 / (target * pfs.total_s) if target else float("nan")
+        print(
+            f"{name:12s} vis={len(proj):5d} inst={lists.n_instances:6d} "
+            f"dup={dup:5.1f} ratio={ratio:6.1f} "
+            f"sig={ref.stats.significant_fraction:.3f} "
+            f"skip={ir.stats.skip_rate:.3f}"
+        )
+        print(
+            f"   PFS  frac=({pfs.fractions[0]:.2f} {pfs.fractions[1]:.2f} "
+            f"{pfs.fractions[2]:.2f}) util={pfs.step3_utilization:.3f}  "
+            f"IRSS frac=({irss.fractions[0]:.2f} {irss.fractions[1]:.2f} "
+            f"{irss.fractions[2]:.2f}) util={irss.step3_utilization:.3f}  "
+            f"irss_speedup={pfs.total_s / irss.total_s:.2f} "
+            f"step3x={pfs.step3_s / irss.step3_s:.2f}"
+        )
+        print(
+            f"   scale={scale:9.1f}  ({time.time() - t0:.1f}s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Regenerate every table/figure of the paper in one run.
+
+Usage:
+    python scripts/run_all_experiments.py [--detail D] [key ...]
+
+Without arguments, runs the full registry at full detail (several
+minutes) and prints each experiment's table — the same output the
+benchmarks show, without the pytest-benchmark machinery.  Pass
+experiment keys (e.g. ``fig14_fig15 tab5``) to run a subset, or
+``--detail 0.3`` for a quick reduced-fidelity pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.harness import EXPERIMENTS, run_experiment
+
+# Cheap-first ordering so early output appears immediately.
+DEFAULT_ORDER = [
+    "fig1", "tab1", "tab2_tab3", "fig9", "fig6", "fig4_fig5", "sec4d",
+    "fig17", "sec6f", "fig16", "tab4", "sec5a", "tab6_tab7",
+    "fig14_fig15", "tab5",
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("keys", nargs="*", default=None,
+                        help="experiment keys (default: all)")
+    parser.add_argument("--detail", type=float, default=1.0,
+                        help="scene detail multiplier (default 1.0)")
+    args = parser.parse_args()
+
+    keys = args.keys or DEFAULT_ORDER
+    unknown = [k for k in keys if k not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment keys: {unknown}")
+
+    total_start = time.time()
+    for key in keys:
+        start = time.time()
+        output = run_experiment(key, detail=args.detail)
+        print(f"===== {key} ({time.time() - start:.1f}s) =====")
+        print(output.table)
+        print()
+    print(f"all experiments done in {time.time() - total_start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) fail.  This shim
+enables the legacy editable path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

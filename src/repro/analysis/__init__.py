@@ -1,0 +1,18 @@
+"""Experiment drivers: one module per evaluation axis of the paper.
+
+endtoend:
+    System-level configurations (baseline GPU, IRSS-on-GPU, GBU
+    variants) evaluated per scene — feeds Fig. 14/15 and Tab. V.
+profiling:
+    Workload profiling (Fig. 4/5/6/9, Challenge 1/2 statistics).
+ablation:
+    The Tab. V technique-by-technique ablation and Sec. IV-D numbers.
+scaling:
+    Resolution scaling (Fig. 16) and camera-distance stress (Sec. VI-F).
+cache_study:
+    Cache size sweeps (Fig. 17) and DRAM pressure (Sec. V-A).
+quality:
+    Rendering-quality parity (Tab. IV).
+literature:
+    Reported-number baselines (Fig. 1, Tab. VI, Tab. VII).
+"""

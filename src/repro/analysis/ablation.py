@@ -1,0 +1,120 @@
+"""The Tab. V ablation and the Sec. IV-D IRSS-on-GPU result.
+
+Techniques are added one by one on the static scenes: IRSS dataflow
+(as a GPU kernel), the GBU Tile Engine, the D&B Engine, and the
+Gaussian Reuse Cache; each row reports average FPS, energy-efficiency
+improvement, and rendering quality (PSNR/LPIPS against the scene's
+ground truth, which degrades only when the fp16 Tile PE enters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.endtoend import CONFIG_NAMES, evaluate_all_configs
+from repro.analysis.quality import ground_truth_image
+from repro.metrics.energy import EnergyModel
+from repro.metrics.image import lpips_proxy, psnr
+from repro.metrics.perf import harmonic_mean_fps
+from repro.scenes.catalog import CATALOG, AppType, scenes_of_type
+
+
+ABLATION_ROWS = {
+    "gpu_pfs": "Jetson Orin NX",
+    "gpu_irss": "+ IRSS Dataflow",
+    "gbu_tile": "+ GBU Tile Engine",
+    "gbu_dnb": "+ GBU D&B Engine",
+    "gbu_full": "+ GBU Reuse Cache",
+}
+
+
+@dataclass
+class AblationRow:
+    """One row of Tab. V."""
+
+    config: str
+    label: str
+    fps: float
+    energy_efficiency: float
+    psnr: float
+    lpips: float
+
+
+def run_ablation(
+    scene_names: list[str] | None = None,
+    detail: float = 1.0,
+    frame: int = 0,
+) -> list[AblationRow]:
+    """Reproduce Tab. V on the static scenes (or a chosen subset)."""
+    if scene_names is None:
+        scene_names = [s.name for s in scenes_of_type(AppType.STATIC)]
+
+    per_config_fps: dict[str, list[float]] = {c: [] for c in CONFIG_NAMES}
+    per_config_energy: dict[str, list[float]] = {c: [] for c in CONFIG_NAMES}
+    per_config_psnr: dict[str, list[float]] = {c: [] for c in CONFIG_NAMES}
+    per_config_lpips: dict[str, list[float]] = {c: [] for c in CONFIG_NAMES}
+
+    for name in scene_names:
+        results = evaluate_all_configs(name, frame=frame, detail=detail)
+        baseline_energy = results["gpu_pfs"].energy
+        truth = ground_truth_image(name, detail=detail, frame=frame)
+        for config, result in results.items():
+            per_config_fps[config].append(result.fps)
+            per_config_energy[config].append(
+                EnergyModel.efficiency_improvement(baseline_energy, result.energy)
+            )
+            per_config_psnr[config].append(psnr(truth, result.image))
+            per_config_lpips[config].append(lpips_proxy(truth, result.image))
+
+    rows = []
+    for config in CONFIG_NAMES:
+        rows.append(
+            AblationRow(
+                config=config,
+                label=ABLATION_ROWS[config],
+                fps=harmonic_mean_fps(per_config_fps[config]),
+                energy_efficiency=float(np.mean(per_config_energy[config])),
+                psnr=float(np.mean(per_config_psnr[config])),
+                lpips=float(np.mean(per_config_lpips[config])),
+            )
+        )
+    return rows
+
+
+@dataclass
+class IrssGpuResult:
+    """Sec. IV-D: IRSS deployed directly on the GPU."""
+
+    baseline_fps: float
+    irss_fps: float
+    step3_reduction: float
+    irss_step3_utilization: float
+
+    @property
+    def speedup(self) -> float:
+        return self.irss_fps / self.baseline_fps
+
+
+def irss_on_gpu(
+    scene_names: list[str] | None = None, detail: float = 1.0
+) -> IrssGpuResult:
+    """The 13 -> 22 FPS / -59% Step-3 latency result of Sec. IV-D."""
+    if scene_names is None:
+        scene_names = [s.name for s in scenes_of_type(AppType.STATIC)]
+    base_fps, irss_fps, reductions, utils = [], [], [], []
+    for name in scene_names:
+        results = evaluate_all_configs(name, detail=detail)
+        pfs = results["gpu_pfs"].breakdown
+        irss = results["gpu_irss"].breakdown
+        base_fps.append(1.0 / pfs.total_s)
+        irss_fps.append(1.0 / irss.total_s)
+        reductions.append(1.0 - irss.step3_s / pfs.step3_s)
+        utils.append(irss.step3_utilization)
+    return IrssGpuResult(
+        baseline_fps=harmonic_mean_fps(base_fps),
+        irss_fps=harmonic_mean_fps(irss_fps),
+        step3_reduction=float(np.mean(reductions)),
+        irss_step3_utilization=float(np.mean(utils)),
+    )

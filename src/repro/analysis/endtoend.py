@@ -1,0 +1,221 @@
+"""System-level evaluation: every configuration of Tab. V on every
+scene of the catalog.
+
+A :class:`SystemConfig` names one point in the design space:
+
+* ``gpu_pfs``   — the baseline (Jetson Orin NX row of Tab. V),
+* ``gpu_irss``  — + IRSS dataflow as a CUDA kernel,
+* ``gbu_tile``  — + GBU Tile Engine (GPU still bins and sorts; GBU
+  blends from conservatively binned lists; no reuse cache),
+* ``gbu_dnb``   — + D&B engine (exact binning and transform
+  computation move to the GBU; the GPU's Step 2 shrinks to a depth
+  sort over Gaussians; chunk pipelining),
+* ``gbu_full``  — + Gaussian Reuse Cache (the shipping GBU).
+
+Every configuration is evaluated functionally (the image it would
+produce) and temporally (paper-scale frame time via the calibrated
+models), plus per-frame energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.gbu import GBUConfig, GBUDevice, GBUReport
+from repro.core.irss import render_irss
+from repro.core.pipeline import PipelinedFrame
+from repro.errors import ValidationError
+from repro.gaussians import build_render_lists, project, render_reference
+from repro.gpu import FrameWorkload, GPUTimingModel, ScaleFactors, StageBreakdown
+from repro.metrics.energy import EnergyBreakdown, EnergyModel
+from repro.scenes import SceneBundle, SceneSpec, build_scene
+from repro.scenes.catalog import CATALOG
+
+# Frame-pipeline handshake overhead (GBU_check_status + buffer swap).
+SYNC_SECONDS = 2e-4
+
+CONFIG_NAMES = ("gpu_pfs", "gpu_irss", "gbu_tile", "gbu_dnb", "gbu_full")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One row of the ablation: which techniques are active."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in CONFIG_NAMES:
+            raise ValidationError(
+                f"unknown config '{self.name}'; choose from {CONFIG_NAMES}"
+            )
+
+    @property
+    def uses_gbu(self) -> bool:
+        return self.name.startswith("gbu")
+
+    def gbu_config(self) -> GBUConfig:
+        if not self.uses_gbu:
+            raise ValidationError(f"{self.name} has no GBU")
+        return GBUConfig(
+            use_dnb=self.name in ("gbu_dnb", "gbu_full"),
+            use_cache=self.name == "gbu_full",
+            fp16=True,
+        )
+
+
+@dataclass
+class SystemResult:
+    """Outcome of evaluating one (scene, config) pair.
+
+    Attributes
+    ----------
+    frame_seconds / fps:
+        Paper-scale end-to-end frame timing.
+    gpu_seconds:
+        GPU-side busy time per frame.
+    gbu_seconds:
+        GBU-side busy time per frame (0 for GPU-only configs).
+    breakdown:
+        Per-stage GPU breakdown (GPU-only configs).
+    gbu_report:
+        GBU engine report (GBU configs).
+    energy:
+        Per-frame energy breakdown.
+    image:
+        The frame the configuration actually renders.
+    """
+
+    scene: str
+    config: SystemConfig
+    frame_seconds: float
+    gpu_seconds: float
+    gbu_seconds: float
+    energy: EnergyBreakdown
+    image: np.ndarray
+    breakdown: StageBreakdown | None = None
+    gbu_report: GBUReport | None = None
+
+    @property
+    def fps(self) -> float:
+        return 1.0 / self.frame_seconds
+
+
+def evaluate_scene(
+    spec_or_name: SceneSpec | str,
+    config: SystemConfig | str = "gbu_full",
+    frame: int = 0,
+    detail: float = 1.0,
+    bundle: SceneBundle | None = None,
+) -> SystemResult:
+    """Evaluate one configuration on one scene frame.
+
+    Parameters
+    ----------
+    spec_or_name:
+        Catalog scene (spec or name).
+    config:
+        System configuration (name or :class:`SystemConfig`).
+    frame:
+        Animation frame for dynamic/avatar scenes.
+    detail:
+        Scene detail multiplier (tests use < 1).
+    bundle:
+        Reuse an already-built scene bundle (avoids regeneration when
+        sweeping configurations).
+    """
+    if isinstance(config, str):
+        config = SystemConfig(config)
+    spec = CATALOG[spec_or_name] if isinstance(spec_or_name, str) else spec_or_name
+    if bundle is None:
+        bundle = build_scene(spec, detail=detail)
+    cloud, extra_flops = bundle.frame_cloud(frame)
+    projected = project(cloud, bundle.camera)
+    lists = build_render_lists(projected)
+    scales = ScaleFactors.for_scene(spec)
+
+    reference = render_reference(projected, lists)
+    irss = render_irss(projected, lists)
+    workload = FrameWorkload.from_renders(
+        reference, irss, lists, len(projected), extra_flops, scales
+    )
+    gpu_model = GPUTimingModel()
+    energy_model = EnergyModel()
+
+    if config.name == "gpu_pfs":
+        breakdown = gpu_model.frame_pfs(workload)
+        return SystemResult(
+            scene=spec.name,
+            config=config,
+            frame_seconds=breakdown.total_s,
+            gpu_seconds=breakdown.total_s,
+            gbu_seconds=0.0,
+            energy=energy_model.gpu_only_frame(breakdown.total_s),
+            image=reference.image,
+            breakdown=breakdown,
+        )
+    if config.name == "gpu_irss":
+        breakdown = gpu_model.frame_irss(workload)
+        return SystemResult(
+            scene=spec.name,
+            config=config,
+            frame_seconds=breakdown.total_s,
+            gpu_seconds=breakdown.total_s,
+            gbu_seconds=0.0,
+            energy=energy_model.gpu_only_frame(breakdown.total_s),
+            image=irss.image,
+            breakdown=breakdown,
+        )
+
+    # --- GBU configurations ---
+    device = GBUDevice(config=config.gbu_config())
+    report = device.render(
+        projected,
+        scales=scales,
+        lists=None if config.gbu_config().use_dnb else lists,
+    )
+
+    step1_s = gpu_model.step1_seconds(workload)
+    if config.gbu_config().use_dnb:
+        # D&B moved binning off the GPU: Step 2 is a depth sort over
+        # Gaussians, not instances.
+        step2_s = gpu_model.step2_seconds(
+            workload, keys=workload.n_gaussians, depth_sort_only=True
+        )
+    else:
+        step2_s = gpu_model.step2_seconds(workload)
+    gpu_s = step1_s + step2_s
+
+    pipe = PipelinedFrame(
+        gpu_seconds=gpu_s,
+        gbu_seconds=report.step3_seconds,
+        sync_seconds=SYNC_SECONDS,
+    )
+    energy = energy_model.enhanced_frame(
+        pipe.frame_seconds, gpu_s, report.step3_seconds
+    )
+    return SystemResult(
+        scene=spec.name,
+        config=config,
+        frame_seconds=pipe.frame_seconds,
+        gpu_seconds=gpu_s,
+        gbu_seconds=report.step3_seconds,
+        energy=energy,
+        image=report.image,
+        gbu_report=report,
+    )
+
+
+def evaluate_all_configs(
+    spec_or_name: SceneSpec | str,
+    frame: int = 0,
+    detail: float = 1.0,
+) -> dict[str, SystemResult]:
+    """Run every Tab. V configuration on one scene, reusing the build."""
+    spec = CATALOG[spec_or_name] if isinstance(spec_or_name, str) else spec_or_name
+    bundle = build_scene(spec, detail=detail)
+    return {
+        name: evaluate_scene(spec, name, frame=frame, detail=detail, bundle=bundle)
+        for name in CONFIG_NAMES
+    }

@@ -1,0 +1,130 @@
+"""Workload profiling: Fig. 4, Fig. 5, Fig. 6, Fig. 9 and the
+Challenge 1/2 statistics of Sec. III.
+
+Everything here drives the *baseline* pipeline only — these are the
+measurements that motivated the GBU design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import FLOPS
+from repro.core.flops import DataflowComparison, compare_dataflows, peak_fraction, tflops_for_target_fps
+from repro.core.irss import render_irss
+from repro.gaussians import build_render_lists, project, render_reference
+from repro.gpu import FrameWorkload, GPUTimingModel, ScaleFactors, StageBreakdown
+from repro.gpu.memory import bandwidth_fraction_for_fps, frame_traffic
+from repro.gpu.specs import ORIN_NX
+from repro.scenes import SceneBundle, build_scene
+from repro.scenes.catalog import CATALOG, EVALUATION_SCENES, AppType, SceneSpec
+
+
+@dataclass
+class SceneProfile:
+    """The per-scene numbers behind Fig. 4/5/6 and Sec. III-B.
+
+    Attributes
+    ----------
+    breakdown:
+        Baseline per-stage timing (Fig. 4 height, Fig. 5 split).
+    comparison:
+        PFS-vs-IRSS fragment/FLOP comparison (Fig. 6).
+    fragment_ratio:
+        Footprint fragments per visible Gaussian (Challenge 1).
+    significant_fraction:
+        Share of PFS fragments that contribute (Challenge 2).
+    step3_dram_fraction_60fps:
+        Fraction of DRAM bandwidth Step 3 would need at 60 FPS
+        (Sec. V-A's 62.1%).
+    eq7_peak_fraction_60fps:
+        Fraction of the device's peak FLOPs Eq. 7 alone would need at
+        60 FPS (Challenge 1's 58%).
+    """
+
+    scene: str
+    app_type: AppType
+    breakdown: StageBreakdown
+    comparison: DataflowComparison
+    fragment_ratio: float
+    significant_fraction: float
+    row_utilization: float
+    step3_dram_fraction_60fps: float
+    eq7_peak_fraction_60fps: float
+
+
+def profile_scene(
+    spec_or_name: SceneSpec | str,
+    frame: int = 0,
+    detail: float = 1.0,
+    bundle: SceneBundle | None = None,
+) -> SceneProfile:
+    """Profile one scene's baseline pipeline."""
+    spec = CATALOG[spec_or_name] if isinstance(spec_or_name, str) else spec_or_name
+    if bundle is None:
+        bundle = build_scene(spec, detail=detail)
+    cloud, extra = bundle.frame_cloud(frame)
+    projected = project(cloud, bundle.camera)
+    lists = build_render_lists(projected)
+    reference = render_reference(projected, lists)
+    irss = render_irss(projected, lists)
+    scales = ScaleFactors.for_scene(spec)
+    workload = FrameWorkload.from_renders(
+        reference, irss, lists, len(projected), extra, scales
+    )
+    breakdown = GPUTimingModel().frame_pfs(workload)
+    traffic = frame_traffic(workload)
+    eq7 = tflops_for_target_fps(
+        workload.pfs_fragments * FLOPS.pfs_flops_per_fragment
+    )
+    return SceneProfile(
+        scene=spec.name,
+        app_type=spec.app_type,
+        breakdown=breakdown,
+        comparison=compare_dataflows(reference.stats, irss.stats),
+        fragment_ratio=irss.stats.fragments_shaded / max(len(projected), 1),
+        significant_fraction=reference.stats.significant_fraction,
+        row_utilization=irss.workload.row_utilization(),
+        step3_dram_fraction_60fps=bandwidth_fraction_for_fps(
+            traffic.step3_bytes, ORIN_NX
+        ),
+        eq7_peak_fraction_60fps=peak_fraction(eq7, ORIN_NX.peak_tflops),
+    )
+
+
+def profile_evaluation_scenes(detail: float = 1.0) -> list[SceneProfile]:
+    """Profile all 12 evaluation scenes (the Fig. 4/5 sweep)."""
+    return [profile_scene(name, detail=detail) for name in EVALUATION_SCENES]
+
+
+def per_row_workload_histogram(
+    spec_or_name: SceneSpec | str, detail: float = 1.0, frame: int = 0
+) -> np.ndarray:
+    """Fig. 9: distribution of per-row fragment workload.
+
+    Returns the (n_tiles x 16,) flattened array of per-row fragment
+    counts for non-empty tiles — the imbalance that motivates the
+    Row-Centric Tile Engine.
+    """
+    spec = CATALOG[spec_or_name] if isinstance(spec_or_name, str) else spec_or_name
+    bundle = build_scene(spec, detail=detail)
+    cloud, _ = bundle.frame_cloud(frame)
+    projected = project(cloud, bundle.camera)
+    lists = build_render_lists(projected)
+    irss = render_irss(projected, lists)
+    rows = irss.workload.row_fragments
+    nonempty = rows.sum(axis=1) > 0
+    return rows[nonempty].ravel()
+
+
+def row_imbalance_ratio(rows: np.ndarray, group: int = 16) -> float:
+    """Max-to-mean per-row workload within tiles (Fig. 9's point)."""
+    rows = rows.reshape(-1, group).astype(np.float64)
+    means = rows.mean(axis=1)
+    maxes = rows.max(axis=1)
+    mask = means > 0
+    if not np.any(mask):
+        return 0.0
+    return float(np.mean(maxes[mask] / means[mask]))

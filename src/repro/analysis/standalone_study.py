@@ -1,0 +1,90 @@
+"""Tab. VI / Tab. VII: GBU-Standalone against prior accelerators.
+
+The prior-work rows are reported values (see
+:mod:`repro.analysis.literature`); our side renders the NeRF-Synthetic
+stand-in scenes through the standalone model and reports measured FPS,
+quality deltas, plus the spec-sheet area/power comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.literature import (
+    GBU_STANDALONE_REPORTED,
+    GSCORE,
+    NERF_ACCELERATORS,
+    AcceleratorSpec,
+)
+from repro.core.standalone import STANDALONE_SPEC, GBUStandalone, StandaloneSpec
+from repro.gpu.workload import ScaleFactors
+from repro.metrics.image import psnr
+from repro.metrics.perf import harmonic_mean_fps
+from repro.scenes import build_scene
+from repro.scenes.catalog import CATALOG
+
+NERF_SYNTHETIC_SCENES = ("nerf_lego", "nerf_chair", "nerf_drums", "nerf_hotdog")
+
+
+@dataclass
+class StandaloneMeasurement:
+    """Our measured GBU-Standalone row."""
+
+    fps: float
+    area_mm2: float
+    power_w: float
+    sram_kb: float
+    step3_area_mm2: float
+    step3_power_w: float
+
+    def as_spec(self) -> AcceleratorSpec:
+        return AcceleratorSpec(
+            name="GBU-Standalone (measured)",
+            algorithm="3D-GS",
+            technology_nm=STANDALONE_SPEC.gbu.technology_nm,
+            frequency_ghz=STANDALONE_SPEC.gbu.clock_hz / 1e9,
+            area_mm2=self.area_mm2,
+            power_w=self.power_w,
+            psnr=float("nan"),
+            fps=self.fps,
+            sram_kb=self.sram_kb,
+            step3_area_mm2=self.step3_area_mm2,
+            step3_power_w=self.step3_power_w,
+        )
+
+
+def measure_standalone(
+    scene_names: tuple[str, ...] = NERF_SYNTHETIC_SCENES,
+    detail: float = 1.0,
+) -> StandaloneMeasurement:
+    """Render the NeRF-Synthetic stand-ins on GBU-Standalone."""
+    spec = STANDALONE_SPEC
+    accelerator = GBUStandalone(spec)
+    fps_values = []
+    for name in scene_names:
+        scene_spec = CATALOG[name]
+        bundle = build_scene(scene_spec, detail=detail)
+        cloud, _ = bundle.frame_cloud(0)
+        scales = ScaleFactors.uniform(scene_spec.paper_n_gaussians / len(cloud))
+        report = accelerator.render(cloud, bundle.camera, scales=scales)
+        fps_values.append(report.fps)
+    return StandaloneMeasurement(
+        fps=harmonic_mean_fps(fps_values),
+        area_mm2=spec.area_mm2,
+        power_w=spec.power_w,
+        sram_kb=spec.gbu.sram_bytes / 1024,
+        step3_area_mm2=spec.step3_area_mm2,
+        step3_power_w=spec.step3_power_w,
+    )
+
+
+def tab6_rows(measurement: StandaloneMeasurement) -> list[AcceleratorSpec]:
+    """Tab. VI: GS-Core vs GBU-Standalone (reported + measured)."""
+    return [GSCORE, GBU_STANDALONE_REPORTED, measurement.as_spec()]
+
+
+def tab7_rows(measurement: StandaloneMeasurement) -> list[AcceleratorSpec]:
+    """Tab. VII: NeRF accelerators vs GBU-Standalone."""
+    return list(NERF_ACCELERATORS) + [GBU_STANDALONE_REPORTED, measurement.as_spec()]

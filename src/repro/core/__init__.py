@@ -1,0 +1,39 @@
+"""The paper's contribution: the IRSS dataflow and the GBU hardware.
+
+Modules
+-------
+transform:
+    The two-step coordinate transformation P -> P' -> P'' (Sec. IV-B).
+irss:
+    Functional Intra-Row Sequential Shading rasterizer with compute
+    sharing and redundancy skipping (Sec. IV), plus FLOP/skip counters.
+flops:
+    Aggregate FLOP accounting comparing the PFS and IRSS dataflows.
+row_engine:
+    Cycle models of the Row Generation Engine and Row PEs (Sec. V-C).
+tile_engine:
+    The Row-Centric Tile Engine (analytic model + tick validator).
+reuse_cache:
+    The Gaussian Reuse Cache with precomputed reuse-distance
+    replacement, plus LRU/FIFO baselines (Sec. V-D).
+dnb:
+    The Decomposition & Binning engine (Sec. V-D/V-E).
+gbu:
+    The GBU device model and its programming interface (Sec. V-F).
+pipeline:
+    The two-level GPU/GBU and D&B/TilePE pipeline (Sec. V-E, Fig. 13).
+standalone:
+    GBU-Standalone — GBU plus GS-Core-style Step 1/2 units (Sec. VI-F).
+precision:
+    fp16 datapath emulation for the Row PEs.
+"""
+
+from repro.core.transform import IRSSTransform, compute_transforms
+from repro.core.irss import IRSSStats, render_irss
+
+__all__ = [
+    "IRSSTransform",
+    "compute_transforms",
+    "IRSSStats",
+    "render_irss",
+]

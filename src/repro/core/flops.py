@@ -1,0 +1,80 @@
+"""Aggregate FLOP accounting for the PFS vs IRSS comparison (Fig. 6).
+
+The paper's Challenge 1 quantifies Rendering Step 3's arithmetic by
+the cost of Eq. 7: 11 FLOPs per fragment under PFS, 2 FLOPs per
+fragment under IRSS after the two-step transform (3 FLOPs with only
+the first transform), for an up-to-5.5x per-fragment reduction.  This
+module turns the counters collected by the rasterizers into the
+figures the paper reports, including the "1.1 TFLOPs at 60 FPS = 58%
+of Orin NX peak" style projections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import FLOPS
+from repro.core.irss import IRSSStats
+from repro.gaussians.rasterizer import RenderStats
+
+
+@dataclass(frozen=True)
+class DataflowComparison:
+    """Side-by-side Eq. 7 workload of the two dataflows on one frame.
+
+    Attributes
+    ----------
+    pfs_fragments / irss_fragments:
+        Fragments evaluated by each dataflow.
+    pfs_flops / irss_flops:
+        Eq. 7 FLOPs charged under the paper's convention.
+    """
+
+    pfs_fragments: int
+    pfs_flops: int
+    irss_fragments: int
+    irss_flops: int
+
+    @property
+    def fragment_skip_rate(self) -> float:
+        """Fraction of PFS fragments IRSS never evaluated (<= 92.3%)."""
+        if self.pfs_fragments == 0:
+            return 0.0
+        return 1.0 - self.irss_fragments / self.pfs_fragments
+
+    @property
+    def per_fragment_reduction(self) -> float:
+        """PFS / IRSS FLOPs per *shaded* fragment (paper: up to 5.5x)."""
+        if self.irss_fragments == 0 or self.irss_flops == 0:
+            return 0.0
+        irss_per_fragment = self.irss_flops / self.irss_fragments
+        return FLOPS.pfs_flops_per_fragment / irss_per_fragment
+
+    @property
+    def total_flop_reduction(self) -> float:
+        """Combined effect of compute sharing and redundancy skipping."""
+        if self.irss_flops == 0:
+            return 0.0
+        return self.pfs_flops / self.irss_flops
+
+
+def compare_dataflows(pfs: RenderStats, irss: IRSSStats) -> DataflowComparison:
+    """Build a :class:`DataflowComparison` from per-frame statistics."""
+    return DataflowComparison(
+        pfs_fragments=pfs.fragments_shaded,
+        pfs_flops=pfs.eq7_flops,
+        irss_fragments=irss.fragments_shaded,
+        irss_flops=irss.eq7_flops,
+    )
+
+
+def tflops_for_target_fps(eq7_flops_per_frame: float, fps: float = 60.0) -> float:
+    """Eq. 7 TFLOPs/s needed to sustain ``fps`` (Challenge 1 framing)."""
+    return eq7_flops_per_frame * fps / 1e12
+
+
+def peak_fraction(tflops_required: float, peak_tflops: float) -> float:
+    """Fraction of a device's peak arithmetic the workload demands."""
+    if peak_tflops <= 0:
+        return float("inf")
+    return tflops_required / peak_tflops

@@ -1,0 +1,296 @@
+"""The Gaussian Blending Unit device model and programming interface.
+
+Ties the pieces together: the D&B engine bins and decomposes, the
+Row-Centric Tile Engine blends with the IRSS dataflow, the Gaussian
+Reuse Cache filters feature traffic, and the chunk pipeline overlaps
+binning with blending.  The device renders *functionally* (producing
+the actual image through :func:`repro.core.irss.render_irss`, with an
+fp16 datapath by default) and *temporally* (cycle accounting for every
+engine), mirroring how the paper's emulator wraps the RTL design.
+
+The C-style interface of Listing 1 (``GBU_render_image`` /
+``GBU_check_status``) is provided on top of :class:`GBUDevice` for
+API parity; Python callers normally use :meth:`GBUDevice.render`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import DEFAULT_CHUNK_SIZE, DEFAULT_SETTINGS, RenderSettings
+from repro.core.dnb import DnBOutput, reuse_distance_table, run_dnb
+from repro.core.irss import IRSSRenderResult, render_irss
+from repro.core.pipeline import chunk_count, chunked_overlap_seconds
+from repro.core.reuse_cache import POLICIES, CacheReport
+from repro.core.tile_engine import TileEngineReport, simulate_tile_engine
+from repro.errors import DeviceBusyError, ValidationError
+from repro.gaussians.projection import Projected2D
+from repro.gaussians.sorting import RenderLists, build_render_lists
+from repro.gpu.calibration import DEFAULT_GBU_CALIBRATION, GBUCalibration
+from repro.gpu.specs import GBU_SPEC, GBUSpec, GPUSpec, ORIN_NX
+from repro.gpu.workload import ScaleFactors
+
+
+@dataclass(frozen=True)
+class GBUConfig:
+    """Feature configuration of a GBU instance (the Tab. V axes).
+
+    Attributes
+    ----------
+    use_dnb:
+        Decompose/bin on the GBU (exact intersections, chunk
+        pipelining, reuse-distance precomputation).  When off, the GPU
+        supplies conservatively binned lists.
+    use_cache:
+        Enable the Gaussian Reuse Cache.
+    cache_policy:
+        "reuse_distance" (the paper's), "lru" or "fifo" for ablation.
+    fp16:
+        Row PE datapath precision.
+    chunk_size:
+        Gaussians per chunk in the D&B/TilePE pipeline.
+    interleaved_rows:
+        Row-to-PE assignment (interleaved vs contiguous pairs).
+    cross_tile_overlap:
+        Let Row Buffers stream work across tile boundaries (design
+        point); off inserts a per-tile barrier (ablation).
+    """
+
+    use_dnb: bool = True
+    use_cache: bool = True
+    cache_policy: str = "reuse_distance"
+    fp16: bool = True
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    interleaved_rows: bool = True
+    cross_tile_overlap: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cache_policy not in POLICIES:
+            raise ValidationError(f"unknown cache policy '{self.cache_policy}'")
+
+
+@dataclass
+class GBUReport:
+    """Everything one GBU frame produces.
+
+    Timing attributes are *paper-scale* seconds (after applying the
+    scene's workload scale); cycle counts are raw simulation values.
+    """
+
+    render: IRSSRenderResult
+    tile_engine: TileEngineReport
+    cache: CacheReport
+    dnb_cycles: float
+    compute_seconds: float
+    memory_seconds: float
+    dnb_seconds: float
+    step3_seconds: float
+    feature_bytes_fetched: float
+    feature_bytes_demanded: float
+
+    @property
+    def image(self) -> np.ndarray:
+        return self.render.image
+
+    @property
+    def utilization(self) -> float:
+        return self.tile_engine.utilization
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_seconds > self.compute_seconds
+
+    @property
+    def traffic_reduction(self) -> float:
+        if self.feature_bytes_demanded == 0:
+            return 0.0
+        return 1.0 - self.feature_bytes_fetched / self.feature_bytes_demanded
+
+
+class GBUDevice:
+    """A simulated Gaussian Blending Unit.
+
+    Parameters
+    ----------
+    spec:
+        Hardware parameters (clock, PEs, cache size).
+    config:
+        Feature configuration.
+    calib:
+        Engine cycle costs.
+    host_gpu:
+        The GPU whose DRAM the GBU shares (bandwidth source).
+    """
+
+    def __init__(
+        self,
+        spec: GBUSpec = GBU_SPEC,
+        config: GBUConfig = GBUConfig(),
+        calib: GBUCalibration = DEFAULT_GBU_CALIBRATION,
+        host_gpu: GPUSpec = ORIN_NX,
+    ) -> None:
+        self.spec = spec
+        self.config = config
+        self.calib = calib
+        self.host_gpu = host_gpu
+        self._busy = False
+        self._last_report: GBUReport | None = None
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def render(
+        self,
+        projected: Projected2D,
+        settings: RenderSettings = DEFAULT_SETTINGS,
+        scales: ScaleFactors = ScaleFactors(),
+        lists: RenderLists | None = None,
+    ) -> GBUReport:
+        """Render one frame and account its cycles.
+
+        Parameters
+        ----------
+        projected:
+            Step-1 output (produced by the host GPU).
+        settings:
+            Blending thresholds shared with the reference.
+        scales:
+            Sim-to-paper workload scaling for the timing outputs.
+        lists:
+            Pre-binned render lists; only honored when the D&B engine
+            is disabled (otherwise the engine bins exactly itself).
+        """
+        # --- Decomposition & Binning ---
+        if self.config.use_dnb:
+            dnb = run_dnb(projected, calib=self.calib, exact=True)
+            lists = dnb.lists
+            transform = dnb.transform
+            dnb_cycles = dnb.report.cycles
+        else:
+            if lists is None:
+                lists = build_render_lists(projected)
+            transform = None
+            dnb_cycles = 0.0
+
+        # --- Functional render (Row PEs, fp16 datapath) ---
+        render = render_irss(
+            projected,
+            lists,
+            settings=settings,
+            transform=transform,
+            fp16=self.config.fp16,
+        )
+
+        # --- Tile engine cycles ---
+        engine = simulate_tile_engine(
+            render.workload,
+            spec=self.spec,
+            calib=self.calib,
+            interleaved=self.config.interleaved_rows,
+            cross_tile_overlap=self.config.cross_tile_overlap,
+        )
+
+        # --- Feature traffic through the reuse cache ---
+        trace, tile_of_access = reuse_distance_table(lists)
+        capacity = self.spec.cache_lines if self.config.use_cache else 0
+        cache = POLICIES[self.config.cache_policy](
+            capacity, self.spec.feature_bytes
+        ).simulate(trace, tile_of_access)
+
+        # --- Paper-scale seconds ---
+        compute_s = engine.total_cycles * scales.fragment / self.spec.clock_hz
+        # Feature stream: every miss pulls the fp32 source record at
+        # DRAM burst granularity; hits are served from the 32 B fp16
+        # lines on chip.  Index lists and framebuffer writeback always
+        # go off-chip.
+        demanded = cache.accesses * self.spec.miss_burst_bytes * scales.instance
+        feature_fetch = cache.misses * self.spec.miss_burst_bytes * scales.instance
+        index_bytes = cache.accesses * self.spec.index_bytes * scales.instance
+        pixels = render.image.shape[0] * render.image.shape[1]
+        framebuffer_bytes = (
+            pixels * self.spec.framebuffer_bytes_per_pixel * scales.pixel
+        )
+        fetched = feature_fetch + index_bytes + framebuffer_bytes
+        bandwidth = self.host_gpu.dram_bandwidth * self.calib.gbu_dram_share
+        memory_s = fetched / bandwidth
+        dnb_s = dnb_cycles * scales.instance / self.spec.clock_hz
+
+        # --- Chunk pipeline: D&B overlaps the (roofline) blending ---
+        blend_s = max(compute_s, memory_s)
+        if self.config.use_dnb:
+            n_chunks = chunk_count(len(projected), self.config.chunk_size)
+            step3_s = chunked_overlap_seconds(dnb_s, blend_s, n_chunks)
+        else:
+            step3_s = blend_s
+
+        report = GBUReport(
+            render=render,
+            tile_engine=engine,
+            cache=cache,
+            dnb_cycles=dnb_cycles,
+            compute_seconds=compute_s,
+            memory_seconds=memory_s,
+            dnb_seconds=dnb_s,
+            step3_seconds=step3_s,
+            feature_bytes_fetched=feature_fetch,
+            feature_bytes_demanded=demanded,
+        )
+        self._last_report = report
+        return report
+
+    # ------------------------------------------------------------------
+    # Listing-1 style interface
+    # ------------------------------------------------------------------
+    def GBU_render_image(
+        self,
+        height: int,
+        width: int,
+        input_feature: Projected2D,
+        sorted_index: RenderLists | None,
+        frame_buffer: np.ndarray,
+        ch: int = 3,
+    ) -> None:
+        """C-interface shim of Listing 1.
+
+        Triggers an asynchronous render into ``frame_buffer``; poll or
+        block with :meth:`GBU_check_status`.  The ``sorted_index``
+        argument carries the Step-2 output, as in the paper's API.
+        """
+        if self._busy:
+            raise DeviceBusyError("GBU busy: frame already in flight")
+        if frame_buffer.shape != (height, width, ch):
+            raise ValidationError(
+                f"frame buffer must be ({height}, {width}, {ch})"
+            )
+        if (width, height) != input_feature.image_size:
+            raise ValidationError("frame buffer does not match projection size")
+        if ch != 3:
+            raise ValidationError("this model implements 3 color channels")
+        self._busy = True
+        report = self.render(input_feature, lists=sorted_index)
+        self._pending_copy = (frame_buffer, report.image)
+
+    def GBU_check_status(self, blocking: bool = False) -> int:
+        """Return 1 while a frame is in flight, 0 when idle.
+
+        With ``blocking=True`` the (simulated) frame completes: the
+        image lands in the caller's frame buffer and 0 is returned.
+        GBU does not synchronize with any CUDA stream by itself — this
+        call is how the GPU/GBU frame pipeline hands over buffers.
+        """
+        if not self._busy:
+            return 0
+        if not blocking:
+            return 1
+        frame_buffer, image = self._pending_copy
+        frame_buffer[...] = image
+        self._busy = False
+        return 0
+
+    @property
+    def last_report(self) -> GBUReport:
+        if self._last_report is None:
+            raise ValidationError("no frame rendered yet")
+        return self._last_report

@@ -1,0 +1,141 @@
+"""GBU-Standalone: a full 3D-GS accelerator built around the GBU
+(Sec. VI-F, Tab. VI/VII).
+
+The plug-in GBU accelerates only Rendering Step 3; GBU-Standalone adds
+hardware for Steps 1 and 2 following GS-Core's Culling / Conversion /
+Sorting units so the whole pipeline runs without a GPU:
+
+* a **Preprocess Unit** that culls and projects Gaussians and
+  evaluates SH color (one Gaussian per cycle through a deep pipeline),
+* a **Sort Unit** that depth-sorts with a hardware merge network
+  (``k`` keys per cycle per pass over ``log`` passes),
+* the unmodified GBU (D&B + Tile Engine + Reuse Cache) for Step 3.
+
+Area and power add the paper's Tab. VI deltas on top of the GBU
+modules; the three stages run chunk-pipelined like the plug-in
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.gbu import GBUConfig, GBUDevice, GBUReport
+from repro.core.pipeline import chunked_overlap_seconds
+from repro.errors import ValidationError
+from repro.gaussians.camera import Camera
+from repro.gaussians.gaussian import GaussianCloud
+from repro.gaussians.projection import project
+from repro.gpu.specs import GBU_SPEC, GBUModuleSpec, GBUSpec
+from repro.gpu.workload import ScaleFactors
+
+
+@dataclass(frozen=True)
+class StandaloneSpec:
+    """Hardware parameters of GBU-Standalone (Tab. VI row).
+
+    The Step-1/2 units follow GS-Core's design point: their area and
+    power are the difference between the paper's GBU-Standalone totals
+    (1.78 mm2 / 0.78 W) and the GBU's own modules (0.90 mm2 / 0.22 W).
+    """
+
+    gbu: GBUSpec = GBU_SPEC
+    preprocess_gaussians_per_cycle: float = 1.0
+    sort_keys_per_cycle: float = 4.0
+    preprocess_area_mm2: float = 0.45
+    preprocess_power_w: float = 0.28
+    sort_area_mm2: float = 0.43
+    sort_power_w: float = 0.28
+
+    @property
+    def area_mm2(self) -> float:
+        return self.gbu.area_mm2 + self.preprocess_area_mm2 + self.sort_area_mm2
+
+    @property
+    def power_w(self) -> float:
+        return self.gbu.power_w + self.preprocess_power_w + self.sort_power_w
+
+    @property
+    def step3_area_mm2(self) -> float:
+        """Area of the Step-3 processing elements only (Tab. VI's
+        'Step 3 PE' column): Row PEs + Row Generation."""
+        return (
+            self.gbu.module("Row PEs").area_mm2
+            + self.gbu.module("Row Generation").area_mm2
+        )
+
+    @property
+    def step3_power_w(self) -> float:
+        return (
+            self.gbu.module("Row PEs").power_w
+            + self.gbu.module("Row Generation").power_w
+        )
+
+
+STANDALONE_SPEC = StandaloneSpec()
+
+
+@dataclass
+class StandaloneReport:
+    """Timing and energy of one GBU-Standalone frame."""
+
+    preprocess_seconds: float
+    sort_seconds: float
+    gbu: GBUReport
+    frame_seconds: float
+    energy_j: float
+
+    @property
+    def fps(self) -> float:
+        return 1.0 / self.frame_seconds
+
+    @property
+    def image(self) -> np.ndarray:
+        return self.gbu.image
+
+
+class GBUStandalone:
+    """A standalone 3D-GS accelerator: Steps 1-3 in hardware."""
+
+    def __init__(
+        self,
+        spec: StandaloneSpec = STANDALONE_SPEC,
+        config: GBUConfig = GBUConfig(),
+    ) -> None:
+        self.spec = spec
+        self.device = GBUDevice(spec=spec.gbu, config=config)
+
+    def render(
+        self,
+        cloud: GaussianCloud,
+        camera: Camera,
+        scales: ScaleFactors = ScaleFactors(),
+    ) -> StandaloneReport:
+        """Render one frame fully on the accelerator."""
+        if len(cloud) == 0:
+            raise ValidationError("cannot render an empty cloud")
+        projected = project(cloud, camera)
+
+        clock = self.spec.gbu.clock_hz
+        pre_cycles = len(cloud) / self.spec.preprocess_gaussians_per_cycle
+        pre_s = pre_cycles * scales.gaussian / clock
+        # Merge-sort network: n log2(n) key movements at k keys/cycle.
+        n = max(len(projected), 2)
+        sort_cycles = n * np.log2(n) / self.spec.sort_keys_per_cycle
+        sort_s = sort_cycles * scales.gaussian / clock
+
+        gbu = self.device.render(projected, scales=scales)
+
+        # Three-stage chunk pipeline: preprocess -> sort -> blend.
+        front = chunked_overlap_seconds(pre_s, sort_s, 8)
+        frame_s = chunked_overlap_seconds(front, gbu.step3_seconds, 8)
+        energy = self.spec.power_w * frame_s
+        return StandaloneReport(
+            preprocess_seconds=pre_s,
+            sort_seconds=sort_s,
+            gbu=gbu,
+            frame_seconds=frame_s,
+            energy_j=energy,
+        )

@@ -1,0 +1,19 @@
+"""Dynamic-scene and avatar extensions of 3D Gaussians (Sec. II-C).
+
+These are the application-specific Rendering Step 1 variants: 4D
+Gaussian slicing for dynamic scenes (4D-GS) and pose-driven linear
+blend skinning for human avatars (SplattingAvatar-style).  Both
+produce an ordinary :class:`~repro.gaussians.gaussian.GaussianCloud`,
+after which Rendering Steps 2 and 3 are identical across applications
+— the observation the GBU design rests on (Sec. II-D).
+"""
+
+from repro.dynamics.temporal import TemporalGaussianModel
+from repro.dynamics.avatar import AvatarModel, Skeleton, walking_pose
+
+__all__ = [
+    "TemporalGaussianModel",
+    "AvatarModel",
+    "Skeleton",
+    "walking_pose",
+]

@@ -1,0 +1,359 @@
+"""Pose-driven human avatars with Gaussian splats.
+
+A SplattingAvatar-style (ref. [46]) animatable human: Gaussians are
+bound to the bones of a kinematic skeleton and deformed by linear
+blend skinning (LBS).  Given pose parameters ``theta`` (per-joint
+rotation angles), Rendering Step 1a poses the skeleton with forward
+kinematics, skins every Gaussian (means move, orientations rotate),
+and hands an ordinary 3D :class:`GaussianCloud` to Steps 1b/2/3.
+
+The per-Gaussian skinning cost is what makes avatar Step 1 the
+heaviest of the three application types (48-51% Step-3 share in
+Fig. 5 because Step 1 takes a larger slice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gaussians.gaussian import GaussianCloud
+from repro.scenes.synthetic import _quat_multiply, _random_sh
+
+
+@dataclass(frozen=True)
+class Skeleton:
+    """A kinematic tree of joints.
+
+    Attributes
+    ----------
+    names:
+        Joint names, index-aligned with the other arrays.
+    parents:
+        Parent index per joint (-1 for the root).
+    rest_positions:
+        (J, 3) world-space joint positions in the rest pose.
+    rotation_axes:
+        (J, 3) unit axis each joint rotates about (a 1-DoF model —
+        sufficient to generate realistic deformation workloads).
+    """
+
+    names: tuple[str, ...]
+    parents: tuple[int, ...]
+    rest_positions: np.ndarray
+    rotation_axes: np.ndarray
+
+    def __post_init__(self) -> None:
+        j = len(self.names)
+        rest = np.asarray(self.rest_positions, dtype=np.float64)
+        axes = np.asarray(self.rotation_axes, dtype=np.float64)
+        if len(self.parents) != j or rest.shape != (j, 3) or axes.shape != (j, 3):
+            raise ValidationError("skeleton arrays must be index-aligned with names")
+        for i, p in enumerate(self.parents):
+            if p >= i:
+                raise ValidationError("parents must precede children (topological order)")
+        object.__setattr__(self, "rest_positions", rest)
+        object.__setattr__(
+            self,
+            "rotation_axes",
+            axes / np.maximum(np.linalg.norm(axes, axis=1, keepdims=True), 1e-12),
+        )
+
+    @property
+    def n_joints(self) -> int:
+        return len(self.names)
+
+    def forward_kinematics(self, theta: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Pose the skeleton.
+
+        Parameters
+        ----------
+        theta:
+            (J,) rotation angle (radians) per joint about its axis.
+
+        Returns
+        -------
+        (rotations, translations):
+            (J, 3, 3) and (J, 3) world transforms per joint such that a
+            rest-pose point ``p`` bound to joint ``j`` moves to
+            ``rotations[j] @ p + translations[j]``.
+        """
+        theta = np.asarray(theta, dtype=np.float64)
+        if theta.shape != (self.n_joints,):
+            raise ValidationError(
+                f"theta must have shape ({self.n_joints},), got {theta.shape}"
+            )
+        rotations = np.empty((self.n_joints, 3, 3))
+        translations = np.empty((self.n_joints, 3))
+        for j in range(self.n_joints):
+            local = _axis_angle_matrix(self.rotation_axes[j], float(theta[j]))
+            pivot = self.rest_positions[j]
+            # Local transform: rotate about the joint pivot.
+            local_t = pivot - local @ pivot
+            p = self.parents[j]
+            if p < 0:
+                rotations[j] = local
+                translations[j] = local_t
+            else:
+                rotations[j] = rotations[p] @ local
+                translations[j] = rotations[p] @ local_t + translations[p]
+        return rotations, translations
+
+    @staticmethod
+    def humanoid() -> "Skeleton":
+        """A 15-joint humanoid (pelvis-rooted) used by the avatar scenes."""
+        names = (
+            "pelvis", "spine", "chest", "neck", "head",
+            "l_shoulder", "l_elbow", "l_hand",
+            "r_shoulder", "r_elbow", "r_hand",
+            "l_hip", "l_knee",
+            "r_hip", "r_knee",
+        )
+        parents = (-1, 0, 1, 2, 3, 2, 5, 6, 2, 8, 9, 0, 11, 0, 13)
+        rest = np.array(
+            [
+                [0.0, 0.0, 0.0],     # pelvis
+                [0.0, 0.15, 0.0],    # spine
+                [0.0, 0.35, 0.0],    # chest
+                [0.0, 0.5, 0.0],     # neck
+                [0.0, 0.62, 0.0],    # head
+                [-0.18, 0.45, 0.0],  # l_shoulder
+                [-0.42, 0.45, 0.0],  # l_elbow
+                [-0.65, 0.45, 0.0],  # l_hand
+                [0.18, 0.45, 0.0],   # r_shoulder
+                [0.42, 0.45, 0.0],   # r_elbow
+                [0.65, 0.45, 0.0],   # r_hand
+                [-0.1, -0.05, 0.0],  # l_hip
+                [-0.1, -0.45, 0.0],  # l_knee
+                [0.1, -0.05, 0.0],   # r_hip
+                [0.1, -0.45, 0.0],   # r_knee
+            ]
+        )
+        axes = np.tile(np.array([0.0, 0.0, 1.0]), (len(names), 1))
+        # Arms swing about z, legs about x, head nods about x.
+        for i, name in enumerate(names):
+            if "hip" in name or "knee" in name or name == "head":
+                axes[i] = np.array([1.0, 0.0, 0.0])
+        return Skeleton(names=names, parents=parents, rest_positions=rest,
+                        rotation_axes=axes)
+
+
+def _axis_angle_matrix(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rodrigues rotation matrix for a unit axis and angle."""
+    c, s = np.cos(angle), np.sin(angle)
+    x, y, z = axis
+    cross = np.array([[0.0, -z, y], [z, 0.0, -x], [-y, x, 0.0]])
+    return c * np.eye(3) + s * cross + (1.0 - c) * np.outer(axis, axis)
+
+
+def _matrix_to_quat(mat: np.ndarray) -> np.ndarray:
+    """Rotation matrix -> quaternion (w, x, y, z), robust branch-free-ish."""
+    m = mat
+    trace = m[0, 0] + m[1, 1] + m[2, 2]
+    if trace > 0.0:
+        s = np.sqrt(trace + 1.0) * 2.0
+        return np.array(
+            [0.25 * s, (m[2, 1] - m[1, 2]) / s, (m[0, 2] - m[2, 0]) / s,
+             (m[1, 0] - m[0, 1]) / s]
+        )
+    i = int(np.argmax([m[0, 0], m[1, 1], m[2, 2]]))
+    if i == 0:
+        s = np.sqrt(1.0 + m[0, 0] - m[1, 1] - m[2, 2]) * 2.0
+        return np.array(
+            [(m[2, 1] - m[1, 2]) / s, 0.25 * s, (m[0, 1] + m[1, 0]) / s,
+             (m[0, 2] + m[2, 0]) / s]
+        )
+    if i == 1:
+        s = np.sqrt(1.0 + m[1, 1] - m[0, 0] - m[2, 2]) * 2.0
+        return np.array(
+            [(m[0, 2] - m[2, 0]) / s, (m[0, 1] + m[1, 0]) / s, 0.25 * s,
+             (m[1, 2] + m[2, 1]) / s]
+        )
+    s = np.sqrt(1.0 + m[2, 2] - m[0, 0] - m[1, 1]) * 2.0
+    return np.array(
+        [(m[1, 0] - m[0, 1]) / s, (m[0, 2] + m[2, 0]) / s,
+         (m[1, 2] + m[2, 1]) / s, 0.25 * s]
+    )
+
+
+@dataclass
+class AvatarModel:
+    """An animatable Gaussian avatar (skeleton + bound splats).
+
+    Attributes
+    ----------
+    skeleton:
+        The kinematic tree.
+    rest_cloud:
+        Gaussians in the rest pose.
+    bone_indices:
+        (N, 2) the two nearest bones each Gaussian is bound to.
+    bone_weights:
+        (N, 2) convex skinning weights for those bones.
+    """
+
+    skeleton: Skeleton
+    rest_cloud: GaussianCloud
+    bone_indices: np.ndarray
+    bone_weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.rest_cloud)
+        self.bone_indices = np.ascontiguousarray(self.bone_indices, dtype=np.int64)
+        self.bone_weights = np.ascontiguousarray(self.bone_weights, dtype=np.float64)
+        if self.bone_indices.shape != (n, 2) or self.bone_weights.shape != (n, 2):
+            raise ValidationError("skinning arrays must be (N, 2)")
+        if not np.allclose(self.bone_weights.sum(axis=1), 1.0, atol=1e-9):
+            raise ValidationError("skinning weights must sum to 1")
+
+    def __len__(self) -> int:
+        return len(self.rest_cloud)
+
+    def at_pose(self, theta: np.ndarray) -> GaussianCloud:
+        """Skin the avatar into pose ``theta`` (Rendering Step 1a).
+
+        Means are blended linearly (classic LBS); orientations follow
+        the dominant bone's rotation (blending quaternions of two
+        bones with a normalized lerp).
+        """
+        rotations, translations = self.skeleton.forward_kinematics(theta)
+        means = self.rest_cloud.means
+        i0 = self.bone_indices[:, 0]
+        i1 = self.bone_indices[:, 1]
+        w0 = self.bone_weights[:, 0][:, None]
+        w1 = self.bone_weights[:, 1][:, None]
+        p0 = np.einsum("nij,nj->ni", rotations[i0], means) + translations[i0]
+        p1 = np.einsum("nij,nj->ni", rotations[i1], means) + translations[i1]
+        new_means = w0 * p0 + w1 * p1
+
+        quats = np.empty_like(self.rest_cloud.quats)
+        bone_quats = np.stack([_matrix_to_quat(r) for r in rotations])
+        q0 = bone_quats[i0]
+        q1 = bone_quats[i1]
+        # Normalized lerp with hemisphere alignment.
+        dots = np.sum(q0 * q1, axis=1, keepdims=True)
+        q1 = np.where(dots < 0.0, -q1, q1)
+        blended = w0 * q0 + w1 * q1
+        blended /= np.maximum(np.linalg.norm(blended, axis=1, keepdims=True), 1e-12)
+        quats = _quat_multiply(blended, self.rest_cloud.quats)
+
+        return GaussianCloud(
+            means=new_means,
+            scales=self.rest_cloud.scales,
+            quats=quats,
+            opacities=self.rest_cloud.opacities,
+            sh=self.rest_cloud.sh,
+        )
+
+    def skinning_flops_per_gaussian(self) -> int:
+        """Effective Step-1a GPU cost per splat per frame.
+
+        The raw arithmetic (two bone transforms, weighted blend,
+        quaternion blend) is ~60 FLOPs, but the scattered per-bone
+        gathers make the kernel memory-bound: the *effective*
+        lane-work charged by the timing model is calibrated against
+        the avatar rows of Fig. 5, where Step 1 takes ~30% of frame
+        time (vs ~8% for static scenes).
+        """
+        return 1620
+
+    @staticmethod
+    def synthetic(
+        n: int,
+        rng: np.random.Generator,
+        sh_degree: int = 2,
+        splat_scale: float = 0.018,
+    ) -> "AvatarModel":
+        """Build a humanoid avatar with splats on capsule-like limbs."""
+        skeleton = Skeleton.humanoid()
+        bones = _limb_segments(skeleton)
+        counts = _distribute(n, len(bones), rng)
+        parts = []
+        bone_idx = []
+        positions = []
+        for (j0, j1, radius), count in zip(bones, counts):
+            if count == 0:
+                continue
+            a = skeleton.rest_positions[j0]
+            b = skeleton.rest_positions[j1]
+            t = rng.uniform(0.0, 1.0, size=(count, 1))
+            axis_pts = a + t * (b - a)
+            offsets = rng.normal(0.0, radius, size=(count, 3))
+            positions.append(axis_pts + offsets)
+            bone_idx.append(np.full(count, j1, dtype=np.int64))
+        means = np.concatenate(positions)
+        primary = np.concatenate(bone_idx)
+        total = means.shape[0]
+
+        in_plane = splat_scale * np.exp(rng.uniform(-0.5, 0.6, size=(total, 1)))
+        aspect = np.exp(rng.uniform(-1.3, 1.3, size=(total, 1)))
+        scales = np.concatenate(
+            [in_plane * aspect, in_plane / aspect, in_plane * 0.35], axis=1
+        )
+        palette = np.array(
+            [[0.7, 0.55, 0.45], [0.35, 0.35, 0.5], [0.4, 0.3, 0.3], [0.6, 0.6, 0.65]]
+        )
+        cloud = GaussianCloud(
+            means=means,
+            scales=scales,
+            quats=rng.normal(size=(total, 4)),
+            opacities=rng.uniform(0.4, 0.99, total),
+            sh=_random_sh(rng, total, sh_degree, palette),
+        )
+
+        # Secondary bone: the parent joint, weighted by proximity.
+        skeleton_parents = np.asarray(skeleton.parents)
+        secondary = skeleton_parents[primary]
+        secondary = np.where(secondary < 0, primary, secondary)
+        d0 = np.linalg.norm(means - skeleton.rest_positions[primary], axis=1)
+        d1 = np.linalg.norm(means - skeleton.rest_positions[secondary], axis=1)
+        w0 = d1 / np.maximum(d0 + d1, 1e-12)
+        weights = np.stack([w0, 1.0 - w0], axis=1)
+        return AvatarModel(
+            skeleton=skeleton,
+            rest_cloud=cloud,
+            bone_indices=np.stack([primary, secondary], axis=1),
+            bone_weights=weights,
+        )
+
+
+def _limb_segments(skeleton: Skeleton) -> list[tuple[int, int, float]]:
+    """(parent, child, capsule radius) for every non-root joint."""
+    radius_by_name = {
+        "spine": 0.09, "chest": 0.1, "neck": 0.04, "head": 0.07,
+        "l_shoulder": 0.05, "l_elbow": 0.04, "l_hand": 0.03,
+        "r_shoulder": 0.05, "r_elbow": 0.04, "r_hand": 0.03,
+        "l_hip": 0.07, "l_knee": 0.05, "r_hip": 0.07, "r_knee": 0.05,
+    }
+    segments = []
+    for j in range(1, skeleton.n_joints):
+        p = skeleton.parents[j]
+        segments.append((p, j, radius_by_name.get(skeleton.names[j], 0.05)))
+    return segments
+
+
+def _distribute(n: int, buckets: int, rng: np.random.Generator) -> np.ndarray:
+    """Split ``n`` into ``buckets`` roughly-proportional counts."""
+    weights = rng.uniform(0.6, 1.4, buckets)
+    raw = np.floor(n * weights / weights.sum()).astype(int)
+    raw[0] += n - raw.sum()
+    return raw
+
+
+def walking_pose(t: float, amplitude: float = 0.5) -> np.ndarray:
+    """Pose parameters ``theta`` for a walk cycle at phase ``t`` (0-1)."""
+    theta = np.zeros(15)
+    phase = 2.0 * np.pi * t
+    swing = amplitude * np.sin(phase)
+    theta[5] = 0.3 * swing      # l_shoulder
+    theta[6] = -0.4 * abs(swing)  # l_elbow
+    theta[8] = -0.3 * swing     # r_shoulder
+    theta[9] = -0.4 * abs(swing)  # r_elbow
+    theta[11] = -0.5 * swing    # l_hip
+    theta[12] = 0.6 * max(np.sin(phase + 0.5), 0.0)   # l_knee
+    theta[13] = 0.5 * swing     # r_hip
+    theta[14] = 0.6 * max(np.sin(phase + np.pi + 0.5), 0.0)  # r_knee
+    theta[3] = 0.05 * np.sin(2 * phase)  # neck sway
+    return theta

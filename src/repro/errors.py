@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ValidationError(ReproError):
+    """Raised when input data fails structural or numerical validation."""
+
+
+class RenderError(ReproError):
+    """Raised when a rasterizer cannot produce an image."""
+
+
+class SimulationError(ReproError):
+    """Raised when a hardware simulation reaches an inconsistent state."""
+
+
+class DeviceBusyError(SimulationError):
+    """Raised when a GBU render is issued while a frame is in flight."""
+
+
+class CalibrationError(ReproError):
+    """Raised when a timing model is configured with impossible constants."""

@@ -1,0 +1,42 @@
+"""3D Gaussian Splatting substrate: scene representation and the
+reference rendering pipeline (Rendering Steps 1-3 of the paper).
+
+Modules
+-------
+gaussian:
+    Structure-of-arrays container for a cloud of 3D Gaussians.
+sh:
+    Real spherical harmonics evaluation for view-dependent color.
+camera:
+    Pinhole camera model with look-at and orbit constructors.
+projection:
+    Rendering Step 1 — EWA projection of 3D Gaussians to 2D screen
+    Gaussians with depth and color.
+tiles:
+    16x16 tile grid and conservative Gaussian-to-tile binning.
+sorting:
+    Rendering Step 2 — per-tile depth ordering (render lists).
+rasterizer:
+    Rendering Step 3 — reference Parallel Fragment Shading (PFS)
+    rasterizer, numerically equivalent to the 3DGS CUDA kernel.
+"""
+
+from repro.gaussians.gaussian import GaussianCloud
+from repro.gaussians.camera import Camera
+from repro.gaussians.projection import Projected2D, project
+from repro.gaussians.tiles import TileGrid, bin_gaussians
+from repro.gaussians.sorting import RenderLists, build_render_lists
+from repro.gaussians.rasterizer import RenderResult, render_reference
+
+__all__ = [
+    "GaussianCloud",
+    "Camera",
+    "Projected2D",
+    "project",
+    "TileGrid",
+    "bin_gaussians",
+    "RenderLists",
+    "build_render_lists",
+    "RenderResult",
+    "render_reference",
+]

@@ -1,0 +1,271 @@
+"""Structure-of-arrays container for a cloud of 3D Gaussians.
+
+A scene is a set of elliptical 3D Gaussian kernels (Sec. II-A of the
+paper).  Each kernel ``i`` is parameterized by:
+
+* a mean ``mu_i`` in world space,
+* a covariance ``Sigma_i = R_i^T S_i^T S_i R_i`` factored into a
+  rotation (stored as a unit quaternion) and per-axis scales,
+* an opacity factor ``o_i`` in (0, 1],
+* spherical-harmonics coefficients ``sh_i`` for view-dependent color.
+
+The storage layout is structure-of-arrays (one numpy array per field)
+because every stage of the pipeline is vectorized over Gaussians.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gaussians.sh import num_sh_coeffs
+
+
+def quaternion_to_rotation(quats: np.ndarray) -> np.ndarray:
+    """Convert unit quaternions (w, x, y, z) to rotation matrices.
+
+    Parameters
+    ----------
+    quats:
+        Array of shape (N, 4).  Quaternions are normalized internally,
+        so callers may pass unnormalized values.
+
+    Returns
+    -------
+    Array of shape (N, 3, 3) of rotation matrices.
+    """
+    quats = np.asarray(quats, dtype=np.float64)
+    if quats.ndim != 2 or quats.shape[1] != 4:
+        raise ValidationError(f"quaternions must have shape (N, 4), got {quats.shape}")
+    norms = np.linalg.norm(quats, axis=1, keepdims=True)
+    if np.any(norms < 1e-12):
+        raise ValidationError("zero-norm quaternion encountered")
+    w, x, y, z = (quats / norms).T
+
+    rot = np.empty((quats.shape[0], 3, 3), dtype=np.float64)
+    rot[:, 0, 0] = 1.0 - 2.0 * (y * y + z * z)
+    rot[:, 0, 1] = 2.0 * (x * y - w * z)
+    rot[:, 0, 2] = 2.0 * (x * z + w * y)
+    rot[:, 1, 0] = 2.0 * (x * y + w * z)
+    rot[:, 1, 1] = 1.0 - 2.0 * (x * x + z * z)
+    rot[:, 1, 2] = 2.0 * (y * z - w * x)
+    rot[:, 2, 0] = 2.0 * (x * z - w * y)
+    rot[:, 2, 1] = 2.0 * (y * z + w * x)
+    rot[:, 2, 2] = 1.0 - 2.0 * (x * x + y * y)
+    return rot
+
+
+@dataclass
+class GaussianCloud:
+    """A cloud of N 3D Gaussians in structure-of-arrays layout.
+
+    Attributes
+    ----------
+    means:
+        (N, 3) world-space centers ``mu``.
+    scales:
+        (N, 3) per-axis standard deviations (the diagonal of ``S``).
+    quats:
+        (N, 4) unit quaternions (w, x, y, z) encoding the rotation ``R``.
+    opacities:
+        (N,) opacity factors ``o`` in (0, 1].
+    sh:
+        (N, K, 3) spherical-harmonics coefficients, where
+        ``K = (degree + 1)^2``.
+    """
+
+    means: np.ndarray
+    scales: np.ndarray
+    quats: np.ndarray
+    opacities: np.ndarray
+    sh: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.means = np.ascontiguousarray(self.means, dtype=np.float64)
+        self.scales = np.ascontiguousarray(self.scales, dtype=np.float64)
+        self.quats = np.ascontiguousarray(self.quats, dtype=np.float64)
+        self.opacities = np.ascontiguousarray(self.opacities, dtype=np.float64)
+        self.sh = np.ascontiguousarray(self.sh, dtype=np.float64)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.means.shape[0]
+
+    @property
+    def sh_degree(self) -> int:
+        """Spherical-harmonics degree implied by the coefficient count."""
+        k = self.sh.shape[1]
+        degree = int(round(np.sqrt(k))) - 1
+        if num_sh_coeffs(degree) != k:
+            raise ValidationError(f"{k} SH coefficients is not a full degree")
+        return degree
+
+    def validate(self) -> None:
+        """Check structural and numerical invariants; raise on failure."""
+        n = self.means.shape[0]
+        if self.means.ndim != 2 or self.means.shape[1] != 3:
+            raise ValidationError(f"means must be (N, 3), got {self.means.shape}")
+        if self.scales.shape != (n, 3):
+            raise ValidationError(f"scales must be ({n}, 3), got {self.scales.shape}")
+        if self.quats.shape != (n, 4):
+            raise ValidationError(f"quats must be ({n}, 4), got {self.quats.shape}")
+        if self.opacities.shape != (n,):
+            raise ValidationError(f"opacities must be ({n},), got {self.opacities.shape}")
+        if self.sh.ndim != 3 or self.sh.shape[0] != n or self.sh.shape[2] != 3:
+            raise ValidationError(f"sh must be ({n}, K, 3), got {self.sh.shape}")
+        if n == 0:
+            return
+        if not np.all(np.isfinite(self.means)):
+            raise ValidationError("non-finite Gaussian means")
+        if np.any(self.scales <= 0):
+            raise ValidationError("scales must be strictly positive")
+        if np.any(self.opacities <= 0) or np.any(self.opacities > 1):
+            raise ValidationError("opacities must lie in (0, 1]")
+        # Degree must be a complete band.
+        _ = self.sh_degree
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def rotations(self) -> np.ndarray:
+        """Rotation matrices ``R`` of shape (N, 3, 3)."""
+        return quaternion_to_rotation(self.quats)
+
+    def covariances(self) -> np.ndarray:
+        """World-space 3D covariances ``Sigma = R^T S^T S R``, shape (N, 3, 3).
+
+        This matches Eq. 1's factorization in the paper (Sec. II-A).
+        """
+        rot = self.rotations()
+        # S R scales the rows of R; Sigma = (S R)^T (S R).
+        sr = self.scales[:, :, None] * rot
+        return np.einsum("nij,nik->njk", sr, sr)
+
+    # ------------------------------------------------------------------
+    # Manipulation
+    # ------------------------------------------------------------------
+    def subset(self, index: np.ndarray) -> "GaussianCloud":
+        """Return a new cloud containing only the selected Gaussians."""
+        return GaussianCloud(
+            means=self.means[index],
+            scales=self.scales[index],
+            quats=self.quats[index],
+            opacities=self.opacities[index],
+            sh=self.sh[index],
+        )
+
+    def translated(self, offset: np.ndarray) -> "GaussianCloud":
+        """Return a copy of the cloud rigidly translated by ``offset``."""
+        offset = np.asarray(offset, dtype=np.float64).reshape(1, 3)
+        return GaussianCloud(
+            means=self.means + offset,
+            scales=self.scales.copy(),
+            quats=self.quats.copy(),
+            opacities=self.opacities.copy(),
+            sh=self.sh.copy(),
+        )
+
+    def perturbed(
+        self,
+        rng: np.random.Generator,
+        position_sigma: float = 0.0,
+        scale_sigma: float = 0.0,
+        opacity_sigma: float = 0.0,
+        sh_sigma: float = 0.0,
+    ) -> "GaussianCloud":
+        """Return a noisy copy simulating reconstruction error.
+
+        Used by the quality benchmarks: the "true" cloud renders ground
+        truth and a perturbed copy plays the role of the model fitted
+        from photographs (see DESIGN.md, Substitution 5).
+        """
+        n = len(self)
+        means = self.means + rng.normal(0.0, position_sigma, (n, 3))
+        scales = self.scales * np.exp(rng.normal(0.0, scale_sigma, (n, 3)))
+        opacities = np.clip(
+            self.opacities * np.exp(rng.normal(0.0, opacity_sigma, n)), 1e-4, 1.0
+        )
+        sh = self.sh + rng.normal(0.0, sh_sigma, self.sh.shape)
+        return GaussianCloud(
+            means=means, scales=scales, quats=self.quats.copy(), opacities=opacities, sh=sh
+        )
+
+    @staticmethod
+    def concatenate(clouds: list["GaussianCloud"]) -> "GaussianCloud":
+        """Merge several clouds (all with the same SH degree) into one."""
+        if not clouds:
+            raise ValidationError("cannot concatenate an empty list of clouds")
+        degrees = {c.sh_degree for c in clouds}
+        if len(degrees) != 1:
+            raise ValidationError(f"mixed SH degrees {degrees} cannot be concatenated")
+        return GaussianCloud(
+            means=np.concatenate([c.means for c in clouds]),
+            scales=np.concatenate([c.scales for c in clouds]),
+            quats=np.concatenate([c.quats for c in clouds]),
+            opacities=np.concatenate([c.opacities for c in clouds]),
+            sh=np.concatenate([c.sh for c in clouds]),
+        )
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @staticmethod
+    def empty(sh_degree: int = 2) -> "GaussianCloud":
+        """An empty cloud with the given SH degree."""
+        k = num_sh_coeffs(sh_degree)
+        return GaussianCloud(
+            means=np.zeros((0, 3)),
+            scales=np.zeros((0, 3)),
+            quats=np.zeros((0, 4)),
+            opacities=np.zeros((0,)),
+            sh=np.zeros((0, k, 3)),
+        )
+
+    @staticmethod
+    def random(
+        n: int,
+        rng: np.random.Generator,
+        extent: float = 1.0,
+        scale_range: tuple[float, float] = (0.01, 0.1),
+        sh_degree: int = 2,
+        anisotropy: float = 3.0,
+    ) -> "GaussianCloud":
+        """Draw a random cloud, mainly for tests and micro-benchmarks.
+
+        Parameters
+        ----------
+        n:
+            Number of Gaussians.
+        rng:
+            Numpy random generator (callers own the seed).
+        extent:
+            Means are uniform in ``[-extent, extent]^3``.
+        scale_range:
+            Log-uniform range for the geometric-mean scale.
+        sh_degree:
+            Spherical-harmonics degree of the color model.
+        anisotropy:
+            Maximum per-axis ratio applied on top of the base scale.
+        """
+        if n < 0:
+            raise ValidationError("n must be non-negative")
+        k = num_sh_coeffs(sh_degree)
+        base = np.exp(
+            rng.uniform(np.log(scale_range[0]), np.log(scale_range[1]), size=(n, 1))
+        )
+        ratios = np.exp(rng.uniform(-np.log(anisotropy), np.log(anisotropy), size=(n, 3)))
+        sh = rng.normal(0.0, 0.12, size=(n, k, 3))
+        # Bias the DC band so mean colors land in a displayable range.
+        sh[:, 0, :] = rng.uniform(0.2, 1.2, size=(n, 3))
+        return GaussianCloud(
+            means=rng.uniform(-extent, extent, size=(n, 3)),
+            scales=base * ratios,
+            quats=rng.normal(size=(n, 4)),
+            opacities=rng.uniform(0.2, 0.99, size=n),
+            sh=sh,
+        )

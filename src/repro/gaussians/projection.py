@@ -1,0 +1,257 @@
+"""Rendering Step 1 — Preprocessing (Sec. II-B of the paper).
+
+Projects 3D Gaussians to screen-space 2D Gaussians using the EWA
+splatting formulation of Eq. 3:
+
+    mu* = proj(W mu),    Sigma* = J W Sigma W^T J^T
+
+where ``W`` is the world-to-camera viewing transform and ``J`` the
+Jacobian of the perspective projection at the Gaussian center.  The
+step also computes each Gaussian's depth, its view-dependent RGB color
+from spherical harmonics, its per-Gaussian truncation threshold, and a
+conservative screen-space radius used for tile binning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import (
+    COV2D_DILATION,
+    MAX_MAHALANOBIS_SQ,
+    NEAR_PLANE,
+    DEFAULT_SETTINGS,
+    RenderSettings,
+)
+from repro.errors import ValidationError
+from repro.gaussians.camera import Camera
+from repro.gaussians.gaussian import GaussianCloud
+from repro.gaussians.sh import eval_sh_colors
+
+
+@dataclass
+class Projected2D:
+    """Screen-space 2D Gaussians produced by Rendering Step 1.
+
+    All arrays are indexed by *visible* Gaussian (camera-culled);
+    ``source_index`` maps back into the original cloud.
+
+    Attributes
+    ----------
+    means2d:
+        (M, 2) pixel-space centers ``mu*`` (x right, y down).
+    cov2d:
+        (M, 2, 2) screen-space covariances ``Sigma*`` after low-pass
+        dilation.
+    conics:
+        (M, 3) packed upper triangle (a, b, c) of ``Sigma*^{-1}`` with
+        quadratic form ``a dx^2 + 2 b dx dy + c dy^2``.
+    depths:
+        (M,) camera-space depth of each center (byproduct of ``W mu``).
+    colors:
+        (M, 3) view-dependent RGB from spherical harmonics.
+    opacities:
+        (M,) opacity factors ``o``.
+    radii:
+        (M,) conservative pixel radius of the truncated footprint.
+    thresholds:
+        (M,) Mahalanobis-squared truncation thresholds ``Th`` such that
+        a fragment contributes iff ``(P-mu*)^T Sigma*^-1 (P-mu*) <= Th``
+        (equivalent to ``alpha >= alpha_min``), capped at 3 sigma.
+    source_index:
+        (M,) indices into the original :class:`GaussianCloud`.
+    image_size:
+        (width, height) of the target image.
+    """
+
+    means2d: np.ndarray
+    cov2d: np.ndarray
+    conics: np.ndarray
+    depths: np.ndarray
+    colors: np.ndarray
+    opacities: np.ndarray
+    radii: np.ndarray
+    thresholds: np.ndarray
+    source_index: np.ndarray
+    image_size: tuple[int, int]
+
+    def __len__(self) -> int:
+        return self.means2d.shape[0]
+
+    def feature_bytes(self, bytes_per_gaussian: int) -> int:
+        """Total feature footprint of the visible set in bytes."""
+        return len(self) * bytes_per_gaussian
+
+
+def compute_jacobians(cam_points: np.ndarray, camera: Camera) -> np.ndarray:
+    """Perspective-projection Jacobians ``J`` (Eq. 3), shape (N, 2, 3).
+
+    For a camera-space point ``t = (tx, ty, tz)`` the projection is
+    ``u = fx tx / tz + cx`` and ``v = fy ty / tz + cy``; ``J`` is its
+    derivative with respect to ``t`` evaluated at the Gaussian center.
+    """
+    tx, ty, tz = cam_points[:, 0], cam_points[:, 1], cam_points[:, 2]
+    inv_z = 1.0 / tz
+    inv_z2 = inv_z * inv_z
+    n = cam_points.shape[0]
+    jac = np.zeros((n, 2, 3), dtype=np.float64)
+    jac[:, 0, 0] = camera.fx * inv_z
+    jac[:, 0, 2] = -camera.fx * tx * inv_z2
+    jac[:, 1, 1] = camera.fy * inv_z
+    jac[:, 1, 2] = -camera.fy * ty * inv_z2
+    return jac
+
+
+def truncation_thresholds(
+    opacities: np.ndarray, settings: RenderSettings
+) -> np.ndarray:
+    """Per-Gaussian Mahalanobis-squared truncation thresholds ``Th``.
+
+    A fragment's alpha is ``o * exp(-E/2)``; requiring
+    ``alpha >= alpha_min`` gives ``E <= 2 ln(o / alpha_min)``.  The
+    threshold is clamped to ``max_mahalanobis_sq`` (the 3-sigma bound
+    the reference implementation uses for binning) and floored at zero
+    for Gaussians whose peak alpha is already below the cutoff.
+    """
+    ratio = np.maximum(opacities / settings.alpha_min, 1e-12)
+    th = 2.0 * np.log(ratio)
+    return np.clip(th, 0.0, settings.max_mahalanobis_sq)
+
+
+def project(
+    cloud: GaussianCloud,
+    camera: Camera,
+    settings: RenderSettings = DEFAULT_SETTINGS,
+) -> Projected2D:
+    """Run Rendering Step 1 for every Gaussian in the cloud.
+
+    Culls Gaussians behind the near plane or entirely off screen, then
+    computes the screen-space Gaussian parameters, colors and
+    truncation thresholds for the survivors.
+    """
+    n = len(cloud)
+    if n == 0:
+        return _empty_projection(camera)
+
+    cam_points = camera.to_camera_space(cloud.means)
+    depths = cam_points[:, 2]
+    in_front = depths > NEAR_PLANE
+    if not np.any(in_front):
+        return _empty_projection(camera)
+
+    idx = np.nonzero(in_front)[0]
+    cam_points = cam_points[idx]
+    depths = depths[idx]
+
+    inv_z = 1.0 / depths
+    means2d = np.stack(
+        [
+            camera.fx * cam_points[:, 0] * inv_z + camera.cx,
+            camera.fy * cam_points[:, 1] * inv_z + camera.cy,
+        ],
+        axis=1,
+    )
+
+    # Sigma* = J W Sigma W^T J^T (Eq. 3), then EWA low-pass dilation.
+    sigma = cloud.covariances()[idx]
+    jac = compute_jacobians(cam_points, camera)
+    jw = np.einsum("nij,jk->nik", jac, camera.rotation)
+    cov2d = np.einsum("nij,njk,nlk->nil", jw, sigma, jw)
+    cov2d[:, 0, 0] += COV2D_DILATION
+    cov2d[:, 1, 1] += COV2D_DILATION
+
+    det = cov2d[:, 0, 0] * cov2d[:, 1, 1] - cov2d[:, 0, 1] * cov2d[:, 1, 0]
+    valid = det > 1e-12
+    if not np.all(valid):
+        idx = idx[valid]
+        cam_points = cam_points[valid]
+        depths = depths[valid]
+        means2d = means2d[valid]
+        cov2d = cov2d[valid]
+        det = det[valid]
+
+    inv_det = 1.0 / det
+    conics = np.stack(
+        [
+            cov2d[:, 1, 1] * inv_det,
+            -cov2d[:, 0, 1] * inv_det,
+            cov2d[:, 0, 0] * inv_det,
+        ],
+        axis=1,
+    )
+
+    opacities = cloud.opacities[idx]
+    thresholds = truncation_thresholds(opacities, settings)
+
+    # Conservative footprint radius: sqrt(Th * lambda_max(Sigma*)).
+    mid = 0.5 * (cov2d[:, 0, 0] + cov2d[:, 1, 1])
+    disc = np.sqrt(np.maximum(mid * mid - det, 0.0))
+    lambda_max = mid + disc
+    radii = np.ceil(np.sqrt(np.maximum(thresholds, 0.0) * lambda_max))
+
+    # Screen-bounds culling with the conservative radius.
+    on_screen = (
+        (means2d[:, 0] + radii > 0)
+        & (means2d[:, 0] - radii < camera.width)
+        & (means2d[:, 1] + radii > 0)
+        & (means2d[:, 1] - radii < camera.height)
+        & (radii > 0)
+    )
+    if not np.all(on_screen):
+        idx = idx[on_screen]
+        depths = depths[on_screen]
+        means2d = means2d[on_screen]
+        cov2d = cov2d[on_screen]
+        conics = conics[on_screen]
+        opacities = opacities[on_screen]
+        thresholds = thresholds[on_screen]
+        radii = radii[on_screen]
+
+    dirs = camera.view_directions(cloud.means[idx])
+    colors = eval_sh_colors(
+        min(settings.sh_degree, cloud.sh_degree), cloud.sh[idx], dirs
+    )
+
+    return Projected2D(
+        means2d=means2d,
+        cov2d=cov2d,
+        conics=conics,
+        depths=depths,
+        colors=colors,
+        opacities=opacities,
+        radii=radii,
+        thresholds=thresholds,
+        source_index=idx,
+        image_size=(camera.width, camera.height),
+    )
+
+
+def _empty_projection(camera: Camera) -> Projected2D:
+    return Projected2D(
+        means2d=np.zeros((0, 2)),
+        cov2d=np.zeros((0, 2, 2)),
+        conics=np.zeros((0, 3)),
+        depths=np.zeros((0,)),
+        colors=np.zeros((0, 3)),
+        opacities=np.zeros((0,)),
+        radii=np.zeros((0,)),
+        thresholds=np.zeros((0,)),
+        source_index=np.zeros((0,), dtype=np.int64),
+        image_size=(camera.width, camera.height),
+    )
+
+
+def mahalanobis_sq(projected: Projected2D, index: int, points: np.ndarray) -> np.ndarray:
+    """Evaluate Eq. 7 for Gaussian ``index`` at pixel centers ``points``.
+
+    This is the direct (PFS-style) 11-FLOP evaluation used as ground
+    truth in tests of the IRSS transform.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValidationError(f"points must be (N, 2), got {points.shape}")
+    a, b, c = projected.conics[index]
+    d = points - projected.means2d[index]
+    return a * d[:, 0] ** 2 + 2.0 * b * d[:, 0] * d[:, 1] + c * d[:, 1] ** 2

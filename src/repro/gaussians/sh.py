@@ -1,0 +1,124 @@
+"""Real spherical harmonics for view-dependent Gaussian color.
+
+Implements the same real SH basis (up to degree 3) and color
+convention as the 3DGS reference implementation: the final RGB color
+is ``max(0, SH(v; sh) + 0.5)`` where ``v`` is the unit direction from
+the camera to the Gaussian center (``c = f(v; sh)`` in Sec. II-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+# Standard real-SH constants as used by 3DGS / Plenoxels.
+SH_C0 = 0.28209479177387814
+SH_C1 = 0.4886025119029199
+SH_C2 = (
+    1.0925484305920792,
+    -1.0925484305920792,
+    0.31539156525252005,
+    -1.0925484305920792,
+    0.5462742152960396,
+)
+SH_C3 = (
+    -0.5900435899266435,
+    2.890611442640554,
+    -0.4570457994644658,
+    0.3731763325901154,
+    -0.4570457994644658,
+    1.445305721320277,
+    -0.5900435899266435,
+)
+
+MAX_SH_DEGREE = 3
+
+
+def num_sh_coeffs(degree: int) -> int:
+    """Number of coefficients for a full SH expansion of ``degree``."""
+    if degree < 0 or degree > MAX_SH_DEGREE:
+        raise ValidationError(f"SH degree must be in [0, {MAX_SH_DEGREE}], got {degree}")
+    return (degree + 1) ** 2
+
+def sh_basis(degree: int, dirs: np.ndarray) -> np.ndarray:
+    """Evaluate the real SH basis functions for unit directions.
+
+    Parameters
+    ----------
+    degree:
+        Maximum SH degree (0 to 3 inclusive).
+    dirs:
+        (N, 3) array of unit view directions.
+
+    Returns
+    -------
+    (N, K) array of basis values with ``K = (degree + 1)^2``.
+    """
+    dirs = np.asarray(dirs, dtype=np.float64)
+    if dirs.ndim != 2 or dirs.shape[1] != 3:
+        raise ValidationError(f"dirs must be (N, 3), got {dirs.shape}")
+    n = dirs.shape[0]
+    k = num_sh_coeffs(degree)
+    basis = np.empty((n, k), dtype=np.float64)
+    basis[:, 0] = SH_C0
+    if degree >= 1:
+        x, y, z = dirs[:, 0], dirs[:, 1], dirs[:, 2]
+        basis[:, 1] = -SH_C1 * y
+        basis[:, 2] = SH_C1 * z
+        basis[:, 3] = -SH_C1 * x
+    if degree >= 2:
+        xx, yy, zz = x * x, y * y, z * z
+        xy, yz, xz = x * y, y * z, x * z
+        basis[:, 4] = SH_C2[0] * xy
+        basis[:, 5] = SH_C2[1] * yz
+        basis[:, 6] = SH_C2[2] * (2.0 * zz - xx - yy)
+        basis[:, 7] = SH_C2[3] * xz
+        basis[:, 8] = SH_C2[4] * (xx - yy)
+    if degree >= 3:
+        basis[:, 9] = SH_C3[0] * y * (3.0 * xx - yy)
+        basis[:, 10] = SH_C3[1] * xy * z
+        basis[:, 11] = SH_C3[2] * y * (4.0 * zz - xx - yy)
+        basis[:, 12] = SH_C3[3] * z * (2.0 * zz - 3.0 * xx - 3.0 * yy)
+        basis[:, 13] = SH_C3[4] * x * (4.0 * zz - xx - yy)
+        basis[:, 14] = SH_C3[5] * z * (xx - yy)
+        basis[:, 15] = SH_C3[6] * x * (xx - 3.0 * yy)
+    return basis
+
+
+def eval_sh_colors(degree: int, sh: np.ndarray, dirs: np.ndarray) -> np.ndarray:
+    """Evaluate per-Gaussian RGB colors ``c = f(v; sh)``.
+
+    Parameters
+    ----------
+    degree:
+        Active degree; must not exceed the degree stored in ``sh``.
+    sh:
+        (N, K_stored, 3) SH coefficients.
+    dirs:
+        (N, 3) unit directions from camera to each Gaussian center.
+
+    Returns
+    -------
+    (N, 3) array of non-negative linear RGB colors, following the 3DGS
+    convention ``max(0, basis . sh + 0.5)``.
+    """
+    sh = np.asarray(sh, dtype=np.float64)
+    if sh.ndim != 3 or sh.shape[2] != 3:
+        raise ValidationError(f"sh must be (N, K, 3), got {sh.shape}")
+    k = num_sh_coeffs(degree)
+    if sh.shape[1] < k:
+        raise ValidationError(
+            f"requested degree {degree} needs {k} coefficients, cloud stores {sh.shape[1]}"
+        )
+    basis = sh_basis(degree, dirs)
+    colors = np.einsum("nk,nkc->nc", basis, sh[:, :k, :]) + 0.5
+    return np.maximum(colors, 0.0)
+
+
+def direction_normalize(vectors: np.ndarray) -> np.ndarray:
+    """Normalize rows of an (N, 3) array to unit length."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    norms = np.where(norms < 1e-12, 1.0, norms)
+    return vectors / norms

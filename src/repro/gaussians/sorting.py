@@ -1,0 +1,128 @@
+"""Rendering Step 2 — depth sorting and render-list construction.
+
+After binning, each tile holds a set of overlapping Gaussians which
+must be blended in near-to-far depth order (Sec. II-B).  The 3DGS
+reference implementation realizes this with a single global radix sort
+over 64-bit ``(tile_id << 32) | depth`` keys; the observable result is
+one depth-ordered list of Gaussian indices per tile, which is exactly
+what :class:`RenderLists` stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gaussians.projection import Projected2D
+from repro.gaussians.tiles import TileGrid, bin_gaussians
+
+
+@dataclass
+class RenderLists:
+    """Per-tile, depth-ordered Gaussian index lists.
+
+    Attributes
+    ----------
+    grid:
+        The tile decomposition these lists refer to.
+    per_tile:
+        ``per_tile[t]`` is an int64 array of indices into the
+        :class:`Projected2D` arrays, sorted near-to-far.
+    """
+
+    grid: TileGrid
+    per_tile: list[np.ndarray]
+
+    def __post_init__(self) -> None:
+        if len(self.per_tile) != self.grid.n_tiles:
+            raise ValidationError(
+                f"expected {self.grid.n_tiles} tile lists, got {len(self.per_tile)}"
+            )
+
+    @property
+    def n_instances(self) -> int:
+        """Total (tile, Gaussian) pairs — the 3DGS duplication count."""
+        return int(sum(len(t) for t in self.per_tile))
+
+    def instances_per_tile(self) -> np.ndarray:
+        """Array of per-tile instance counts (workload histogram)."""
+        return np.asarray([len(t) for t in self.per_tile], dtype=np.int64)
+
+    def nonempty_tiles(self) -> np.ndarray:
+        """Indices of tiles with at least one Gaussian."""
+        return np.nonzero(self.instances_per_tile() > 0)[0]
+
+    def gaussian_access_sequence(self) -> np.ndarray:
+        """Flattened (tile-major, depth-ordered) Gaussian access trace.
+
+        This is the exact feature-fetch sequence seen by the Gaussian
+        Reuse Cache when the tile engine walks tiles in traversal
+        order; reuse distances are precomputed from it (Sec. V-D).
+        """
+        chunks = [t for t in self.per_tile if len(t)]
+        if not chunks:
+            return np.zeros((0,), dtype=np.int64)
+        return np.concatenate(chunks)
+
+    def tile_boundaries(self) -> np.ndarray:
+        """Prefix offsets of each tile within the flattened trace."""
+        counts = self.instances_per_tile()
+        return np.concatenate([[0], np.cumsum(counts)])
+
+
+def sort_tile_lists(
+    per_tile: list[np.ndarray], depths: np.ndarray
+) -> list[np.ndarray]:
+    """Sort every tile's Gaussian list by ascending depth.
+
+    A stable sort is used so that equal-depth Gaussians retain input
+    order, matching the radix-sort behavior of the reference pipeline.
+    """
+    sorted_lists = []
+    for members in per_tile:
+        if len(members) == 0:
+            sorted_lists.append(members)
+            continue
+        order = np.argsort(depths[members], kind="stable")
+        sorted_lists.append(members[order])
+    return sorted_lists
+
+
+def build_render_lists(
+    projected: Projected2D,
+    grid: TileGrid | None = None,
+    per_tile: list[np.ndarray] | None = None,
+) -> RenderLists:
+    """Run Rendering Step 2: bin (unless given) and depth-sort.
+
+    Parameters
+    ----------
+    projected:
+        Output of Rendering Step 1.
+    grid:
+        Tile grid; defaults to the projection's image size.
+    per_tile:
+        Pre-binned tile lists (e.g. from the D&B engine's exact test);
+        when omitted, the conservative AABB binning is used.
+    """
+    if grid is None:
+        width, height = projected.image_size
+        grid = TileGrid(width=width, height=height)
+    if per_tile is None:
+        per_tile = bin_gaussians(grid, projected.means2d, projected.radii)
+    return RenderLists(grid=grid, per_tile=sort_tile_lists(per_tile, projected.depths))
+
+
+def sort_cost_model(n_instances: int) -> float:
+    """Comparison-count proxy for the GPU radix sort over instances.
+
+    The reference pipeline sorts ``n_instances`` 64-bit keys with a
+    radix sort; the work is ``O(n)`` with a hardware-dependent
+    constant.  We expose the instance count so the GPU timing model can
+    apply its calibrated per-key cost (see ``repro.gpu.timing``).
+    """
+    if n_instances < 0:
+        raise ValidationError("instance count cannot be negative")
+    return float(n_instances)

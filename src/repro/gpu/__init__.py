@@ -1,0 +1,25 @@
+"""Edge-GPU timing model (the Jetson Orin NX substitute).
+
+Models the baseline device the paper measures against: SMs executing
+the PFS rasterization kernel (tile-lockstep SIMT), the IRSS kernel
+(row-per-lane, imbalance-bound), the radix sort and preprocessing of
+Rendering Steps 1-2, and a DRAM bandwidth roofline.  Constants are
+calibrated once against the paper's published profile (Fig. 4/5) and
+then *predict* every downstream experiment (see DESIGN.md,
+Substitution 2).
+"""
+
+from repro.gpu.specs import GBU_SPEC, ORIN_NX, GBUSpec, GPUSpec
+from repro.gpu.workload import FrameWorkload, ScaleFactors
+from repro.gpu.timing import GPUTimingModel, StageBreakdown
+
+__all__ = [
+    "GBU_SPEC",
+    "ORIN_NX",
+    "GBUSpec",
+    "GPUSpec",
+    "FrameWorkload",
+    "ScaleFactors",
+    "GPUTimingModel",
+    "StageBreakdown",
+]

@@ -1,0 +1,115 @@
+"""Calibrated cycle-cost constants for the GPU timing model.
+
+These are the only tuned numbers in the repository.  They were fitted
+once so that the baseline (PFS on the simulated Orin NX) lands inside
+the paper's published profile for the static scenes (Fig. 4: 7-17 FPS,
+average 12.8; Fig. 5: Step 3 at 70-78%, sorting at 14-24%), and are
+then held fixed for every experiment: the IRSS-on-GPU speedup, the GBU
+ablation, resolution scaling and camera-distance scaling are all
+*predictions* of the model, not fits.
+
+The constants are physically interpretable lane-cycle costs:
+
+* ``pfs_fragment_cycles`` — one PFS fragment on one lane: Eq. 7
+  (11 FLOPs), exp, alpha test, blend and the warp-level overheads of
+  the 3DGS kernel (shared-memory staging, syncs).
+* ``irss_fragment_cycles`` — one IRSS fragment: 2-FLOP Eq. 7 update,
+  exp, blend; slightly cheaper than PFS but the same order because
+  exp/blend dominate.
+* ``irss_setup_cycles`` — per (instance, warp) setup: fetching the
+  transformed coefficients and locating first fragments.
+* ``step1_flops_per_gaussian`` — projection (Eq. 3), EVD-free conic
+  computation, SH evaluation.
+* ``step1_efficiency`` — fraction of peak FLOPs the preprocessing
+  kernel sustains (memory-layout limited).
+* ``sort_cycles_per_key`` — radix-sort cost per (tile|depth) key,
+  amortized over the device (includes binning/duplication kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class GPUCalibration:
+    """Tuned lane-cycle constants (see module docstring)."""
+
+    pfs_fragment_cycles: float = 80.0
+    irss_fragment_cycles: float = 72.0
+    irss_setup_cycles: float = 72.0
+    step1_flops_per_gaussian: float = 280.0
+    step1_efficiency: float = 0.02
+    sort_cycles_per_key: float = 28.0
+    # Fraction of DRAM bandwidth realistically available to the
+    # rasterization stream (the rest feeds the other pipeline stages).
+    dram_efficiency: float = 0.65
+    # Bytes moved per sort key by the radix sort (read + write passes).
+    sort_bytes_per_key: float = 24.0
+    # Depth sort over *Gaussians* (D&B mode): no duplication or
+    # binning kernels, so the per-key cost is much lower.
+    gaussian_sort_cycles_per_key: float = 12.0
+    gaussian_sort_bytes_per_key: float = 8.0
+    # Bytes of Gaussian parameters read by Step 1 per Gaussian
+    # (position, scales, quaternion, opacity, SH coefficients).
+    step1_bytes_per_gaussian: float = 150.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "pfs_fragment_cycles",
+            "irss_fragment_cycles",
+            "irss_setup_cycles",
+            "step1_flops_per_gaussian",
+            "sort_cycles_per_key",
+        ):
+            if getattr(self, name) <= 0:
+                raise CalibrationError(f"{name} must be positive")
+        if not 0 < self.step1_efficiency <= 1:
+            raise CalibrationError("step1_efficiency must be in (0, 1]")
+        if not 0 < self.dram_efficiency <= 1:
+            raise CalibrationError("dram_efficiency must be in (0, 1]")
+
+
+DEFAULT_CALIBRATION = GPUCalibration()
+
+
+@dataclass(frozen=True)
+class GBUCalibration:
+    """Cycle costs of the GBU engines (Sec. V-C/V-D).
+
+    * Row PEs shade one fragment per cycle (pipelined MAC + LUT exp);
+      segment issue is overlapped with shading by the Row Buffer pop
+      (zero-bubble), so ``segment_issue_cycles`` defaults to 0 — the
+      ablation benchmarks raise it to quantify the FIFO's value.
+    * The D&B engine's comparator array tests four candidate tiles per
+      cycle (``dnb_test_cycles`` = 0.25).
+    * The Row Generation Engine spends ``rowgen_gaussian_cycles`` per
+      Gaussian (threshold computation + comparator array over all 16
+      rows in parallel) plus one cycle per binary-search step.
+    * The D&B engine tests ``dnb_test_cycles`` per candidate
+      (tile, Gaussian) pair and ``dnb_transform_cycles`` per Gaussian
+      for the Cholesky/step coefficients.
+    * ``dram_latency_cycles`` is the miss penalty seen by the tile
+      engine before pipelining; the memory model converts miss traffic
+      to bandwidth-limited stall time.
+    """
+
+    fragment_cycles: float = 1.0
+    segment_issue_cycles: float = 0.0
+    rowgen_gaussian_cycles: float = 2.0
+    rowgen_search_cycles: float = 1.0
+    tile_drain_cycles: float = 20.0
+    dnb_test_cycles: float = 0.25
+    dnb_transform_cycles: float = 4.0
+    gbu_dram_share: float = 0.30
+
+    def __post_init__(self) -> None:
+        if self.fragment_cycles <= 0:
+            raise CalibrationError("fragment_cycles must be positive")
+        if not 0 < self.gbu_dram_share <= 1:
+            raise CalibrationError("gbu_dram_share must be in (0, 1]")
+
+
+DEFAULT_GBU_CALIBRATION = GBUCalibration()

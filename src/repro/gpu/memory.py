@@ -1,0 +1,66 @@
+"""DRAM traffic and bandwidth roofline for the rendering pipeline.
+
+Limitation 2 (Sec. V-A): Step 3's Gaussian-feature reads alone demand
+62.1% of the Orin NX's DRAM bandwidth at 60 FPS on static scenes, so
+memory time must be modeled alongside compute.  Each stage's time is
+``max(compute_time, bytes / effective_bandwidth)`` — the standard
+roofline — with per-stage byte counts derived from the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GPUCalibration
+from repro.gpu.specs import GPUSpec
+from repro.gpu.workload import FrameWorkload
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """DRAM bytes per frame, per pipeline stage."""
+
+    step1_bytes: float
+    step2_bytes: float
+    step3_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.step1_bytes + self.step2_bytes + self.step3_bytes
+
+
+def frame_traffic(
+    workload: FrameWorkload,
+    calib: GPUCalibration = DEFAULT_CALIBRATION,
+    framebuffer_bytes_per_pixel: float = 16.0,
+) -> TrafficEstimate:
+    """Estimate DRAM traffic for the three rendering stages.
+
+    Step 1 streams the raw Gaussian parameters and writes projected
+    features; Step 2 streams sort keys through the radix passes;
+    Step 3 reads one feature record per (tile, Gaussian) instance and
+    writes the framebuffer.
+    """
+    step1 = workload.n_gaussians * calib.step1_bytes_per_gaussian
+    step2 = workload.n_instances * calib.sort_bytes_per_key
+    step3 = workload.feature_bytes + workload.pixels * framebuffer_bytes_per_pixel
+    return TrafficEstimate(step1_bytes=step1, step2_bytes=step2, step3_bytes=step3)
+
+
+def bandwidth_fraction_for_fps(
+    step3_bytes: float, spec: GPUSpec, fps: float = 60.0
+) -> float:
+    """Fraction of peak DRAM bandwidth Step 3 needs at a target FPS
+    (the paper's 62.1% figure)."""
+    return step3_bytes * fps / spec.dram_bandwidth
+
+
+def roofline_seconds(
+    compute_seconds: float,
+    stage_bytes: float,
+    spec: GPUSpec,
+    calib: GPUCalibration = DEFAULT_CALIBRATION,
+) -> float:
+    """Stage time under the bandwidth roofline."""
+    memory_seconds = stage_bytes / (spec.dram_bandwidth * calib.dram_efficiency)
+    return max(compute_seconds, memory_seconds)

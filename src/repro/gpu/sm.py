@@ -1,0 +1,96 @@
+"""SIMT kernel models for Rendering Step 3 on the edge GPU.
+
+Two kernels are modeled:
+
+* **PFS** (the 3DGS reference): each 16x16 tile runs on one SM with a
+  thread per pixel.  Every live pixel of every processed instance
+  costs one fragment slot; lockstep execution means slots are spent
+  whether or not the fragment is significant (Challenge 2).
+* **IRSS-on-GPU** (Sec. IV-D): rows map to SIMT lanes, so each
+  instance serializes a warp for its *longest* row segment while the
+  other lanes idle — the imbalance that caps utilization at ~19%
+  (Limitation 1) and motivates the GBU.
+
+Both models return busy lane-cycles, from which time and utilization
+follow given the device spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GPUCalibration
+from repro.gpu.specs import GPUSpec
+from repro.gpu.workload import FrameWorkload
+
+
+@dataclass(frozen=True)
+class KernelEstimate:
+    """Timing estimate for one Step-3 kernel invocation.
+
+    Attributes
+    ----------
+    lane_cycles:
+        Total lane-cycles the kernel occupies (busy + forced idle).
+    useful_lane_cycles:
+        Lane-cycles doing fragment work.
+    seconds:
+        Execution time on the given device.
+    utilization:
+        useful / occupied lane-cycles.
+    """
+
+    lane_cycles: float
+    useful_lane_cycles: float
+    seconds: float
+
+    @property
+    def utilization(self) -> float:
+        if self.lane_cycles <= 0:
+            return 0.0
+        return self.useful_lane_cycles / self.lane_cycles
+
+
+def pfs_kernel(
+    workload: FrameWorkload,
+    spec: GPUSpec,
+    calib: GPUCalibration = DEFAULT_CALIBRATION,
+) -> KernelEstimate:
+    """Model the PFS rasterization kernel.
+
+    Every PFS fragment occupies a lane for ``pfs_fragment_cycles``;
+    only the significant ones (approximated by the IRSS fragment
+    count, which counts exactly the in-footprint fragments) do useful
+    blending work.
+    """
+    occupied = workload.pfs_fragments * calib.pfs_fragment_cycles
+    useful = min(workload.irss_fragments, workload.pfs_fragments) * calib.pfs_fragment_cycles
+    seconds = occupied / spec.lane_rate
+    return KernelEstimate(
+        lane_cycles=occupied, useful_lane_cycles=useful, seconds=seconds
+    )
+
+
+def irss_kernel(
+    workload: FrameWorkload,
+    spec: GPUSpec,
+    calib: GPUCalibration = DEFAULT_CALIBRATION,
+    lanes_per_tile: int = 16,
+) -> KernelEstimate:
+    """Model the IRSS CUDA kernel (row-per-lane mapping).
+
+    Each instance holds ``lanes_per_tile`` lanes for
+    ``setup + max_row_run * fragment_cycles``; the workload's
+    ``irss_serial_slots`` already aggregates
+    ``sum_instances (setup_slot + max_run)``.
+    """
+    serial_cycles = (
+        workload.irss_serial_slots * calib.irss_fragment_cycles
+        + workload.n_instances * calib.irss_setup_cycles
+    )
+    occupied = serial_cycles * lanes_per_tile
+    useful = workload.irss_fragments * calib.irss_fragment_cycles
+    seconds = occupied / spec.lane_rate
+    return KernelEstimate(
+        lane_cycles=occupied, useful_lane_cycles=useful, seconds=seconds
+    )

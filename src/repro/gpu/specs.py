@@ -1,0 +1,167 @@
+"""Hardware specifications: Jetson Orin NX and the GBU (Tab. II/III).
+
+The GBU's area/power/SRAM figures are taken directly from the paper's
+synthesis results (28 nm, 1 GHz); the Orin NX figures from its public
+datasheet as cited by the paper.  Cycle-cost calibration constants
+live in :mod:`repro.gpu.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """An edge GPU as seen by the timing model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name.
+    sm_count:
+        Streaming multiprocessors.
+    lanes_per_sm:
+        fp32 lanes per SM (CUDA cores / SM).
+    clock_hz:
+        Boost clock.
+    dram_bandwidth:
+        Peak DRAM bandwidth in bytes/s.
+    peak_tflops:
+        Peak fp32 throughput (2 ops per FMA lane-cycle).
+    busy_power_w / idle_power_w:
+        Typical package power when rendering vs. idling.
+    sram_bytes, area_mm2, technology_nm:
+        Reporting fields for Tab. II.
+    """
+
+    name: str
+    sm_count: int
+    lanes_per_sm: int
+    clock_hz: float
+    dram_bandwidth: float
+    busy_power_w: float
+    idle_power_w: float
+    sram_bytes: int
+    area_mm2: float
+    technology_nm: int
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0 or self.lanes_per_sm <= 0 or self.clock_hz <= 0:
+            raise ValidationError("GPU spec must have positive compute resources")
+
+    @property
+    def peak_tflops(self) -> float:
+        return 2.0 * self.sm_count * self.lanes_per_sm * self.clock_hz / 1e12
+
+    @property
+    def lane_rate(self) -> float:
+        """Aggregate lane-cycles per second."""
+        return self.sm_count * self.lanes_per_sm * self.clock_hz
+
+
+# Jetson Orin NX 16 GB (ref. [2]): 1024 CUDA cores (8 SMs x 128 lanes)
+# at 918 MHz, 102.4 GB/s LPDDR5, 15 W typical, ~450 mm2 in 8 nm.
+ORIN_NX = GPUSpec(
+    name="Jetson Orin NX",
+    sm_count=8,
+    lanes_per_sm=128,
+    clock_hz=918e6,
+    dram_bandwidth=102.4e9,
+    busy_power_w=15.0,
+    idle_power_w=4.0,
+    sram_bytes=4 * 1024 * 1024,
+    area_mm2=450.0,
+    technology_nm=8,
+)
+
+
+@dataclass(frozen=True)
+class GBUModuleSpec:
+    """Area/power of one GBU hardware module (Tab. III)."""
+
+    name: str
+    area_mm2: float
+    power_w: float
+
+
+@dataclass(frozen=True)
+class GBUSpec:
+    """The Gaussian Blending Unit's hardware parameters (Tab. II/III).
+
+    Attributes
+    ----------
+    clock_hz:
+        Synthesized frequency (1 GHz).
+    n_row_pes:
+        Row PEs per Tile PE (8).
+    rows_per_pe:
+        Tile rows handled by each Row PE (2, interleaved by default).
+    cache_bytes:
+        Gaussian Reuse Cache capacity (32 KB chosen in Sec. VI-E).
+    feature_bytes:
+        One *decomposed* fp16 feature record — the cache line size
+        (32 KB / 32 B = 1024 resident Gaussians).
+    miss_burst_bytes:
+        DRAM bytes a cache miss moves: the fp32 source record padded
+        to burst granularity (see ``repro.config.FEATURE_BYTES``).
+    index_bytes:
+        Sorted-index bytes streamed per (tile, Gaussian) instance.
+    framebuffer_bytes_per_pixel:
+        Output writeback per pixel (RGBA8).
+    row_buffer_depth:
+        FIFO entries per Row Buffer (segments in flight).
+    modules:
+        Area/power breakdown per module.
+    """
+
+    clock_hz: float = 1e9
+    n_row_pes: int = 8
+    rows_per_pe: int = 2
+    cache_bytes: int = 32 * 1024
+    feature_bytes: int = 32
+    miss_burst_bytes: int = 128
+    index_bytes: int = 4
+    framebuffer_bytes_per_pixel: int = 4
+    row_buffer_depth: int = 8
+    sram_bytes: int = 63 * 1024
+    technology_nm: int = 28
+    modules: tuple[GBUModuleSpec, ...] = (
+        GBUModuleSpec("Row PEs", 0.36, 0.11),
+        GBUModuleSpec("Row Generation", 0.14, 0.04),
+        GBUModuleSpec("D&B Engine", 0.10, 0.03),
+        GBUModuleSpec("Cache & Others", 0.30, 0.04),
+    )
+
+    @property
+    def area_mm2(self) -> float:
+        return sum(m.area_mm2 for m in self.modules)
+
+    @property
+    def power_w(self) -> float:
+        return sum(m.power_w for m in self.modules)
+
+    @property
+    def rows_per_tile(self) -> int:
+        return self.n_row_pes * self.rows_per_pe
+
+    @property
+    def cache_lines(self) -> int:
+        """Gaussian feature records the reuse cache can hold."""
+        return self.cache_bytes // self.feature_bytes
+
+    def module(self, name: str) -> GBUModuleSpec:
+        for m in self.modules:
+            if m.name == name:
+                return m
+        raise ValidationError(f"unknown GBU module '{name}'")
+
+
+GBU_SPEC = GBUSpec()
+
+
+# GS-Core (ref. [25]) and NeRF-accelerator comparison points used by
+# Tab. VI/VII live in repro.analysis.literature together with the
+# other reported-number baselines.

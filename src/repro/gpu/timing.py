@@ -1,0 +1,133 @@
+"""End-to-end GPU frame timing (Rendering Steps 1-3).
+
+Combines the Step-1/2 cost models with the Step-3 SIMT kernel models
+and the DRAM roofline into the per-stage breakdown the paper profiles
+in Fig. 4/5, for both the baseline PFS pipeline and the IRSS-on-GPU
+variant (Sec. IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GPUCalibration
+from repro.gpu.memory import frame_traffic, roofline_seconds
+from repro.gpu.sm import KernelEstimate, irss_kernel, pfs_kernel
+from repro.gpu.specs import ORIN_NX, GPUSpec
+from repro.gpu.workload import FrameWorkload
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Per-stage frame time (seconds) plus Step-3 diagnostics.
+
+    ``step3_utilization`` is the SIMT lane utilization of the Step-3
+    kernel (the 18.9% figure for IRSS-on-GPU in Sec. V-A).
+    """
+
+    step1_s: float
+    step2_s: float
+    step3_s: float
+    step3_utilization: float
+
+    @property
+    def total_s(self) -> float:
+        return self.step1_s + self.step2_s + self.step3_s
+
+    @property
+    def fps(self) -> float:
+        return 1.0 / self.total_s
+
+    @property
+    def fractions(self) -> tuple[float, float, float]:
+        t = self.total_s
+        return (self.step1_s / t, self.step2_s / t, self.step3_s / t)
+
+
+class GPUTimingModel:
+    """Frame-time model of an edge GPU running a Gaussian pipeline.
+
+    Parameters
+    ----------
+    spec:
+        Device description (default: Jetson Orin NX).
+    calib:
+        Calibrated cycle-cost constants (see
+        :mod:`repro.gpu.calibration`).
+    """
+
+    def __init__(
+        self,
+        spec: GPUSpec = ORIN_NX,
+        calib: GPUCalibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.spec = spec
+        self.calib = calib
+
+    # ------------------------------------------------------------------
+    # Steps 1 and 2
+    # ------------------------------------------------------------------
+    def step1_seconds(self, workload: FrameWorkload) -> float:
+        """Preprocessing: projection + SH + app-specific deformation."""
+        flops = workload.n_gaussians * (
+            self.calib.step1_flops_per_gaussian
+            + workload.step1_extra_flops_per_gaussian
+        )
+        peak = self.spec.peak_tflops * 1e12
+        compute = flops / (peak * self.calib.step1_efficiency)
+        bytes_ = workload.n_gaussians * self.calib.step1_bytes_per_gaussian
+        return roofline_seconds(compute, bytes_, self.spec, self.calib)
+
+    def step2_seconds(
+        self,
+        workload: FrameWorkload,
+        keys: float | None = None,
+        depth_sort_only: bool = False,
+    ) -> float:
+        """Sorting + binning over (tile | depth) keys.
+
+        With ``depth_sort_only`` (D&B mode) the GPU sorts Gaussians by
+        depth and skips the duplication/binning kernels, which the D&B
+        engine performs instead.
+        """
+        n_keys = workload.n_instances if keys is None else keys
+        if n_keys < 0:
+            raise ValidationError("key count cannot be negative")
+        if depth_sort_only:
+            cycles_per_key = self.calib.gaussian_sort_cycles_per_key
+            bytes_per_key = self.calib.gaussian_sort_bytes_per_key
+        else:
+            cycles_per_key = self.calib.sort_cycles_per_key
+            bytes_per_key = self.calib.sort_bytes_per_key
+        cycles = n_keys * cycles_per_key
+        compute = cycles / (self.spec.sm_count * self.spec.clock_hz)
+        bytes_ = n_keys * bytes_per_key
+        return roofline_seconds(compute, bytes_, self.spec, self.calib)
+
+    # ------------------------------------------------------------------
+    # Full frames
+    # ------------------------------------------------------------------
+    def frame_pfs(self, workload: FrameWorkload) -> StageBreakdown:
+        """Baseline pipeline: PFS Step 3 on the GPU (Fig. 4/5)."""
+        kernel = pfs_kernel(workload, self.spec, self.calib)
+        return self._assemble(workload, kernel)
+
+    def frame_irss(self, workload: FrameWorkload) -> StageBreakdown:
+        """IRSS dataflow as a CUDA kernel (Sec. IV-D)."""
+        kernel = irss_kernel(workload, self.spec, self.calib)
+        return self._assemble(workload, kernel)
+
+    def _assemble(
+        self, workload: FrameWorkload, kernel: KernelEstimate
+    ) -> StageBreakdown:
+        traffic = frame_traffic(workload, self.calib)
+        step3 = roofline_seconds(
+            kernel.seconds, traffic.step3_bytes, self.spec, self.calib
+        )
+        return StageBreakdown(
+            step1_s=self.step1_seconds(workload),
+            step2_s=self.step2_seconds(workload),
+            step3_s=step3,
+            step3_utilization=kernel.utilization,
+        )

@@ -1,0 +1,153 @@
+"""Per-frame workload descriptors and paper-scale extrapolation.
+
+A :class:`FrameWorkload` gathers every counter the timing models need
+for one rendered frame.  Counters are measured on the simulated
+(reduced-scale) scene and extrapolated to paper scale by
+:class:`ScaleFactors` (DESIGN.md Sec. 4): Gaussian-driven counters
+scale with the reconstruction-size ratio, fragment-driven counters
+additionally with the footprint-area ratio, and instance-driven
+counters with an estimated duplication-factor ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import FEATURE_BYTES
+from repro.core.irss import IRSSRenderResult
+from repro.errors import ValidationError
+from repro.gaussians.rasterizer import RenderResult
+from repro.gaussians.sorting import RenderLists
+from repro.scenes.catalog import SceneSpec
+
+
+def duplication_estimate(footprint_px: float, tile: int = 16) -> float:
+    """Expected tiles overlapped by a footprint of ``footprint_px``
+    pixels: ``(sqrt(A)/T + 1)^2`` for a square footprint model."""
+    if footprint_px < 0:
+        raise ValidationError("footprint area cannot be negative")
+    side = np.sqrt(footprint_px)
+    return float((side / tile + 1.0) ** 2)
+
+
+@dataclass(frozen=True)
+class ScaleFactors:
+    """Multipliers mapping simulated counters to paper scale.
+
+    Attributes
+    ----------
+    gaussian:
+        Visible-Gaussian count ratio (paper / sim).
+    fragment:
+        Footprint-fragment ratio (drives IRSS and GBU shading work).
+    instance:
+        (tile, Gaussian) pair ratio (drives sorting, binning, feature
+        traffic and PFS shading work).
+    pixel:
+        Image-pixel ratio (drives per-pixel compositing work).
+    """
+
+    gaussian: float = 1.0
+    fragment: float = 1.0
+    instance: float = 1.0
+    pixel: float = 1.0
+
+    @staticmethod
+    def identity() -> "ScaleFactors":
+        return ScaleFactors()
+
+    @staticmethod
+    def uniform(scale: float) -> "ScaleFactors":
+        """One multiplier for every counter.
+
+        Uniform scaling keeps every stage fraction, utilization, hit
+        rate and speedup exactly as simulated — only absolute frame
+        times change.  This is the scaling mode used for the paper
+        experiments (DESIGN.md Sec. 4): each catalog scene carries a
+        ``workload_scale`` relating its reduced-size synthetic stand-in
+        to the full-size capture.
+        """
+        if scale <= 0:
+            raise ValidationError("scale must be positive")
+        return ScaleFactors(
+            gaussian=scale, fragment=scale, instance=scale, pixel=scale
+        )
+
+    @staticmethod
+    def for_scene(spec: SceneSpec) -> "ScaleFactors":
+        """The catalog scene's calibrated uniform workload scale."""
+        return ScaleFactors.uniform(spec.workload_scale)
+
+
+@dataclass(frozen=True)
+class FrameWorkload:
+    """Paper-scale workload counters for one frame.
+
+    Attributes
+    ----------
+    n_gaussians:
+        Visible Gaussians after culling (Step-1 work items).
+    step1_extra_flops_per_gaussian:
+        Application-specific Step-1a cost (0 static, slicing for
+        dynamic, skinning for avatars).
+    n_instances:
+        (tile, Gaussian) pairs (sort keys, feature fetches).
+    pfs_fragments:
+        Fragments the PFS kernel shades (tile-lockstep, live pixels).
+    irss_fragments:
+        Footprint fragments the IRSS dataflow shades.
+    irss_segments:
+        (instance, row) segments (each pays a setup).
+    irss_serial_slots:
+        Sum over instances of the longest row run — the serialization
+        length of a row-per-lane warp.
+    pixels:
+        Output pixels.
+    feature_bytes:
+        Step-3 feature traffic without any reuse cache.
+    """
+
+    n_gaussians: float
+    step1_extra_flops_per_gaussian: float
+    n_instances: float
+    pfs_fragments: float
+    irss_fragments: float
+    irss_segments: float
+    irss_serial_slots: float
+    pixels: float
+    feature_bytes: float
+
+    @staticmethod
+    def from_renders(
+        reference: RenderResult,
+        irss: IRSSRenderResult,
+        lists: RenderLists,
+        n_visible: int,
+        step1_extra_flops: float = 0.0,
+        scales: ScaleFactors = ScaleFactors(),
+    ) -> "FrameWorkload":
+        """Assemble a workload from measured render statistics.
+
+        Scaling notes: PFS fragments are tile-lockstep (bounded by the
+        fixed tile area per instance), so they scale with instances.
+        Segment counts and warp serialization lengths are bounded by
+        the tile edge per instance and grow with the footprint's
+        *linear* size, so they scale with the geometric mean of the
+        instance and fragment factors.
+        """
+        setup_cycles_proxy = irss.workload.instance_setup.sum()
+        serial = float(irss.workload.instance_max_run.sum() + setup_cycles_proxy)
+        linear_scale = float(np.sqrt(scales.fragment * scales.instance))
+        return FrameWorkload(
+            n_gaussians=n_visible * scales.gaussian,
+            step1_extra_flops_per_gaussian=step1_extra_flops,
+            n_instances=lists.n_instances * scales.instance,
+            pfs_fragments=reference.stats.fragments_shaded * scales.instance,
+            irss_fragments=irss.stats.fragments_shaded * scales.fragment,
+            irss_segments=irss.stats.segments * linear_scale,
+            irss_serial_slots=serial * linear_scale,
+            pixels=reference.stats.pixels * scales.pixel,
+            feature_bytes=lists.n_instances * scales.instance * FEATURE_BYTES,
+        )

@@ -1,0 +1,17 @@
+"""Quality, performance, and energy metrics."""
+
+from repro.metrics.image import lpips_proxy, mse, psnr, ssim
+from repro.metrics.perf import fps_from_seconds, geometric_mean, speedup
+from repro.metrics.energy import EnergyBreakdown, EnergyModel
+
+__all__ = [
+    "lpips_proxy",
+    "mse",
+    "psnr",
+    "ssim",
+    "fps_from_seconds",
+    "geometric_mean",
+    "speedup",
+    "EnergyBreakdown",
+    "EnergyModel",
+]

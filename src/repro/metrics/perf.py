@@ -1,0 +1,39 @@
+"""Performance-metric helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def fps_from_seconds(frame_seconds: float) -> float:
+    """Frames per second for a frame time in seconds."""
+    if frame_seconds <= 0:
+        raise ValidationError("frame time must be positive")
+    return 1.0 / frame_seconds
+
+
+def speedup(baseline_seconds: float, improved_seconds: float) -> float:
+    """Baseline-over-improved ratio (>1 means faster)."""
+    if improved_seconds <= 0 or baseline_seconds <= 0:
+        raise ValidationError("times must be positive")
+    return baseline_seconds / improved_seconds
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValidationError("geometric mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValidationError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def harmonic_mean_fps(fps_values) -> float:
+    """Average FPS the way frame times average (harmonic mean)."""
+    arr = np.asarray(list(fps_values), dtype=np.float64)
+    if arr.size == 0 or np.any(arr <= 0):
+        raise ValidationError("harmonic mean requires positive values")
+    return float(arr.size / np.sum(1.0 / arr))

@@ -1,0 +1,38 @@
+"""Synthetic workload generation (dataset substitution).
+
+The paper evaluates on MipNeRF-360, Neural-3D-Video and PeopleSnapshot
+captures; this package provides procedural stand-ins whose workload
+statistics (screen footprint distribution, duplication factor,
+significant-fragment fraction, depth complexity) drive the same
+behaviours.  See DESIGN.md, Substitution 1.
+"""
+
+from repro.scenes.synthetic import (
+    ground_and_objects,
+    indoor_room,
+    object_cluster,
+    surface_shell,
+)
+from repro.scenes.catalog import (
+    AppType,
+    SceneBundle,
+    SceneSpec,
+    CATALOG,
+    build_scene,
+    scene_names,
+    scenes_of_type,
+)
+
+__all__ = [
+    "ground_and_objects",
+    "indoor_room",
+    "object_cluster",
+    "surface_shell",
+    "AppType",
+    "SceneBundle",
+    "SceneSpec",
+    "CATALOG",
+    "build_scene",
+    "scene_names",
+    "scenes_of_type",
+]

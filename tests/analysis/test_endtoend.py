@@ -1,0 +1,83 @@
+"""Integration tests for the system-level evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.endtoend import (
+    CONFIG_NAMES,
+    SystemConfig,
+    evaluate_all_configs,
+    evaluate_scene,
+)
+from repro.errors import ValidationError
+
+DETAIL = 0.35  # keep integration tests fast
+
+
+@pytest.fixture(scope="module")
+def bonsai_results():
+    return evaluate_all_configs("bonsai", detail=DETAIL)
+
+
+class TestConfigs:
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValidationError):
+            SystemConfig("gbu_quantum")
+
+    def test_gpu_config_has_no_gbu(self):
+        with pytest.raises(ValidationError):
+            SystemConfig("gpu_pfs").gbu_config()
+
+    def test_gbu_config_flags(self):
+        assert not SystemConfig("gbu_tile").gbu_config().use_dnb
+        assert SystemConfig("gbu_dnb").gbu_config().use_dnb
+        assert not SystemConfig("gbu_dnb").gbu_config().use_cache
+        assert SystemConfig("gbu_full").gbu_config().use_cache
+
+
+class TestEvaluation:
+    def test_all_configs_present(self, bonsai_results):
+        assert set(bonsai_results) == set(CONFIG_NAMES)
+
+    def test_ablation_monotonic(self, bonsai_results):
+        """Each added technique must not slow the system down
+        (Tab. V's ordering)."""
+        fps = [bonsai_results[c].fps for c in CONFIG_NAMES]
+        assert all(b >= a * 0.98 for a, b in zip(fps, fps[1:]))
+
+    def test_gbu_beats_baseline(self, bonsai_results):
+        assert bonsai_results["gbu_full"].fps > 2 * bonsai_results["gpu_pfs"].fps
+
+    def test_energy_improves(self, bonsai_results):
+        base = bonsai_results["gpu_pfs"].energy.total_j
+        full = bonsai_results["gbu_full"].energy.total_j
+        assert full < base
+
+    def test_images_finite(self, bonsai_results):
+        for result in bonsai_results.values():
+            assert np.all(np.isfinite(result.image))
+
+    def test_gpu_configs_render_identically(self, bonsai_results):
+        np.testing.assert_allclose(
+            bonsai_results["gpu_pfs"].image,
+            bonsai_results["gpu_irss"].image,
+            atol=1e-9,
+        )
+
+    def test_gbu_report_attached(self, bonsai_results):
+        assert bonsai_results["gbu_full"].gbu_report is not None
+        assert bonsai_results["gpu_pfs"].gbu_report is None
+        assert bonsai_results["gpu_pfs"].breakdown is not None
+
+    def test_cache_only_differs_in_memory(self, bonsai_results):
+        dnb = bonsai_results["gbu_dnb"].gbu_report
+        full = bonsai_results["gbu_full"].gbu_report
+        assert full.cache.hit_rate > 0
+        assert dnb.cache.hit_rate == 0
+        assert full.memory_seconds <= dnb.memory_seconds
+        assert full.compute_seconds == pytest.approx(dnb.compute_seconds)
+
+    def test_evaluate_scene_single(self):
+        result = evaluate_scene("male_3", "gbu_full", detail=DETAIL)
+        assert result.scene == "male_3"
+        assert result.fps > 0

@@ -1,0 +1,78 @@
+"""Tests for the experiment registry and table formatting."""
+
+import pytest
+
+from repro.analysis.literature import (
+    FIG1_LANDSCAPE,
+    GBU_STANDALONE_REPORTED,
+    GSCORE,
+    NERF_ACCELERATORS,
+    PAPER_CLAIMS,
+)
+from repro.errors import ValidationError
+from repro.harness import EXPERIMENTS, format_table, run_experiment
+
+
+class TestTables:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"], [["a", 1.2345], ["long-name", 100.0]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "1.23" in table
+
+    def test_nan_rendered_as_dash(self):
+        table = format_table(["x"], [[float("nan")]])
+        assert "-" in table.splitlines()[-1]
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        expected = {
+            "fig1", "tab1", "fig4_fig5", "fig6", "fig9", "sec4d",
+            "tab2_tab3", "tab4", "tab5", "fig14_fig15", "fig16",
+            "fig17", "sec5a", "sec6f", "tab6_tab7",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValidationError):
+            run_experiment("fig99")
+
+    def test_static_experiments_run(self):
+        """Constant-data experiments run instantly and format cleanly."""
+        for key in ("fig1", "tab1", "tab2_tab3"):
+            out = run_experiment(key)
+            assert out.experiment == key
+            assert len(out.table.splitlines()) >= 3
+
+
+class TestLiterature:
+    def test_fig1_families(self):
+        families = {m.family for m in FIG1_LANDSCAPE}
+        assert families == {"voxel_nerf", "mlp_nerf", "gaussian"}
+
+    def test_gaussian_methods_fastest_per_app(self):
+        for app in ("static", "dynamic", "avatar"):
+            methods = [m for m in FIG1_LANDSCAPE if m.app_type == app]
+            best = max(methods, key=lambda m: m.fps)
+            assert best.family == "gaussian"
+
+    def test_gbu_standalone_beats_gscore_on_specs(self):
+        assert GBU_STANDALONE_REPORTED.area_mm2 < GSCORE.area_mm2
+        assert GBU_STANDALONE_REPORTED.power_w < GSCORE.power_w
+
+    def test_gbu_standalone_tops_nerf_accelerators(self):
+        for acc in NERF_ACCELERATORS:
+            assert GBU_STANDALONE_REPORTED.psnr > acc.psnr
+            assert GBU_STANDALONE_REPORTED.fps > acc.fps
+
+    def test_paper_claims_complete(self):
+        assert PAPER_CLAIMS["ablation_fps"]["gbu_full"] == 91.5
+        assert PAPER_CLAIMS["cache_hit_64kb"]["static"] == pytest.approx(0.597)

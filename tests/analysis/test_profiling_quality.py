@@ -1,0 +1,67 @@
+"""Tests for the profiling and quality analysis drivers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.profiling import (
+    per_row_workload_histogram,
+    profile_scene,
+    row_imbalance_ratio,
+)
+from repro.analysis.quality import evaluate_quality, ground_truth_image
+
+DETAIL = 0.35
+
+
+class TestProfiling:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return profile_scene("bonsai", detail=DETAIL)
+
+    def test_fractions_sum_to_one(self, profile):
+        assert sum(profile.breakdown.fractions) == pytest.approx(1.0)
+
+    def test_step3_dominates_static(self, profile):
+        f1, f2, f3 = profile.breakdown.fractions
+        assert f3 > 0.5
+
+    def test_challenge_statistics(self, profile):
+        assert profile.fragment_ratio > 10
+        assert 0.0 < profile.significant_fraction < 0.5
+        assert 0.0 < profile.row_utilization <= 1.0
+        assert profile.comparison.fragment_skip_rate > 0.5
+
+    def test_dram_and_peak_fractions_positive(self, profile):
+        assert profile.step3_dram_fraction_60fps > 0
+        assert profile.eq7_peak_fraction_60fps > 0
+
+    def test_row_histogram(self):
+        hist = per_row_workload_histogram("bonsai", detail=DETAIL)
+        assert hist.size % 16 == 0
+        assert hist.max() > hist.mean()
+        imbalance = row_imbalance_ratio(hist)
+        assert imbalance > 1.0  # rows are measurably imbalanced
+
+    def test_imbalance_of_uniform_rows_is_one(self):
+        uniform = np.full(64, 5, dtype=np.int64)
+        assert row_imbalance_ratio(uniform) == pytest.approx(1.0)
+
+
+class TestQuality:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return evaluate_quality("bonsai", detail=DETAIL)
+
+    def test_reconstruction_psnr_plausible(self, result):
+        # Perturbed reconstruction lands in the plausible band.
+        assert 20.0 < result.reference_psnr < 45.0
+
+    def test_gbu_quality_close_to_reference(self, result):
+        """Tab. IV: the fp16 pipeline costs (well) under 1 dB."""
+        assert abs(result.psnr_delta) < 1.0
+        assert abs(result.lpips_delta) < 0.05
+
+    def test_ground_truth_deterministic(self):
+        a = ground_truth_image("bonsai", detail=DETAIL)
+        b = ground_truth_image("bonsai", detail=DETAIL)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,62 @@
+"""Tests for the scaling and cache-study drivers."""
+
+import pytest
+
+from repro.analysis.cache_study import (
+    compare_policies,
+    memory_pressure,
+    sweep_scene,
+)
+from repro.analysis.scaling import camera_distance_sweep, resolution_sweep
+
+DETAIL = 0.35
+
+
+class TestResolutionSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return resolution_sweep("flame_steak", factors=(0.5, 1.0))
+
+    def test_fps_drops_with_resolution(self, points):
+        assert points[0].baseline_fps > points[1].baseline_fps
+        # The GBU side saturates at the GPU-side limit for small
+        # frames, so require only non-increase within tolerance.
+        assert points[0].gbu_fps >= points[1].gbu_fps * 0.98
+
+    def test_speedup_grows_with_resolution(self, points):
+        """Fig. 16's headline: higher resolutions favor the GBU."""
+        assert points[1].speedup > points[0].speedup * 0.95
+
+    def test_dimensions_scale(self, points):
+        assert points[1].width > points[0].width
+
+
+class TestDistanceSweep:
+    def test_speedup_degrades_with_distance(self):
+        points = camera_distance_sweep("bonsai", factors=(1.0, 4.0))
+        # Sec. VI-F: distant cameras erode the GBU's advantage.
+        assert points[1].speedup < points[0].speedup
+
+
+class TestCacheStudy:
+    def test_sweep_monotone(self):
+        result = sweep_scene("bonsai", sizes=(0, 2048, 8192, 32768), detail=DETAIL)
+        rates = [result.hit_rates[s] for s in sorted(result.hit_rates)]
+        assert rates[0] == 0.0
+        assert all(b >= a - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_saturation_size(self):
+        result = sweep_scene(
+            "bonsai", sizes=(0, 2048, 8192, 32768, 65536), detail=DETAIL
+        )
+        assert result.saturation_size() <= 65536
+
+    def test_rd_policy_at_least_lru(self):
+        comparison = compare_policies("bonsai", detail=DETAIL)
+        assert comparison.hit_rates["reuse_distance"] >= comparison.hit_rates["lru"]
+        assert comparison.rd_advantage_over_lru >= 0.0
+
+    def test_memory_pressure(self):
+        pressure = memory_pressure("bonsai", detail=DETAIL)
+        assert 0.0 < pressure.traffic_reduction < 1.0
+        assert pressure.pipeline_slowdown_without_cache >= 0.0

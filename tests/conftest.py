@@ -1,0 +1,67 @@
+"""Shared fixtures: small deterministic scenes and rendered frames.
+
+Module-scoped fixtures keep the suite fast: most tests inspect the
+same small rendered frame rather than re-rendering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.irss import render_irss
+from repro.gaussians import (
+    Camera,
+    GaussianCloud,
+    build_render_lists,
+    project,
+    render_reference,
+)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_cloud():
+    """A compact random cloud covering the whole frame."""
+    rng = np.random.default_rng(42)
+    return GaussianCloud.random(250, rng, extent=1.0, scale_range=(0.03, 0.12))
+
+
+@pytest.fixture(scope="session")
+def small_camera():
+    return Camera.look_at(
+        eye=[0.2, 0.4, -2.8], target=[0, 0, 0], width=96, height=80
+    )
+
+
+@pytest.fixture(scope="session")
+def small_projected(small_cloud, small_camera):
+    return project(small_cloud, small_camera)
+
+
+@pytest.fixture(scope="session")
+def small_lists(small_projected):
+    return build_render_lists(small_projected)
+
+
+@pytest.fixture(scope="session")
+def reference_render(small_projected, small_lists):
+    return render_reference(small_projected, small_lists)
+
+
+@pytest.fixture(scope="session")
+def irss_render(small_projected, small_lists):
+    return render_irss(small_projected, small_lists)
+
+
+@pytest.fixture(scope="session")
+def tiny_projected():
+    """A handful of Gaussians on a single-tile image (hand-inspectable)."""
+    rng = np.random.default_rng(7)
+    cloud = GaussianCloud.random(12, rng, extent=0.25, scale_range=(0.05, 0.2))
+    camera = Camera.look_at(eye=[0, 0, -1.5], target=[0, 0, 0], width=16, height=16)
+    return project(cloud, camera)

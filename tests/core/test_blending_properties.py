@@ -1,0 +1,120 @@
+"""Property-based tests on alpha-blending invariants.
+
+These pin down the physical semantics both rasterizers must satisfy
+regardless of scene content: transmittance is monotone under added
+content, colors are convex combinations, and blending respects depth
+order.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RenderSettings
+from repro.core.irss import render_irss
+from repro.gaussians import Camera, GaussianCloud, project, render_reference
+
+
+def _scene(seed: int, n: int, opacity_hi: float = 0.9) -> GaussianCloud:
+    rng = np.random.default_rng(seed)
+    cloud = GaussianCloud.random(n, rng, extent=0.5, scale_range=(0.05, 0.25))
+    return GaussianCloud(
+        means=cloud.means,
+        scales=cloud.scales,
+        quats=cloud.quats,
+        opacities=np.clip(cloud.opacities, 0.05, opacity_hi),
+        sh=cloud.sh,
+    )
+
+
+CAMERA = Camera.look_at(eye=[0, 0, -2], target=[0, 0, 0], width=48, height=48)
+
+
+class TestTransmittanceInvariants:
+    @given(seed=st.integers(0, 5000), n=st.integers(1, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_transmittance_in_unit_interval(self, seed, n):
+        result = render_reference(project(_scene(seed, n), CAMERA))
+        assert np.all(result.transmittance >= 0.0)
+        assert np.all(result.transmittance <= 1.0)
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None)
+    def test_more_gaussians_never_raise_transmittance(self, seed):
+        """Adding content can only absorb more light."""
+        full = _scene(seed, 24)
+        half = full.subset(np.arange(12))
+        t_half = render_reference(project(half, CAMERA)).transmittance
+        t_full = render_reference(project(full, CAMERA)).transmittance
+        assert np.all(t_full <= t_half + 1e-12)
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None)
+    def test_color_bounded_by_absorbed_light(self, seed):
+        """C_p = sum T a c with colors <= c_max implies
+        C_p <= c_max * (1 - T_final)."""
+        cloud = _scene(seed, 20)
+        projected = project(cloud, CAMERA)
+        result = render_reference(projected)
+        c_max = projected.colors.max() if len(projected) else 0.0
+        bound = c_max * (1.0 - result.transmittance) + 1e-9
+        assert np.all(result.image <= bound[:, :, None])
+
+
+class TestOrderSemantics:
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=8, deadline=None)
+    def test_input_permutation_invariance(self, seed):
+        """Blending depends on depth order, not on the input order of
+        the Gaussians in the cloud (sorting normalizes it)."""
+        cloud = _scene(seed, 16)
+        rng = np.random.default_rng(seed + 1)
+        # Avoid exact depth ties, which would expose the stable-sort
+        # tiebreak to the permutation.
+        means = cloud.means.copy()
+        means[:, 2] += np.linspace(0, 1e-3, len(cloud))
+        cloud = GaussianCloud(
+            means=means, scales=cloud.scales, quats=cloud.quats,
+            opacities=cloud.opacities, sh=cloud.sh,
+        )
+        perm = rng.permutation(len(cloud))
+        image_a = render_reference(project(cloud, CAMERA)).image
+        image_b = render_reference(project(cloud.subset(perm), CAMERA)).image
+        np.testing.assert_allclose(image_a, image_b, atol=1e-9)
+
+    def test_background_shows_through_translucent_scene(self):
+        cloud = _scene(3, 5, opacity_hi=0.3)
+        settings_bg = RenderSettings(background=(1.0, 0.0, 0.0))
+        result = render_reference(project(cloud, CAMERA), settings=settings_bg)
+        # Red background visible everywhere the scene is translucent.
+        assert result.image[..., 0].min() > 0.0
+
+
+class TestIrssSameInvariants:
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=8, deadline=None)
+    def test_irss_transmittance_matches(self, seed):
+        projected = project(_scene(seed, 18), CAMERA)
+        ref = render_reference(projected)
+        irss = render_irss(projected)
+        np.testing.assert_allclose(
+            irss.transmittance, ref.transmittance, atol=1e-12
+        )
+
+    @given(seed=st.integers(0, 5000), opacity=st.floats(0.05, 0.99))
+    @settings(max_examples=10, deadline=None)
+    def test_single_gaussian_peak_alpha(self, seed, opacity):
+        """At the footprint center the blended alpha approaches the
+        opacity factor (Eq. 5 with E ~ 0)."""
+        cloud = GaussianCloud(
+            means=np.array([[0.0, 0.0, 0.0]]),
+            scales=np.full((1, 3), 0.3),
+            quats=np.array([[1.0, 0, 0, 0]]),
+            opacities=np.array([opacity]),
+            sh=np.zeros((1, 1, 3)),
+        )
+        projected = project(cloud, CAMERA)
+        result = render_irss(projected)
+        center_t = result.transmittance[24, 24]
+        assert center_t == pytest.approx(1.0 - min(opacity, 0.99), abs=0.05)

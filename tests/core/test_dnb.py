@@ -1,0 +1,74 @@
+"""Tests for the Decomposition & Binning engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.dnb import reuse_distance_table, run_dnb
+from repro.core.transform import compute_transforms
+from repro.gaussians import build_render_lists
+from repro.gaussians.rasterizer import render_reference
+from repro.core.irss import render_irss
+
+
+class TestRunDnb:
+    def test_exact_pairs_at_most_candidates(self, small_projected):
+        out = run_dnb(small_projected)
+        assert out.report.exact_pairs <= out.report.candidate_pairs
+        assert out.report.pair_reduction >= 0.0
+
+    def test_exact_false_matches_conservative(self, small_projected, small_lists):
+        out = run_dnb(small_projected, exact=False)
+        assert out.lists.n_instances == small_lists.n_instances
+        assert out.report.pair_reduction == 0.0
+
+    def test_transforms_match_direct_computation(self, small_projected):
+        out = run_dnb(small_projected)
+        direct = compute_transforms(
+            small_projected.conics,
+            small_projected.means2d,
+            small_projected.thresholds,
+        )
+        np.testing.assert_allclose(out.transform.u00, direct.u00)
+        np.testing.assert_allclose(out.transform.u11, direct.u11)
+
+    def test_cycles_positive(self, small_projected):
+        out = run_dnb(small_projected)
+        assert out.report.cycles > 0
+        assert out.report.n_gaussians == len(small_projected)
+
+    def test_exact_lists_render_identically(self, small_projected, small_lists):
+        """Dropping non-intersecting (tile, Gaussian) pairs must not
+        change the image: the exact test only removes pairs with no
+        significant fragment."""
+        reference = render_reference(small_projected, small_lists)
+        out = run_dnb(small_projected)
+        via_dnb = render_irss(small_projected, out.lists, transform=out.transform)
+        np.testing.assert_allclose(via_dnb.image, reference.image, atol=1e-9)
+
+    def test_depth_order_preserved(self, small_projected):
+        out = run_dnb(small_projected)
+        for members in out.lists.per_tile:
+            if len(members) > 1:
+                depths = small_projected.depths[members]
+                assert np.all(np.diff(depths) >= 0)
+
+
+class TestReuseDistanceTable:
+    def test_alignment(self, small_projected):
+        out = run_dnb(small_projected)
+        trace, tiles = reuse_distance_table(out.lists)
+        assert trace.shape == tiles.shape
+        assert trace.shape[0] == out.lists.n_instances
+        # Tile ids are non-decreasing in a tile-major trace.
+        assert np.all(np.diff(tiles) >= 0)
+
+    def test_trace_contents(self, small_projected):
+        out = run_dnb(small_projected)
+        trace, tiles = reuse_distance_table(out.lists)
+        offset = 0
+        for t, members in enumerate(out.lists.per_tile):
+            np.testing.assert_array_equal(
+                trace[offset:offset + len(members)], members
+            )
+            assert np.all(tiles[offset:offset + len(members)] == t)
+            offset += len(members)

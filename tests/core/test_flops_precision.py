@@ -1,0 +1,70 @@
+"""Tests for FLOP accounting and fp16 precision helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.flops import (
+    DataflowComparison,
+    compare_dataflows,
+    peak_fraction,
+    tflops_for_target_fps,
+)
+from repro.core.precision import (
+    FP16_UNIT_ROUNDOFF,
+    max_relative_error,
+    quantization_error,
+    quantize_fp16,
+)
+
+
+class TestDataflowComparison:
+    def test_from_renders(self, reference_render, irss_render):
+        comp = compare_dataflows(reference_render.stats, irss_render.stats)
+        assert comp.pfs_fragments == reference_render.stats.fragments_shaded
+        assert 0.0 < comp.fragment_skip_rate < 1.0
+        assert comp.per_fragment_reduction > 1.0
+        assert comp.total_flop_reduction > comp.per_fragment_reduction
+
+    def test_perfect_sharing_reaches_5_5x(self):
+        comp = DataflowComparison(
+            pfs_fragments=1000, pfs_flops=11_000,
+            irss_fragments=1000, irss_flops=2_000,
+        )
+        assert comp.per_fragment_reduction == pytest.approx(5.5)
+
+    def test_zero_division_guards(self):
+        comp = DataflowComparison(0, 0, 0, 0)
+        assert comp.fragment_skip_rate == 0.0
+        assert comp.per_fragment_reduction == 0.0
+        assert comp.total_flop_reduction == 0.0
+
+
+class TestProjections:
+    def test_tflops_for_target(self):
+        # 1.83e10 FLOPs/frame at 60 FPS ~ the paper's 1.1 TFLOPs.
+        assert tflops_for_target_fps(1.83e10, 60.0) == pytest.approx(1.1, rel=0.01)
+
+    def test_peak_fraction(self):
+        assert peak_fraction(1.1, 1.88) == pytest.approx(0.585, rel=0.01)
+
+    def test_zero_peak(self):
+        assert peak_fraction(1.0, 0.0) == float("inf")
+
+
+class TestFp16:
+    def test_quantize_idempotent(self, rng):
+        values = rng.normal(size=100)
+        once = quantize_fp16(values)
+        twice = quantize_fp16(once)
+        np.testing.assert_array_equal(once, twice)
+
+    def test_error_bound_for_normal_range(self, rng):
+        values = rng.uniform(0.5, 2.0, size=1000)
+        assert max_relative_error(values) <= FP16_UNIT_ROUNDOFF
+
+    def test_error_zero_for_exact_values(self):
+        values = np.array([0.0, 0.5, 1.0, 2.0, -4.0])
+        np.testing.assert_array_equal(quantization_error(values), 0.0)
+
+    def test_all_zero_input(self):
+        assert max_relative_error(np.zeros(10)) == 0.0

@@ -1,0 +1,123 @@
+"""Tests for the GBU device model and its Listing-1 interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.gbu import GBUConfig, GBUDevice
+from repro.core.irss import render_irss
+from repro.errors import DeviceBusyError, ValidationError
+from repro.gpu.workload import ScaleFactors
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = GBUConfig()
+        assert config.use_dnb and config.use_cache and config.fp16
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            GBUConfig(cache_policy="belady_but_wrong")
+
+
+class TestRender:
+    def test_report_fields(self, small_projected):
+        report = GBUDevice().render(small_projected)
+        assert report.step3_seconds > 0
+        assert report.compute_seconds > 0
+        assert report.cache.accesses > 0
+        assert 0.0 < report.utilization <= 1.0
+        assert report.image.shape[2] == 3
+
+    def test_image_matches_fp16_irss(self, small_projected):
+        """The device's functional output is the fp16 IRSS render over
+        the D&B engine's exact lists."""
+        device = GBUDevice()
+        report = device.render(small_projected)
+        from repro.core.dnb import run_dnb
+
+        dnb = run_dnb(small_projected)
+        expected = render_irss(
+            small_projected, dnb.lists, transform=dnb.transform, fp16=True
+        )
+        np.testing.assert_allclose(report.image, expected.image, atol=1e-12)
+
+    def test_fp32_option(self, small_projected, reference_render):
+        device = GBUDevice(config=GBUConfig(fp16=False))
+        report = device.render(small_projected)
+        np.testing.assert_allclose(report.image, reference_render.image, atol=1e-9)
+
+    def test_cache_reduces_traffic(self, small_projected):
+        cached = GBUDevice(config=GBUConfig(use_cache=True)).render(small_projected)
+        uncached = GBUDevice(config=GBUConfig(use_cache=False)).render(small_projected)
+        assert cached.feature_bytes_fetched < uncached.feature_bytes_fetched
+        assert cached.memory_seconds < uncached.memory_seconds
+        assert cached.cache.hit_rate > 0.0
+        assert uncached.cache.hit_rate == 0.0
+
+    def test_dnb_reduces_instances(self, small_projected, small_lists):
+        with_dnb = GBUDevice(config=GBUConfig(use_dnb=True)).render(small_projected)
+        without = GBUDevice(config=GBUConfig(use_dnb=False)).render(
+            small_projected, lists=small_lists
+        )
+        assert with_dnb.cache.accesses <= without.cache.accesses
+        assert with_dnb.dnb_cycles > 0
+        assert without.dnb_cycles == 0
+
+    def test_scales_scale_time_linearly(self, small_projected):
+        device = GBUDevice()
+        base = device.render(small_projected, scales=ScaleFactors.uniform(1.0))
+        scaled = device.render(small_projected, scales=ScaleFactors.uniform(10.0))
+        assert scaled.compute_seconds == pytest.approx(10 * base.compute_seconds)
+        assert scaled.memory_seconds == pytest.approx(10 * base.memory_seconds)
+
+    def test_lru_policy_usable(self, small_projected):
+        report = GBUDevice(config=GBUConfig(cache_policy="lru")).render(
+            small_projected
+        )
+        assert report.cache.hit_rate > 0.0
+
+
+class TestListingOneInterface:
+    def test_render_and_blocking_status(self, small_projected):
+        device = GBUDevice()
+        width, height = small_projected.image_size
+        frame = np.zeros((height, width, 3))
+        device.GBU_render_image(height, width, small_projected, None, frame)
+        assert device.GBU_check_status(blocking=False) == 1
+        assert device.GBU_check_status(blocking=True) == 0
+        assert frame.max() > 0  # image landed in the caller's buffer
+
+    def test_idle_status(self):
+        assert GBUDevice().GBU_check_status() == 0
+
+    def test_busy_device_rejects_second_frame(self, small_projected):
+        device = GBUDevice()
+        width, height = small_projected.image_size
+        frame = np.zeros((height, width, 3))
+        device.GBU_render_image(height, width, small_projected, None, frame)
+        with pytest.raises(DeviceBusyError):
+            device.GBU_render_image(height, width, small_projected, None, frame)
+
+    def test_wrong_buffer_shape_rejected(self, small_projected):
+        device = GBUDevice()
+        width, height = small_projected.image_size
+        with pytest.raises(ValidationError):
+            device.GBU_render_image(
+                height, width, small_projected, None, np.zeros((8, 8, 3))
+            )
+
+    def test_wrong_channel_count_rejected(self, small_projected):
+        device = GBUDevice()
+        width, height = small_projected.image_size
+        with pytest.raises(ValidationError):
+            device.GBU_render_image(
+                height, width, small_projected, None,
+                np.zeros((height, width, 4)), ch=4,
+            )
+
+    def test_last_report_available_after_render(self, small_projected):
+        device = GBUDevice()
+        with pytest.raises(ValidationError):
+            _ = device.last_report
+        device.render(small_projected)
+        assert device.last_report.step3_seconds > 0

@@ -1,0 +1,190 @@
+"""Tests for the IRSS rasterizer: exact equivalence with the PFS
+reference (the paper's central no-quality-loss claim), skip
+statistics, FLOP accounting, and the fp16 datapath.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RenderSettings
+from repro.core.irss import render_irss, render_irss_sequential
+from repro.gaussians import (
+    Camera,
+    GaussianCloud,
+    build_render_lists,
+    project,
+    render_reference,
+)
+
+
+class TestEquivalence:
+    def test_image_matches_reference(self, reference_render, irss_render):
+        np.testing.assert_allclose(
+            irss_render.image, reference_render.image, atol=1e-10
+        )
+
+    def test_transmittance_matches(self, reference_render, irss_render):
+        np.testing.assert_allclose(
+            irss_render.transmittance, reference_render.transmittance, atol=1e-12
+        )
+
+    def test_contrib_counts_match(self, reference_render, irss_render):
+        np.testing.assert_array_equal(
+            irss_render.n_contrib, reference_render.n_contrib
+        )
+
+    def test_sequential_matches_vectorized(self, small_projected, small_lists,
+                                            irss_render):
+        seq = render_irss_sequential(small_projected, small_lists)
+        np.testing.assert_allclose(seq.image, irss_render.image, atol=1e-10)
+        assert seq.stats.fragments_shaded == irss_render.stats.fragments_shaded
+        assert seq.stats.segments == irss_render.stats.segments
+        assert seq.stats.fragments_blended == irss_render.stats.fragments_blended
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=12, deadline=None)
+    def test_equivalence_random_scenes(self, seed):
+        """Property: on arbitrary random scenes, IRSS == PFS."""
+        rng = np.random.default_rng(seed)
+        cloud = GaussianCloud.random(
+            40, rng, extent=0.6, scale_range=(0.02, 0.3), anisotropy=6.0
+        )
+        camera = Camera.look_at(
+            eye=[0.3, 0.2, -2.0], target=[0, 0, 0], width=48, height=48
+        )
+        projected = project(cloud, camera)
+        lists = build_render_lists(projected)
+        ref = render_reference(projected, lists)
+        irss = render_irss(projected, lists)
+        np.testing.assert_allclose(irss.image, ref.image, atol=1e-9)
+
+    def test_empty_scene(self):
+        camera = Camera.look_at(eye=[0, 0, -2], target=[0, 0, 0],
+                                width=32, height=32)
+        projected = project(GaussianCloud.empty(), camera)
+        settings = RenderSettings(background=(0.1, 0.2, 0.3))
+        result = render_irss(projected, settings=settings)
+        np.testing.assert_allclose(result.image[..., 2], 0.3)
+
+
+class TestSkipStatistics:
+    def test_skip_rate_bounds(self, irss_render):
+        assert 0.0 < irss_render.stats.skip_rate < 1.0
+
+    def test_irss_shades_fewer_fragments(self, reference_render, irss_render):
+        assert (
+            irss_render.stats.fragments_shaded
+            < reference_render.stats.fragments_shaded
+        )
+
+    def test_blended_at_most_shaded(self, irss_render):
+        assert irss_render.stats.fragments_blended <= irss_render.stats.fragments_shaded
+
+    def test_row_accounting_adds_up(self, irss_render):
+        """Every considered row is shaded, skipped, or terminated."""
+        s = irss_render.stats
+        classified = (
+            s.segments
+            + s.rows_skipped_y
+            + s.rows_skipped_sign
+            + s.rows_skipped_empty
+            + s.rows_terminated
+        )
+        assert classified == s.rows_considered
+
+    def test_skipped_fragments_insignificant(self, small_projected, small_lists,
+                                             reference_render, irss_render):
+        """Soundness: everything the reference blended, IRSS blended."""
+        assert (
+            irss_render.stats.fragments_blended
+            == reference_render.stats.fragments_significant
+        )
+
+
+class TestFlopAccounting:
+    def test_flop_identity(self, irss_render):
+        s = irss_render.stats
+        expected = s.segments * 11 + (s.fragments_shaded - s.segments) * 2
+        assert s.eq7_flops == expected
+
+    def test_flops_per_fragment_between_2_and_11(self, irss_render):
+        assert 2.0 <= irss_render.stats.flops_per_fragment <= 11.0
+
+    def test_large_footprints_approach_2_flops(self):
+        """Long rows amortize the per-segment setup toward 2 FLOPs."""
+        cloud = GaussianCloud(
+            means=np.array([[0.0, 0.0, 0.0]]),
+            scales=np.array([[1.2, 1.2, 1.2]]),
+            quats=np.array([[1.0, 0, 0, 0]]),
+            opacities=np.array([0.95]),
+            sh=np.zeros((1, 1, 3)),
+        )
+        camera = Camera.look_at(eye=[0, 0, -2], target=[0, 0, 0],
+                                width=96, height=96)
+        result = render_irss(project(cloud, camera))
+        assert result.stats.flops_per_fragment < 3.0
+
+
+class TestWorkload:
+    def test_row_fragments_sum(self, irss_render):
+        assert (
+            irss_render.workload.row_fragments.sum()
+            == irss_render.stats.fragments_shaded
+        )
+
+    def test_row_segments_sum(self, irss_render):
+        assert irss_render.workload.row_segments.sum() == irss_render.stats.segments
+
+    def test_instance_setup_matches_processed(self, irss_render):
+        assert (
+            irss_render.workload.instance_setup.sum()
+            == irss_render.stats.instances_processed
+        )
+
+    def test_search_instances_at_most_processed(self, irss_render):
+        w = irss_render.workload
+        assert np.all(w.instance_search <= w.instance_setup)
+
+    def test_max_run_bounds(self, irss_render):
+        w = irss_render.workload
+        # Per-instance max run is at most the tile width, so the sum is
+        # bounded by 16x the instances.
+        assert w.instance_max_run.sum() <= 16 * w.instance_setup.sum()
+        assert w.instance_max_run.sum() >= w.instance_setup.sum() * 0  # sane
+
+    def test_row_utilization_bounds(self, irss_render):
+        util = irss_render.workload.row_utilization()
+        assert 0.0 < util <= 1.0
+
+    def test_sequential_workload_matches(self, small_projected, small_lists,
+                                          irss_render):
+        seq = render_irss_sequential(small_projected, small_lists)
+        np.testing.assert_array_equal(
+            seq.workload.row_fragments, irss_render.workload.row_fragments
+        )
+        np.testing.assert_array_equal(
+            seq.workload.row_segments, irss_render.workload.row_segments
+        )
+        np.testing.assert_array_equal(
+            seq.workload.instance_max_run, irss_render.workload.instance_max_run
+        )
+
+
+class TestFp16:
+    def test_fp16_close_to_reference(self, small_projected, small_lists,
+                                     reference_render):
+        fp16 = render_irss(small_projected, small_lists, fp16=True)
+        err = np.abs(fp16.image - reference_render.image).max()
+        assert 0.0 < err < 0.05  # visible but small (Tab. IV's point)
+
+    def test_fp16_psnr_high(self, small_projected, small_lists, reference_render):
+        from repro.metrics.image import psnr
+
+        fp16 = render_irss(small_projected, small_lists, fp16=True)
+        assert psnr(reference_render.image, fp16.image) > 35.0
+
+    def test_fp16_still_counts_workload(self, small_projected, small_lists):
+        fp16 = render_irss(small_projected, small_lists, fp16=True)
+        assert fp16.stats.fragments_shaded > 0

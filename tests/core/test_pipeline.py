@@ -1,0 +1,74 @@
+"""Tests for the two-level pipeline timing model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import PipelinedFrame, chunk_count, chunked_overlap_seconds
+from repro.errors import ValidationError
+
+
+class TestFramePipeline:
+    def test_pipelined_is_max_plus_sync(self):
+        frame = PipelinedFrame(gpu_seconds=0.005, gbu_seconds=0.012,
+                               sync_seconds=0.001)
+        assert frame.frame_seconds == pytest.approx(0.013)
+        assert frame.unpipelined_seconds == pytest.approx(0.018)
+        assert frame.bottleneck == "gbu"
+
+    def test_gpu_bound_frame(self):
+        frame = PipelinedFrame(gpu_seconds=0.02, gbu_seconds=0.004)
+        assert frame.bottleneck == "gpu"
+        assert frame.fps == pytest.approx(50.0)
+
+    @given(
+        gpu=st.floats(1e-4, 1.0, allow_nan=False),
+        gbu=st.floats(1e-4, 1.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pipeline_gain_bounds(self, gpu, gbu):
+        frame = PipelinedFrame(gpu_seconds=gpu, gbu_seconds=gbu)
+        assert 1.0 <= frame.pipeline_gain <= 2.0 + 1e-9
+
+
+class TestChunkPipeline:
+    def test_formula(self):
+        total = chunked_overlap_seconds(0.004, 0.010, 4)
+        assert total == pytest.approx(0.010 + 0.001)
+
+    def test_one_chunk_is_serial(self):
+        assert chunked_overlap_seconds(3.0, 5.0, 1) == pytest.approx(8.0)
+
+    def test_many_chunks_approach_max(self):
+        assert chunked_overlap_seconds(3.0, 5.0, 10_000) == pytest.approx(
+            5.0, rel=1e-3
+        )
+
+    @given(
+        a=st.floats(0, 1.0, allow_nan=False),
+        b=st.floats(0, 1.0, allow_nan=False),
+        n=st.integers(1, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, a, b, n):
+        total = chunked_overlap_seconds(a, b, n)
+        assert max(a, b) - 1e-12 <= total <= a + b + 1e-12
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            chunked_overlap_seconds(1.0, 1.0, 0)
+        with pytest.raises(ValidationError):
+            chunked_overlap_seconds(-1.0, 1.0, 2)
+
+
+class TestChunkCount:
+    def test_rounding_up(self):
+        assert chunk_count(1000, 128) == 8
+        assert chunk_count(1025, 1024) == 2
+
+    def test_minimum_one(self):
+        assert chunk_count(0, 128) == 1
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValidationError):
+            chunk_count(100, 0)

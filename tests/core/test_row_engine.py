@@ -1,0 +1,156 @@
+"""Tests for the Row Generation Engine / Row PE cycle models,
+including the tick-vs-analytic cross-validation property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.core.row_engine import (
+    TileTrace,
+    analytic_tile_cycles,
+    row_assignment,
+    tick_simulate_tile,
+    trace_to_aggregates,
+)
+
+
+@st.composite
+def trace_strategy(draw, max_instances=25):
+    n_inst = draw(st.integers(1, max_instances))
+    segments = np.zeros((n_inst, 16), dtype=np.int64)
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    for i in range(n_inst):
+        r0 = rng.integers(0, 16)
+        r1 = rng.integers(r0, 16)
+        segments[i, r0:r1 + 1] = rng.integers(1, 17, size=r1 - r0 + 1)
+    search = rng.integers(0, 5, size=n_inst)
+    return TileTrace(segments=segments, search_steps=search)
+
+
+class TestRowAssignment:
+    def test_interleaved_partition(self):
+        assignment = row_assignment(16, 8, interleaved=True)
+        all_rows = np.sort(np.concatenate(assignment))
+        np.testing.assert_array_equal(all_rows, np.arange(16))
+        np.testing.assert_array_equal(assignment[0], [0, 8])
+
+    def test_contiguous_partition(self):
+        assignment = row_assignment(16, 8, interleaved=False)
+        np.testing.assert_array_equal(assignment[0], [0, 1])
+        np.testing.assert_array_equal(assignment[7], [14, 15])
+
+    def test_uneven_rejected(self):
+        with pytest.raises(ValidationError):
+            row_assignment(16, 7)
+
+
+class TestTileTrace:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TileTrace(segments=np.zeros((3, 16)) - 1, search_steps=np.zeros(3))
+        with pytest.raises(ValidationError):
+            TileTrace(segments=np.zeros((3, 16)), search_steps=np.zeros(2))
+
+    def test_aggregates(self):
+        seg = np.zeros((2, 16), dtype=np.int64)
+        seg[0, 0] = 5
+        seg[1, 0] = 3
+        seg[1, 2] = 4
+        trace = TileTrace(segments=seg, search_steps=np.array([0, 4]))
+        frag, segs, inst, searching = trace_to_aggregates(trace)
+        assert frag[0] == 8 and frag[2] == 4
+        assert segs[0] == 2 and segs[2] == 1
+        assert inst == 2
+        assert searching == 1  # only the second instance searched
+
+
+class TestAnalyticModel:
+    def test_empty_tile_zero_cycles(self):
+        est = analytic_tile_cycles(
+            np.zeros(16), np.zeros(16), 0, 0
+        )
+        assert est.tile_cycles == 0.0
+
+    def test_fragments_drive_cycles(self):
+        rows = np.zeros(16)
+        rows[3] = 100
+        est = analytic_tile_cycles(rows, (rows > 0).astype(int), 1, 0)
+        assert est.tile_cycles >= 100
+
+    def test_balanced_rows_beat_single_row(self):
+        lumped = np.zeros(16)
+        lumped[0] = 160
+        spread = np.full(16, 10.0)
+        est_lumped = analytic_tile_cycles(lumped, (lumped > 0).astype(int), 1, 0)
+        est_spread = analytic_tile_cycles(spread, np.ones(16), 1, 0)
+        assert est_spread.tile_cycles < est_lumped.tile_cycles
+
+    def test_generation_bound_tile(self):
+        # Many instances with tiny segments: the generation engine
+        # serializes the tile.
+        rows = np.full(16, 2.0)
+        est = analytic_tile_cycles(rows, np.ones(16), 500, 400)
+        assert est.generation_cycles > float(est.row_pe_cycles.max())
+        assert est.tile_cycles >= est.generation_cycles
+
+    def test_utilization_bounds(self, rng):
+        rows = rng.integers(0, 50, 16).astype(float)
+        est = analytic_tile_cycles(rows, (rows > 0).astype(int), 10, 2)
+        assert 0.0 <= est.utilization <= 1.0
+
+
+class TestTickSimulator:
+    def test_fragment_conservation(self):
+        seg = np.zeros((3, 16), dtype=np.int64)
+        seg[0, 1] = 4
+        seg[1, 1] = 2
+        seg[2, 9] = 7
+        trace = TileTrace(segments=seg, search_steps=np.zeros(3, dtype=np.int64))
+        result = tick_simulate_tile(trace)
+        assert result.fragments_shaded == 13
+
+    def test_empty_trace(self):
+        trace = TileTrace(
+            segments=np.zeros((0, 16), dtype=np.int64),
+            search_steps=np.zeros(0, dtype=np.int64),
+        )
+        result = tick_simulate_tile(trace)
+        assert result.cycles <= 1
+        assert result.fragments_shaded == 0
+
+    def test_shallow_buffers_cost_more(self):
+        rng = np.random.default_rng(3)
+        seg = rng.integers(0, 10, size=(30, 16)).astype(np.int64)
+        trace = TileTrace(segments=seg, search_steps=np.zeros(30, dtype=np.int64))
+        deep = tick_simulate_tile(trace, buffer_depth=256)
+        shallow = tick_simulate_tile(trace, buffer_depth=1)
+        assert shallow.cycles >= deep.cycles
+
+    def test_buffer_occupancy_respects_depth(self):
+        rng = np.random.default_rng(4)
+        seg = rng.integers(0, 10, size=(20, 16)).astype(np.int64)
+        trace = TileTrace(segments=seg, search_steps=np.zeros(20, dtype=np.int64))
+        result = tick_simulate_tile(trace, buffer_depth=4)
+        assert result.max_buffer_occupancy.max() <= 4
+
+    @given(trace=trace_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_analytic_close_to_tick_with_deep_buffers(self, trace):
+        """The analytic model tracks the tick simulator within 20%
+        (plus a small absolute slack for drain effects) when FIFOs are
+        deep enough to decouple the engines."""
+        tick = tick_simulate_tile(trace, buffer_depth=512)
+        analytic = analytic_tile_cycles(*trace_to_aggregates(trace))
+        assert tick.fragments_shaded == int(trace.segments.sum())
+        if trace.segments.sum() > 100:
+            ratio = tick.cycles / analytic.tile_cycles
+            assert 0.6 < ratio < 1.2
+
+    @given(trace=trace_strategy(max_instances=12))
+    @settings(max_examples=15, deadline=None)
+    def test_tick_busy_bounded_by_cycles(self, trace):
+        result = tick_simulate_tile(trace, buffer_depth=64)
+        assert np.all(result.row_pe_busy_cycles <= result.cycles)
+        assert result.generation_busy_cycles <= result.cycles

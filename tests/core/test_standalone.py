@@ -1,0 +1,62 @@
+"""Tests for the GBU-Standalone accelerator model."""
+
+import numpy as np
+import pytest
+
+from repro.core.standalone import STANDALONE_SPEC, GBUStandalone, StandaloneSpec
+from repro.errors import ValidationError
+from repro.gaussians import GaussianCloud, Camera
+from repro.gpu.workload import ScaleFactors
+
+
+class TestSpec:
+    def test_totals_match_tab6(self):
+        # Tab. VI: GBU-Standalone 1.78 mm2 / 0.78 W.
+        assert STANDALONE_SPEC.area_mm2 == pytest.approx(1.78, abs=0.01)
+        assert STANDALONE_SPEC.power_w == pytest.approx(0.78, abs=0.01)
+
+    def test_step3_pe_matches_tab6(self):
+        assert STANDALONE_SPEC.step3_area_mm2 == pytest.approx(0.50, abs=0.01)
+        assert STANDALONE_SPEC.step3_power_w == pytest.approx(0.15, abs=0.01)
+
+    def test_smaller_than_gscore(self):
+        from repro.analysis.literature import GSCORE
+
+        assert STANDALONE_SPEC.area_mm2 < GSCORE.area_mm2
+        assert STANDALONE_SPEC.power_w < GSCORE.power_w
+        assert STANDALONE_SPEC.step3_area_mm2 < GSCORE.step3_area_mm2
+
+
+class TestRender:
+    def test_render_report(self, small_cloud, small_camera):
+        accelerator = GBUStandalone()
+        report = accelerator.render(small_cloud, small_camera)
+        assert report.fps > 0
+        assert report.preprocess_seconds > 0
+        assert report.sort_seconds > 0
+        assert report.energy_j > 0
+        assert report.image.ndim == 3
+
+    def test_pipeline_bounded_by_stage_sum(self, small_cloud, small_camera):
+        report = GBUStandalone().render(small_cloud, small_camera)
+        serial = (
+            report.preprocess_seconds
+            + report.sort_seconds
+            + report.gbu.step3_seconds
+        )
+        assert report.frame_seconds <= serial + 1e-12
+        assert report.frame_seconds >= max(
+            report.preprocess_seconds, report.sort_seconds,
+            report.gbu.step3_seconds,
+        ) - 1e-12
+
+    def test_scales_applied(self, small_cloud, small_camera):
+        base = GBUStandalone().render(small_cloud, small_camera)
+        scaled = GBUStandalone().render(
+            small_cloud, small_camera, scales=ScaleFactors.uniform(5.0)
+        )
+        assert scaled.frame_seconds > base.frame_seconds
+
+    def test_empty_cloud_rejected(self, small_camera):
+        with pytest.raises(ValidationError):
+            GBUStandalone().render(GaussianCloud.empty(), small_camera)

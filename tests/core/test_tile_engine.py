@@ -1,0 +1,91 @@
+"""Tests for the frame-level Row-Centric Tile Engine model."""
+
+import numpy as np
+import pytest
+
+from repro.core.irss import TileRowWorkload
+from repro.core.tile_engine import simulate_tile_engine
+from repro.errors import ValidationError
+from repro.gpu.specs import GBUSpec
+
+
+def _workload(n_tiles=6, rng=None, rows=16):
+    rng = rng or np.random.default_rng(0)
+    frag = rng.integers(0, 60, size=(n_tiles, rows)).astype(np.int64)
+    seg = np.minimum(frag, rng.integers(0, 5, size=(n_tiles, rows))).astype(np.int64)
+    inst = rng.integers(1, 30, size=n_tiles).astype(np.int64)
+    return TileRowWorkload(
+        row_fragments=frag,
+        row_segments=seg,
+        instance_max_run=rng.integers(1, 200, size=n_tiles).astype(np.int64),
+        instance_setup=inst,
+        binary_search_steps=rng.integers(0, 40, size=n_tiles).astype(np.int64),
+        instance_search=np.minimum(inst, rng.integers(0, 10, size=n_tiles)).astype(np.int64),
+    )
+
+
+class TestSimulation:
+    def test_report_shapes(self):
+        workload = _workload()
+        report = simulate_tile_engine(workload)
+        assert report.tile_cycles.shape == (6,)
+        assert report.pe_frame_cycles.shape == (8,)
+
+    def test_cross_tile_overlap_not_slower(self):
+        workload = _workload()
+        overlapped = simulate_tile_engine(workload, cross_tile_overlap=True)
+        barrier = simulate_tile_engine(workload, cross_tile_overlap=False)
+        assert overlapped.total_cycles <= barrier.total_cycles
+
+    def test_utilization_bounds(self):
+        report = simulate_tile_engine(_workload())
+        assert 0.0 < report.utilization <= 1.0
+
+    def test_empty_tiles_cost_nothing(self):
+        workload = _workload(n_tiles=3)
+        workload.instance_setup[1] = 0
+        workload.row_fragments[1] = 0
+        report = simulate_tile_engine(workload)
+        assert report.tile_cycles[1] == 0.0
+
+    def test_seconds_uses_clock(self):
+        workload = _workload()
+        report = simulate_tile_engine(workload)
+        spec = GBUSpec()
+        assert report.seconds(spec) == pytest.approx(
+            report.total_cycles / spec.clock_hz
+        )
+
+    def test_generation_bound_detection(self):
+        workload = _workload()
+        workload.instance_setup[:] = 10_000
+        report = simulate_tile_engine(workload)
+        assert report.generation_bound_tiles() == workload.n_tiles
+
+    def test_row_count_mismatch_rejected(self):
+        workload = _workload(rows=8)
+        with pytest.raises(ValidationError):
+            simulate_tile_engine(workload)
+
+    def test_interleave_helps_centered_footprints(self):
+        """Elliptical footprints concentrate work in central rows;
+        interleaved row assignment balances the PE pairs better than
+        contiguous pairing."""
+        n_tiles = 4
+        rows = np.zeros((n_tiles, 16), dtype=np.int64)
+        # Center-heavy per-row profile (like a fat Gaussian).
+        profile = np.array([1, 2, 5, 9, 14, 18, 20, 22, 22, 20, 18, 14, 9, 5, 2, 1])
+        rows[:] = profile
+        workload = TileRowWorkload(
+            row_fragments=rows,
+            row_segments=(rows > 0).astype(np.int64),
+            instance_max_run=np.full(n_tiles, 22, dtype=np.int64),
+            instance_setup=np.ones(n_tiles, dtype=np.int64),
+            binary_search_steps=np.zeros(n_tiles, dtype=np.int64),
+            instance_search=np.zeros(n_tiles, dtype=np.int64),
+        )
+        inter = simulate_tile_engine(workload, interleaved=True,
+                                     cross_tile_overlap=False)
+        contig = simulate_tile_engine(workload, interleaved=False,
+                                      cross_tile_overlap=False)
+        assert inter.total_cycles <= contig.total_cycles

@@ -1,0 +1,149 @@
+"""Tests for the animatable avatar model."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.avatar import (
+    AvatarModel,
+    Skeleton,
+    _matrix_to_quat,
+    _axis_angle_matrix,
+    walking_pose,
+)
+from repro.errors import ValidationError
+from repro.gaussians.gaussian import quaternion_to_rotation
+
+
+@pytest.fixture(scope="module")
+def avatar():
+    return AvatarModel.synthetic(300, np.random.default_rng(11))
+
+
+class TestSkeleton:
+    def test_humanoid_structure(self):
+        skeleton = Skeleton.humanoid()
+        assert skeleton.n_joints == 15
+        assert skeleton.parents[0] == -1
+
+    def test_fk_identity_at_zero_pose(self):
+        skeleton = Skeleton.humanoid()
+        rotations, translations = skeleton.forward_kinematics(np.zeros(15))
+        for r, t in zip(rotations, translations):
+            np.testing.assert_allclose(r, np.eye(3), atol=1e-12)
+            np.testing.assert_allclose(t, 0.0, atol=1e-12)
+
+    def test_fk_rotation_preserves_pivot(self):
+        """A joint's own pivot point is a fixed point of its transform."""
+        skeleton = Skeleton.humanoid()
+        theta = np.zeros(15)
+        theta[6] = 0.7  # bend left elbow
+        rotations, translations = skeleton.forward_kinematics(theta)
+        pivot = skeleton.rest_positions[6]
+        moved = rotations[6] @ pivot + translations[6]
+        np.testing.assert_allclose(moved, pivot, atol=1e-12)
+
+    def test_child_follows_parent(self):
+        """Rotating the shoulder moves the hand."""
+        skeleton = Skeleton.humanoid()
+        theta = np.zeros(15)
+        theta[5] = 0.8  # l_shoulder
+        rotations, translations = skeleton.forward_kinematics(theta)
+        hand_rest = skeleton.rest_positions[7]
+        hand_posed = rotations[7] @ hand_rest + translations[7]
+        assert np.linalg.norm(hand_posed - hand_rest) > 0.05
+
+    def test_bone_lengths_preserved(self):
+        skeleton = Skeleton.humanoid()
+        theta = walking_pose(0.3)
+        rotations, translations = skeleton.forward_kinematics(theta)
+        for j in range(1, skeleton.n_joints):
+            p = skeleton.parents[j]
+            rest_len = np.linalg.norm(
+                skeleton.rest_positions[j] - skeleton.rest_positions[p]
+            )
+            pj = rotations[j] @ skeleton.rest_positions[j] + translations[j]
+            pp = rotations[p] @ skeleton.rest_positions[p] + translations[p]
+            # Parent-child attachment: child pivot under the PARENT
+            # transform stays rigid; joint transforms only rotate the
+            # subtree about the child's pivot.
+            pj_under_parent = rotations[p] @ skeleton.rest_positions[j] + translations[p]
+            assert np.linalg.norm(pj_under_parent - pp) == pytest.approx(
+                rest_len, rel=1e-9
+            )
+
+    def test_bad_theta_shape_rejected(self):
+        skeleton = Skeleton.humanoid()
+        with pytest.raises(ValidationError):
+            skeleton.forward_kinematics(np.zeros(3))
+
+    def test_bad_topology_rejected(self):
+        with pytest.raises(ValidationError):
+            Skeleton(
+                names=("a", "b"),
+                parents=(1, 0),  # parent after child
+                rest_positions=np.zeros((2, 3)),
+                rotation_axes=np.tile([0.0, 0, 1], (2, 1)),
+            )
+
+
+class TestQuaternionHelpers:
+    def test_matrix_quat_roundtrip(self, rng):
+        for _ in range(20):
+            axis = rng.normal(size=3)
+            axis /= np.linalg.norm(axis)
+            angle = rng.uniform(-np.pi, np.pi)
+            mat = _axis_angle_matrix(axis, angle)
+            quat = _matrix_to_quat(mat)
+            back = quaternion_to_rotation(quat[None, :])[0]
+            np.testing.assert_allclose(back, mat, atol=1e-9)
+
+
+class TestAvatarModel:
+    def test_rest_pose_is_identity(self, avatar):
+        posed = avatar.at_pose(np.zeros(15))
+        np.testing.assert_allclose(posed.means, avatar.rest_cloud.means, atol=1e-9)
+
+    def test_pose_preserves_count_and_scales(self, avatar):
+        posed = avatar.at_pose(walking_pose(0.25))
+        assert len(posed) == len(avatar)
+        np.testing.assert_array_equal(posed.scales, avatar.rest_cloud.scales)
+
+    def test_pose_moves_limbs(self, avatar):
+        posed = avatar.at_pose(walking_pose(0.25))
+        displacement = np.linalg.norm(
+            posed.means - avatar.rest_cloud.means, axis=1
+        )
+        assert displacement.max() > 0.05
+
+    def test_skinning_weights_valid(self, avatar):
+        assert np.allclose(avatar.bone_weights.sum(axis=1), 1.0)
+        assert np.all(avatar.bone_weights >= 0.0)
+
+    def test_quats_stay_usable(self, avatar):
+        """Rest quats are unnormalized by design; skinning must not
+        collapse any of them to (near) zero, which would make the
+        rotation undefined."""
+        posed = avatar.at_pose(walking_pose(0.6))
+        norms = np.linalg.norm(posed.quats, axis=1)
+        assert np.all(norms > 1e-3)
+
+    def test_invalid_skinning_rejected(self, avatar):
+        with pytest.raises(ValidationError):
+            AvatarModel(
+                skeleton=avatar.skeleton,
+                rest_cloud=avatar.rest_cloud,
+                bone_indices=avatar.bone_indices,
+                bone_weights=avatar.bone_weights * 2.0,  # no longer convex
+            )
+
+    def test_skinning_flops_positive(self, avatar):
+        assert avatar.skinning_flops_per_gaussian() > 0
+
+
+class TestWalkingPose:
+    def test_periodicity(self):
+        np.testing.assert_allclose(walking_pose(0.0), walking_pose(1.0), atol=1e-12)
+
+    def test_bounded_angles(self):
+        for t in np.linspace(0, 1, 16):
+            assert np.abs(walking_pose(t)).max() < np.pi / 2

@@ -1,0 +1,98 @@
+"""Tests for 4D (temporal) Gaussians."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.temporal import TemporalGaussianModel
+from repro.errors import ValidationError
+from repro.gaussians import GaussianCloud
+
+
+@pytest.fixture()
+def model(rng):
+    base = GaussianCloud.random(60, np.random.default_rng(5))
+    return TemporalGaussianModel.synthetic(
+        base, np.random.default_rng(6), moving_fraction=0.5
+    )
+
+
+class TestSlicing:
+    def test_slice_returns_cloud(self, model):
+        cloud = model.at_time(0.3)
+        assert isinstance(cloud, GaussianCloud)
+        assert 0 < len(cloud) <= len(model)
+
+    def test_static_kernels_do_not_move(self, model):
+        moving = np.any(model.velocities != 0, axis=1) | np.any(
+            model.amplitudes != 0, axis=1
+        )
+        # Transient kernels can be culled by the temporal window, so
+        # check only always-active static kernels.
+        persistent = model.time_sigmas > 1e5
+        static_idx = np.nonzero(~moving & persistent)[0]
+        assert len(static_idx) > 0
+        at_zero = model.at_time(0.0)
+        at_half = model.at_time(0.5)
+        rest = model.base.means[static_idx]
+        for cloud in (at_zero, at_half):
+            # Every static rest position must appear in the sliced means.
+            for p in rest[:10]:
+                distances = np.linalg.norm(cloud.means - p, axis=1)
+                assert distances.min() < 1e-12
+
+    def test_motion_displaces_moving_kernels(self, model):
+        moving = np.nonzero(np.any(model.velocities != 0, axis=1))[0]
+        if len(moving) == 0:
+            pytest.skip("no moving kernels in this draw")
+        late = model.at_time(0.9)
+        # At least one moving kernel is displaced from rest.
+        rest = model.base.means[moving[0]]
+        distances = np.linalg.norm(late.means - rest, axis=1)
+        assert distances.min() > 1e-6 or len(late) < len(model)
+
+    def test_temporal_window_drops_transients(self, model):
+        far = model.at_time(1e6)
+        # Transient kernels (finite sigma) die far outside the clip.
+        transient = np.isfinite(model.time_sigmas) & (model.time_sigmas < 1e5)
+        assert len(far) <= len(model) - int(transient.sum())
+
+    def test_opacity_never_exceeds_base(self, model):
+        sliced = model.at_time(0.25)
+        assert np.all(sliced.opacities <= 1.0)
+        assert np.all(sliced.opacities > 0.0)
+
+    def test_determinism(self, model):
+        a = model.at_time(0.4)
+        b = model.at_time(0.4)
+        np.testing.assert_array_equal(a.means, b.means)
+
+
+class TestValidation:
+    def test_mismatched_arrays_rejected(self, rng):
+        base = GaussianCloud.random(5, np.random.default_rng(1))
+        with pytest.raises(ValidationError):
+            TemporalGaussianModel(
+                base=base,
+                velocities=np.zeros((4, 3)),
+                amplitudes=np.zeros((5, 3)),
+                frequencies=np.zeros(5),
+                phases=np.zeros(5),
+                time_centers=np.zeros(5),
+                time_sigmas=np.ones(5),
+            )
+
+    def test_nonpositive_sigma_rejected(self, rng):
+        base = GaussianCloud.random(5, np.random.default_rng(1))
+        with pytest.raises(ValidationError):
+            TemporalGaussianModel(
+                base=base,
+                velocities=np.zeros((5, 3)),
+                amplitudes=np.zeros((5, 3)),
+                frequencies=np.zeros(5),
+                phases=np.zeros(5),
+                time_centers=np.zeros(5),
+                time_sigmas=np.zeros(5),
+            )
+
+    def test_slice_flops_positive(self, model):
+        assert model.slice_flops_per_gaussian() > 0

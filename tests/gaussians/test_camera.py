@@ -1,0 +1,116 @@
+"""Unit tests for the pinhole camera model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gaussians.camera import Camera, orbit_cameras
+
+
+class TestLookAt:
+    def test_target_projects_to_principal_point(self):
+        cam = Camera.look_at(eye=[1, 2, -5], target=[0.5, 0.2, 1.0])
+        target_cam = cam.to_camera_space(np.array([[0.5, 0.2, 1.0]]))[0]
+        # Target lies on the optical axis.
+        assert target_cam[0] == pytest.approx(0.0, abs=1e-10)
+        assert target_cam[1] == pytest.approx(0.0, abs=1e-10)
+        assert target_cam[2] > 0
+
+    def test_position_roundtrip(self):
+        cam = Camera.look_at(eye=[3, -1, 2], target=[0, 0, 0])
+        np.testing.assert_allclose(cam.position, [3, -1, 2], atol=1e-12)
+
+    def test_depth_increases_away_from_camera(self):
+        cam = Camera.look_at(eye=[0, 0, -5], target=[0, 0, 0])
+        near = cam.to_camera_space(np.array([[0, 0, -1.0]]))[0, 2]
+        far = cam.to_camera_space(np.array([[0, 0, 3.0]]))[0, 2]
+        assert far > near > 0
+
+    def test_coincident_eye_target_rejected(self):
+        with pytest.raises(ValidationError):
+            Camera.look_at(eye=[1, 1, 1], target=[1, 1, 1])
+
+    def test_up_parallel_to_view_rejected(self):
+        with pytest.raises(ValidationError):
+            Camera.look_at(eye=[0, 0, 0], target=[0, 1, 0], up=[0, 1, 0])
+
+    def test_fov_sets_focal_length(self):
+        cam = Camera.look_at(eye=[0, 0, -2], target=[0, 0, 0],
+                             height=200, fov_y_deg=90.0)
+        assert cam.fy == pytest.approx(100.0)
+
+
+class TestValidation:
+    def test_non_orthonormal_rotation_rejected(self):
+        with pytest.raises(ValidationError):
+            Camera(
+                width=64, height=64, fx=50, fy=50, cx=32, cy=32,
+                rotation=np.ones((3, 3)), translation=np.zeros(3),
+            )
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValidationError):
+            Camera(
+                width=0, height=64, fx=50, fy=50, cx=32, cy=32,
+                rotation=np.eye(3), translation=np.zeros(3),
+            )
+
+    def test_negative_focal_rejected(self):
+        with pytest.raises(ValidationError):
+            Camera(
+                width=64, height=64, fx=-50, fy=50, cx=32, cy=32,
+                rotation=np.eye(3), translation=np.zeros(3),
+            )
+
+
+class TestResolutionScaling:
+    def test_field_of_view_preserved(self):
+        cam = Camera.look_at(eye=[0, 0, -3], target=[0, 0, 0],
+                             width=100, height=80, fov_y_deg=60)
+        big = cam.with_resolution(200, 160)
+        # Half-height over focal length is the FOV tangent.
+        assert big.height / big.fy == pytest.approx(cam.height / cam.fy)
+        assert big.width / big.fx == pytest.approx(cam.width / cam.fx)
+
+    def test_principal_point_scales(self):
+        cam = Camera.look_at(eye=[0, 0, -3], target=[0, 0, 0],
+                             width=100, height=80)
+        big = cam.with_resolution(300, 240)
+        assert big.cx == pytest.approx(3 * cam.cx)
+        assert big.cy == pytest.approx(3 * cam.cy)
+
+
+class TestDolly:
+    def test_distance_scales(self):
+        cam = Camera.look_at(eye=[0, 0, -2], target=[0, 0, 0])
+        far = cam.dollied(4.0, target=np.zeros(3))
+        assert np.linalg.norm(far.position) == pytest.approx(8.0)
+
+    def test_view_direction_preserved(self):
+        cam = Camera.look_at(eye=[1, 1, -2], target=[0, 0, 0])
+        far = cam.dollied(2.0, target=np.zeros(3))
+        np.testing.assert_allclose(far.rotation, cam.rotation)
+
+    def test_non_positive_factor_rejected(self):
+        cam = Camera.look_at(eye=[0, 0, -2], target=[0, 0, 0])
+        with pytest.raises(ValidationError):
+            cam.dollied(0.0)
+
+
+class TestOrbit:
+    def test_count_and_radius(self):
+        cams = orbit_cameras(8, radius=3.0, height=0.0)
+        assert len(cams) == 8
+        for cam in cams:
+            planar = np.array([cam.position[0], cam.position[2]])
+            assert np.linalg.norm(planar) == pytest.approx(3.0)
+
+    def test_all_look_at_target(self):
+        target = np.array([0.5, 0.0, -0.5])
+        for cam in orbit_cameras(4, radius=2.0, target=target):
+            t = cam.to_camera_space(target[None, :])[0]
+            assert abs(t[0]) < 1e-9 and abs(t[1]) < 1e-9
+
+    def test_zero_cameras_rejected(self):
+        with pytest.raises(ValidationError):
+            orbit_cameras(0, radius=1.0)

@@ -1,0 +1,205 @@
+"""Unit tests for the GaussianCloud container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.gaussians.gaussian import GaussianCloud, quaternion_to_rotation
+
+
+class TestQuaternionToRotation:
+    def test_identity_quaternion(self):
+        rot = quaternion_to_rotation(np.array([[1.0, 0.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(rot[0], np.eye(3), atol=1e-12)
+
+    def test_rotations_are_orthonormal(self, rng):
+        quats = rng.normal(size=(50, 4))
+        rots = quaternion_to_rotation(quats)
+        for r in rots:
+            np.testing.assert_allclose(r @ r.T, np.eye(3), atol=1e-10)
+            assert np.linalg.det(r) == pytest.approx(1.0, abs=1e-10)
+
+    def test_unnormalized_quaternions_accepted(self):
+        rot_a = quaternion_to_rotation(np.array([[1.0, 2.0, 3.0, 4.0]]))
+        rot_b = quaternion_to_rotation(np.array([[2.0, 4.0, 6.0, 8.0]]))
+        np.testing.assert_allclose(rot_a, rot_b, atol=1e-12)
+
+    def test_z_axis_quarter_turn(self):
+        half = np.pi / 4
+        quat = np.array([[np.cos(half), 0.0, 0.0, np.sin(half)]])
+        rot = quaternion_to_rotation(quat)[0]
+        np.testing.assert_allclose(rot @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+    def test_zero_quaternion_rejected(self):
+        with pytest.raises(ValidationError):
+            quaternion_to_rotation(np.zeros((1, 4)))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            quaternion_to_rotation(np.ones((3, 3)))
+
+
+class TestCovariances:
+    def test_covariances_are_symmetric_psd(self, rng):
+        cloud = GaussianCloud.random(40, rng)
+        covs = cloud.covariances()
+        for c in covs:
+            np.testing.assert_allclose(c, c.T, atol=1e-12)
+            eigenvalues = np.linalg.eigvalsh(c)
+            assert np.all(eigenvalues > 0)
+
+    def test_isotropic_cloud_covariance_diagonal(self):
+        cloud = GaussianCloud(
+            means=np.zeros((1, 3)),
+            scales=np.full((1, 3), 0.5),
+            quats=np.array([[1.0, 0.0, 0.0, 0.0]]),
+            opacities=np.array([0.5]),
+            sh=np.zeros((1, 9, 3)),
+        )
+        np.testing.assert_allclose(cloud.covariances()[0], 0.25 * np.eye(3), atol=1e-12)
+
+    def test_rotation_preserves_eigenvalues(self, rng):
+        scales = np.array([[0.1, 0.2, 0.3]])
+        base = GaussianCloud(
+            means=np.zeros((1, 3)),
+            scales=scales,
+            quats=np.array([[1.0, 0.0, 0.0, 0.0]]),
+            opacities=np.array([0.5]),
+            sh=np.zeros((1, 4, 3)),
+        )
+        rotated = GaussianCloud(
+            means=np.zeros((1, 3)),
+            scales=scales,
+            quats=rng.normal(size=(1, 4)),
+            opacities=np.array([0.5]),
+            sh=np.zeros((1, 4, 3)),
+        )
+        ev_base = np.sort(np.linalg.eigvalsh(base.covariances()[0]))
+        ev_rot = np.sort(np.linalg.eigvalsh(rotated.covariances()[0]))
+        np.testing.assert_allclose(ev_base, ev_rot, rtol=1e-10)
+
+
+class TestValidation:
+    def _kwargs(self, n=3):
+        return dict(
+            means=np.zeros((n, 3)),
+            scales=np.full((n, 3), 0.1),
+            quats=np.tile([1.0, 0, 0, 0], (n, 1)),
+            opacities=np.full(n, 0.5),
+            sh=np.zeros((n, 9, 3)),
+        )
+
+    def test_valid_cloud_builds(self):
+        cloud = GaussianCloud(**self._kwargs())
+        assert len(cloud) == 3
+        assert cloud.sh_degree == 2
+
+    def test_negative_scale_rejected(self):
+        kwargs = self._kwargs()
+        kwargs["scales"][1, 2] = -0.1
+        with pytest.raises(ValidationError):
+            GaussianCloud(**kwargs)
+
+    def test_opacity_out_of_range_rejected(self):
+        kwargs = self._kwargs()
+        kwargs["opacities"][0] = 1.5
+        with pytest.raises(ValidationError):
+            GaussianCloud(**kwargs)
+
+    def test_zero_opacity_rejected(self):
+        kwargs = self._kwargs()
+        kwargs["opacities"][0] = 0.0
+        with pytest.raises(ValidationError):
+            GaussianCloud(**kwargs)
+
+    def test_partial_sh_band_rejected(self):
+        kwargs = self._kwargs()
+        kwargs["sh"] = np.zeros((3, 7, 3))  # not a full degree
+        with pytest.raises(ValidationError):
+            GaussianCloud(**kwargs)
+
+    def test_nonfinite_means_rejected(self):
+        kwargs = self._kwargs()
+        kwargs["means"][0, 0] = np.nan
+        with pytest.raises(ValidationError):
+            GaussianCloud(**kwargs)
+
+    def test_mismatched_lengths_rejected(self):
+        kwargs = self._kwargs()
+        kwargs["opacities"] = np.full(4, 0.5)
+        with pytest.raises(ValidationError):
+            GaussianCloud(**kwargs)
+
+
+class TestManipulation:
+    def test_subset_selects(self, rng):
+        cloud = GaussianCloud.random(20, rng)
+        sub = cloud.subset(np.array([3, 5, 7]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.means[1], cloud.means[5])
+
+    def test_translated_moves_means_only(self, rng):
+        cloud = GaussianCloud.random(10, rng)
+        moved = cloud.translated([1.0, -2.0, 3.0])
+        np.testing.assert_allclose(moved.means, cloud.means + [1.0, -2.0, 3.0])
+        np.testing.assert_array_equal(moved.scales, cloud.scales)
+
+    def test_perturbed_zero_sigma_is_identity(self, rng):
+        cloud = GaussianCloud.random(10, rng)
+        same = cloud.perturbed(np.random.default_rng(0))
+        np.testing.assert_allclose(same.means, cloud.means)
+        np.testing.assert_allclose(same.opacities, cloud.opacities)
+
+    def test_perturbed_keeps_validity(self, rng):
+        cloud = GaussianCloud.random(30, rng)
+        noisy = cloud.perturbed(
+            np.random.default_rng(1),
+            position_sigma=0.1,
+            scale_sigma=0.3,
+            opacity_sigma=0.5,
+            sh_sigma=0.1,
+        )
+        noisy.validate()
+        assert np.all(noisy.opacities > 0)
+
+    def test_concatenate(self, rng):
+        a = GaussianCloud.random(5, rng)
+        b = GaussianCloud.random(7, rng)
+        merged = GaussianCloud.concatenate([a, b])
+        assert len(merged) == 12
+        np.testing.assert_array_equal(merged.means[:5], a.means)
+
+    def test_concatenate_mixed_degrees_rejected(self, rng):
+        a = GaussianCloud.random(5, rng, sh_degree=1)
+        b = GaussianCloud.random(5, rng, sh_degree=2)
+        with pytest.raises(ValidationError):
+            GaussianCloud.concatenate([a, b])
+
+    def test_concatenate_empty_list_rejected(self):
+        with pytest.raises(ValidationError):
+            GaussianCloud.concatenate([])
+
+    def test_empty_cloud(self):
+        cloud = GaussianCloud.empty()
+        assert len(cloud) == 0
+        assert cloud.covariances().shape == (0, 3, 3)
+
+
+class TestRandomFactory:
+    def test_deterministic_with_seed(self):
+        a = GaussianCloud.random(15, np.random.default_rng(9))
+        b = GaussianCloud.random(15, np.random.default_rng(9))
+        np.testing.assert_array_equal(a.means, b.means)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            GaussianCloud.random(-1, rng)
+
+    @given(n=st.integers(min_value=0, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_any_count_valid(self, n):
+        cloud = GaussianCloud.random(n, np.random.default_rng(n))
+        assert len(cloud) == n
+        cloud.validate()

@@ -1,0 +1,175 @@
+"""Unit tests for Rendering Step 1 (EWA projection)."""
+
+import numpy as np
+import pytest
+
+from repro.config import COV2D_DILATION, DEFAULT_SETTINGS, MAX_MAHALANOBIS_SQ
+from repro.errors import ValidationError
+from repro.gaussians import Camera, GaussianCloud, project
+from repro.gaussians.projection import (
+    compute_jacobians,
+    mahalanobis_sq,
+    truncation_thresholds,
+)
+
+
+@pytest.fixture()
+def camera():
+    return Camera.look_at(eye=[0, 0, -3], target=[0, 0, 0], width=128, height=96)
+
+
+class TestCulling:
+    def test_behind_camera_culled(self, camera, rng):
+        cloud = GaussianCloud.random(10, rng, extent=0.2)
+        behind = cloud.translated([0, 0, -10.0])  # behind the eye at z=-3
+        projected = project(behind, camera)
+        assert len(projected) == 0
+
+    def test_offscreen_culled(self, camera, rng):
+        cloud = GaussianCloud.random(10, rng, extent=0.1, scale_range=(0.01, 0.02))
+        offscreen = cloud.translated([100.0, 0, 0])
+        projected = project(offscreen, camera)
+        assert len(projected) == 0
+
+    def test_visible_survive(self, camera, rng):
+        cloud = GaussianCloud.random(50, rng, extent=0.3)
+        projected = project(cloud, camera)
+        assert len(projected) == 50
+
+    def test_empty_cloud(self, camera):
+        projected = project(GaussianCloud.empty(), camera)
+        assert len(projected) == 0
+        assert projected.image_size == (camera.width, camera.height)
+
+    def test_source_index_maps_back(self, camera, rng):
+        cloud = GaussianCloud.random(20, rng, extent=0.3)
+        # Push half the cloud behind the camera.
+        means = cloud.means.copy()
+        means[::2, 2] = -20.0
+        moved = GaussianCloud(
+            means=means, scales=cloud.scales, quats=cloud.quats,
+            opacities=cloud.opacities, sh=cloud.sh,
+        )
+        projected = project(moved, camera)
+        assert np.all(projected.source_index % 2 == 1)
+
+
+class TestGeometry:
+    def test_center_gaussian_projects_to_center(self, camera):
+        cloud = GaussianCloud(
+            means=np.array([[0.0, 0.0, 0.0]]),
+            scales=np.full((1, 3), 0.05),
+            quats=np.array([[1.0, 0, 0, 0]]),
+            opacities=np.array([0.8]),
+            sh=np.zeros((1, 9, 3)),
+        )
+        projected = project(cloud, camera)
+        np.testing.assert_allclose(
+            projected.means2d[0], [camera.cx, camera.cy], atol=1e-9
+        )
+        assert projected.depths[0] == pytest.approx(3.0)
+
+    def test_cov2d_positive_definite(self, camera, rng):
+        cloud = GaussianCloud.random(60, rng, extent=0.4)
+        projected = project(cloud, camera)
+        for cov in projected.cov2d:
+            assert np.all(np.linalg.eigvalsh(cov) > 0)
+
+    def test_conic_is_cov2d_inverse(self, camera, rng):
+        cloud = GaussianCloud.random(25, rng, extent=0.4)
+        projected = project(cloud, camera)
+        for cov, conic in zip(projected.cov2d, projected.conics):
+            inv = np.linalg.inv(cov)
+            np.testing.assert_allclose(conic[0], inv[0, 0], rtol=1e-9)
+            np.testing.assert_allclose(conic[1], inv[0, 1], rtol=1e-9)
+            np.testing.assert_allclose(conic[2], inv[1, 1], rtol=1e-9)
+
+    def test_dilation_applied(self, camera):
+        """A degenerate (tiny) Gaussian still projects with at least
+        the low-pass dilation on the diagonal."""
+        cloud = GaussianCloud(
+            means=np.array([[0.0, 0.0, 0.0]]),
+            scales=np.full((1, 3), 1e-5),
+            quats=np.array([[1.0, 0, 0, 0]]),
+            opacities=np.array([0.8]),
+            sh=np.zeros((1, 9, 3)),
+        )
+        projected = project(cloud, camera)
+        assert projected.cov2d[0, 0, 0] >= COV2D_DILATION
+        assert projected.cov2d[0, 1, 1] >= COV2D_DILATION
+
+    def test_closer_gaussian_has_larger_footprint(self, camera):
+        cloud = GaussianCloud(
+            means=np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 3.0]]),
+            scales=np.full((2, 3), 0.1),
+            quats=np.tile([1.0, 0, 0, 0], (2, 1)),
+            opacities=np.array([0.8, 0.8]),
+            sh=np.zeros((2, 9, 3)),
+        )
+        projected = project(cloud, camera)
+        assert projected.radii[0] > projected.radii[1]
+
+    def test_jacobian_shape_and_values(self, camera):
+        points = np.array([[0.0, 0.0, 2.0]])
+        jac = compute_jacobians(points, camera)
+        assert jac.shape == (1, 2, 3)
+        assert jac[0, 0, 0] == pytest.approx(camera.fx / 2.0)
+        assert jac[0, 1, 1] == pytest.approx(camera.fy / 2.0)
+        assert jac[0, 0, 1] == 0.0
+
+
+class TestThresholds:
+    def test_threshold_formula(self):
+        opacities = np.array([0.5])
+        th = truncation_thresholds(opacities, DEFAULT_SETTINGS)
+        expected = 2.0 * np.log(0.5 / DEFAULT_SETTINGS.alpha_min)
+        assert th[0] == pytest.approx(min(expected, MAX_MAHALANOBIS_SQ))
+
+    def test_threshold_capped_at_three_sigma(self):
+        th = truncation_thresholds(np.array([0.99]), DEFAULT_SETTINGS)
+        assert th[0] == pytest.approx(MAX_MAHALANOBIS_SQ)
+
+    def test_dim_gaussian_zero_threshold(self):
+        # Opacity below alpha_min: no fragment can ever contribute.
+        th = truncation_thresholds(np.array([1e-4]), DEFAULT_SETTINGS)
+        assert th[0] == 0.0
+
+    def test_radius_is_conservative(self, camera, rng):
+        """Points outside the binning radius must be outside the
+        truncated ellipse."""
+        cloud = GaussianCloud.random(30, rng, extent=0.4)
+        projected = project(cloud, camera)
+        for i in range(len(projected)):
+            radius = projected.radii[i]
+            center = projected.means2d[i]
+            # Probe points just beyond the radius in 8 directions.
+            angles = np.linspace(0, 2 * np.pi, 8, endpoint=False)
+            probes = center + (radius + 0.5) * np.stack(
+                [np.cos(angles), np.sin(angles)], axis=1
+            )
+            e = mahalanobis_sq(projected, i, probes)
+            assert np.all(e > projected.thresholds[i])
+
+
+class TestMahalanobis:
+    def test_zero_at_center(self, camera, rng):
+        cloud = GaussianCloud.random(5, rng, extent=0.3)
+        projected = project(cloud, camera)
+        e = mahalanobis_sq(projected, 0, projected.means2d[:1])
+        assert e[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_quadratic_form(self, camera, rng):
+        cloud = GaussianCloud.random(5, rng, extent=0.3)
+        projected = project(cloud, camera)
+        points = rng.normal(size=(10, 2)) * 20 + projected.means2d[2]
+        e = mahalanobis_sq(projected, 2, points)
+        inv = np.linalg.inv(projected.cov2d[2])
+        for point, value in zip(points, e):
+            d = point - projected.means2d[2]
+            assert value == pytest.approx(d @ inv @ d, rel=1e-9)
+
+    def test_bad_points_shape(self, camera, rng):
+        cloud = GaussianCloud.random(3, rng, extent=0.3)
+        projected = project(cloud, camera)
+        with pytest.raises(ValidationError):
+            mahalanobis_sq(projected, 0, np.zeros((5, 3)))

@@ -1,0 +1,133 @@
+"""Unit tests for the reference PFS rasterizer (Rendering Step 3)."""
+
+import numpy as np
+import pytest
+
+from repro.config import RenderSettings
+from repro.gaussians import Camera, GaussianCloud, build_render_lists, project
+from repro.gaussians.rasterizer import render_image, render_reference
+
+
+class TestBasics:
+    def test_output_shapes(self, small_projected, reference_render):
+        width, height = small_projected.image_size
+        assert reference_render.image.shape == (height, width, 3)
+        assert reference_render.transmittance.shape == (height, width)
+        assert reference_render.n_contrib.shape == (height, width)
+
+    def test_empty_scene_is_background(self):
+        camera = Camera.look_at(eye=[0, 0, -2], target=[0, 0, 0],
+                                width=32, height=32)
+        projected = project(GaussianCloud.empty(), camera)
+        settings = RenderSettings(background=(0.2, 0.4, 0.6))
+        result = render_reference(projected, settings=settings)
+        np.testing.assert_allclose(result.image[..., 0], 0.2)
+        np.testing.assert_allclose(result.image[..., 1], 0.4)
+        np.testing.assert_allclose(result.transmittance, 1.0)
+
+    def test_transmittance_bounds(self, reference_render):
+        t = reference_render.transmittance
+        assert np.all(t >= 0.0) and np.all(t <= 1.0)
+
+    def test_image_finite_nonnegative(self, reference_render):
+        assert np.all(np.isfinite(reference_render.image))
+        assert np.all(reference_render.image >= 0.0)
+
+    def test_convenience_wrapper(self, small_projected):
+        image = render_image(small_projected)
+        assert image.ndim == 3
+
+
+class TestBlendingSemantics:
+    def _single_gaussian(self, opacity=0.9):
+        cloud = GaussianCloud(
+            means=np.array([[0.0, 0.0, 0.0]]),
+            scales=np.full((1, 3), 0.3),
+            quats=np.array([[1.0, 0, 0, 0]]),
+            opacities=np.array([opacity]),
+            sh=np.zeros((1, 1, 3)),  # color = 0.5 gray
+        )
+        camera = Camera.look_at(eye=[0, 0, -2], target=[0, 0, 0],
+                                width=32, height=32)
+        return project(cloud, camera)
+
+    def test_single_gaussian_center_color(self):
+        projected = self._single_gaussian(opacity=0.9)
+        result = render_reference(projected)
+        from repro.gaussians.sh import SH_C0
+        # Center pixel: alpha ~= opacity, color = 0.5 (DC-only zero SH).
+        center = result.image[16, 16]
+        expected = 0.9 * 0.5
+        np.testing.assert_allclose(center, expected, rtol=0.05)
+
+    def test_opacity_scales_contribution(self):
+        strong = render_reference(self._single_gaussian(0.9)).image[16, 16, 0]
+        weak = render_reference(self._single_gaussian(0.3)).image[16, 16, 0]
+        assert strong > weak
+
+    def test_near_occludes_far(self):
+        # Two overlapping Gaussians: red near, green far.
+        sh = np.zeros((2, 1, 3))
+        sh[0, 0] = [2.0, -0.5, -0.5]   # near: red-ish
+        sh[1, 0] = [-0.5, 2.0, -0.5]   # far: green-ish
+        cloud = GaussianCloud(
+            means=np.array([[0.0, 0.0, -0.5], [0.0, 0.0, 0.5]]),
+            scales=np.full((2, 3), 0.3),
+            quats=np.tile([1.0, 0, 0, 0], (2, 1)),
+            opacities=np.array([0.95, 0.95]),
+            sh=sh,
+        )
+        camera = Camera.look_at(eye=[0, 0, -2], target=[0, 0, 0],
+                                width=32, height=32)
+        result = render_reference(project(cloud, camera))
+        center = result.image[16, 16]
+        assert center[0] > center[1]  # red wins at the center
+
+    def test_alpha_blending_weights_sum(self):
+        """1 - final transmittance equals the blended alpha mass."""
+        projected = self._single_gaussian(0.8)
+        result = render_reference(projected)
+        # For a single gaussian: T = 1 - alpha at each pixel, so image
+        # (gray 0.5) = 0.5 * (1 - T).
+        np.testing.assert_allclose(
+            result.image[..., 0], 0.5 * (1.0 - result.transmittance), atol=1e-12
+        )
+
+
+class TestStats:
+    def test_significant_at_most_shaded(self, reference_render):
+        stats = reference_render.stats
+        assert 0 < stats.fragments_significant <= stats.fragments_shaded
+        assert 0 < stats.instances_processed <= stats.instances
+
+    def test_contrib_counts_match_significant(self, reference_render):
+        assert (
+            reference_render.n_contrib.sum()
+            == reference_render.stats.fragments_significant
+        )
+
+    def test_flop_accounting(self, reference_render):
+        stats = reference_render.stats
+        assert stats.eq7_flops == stats.fragments_shaded * 11
+
+    def test_early_termination_saves_work(self, rng):
+        """An opaque wall of gaussians terminates pixels early."""
+        n = 120
+        cloud = GaussianCloud(
+            means=np.concatenate(
+                [rng.normal(0, 0.02, (n, 2)), rng.uniform(-1, 1, (n, 1))], axis=1
+            ),
+            scales=np.full((n, 3), 1.2),
+            quats=np.tile([1.0, 0, 0, 0], (n, 1)),
+            opacities=np.full(n, 0.99),
+            sh=np.zeros((n, 1, 3)),
+        )
+        camera = Camera.look_at(eye=[0, 0, -3], target=[0, 0, 0],
+                                width=32, height=32)
+        projected = project(cloud, camera)
+        lists = build_render_lists(projected)
+        result = render_reference(projected, lists)
+        assert result.stats.instances_processed < result.stats.instances
+
+    def test_significant_fraction_range(self, reference_render):
+        assert 0.0 < reference_render.stats.significant_fraction <= 1.0

@@ -1,0 +1,104 @@
+"""Unit tests for spherical-harmonics color evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gaussians.sh import (
+    SH_C0,
+    direction_normalize,
+    eval_sh_colors,
+    num_sh_coeffs,
+    sh_basis,
+)
+
+
+class TestNumCoeffs:
+    @pytest.mark.parametrize("degree,expected", [(0, 1), (1, 4), (2, 9), (3, 16)])
+    def test_counts(self, degree, expected):
+        assert num_sh_coeffs(degree) == expected
+
+    @pytest.mark.parametrize("degree", [-1, 4, 10])
+    def test_out_of_range(self, degree):
+        with pytest.raises(ValidationError):
+            num_sh_coeffs(degree)
+
+
+class TestBasis:
+    def test_shapes(self, rng):
+        dirs = direction_normalize(rng.normal(size=(17, 3)))
+        for degree in range(4):
+            basis = sh_basis(degree, dirs)
+            assert basis.shape == (17, num_sh_coeffs(degree))
+
+    def test_dc_term_constant(self, rng):
+        dirs = direction_normalize(rng.normal(size=(10, 3)))
+        basis = sh_basis(3, dirs)
+        np.testing.assert_allclose(basis[:, 0], SH_C0)
+
+    def test_degree1_linear_in_direction(self):
+        basis = sh_basis(1, np.array([[0.0, 0.0, 1.0]]))
+        # Along +z only the l=1,m=0 band is non-zero.
+        assert basis[0, 2] != 0.0
+        assert basis[0, 1] == pytest.approx(0.0)
+        assert basis[0, 3] == pytest.approx(0.0)
+
+    def test_orthogonality_numerically(self, rng):
+        """SH bands are orthogonal under the sphere measure; Monte
+        Carlo integration should show near-zero off-diagonals."""
+        dirs = direction_normalize(rng.normal(size=(60000, 3)))
+        basis = sh_basis(2, dirs)
+        gram = basis.T @ basis / dirs.shape[0]
+        off_diag = gram - np.diag(np.diag(gram))
+        assert np.abs(off_diag).max() < 0.01
+
+    def test_bad_dirs_shape(self):
+        with pytest.raises(ValidationError):
+            sh_basis(1, np.zeros((5, 2)))
+
+
+class TestColors:
+    def test_dc_only_color(self):
+        sh = np.zeros((1, 9, 3))
+        sh[0, 0, :] = 1.0
+        colors = eval_sh_colors(2, sh, np.array([[0.0, 0.0, 1.0]]))
+        np.testing.assert_allclose(colors[0], SH_C0 + 0.5)
+
+    def test_colors_nonnegative(self, rng):
+        sh = rng.normal(0, 2.0, size=(30, 9, 3))
+        dirs = direction_normalize(rng.normal(size=(30, 3)))
+        colors = eval_sh_colors(2, sh, dirs)
+        assert np.all(colors >= 0.0)
+
+    def test_view_dependence(self, rng):
+        sh = np.zeros((1, 4, 3))
+        sh[0, 0, :] = 1.0
+        sh[0, 2, :] = 0.5  # z band
+        up = eval_sh_colors(1, sh, np.array([[0.0, 0.0, 1.0]]))
+        down = eval_sh_colors(1, sh, np.array([[0.0, 0.0, -1.0]]))
+        assert not np.allclose(up, down)
+
+    def test_degree_exceeding_storage_rejected(self, rng):
+        sh = rng.normal(size=(3, 4, 3))  # degree 1 storage
+        dirs = direction_normalize(rng.normal(size=(3, 3)))
+        with pytest.raises(ValidationError):
+            eval_sh_colors(2, sh, dirs)
+
+    def test_lower_degree_evaluation(self, rng):
+        """Evaluating at lower degree uses only the leading bands."""
+        sh = rng.normal(size=(5, 16, 3))
+        dirs = direction_normalize(rng.normal(size=(5, 3)))
+        full = eval_sh_colors(1, sh, dirs)
+        truncated = eval_sh_colors(1, sh[:, :4, :], dirs)
+        np.testing.assert_allclose(full, truncated)
+
+
+class TestDirectionNormalize:
+    def test_unit_norm(self, rng):
+        vectors = rng.normal(size=(40, 3)) * 10
+        dirs = direction_normalize(vectors)
+        np.testing.assert_allclose(np.linalg.norm(dirs, axis=1), 1.0)
+
+    def test_zero_vector_survives(self):
+        dirs = direction_normalize(np.zeros((1, 3)))
+        assert np.all(np.isfinite(dirs))

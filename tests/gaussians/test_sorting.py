@@ -1,0 +1,85 @@
+"""Unit tests for Rendering Step 2 (depth sorting / render lists)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gaussians.sorting import (
+    RenderLists,
+    build_render_lists,
+    sort_cost_model,
+    sort_tile_lists,
+)
+from repro.gaussians.tiles import TileGrid
+
+
+class TestSortTileLists:
+    def test_depth_order(self, rng):
+        depths = rng.uniform(1, 10, size=30)
+        per_tile = [np.arange(30, dtype=np.int64)]
+        sorted_lists = sort_tile_lists(per_tile, depths)
+        assert np.all(np.diff(depths[sorted_lists[0]]) >= 0)
+
+    def test_stability_for_equal_depths(self):
+        depths = np.array([2.0, 1.0, 2.0, 1.0])
+        per_tile = [np.array([0, 1, 2, 3], dtype=np.int64)]
+        sorted_lists = sort_tile_lists(per_tile, depths)
+        np.testing.assert_array_equal(sorted_lists[0], [1, 3, 0, 2])
+
+    def test_empty_tiles_pass_through(self):
+        sorted_lists = sort_tile_lists(
+            [np.zeros(0, dtype=np.int64)], np.zeros(0)
+        )
+        assert len(sorted_lists[0]) == 0
+
+
+class TestRenderLists:
+    def test_built_lists_sorted(self, small_projected, small_lists):
+        for members in small_lists.per_tile:
+            if len(members) > 1:
+                depths = small_projected.depths[members]
+                assert np.all(np.diff(depths) >= 0)
+
+    def test_instance_count_matches(self, small_lists):
+        counts = small_lists.instances_per_tile()
+        assert counts.sum() == small_lists.n_instances
+
+    def test_access_sequence_alignment(self, small_lists):
+        trace = small_lists.gaussian_access_sequence()
+        assert trace.shape[0] == small_lists.n_instances
+        boundaries = small_lists.tile_boundaries()
+        assert boundaries[0] == 0
+        assert boundaries[-1] == small_lists.n_instances
+        # Each boundary segment reproduces the tile's list.
+        nonzero = 0
+        for t, members in enumerate(small_lists.per_tile):
+            seg = trace[nonzero:nonzero + len(members)]
+            np.testing.assert_array_equal(seg, members)
+            nonzero += len(members)
+
+    def test_nonempty_tiles(self, small_lists):
+        nonempty = small_lists.nonempty_tiles()
+        for t in nonempty:
+            assert len(small_lists.per_tile[t]) > 0
+
+    def test_wrong_tile_count_rejected(self):
+        grid = TileGrid(width=32, height=32)
+        with pytest.raises(ValidationError):
+            RenderLists(grid=grid, per_tile=[np.zeros(0, dtype=np.int64)])
+
+    def test_prebinned_lists_accepted(self, small_projected):
+        grid = TileGrid(*small_projected.image_size)
+        custom = [np.zeros(0, dtype=np.int64) for _ in range(grid.n_tiles)]
+        custom[0] = np.array([2, 0, 1], dtype=np.int64)
+        lists = build_render_lists(small_projected, grid=grid, per_tile=custom)
+        depths = small_projected.depths[lists.per_tile[0]]
+        assert np.all(np.diff(depths) >= 0)
+
+
+class TestSortCost:
+    def test_linear_in_keys(self):
+        assert sort_cost_model(1000) == 1000.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            sort_cost_model(-1)

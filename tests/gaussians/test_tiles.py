@@ -1,0 +1,162 @@
+"""Unit tests for the tile grid and binning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gaussians import GaussianCloud, Camera, project
+from repro.gaussians.tiles import (
+    TileGrid,
+    bin_gaussians,
+    duplication_count,
+    ellipse_intersects_rect,
+    exact_tile_intersections,
+    tile_rect_of_footprint,
+)
+
+
+class TestTileGrid:
+    def test_tile_counts(self):
+        grid = TileGrid(width=100, height=50, tile=16)
+        assert grid.tiles_x == 7
+        assert grid.tiles_y == 4
+        assert grid.n_tiles == 28
+
+    def test_exact_multiple(self):
+        grid = TileGrid(width=64, height=32)
+        assert grid.tiles_x == 4 and grid.tiles_y == 2
+
+    def test_bounds_clipped_to_image(self):
+        grid = TileGrid(width=100, height=50)
+        x0, y0, x1, y1 = grid.tile_bounds(grid.n_tiles - 1)
+        assert x1 == 100 and y1 == 50
+        assert grid.tile_shape(grid.n_tiles - 1) == (50 - y0, 100 - x0)
+
+    def test_origin_row_major(self):
+        grid = TileGrid(width=64, height=64)
+        assert grid.tile_origin(0) == (0, 0)
+        assert grid.tile_origin(1) == (16, 0)
+        assert grid.tile_origin(4) == (0, 16)
+
+    def test_traversal_order_covers_all(self):
+        grid = TileGrid(width=80, height=48)
+        order = grid.traversal_order()
+        assert sorted(order.tolist()) == list(range(grid.n_tiles))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValidationError):
+            TileGrid(width=0, height=10)
+
+
+class TestFootprintRect:
+    def test_small_footprint_single_tile(self):
+        grid = TileGrid(width=64, height=64)
+        rect = tile_rect_of_footprint(grid, np.array([8.0, 8.0]), 2.0)
+        assert rect == (0, 0, 1, 1)
+
+    def test_footprint_spanning_tiles(self):
+        grid = TileGrid(width=64, height=64)
+        rect = tile_rect_of_footprint(grid, np.array([16.0, 16.0]), 2.0)
+        assert rect == (0, 0, 2, 2)
+
+    def test_clipped_to_grid(self):
+        grid = TileGrid(width=64, height=64)
+        rect = tile_rect_of_footprint(grid, np.array([63.0, 63.0]), 100.0)
+        assert rect == (0, 0, 4, 4)
+
+
+class TestBinning:
+    def test_every_footprint_lands_somewhere(self, rng):
+        grid = TileGrid(width=128, height=96)
+        means = rng.uniform([0, 0], [128, 96], size=(40, 2))
+        radii = rng.uniform(1, 10, size=40)
+        per_tile = bin_gaussians(grid, means, radii)
+        seen = np.unique(np.concatenate([t for t in per_tile if len(t)]))
+        assert len(seen) == 40
+
+    def test_binning_preserves_input_order(self):
+        grid = TileGrid(width=32, height=32)
+        means = np.array([[8.0, 8.0], [9.0, 9.0], [7.0, 7.0]])
+        radii = np.array([2.0, 2.0, 2.0])
+        per_tile = bin_gaussians(grid, means, radii)
+        np.testing.assert_array_equal(per_tile[0], [0, 1, 2])
+
+    def test_mismatched_inputs_rejected(self):
+        grid = TileGrid(width=32, height=32)
+        with pytest.raises(ValidationError):
+            bin_gaussians(grid, np.zeros((3, 2)), np.zeros(4))
+
+    def test_duplication_count(self):
+        grid = TileGrid(width=32, height=32)
+        means = np.array([[16.0, 16.0]])
+        radii = np.array([10.0])
+        per_tile = bin_gaussians(grid, means, radii)
+        assert duplication_count(per_tile) == 4
+
+
+class TestEllipseRect:
+    def test_center_inside(self):
+        conic = np.array([1.0, 0.0, 1.0])
+        assert ellipse_intersects_rect(conic, np.array([5.0, 5.0]), 1.0, 0, 0, 10, 10)
+
+    def test_far_outside(self):
+        conic = np.array([1.0, 0.0, 1.0])
+        assert not ellipse_intersects_rect(
+            conic, np.array([50.0, 50.0]), 4.0, 0, 0, 10, 10
+        )
+
+    def test_edge_crossing(self):
+        # Circle of radius 2 centered just outside the right edge.
+        conic = np.array([1.0, 0.0, 1.0])
+        assert ellipse_intersects_rect(
+            conic, np.array([11.0, 5.0]), 4.0, 0, 0, 10, 10
+        )
+
+    def test_corner_miss_aabb_hit(self):
+        """Diagonal ellipse whose AABB overlaps the rect corner but
+        whose body does not: the exact test must reject it."""
+        # Narrow ellipse along the (1,1) diagonal near the corner.
+        conic = np.array([10.0, -9.9, 10.0])  # elongated along (1,1)
+        center = np.array([12.5, -2.5])
+        assert not ellipse_intersects_rect(conic, center, 1.0, 0, 0, 10, 10)
+
+
+class TestExactIntersections:
+    def test_exact_subset_of_conservative(self, rng):
+        camera = Camera.look_at(eye=[0, 0, -3], target=[0, 0, 0],
+                                width=96, height=64)
+        cloud = GaussianCloud.random(80, rng, extent=0.4)
+        projected = project(cloud, camera)
+        grid = TileGrid(width=96, height=64)
+        coarse = bin_gaussians(grid, projected.means2d, projected.radii)
+        exact = exact_tile_intersections(
+            grid, projected.means2d, projected.radii,
+            projected.conics, projected.thresholds,
+        )
+        for tile_coarse, tile_exact in zip(coarse, exact):
+            assert set(tile_exact.tolist()) <= set(tile_coarse.tolist())
+        assert duplication_count(exact) <= duplication_count(coarse)
+
+    def test_exact_keeps_contributing_gaussians(self, rng):
+        """Any tile where a Gaussian has a significant fragment must
+        keep that Gaussian in the exact lists (soundness)."""
+        camera = Camera.look_at(eye=[0, 0, -3], target=[0, 0, 0],
+                                width=64, height=64)
+        cloud = GaussianCloud.random(30, rng, extent=0.3)
+        projected = project(cloud, camera)
+        grid = TileGrid(width=64, height=64)
+        exact = exact_tile_intersections(
+            grid, projected.means2d, projected.radii,
+            projected.conics, projected.thresholds,
+        )
+        from repro.gaussians.projection import mahalanobis_sq
+
+        for tile_id in range(grid.n_tiles):
+            x0, y0, x1, y1 = grid.tile_bounds(tile_id)
+            ys, xs = np.mgrid[y0:y1, x0:x1]
+            centers = np.stack([xs.ravel() + 0.5, ys.ravel() + 0.5], axis=1)
+            members = set(exact[tile_id].tolist())
+            for g in range(len(projected)):
+                e = mahalanobis_sq(projected, g, centers)
+                if np.any(e <= projected.thresholds[g]):
+                    assert g in members, (tile_id, g)

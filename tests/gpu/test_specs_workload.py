@@ -1,0 +1,96 @@
+"""Tests for device specs and the workload/scale layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gpu.specs import GBU_SPEC, ORIN_NX, GPUSpec
+from repro.gpu.workload import FrameWorkload, ScaleFactors, duplication_estimate
+
+
+class TestOrinSpec:
+    def test_peak_matches_paper_implication(self):
+        # Challenge 1: 1.1 TFLOPs is 58% of peak -> peak ~ 1.9 TFLOPs.
+        assert 1.7 < ORIN_NX.peak_tflops < 2.1
+
+    def test_lane_rate(self):
+        assert ORIN_NX.lane_rate == pytest.approx(8 * 128 * 918e6)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValidationError):
+            GPUSpec(
+                name="bad", sm_count=0, lanes_per_sm=128, clock_hz=1e9,
+                dram_bandwidth=1e9, busy_power_w=1, idle_power_w=1,
+                sram_bytes=1, area_mm2=1, technology_nm=8,
+            )
+
+
+class TestGbuSpec:
+    def test_tab2_values(self):
+        assert GBU_SPEC.area_mm2 == pytest.approx(0.90, abs=1e-9)
+        assert GBU_SPEC.power_w == pytest.approx(0.22, abs=1e-9)
+        assert GBU_SPEC.sram_bytes == 63 * 1024
+
+    def test_cache_lines(self):
+        assert GBU_SPEC.cache_lines == 32 * 1024 // 32
+
+    def test_rows_per_tile(self):
+        assert GBU_SPEC.rows_per_tile == 16
+
+    def test_module_lookup(self):
+        assert GBU_SPEC.module("Row PEs").area_mm2 == pytest.approx(0.36)
+        with pytest.raises(ValidationError):
+            GBU_SPEC.module("Tensor Cores")
+
+
+class TestScaleFactors:
+    def test_uniform(self):
+        scales = ScaleFactors.uniform(3.0)
+        assert scales.gaussian == scales.fragment == scales.instance == 3.0
+
+    def test_uniform_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            ScaleFactors.uniform(0.0)
+
+    def test_for_scene_reads_catalog(self):
+        from repro.scenes.catalog import CATALOG
+
+        spec = CATALOG["bonsai"]
+        scales = ScaleFactors.for_scene(spec)
+        assert scales.gaussian == spec.workload_scale
+
+    def test_duplication_estimate(self):
+        assert duplication_estimate(0.0) == pytest.approx(1.0)
+        assert duplication_estimate(256.0) == pytest.approx(4.0)
+        with pytest.raises(ValidationError):
+            duplication_estimate(-1.0)
+
+
+class TestFrameWorkload:
+    def test_from_renders_counts(self, reference_render, irss_render,
+                                 small_lists, small_projected):
+        workload = FrameWorkload.from_renders(
+            reference_render, irss_render, small_lists, len(small_projected)
+        )
+        assert workload.pfs_fragments == reference_render.stats.fragments_shaded
+        assert workload.irss_fragments == irss_render.stats.fragments_shaded
+        assert workload.n_instances == small_lists.n_instances
+        assert workload.n_gaussians == len(small_projected)
+
+    def test_uniform_scaling_preserves_ratios(self, reference_render,
+                                              irss_render, small_lists,
+                                              small_projected):
+        base = FrameWorkload.from_renders(
+            reference_render, irss_render, small_lists, len(small_projected)
+        )
+        scaled = FrameWorkload.from_renders(
+            reference_render, irss_render, small_lists, len(small_projected),
+            scales=ScaleFactors.uniform(7.0),
+        )
+        assert scaled.pfs_fragments / base.pfs_fragments == pytest.approx(7.0)
+        assert scaled.irss_fragments / base.irss_fragments == pytest.approx(7.0)
+        # Ratios between counters are scale-invariant.
+        assert (
+            scaled.irss_fragments / scaled.pfs_fragments
+            == pytest.approx(base.irss_fragments / base.pfs_fragments)
+        )

@@ -1,0 +1,116 @@
+"""Tests for the GPU SIMT kernel models and frame timing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError, ValidationError
+from repro.gpu.calibration import GPUCalibration
+from repro.gpu.memory import bandwidth_fraction_for_fps, frame_traffic, roofline_seconds
+from repro.gpu.sm import irss_kernel, pfs_kernel
+from repro.gpu.specs import ORIN_NX
+from repro.gpu.timing import GPUTimingModel
+from repro.gpu.workload import FrameWorkload
+
+
+def _workload(**overrides) -> FrameWorkload:
+    defaults = dict(
+        n_gaussians=1e6,
+        step1_extra_flops_per_gaussian=0.0,
+        n_instances=5e6,
+        pfs_fragments=1e9,
+        irss_fragments=1e8,
+        irss_segments=2e7,
+        irss_serial_slots=5e7,
+        pixels=1e6,
+        feature_bytes=5e6 * 128,
+    )
+    defaults.update(overrides)
+    return FrameWorkload(**defaults)
+
+
+class TestKernels:
+    def test_pfs_utilization_is_significance(self):
+        workload = _workload()
+        est = pfs_kernel(workload, ORIN_NX)
+        assert est.utilization == pytest.approx(0.1)
+
+    def test_irss_kernel_faster_when_skip_high(self):
+        workload = _workload()
+        pfs = pfs_kernel(workload, ORIN_NX)
+        irss = irss_kernel(workload, ORIN_NX)
+        assert irss.seconds < pfs.seconds
+
+    def test_irss_utilization_bounds(self):
+        est = irss_kernel(_workload(), ORIN_NX)
+        assert 0.0 < est.utilization <= 1.0
+
+    def test_kernel_time_linear_in_fragments(self):
+        small = pfs_kernel(_workload(pfs_fragments=1e8), ORIN_NX)
+        large = pfs_kernel(_workload(pfs_fragments=2e8), ORIN_NX)
+        assert large.seconds == pytest.approx(2 * small.seconds)
+
+
+class TestMemoryModel:
+    def test_roofline_takes_max(self):
+        compute = 0.01
+        bytes_ = 10e9  # far beyond bandwidth for 10 ms
+        assert roofline_seconds(compute, bytes_, ORIN_NX) > compute
+        assert roofline_seconds(compute, 1.0, ORIN_NX) == compute
+
+    def test_traffic_components(self):
+        traffic = frame_traffic(_workload())
+        assert traffic.step1_bytes > 0
+        assert traffic.step2_bytes > 0
+        assert traffic.step3_bytes > traffic.step1_bytes
+        assert traffic.total_bytes == pytest.approx(
+            traffic.step1_bytes + traffic.step2_bytes + traffic.step3_bytes
+        )
+
+    def test_bandwidth_fraction(self):
+        # 1.06e9 bytes/frame at 60 FPS over 102.4 GB/s ~ 62%.
+        assert bandwidth_fraction_for_fps(1.06e9, ORIN_NX, 60.0) == pytest.approx(
+            0.621, abs=0.01
+        )
+
+
+class TestFrameTiming:
+    def test_breakdown_fractions_sum_to_one(self):
+        breakdown = GPUTimingModel().frame_pfs(_workload())
+        assert sum(breakdown.fractions) == pytest.approx(1.0)
+        assert breakdown.fps == pytest.approx(1.0 / breakdown.total_s)
+
+    def test_irss_frame_faster_than_pfs(self):
+        model = GPUTimingModel()
+        workload = _workload()
+        assert model.frame_irss(workload).total_s < model.frame_pfs(workload).total_s
+
+    def test_step1_extra_flops_slow_step1(self):
+        model = GPUTimingModel()
+        plain = model.step1_seconds(_workload())
+        heavy = model.step1_seconds(
+            _workload(step1_extra_flops_per_gaussian=1500.0)
+        )
+        assert heavy > plain
+
+    def test_depth_sort_cheaper_than_full_step2(self):
+        model = GPUTimingModel()
+        workload = _workload()
+        full = model.step2_seconds(workload)
+        depth_only = model.step2_seconds(
+            workload, keys=workload.n_gaussians, depth_sort_only=True
+        )
+        assert depth_only < full
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(ValidationError):
+            GPUTimingModel().step2_seconds(_workload(), keys=-1.0)
+
+
+class TestCalibrationValidation:
+    def test_invalid_efficiency(self):
+        with pytest.raises(CalibrationError):
+            GPUCalibration(step1_efficiency=0.0)
+
+    def test_invalid_cycle_cost(self):
+        with pytest.raises(CalibrationError):
+            GPUCalibration(pfs_fragment_cycles=-1.0)

@@ -1,0 +1,80 @@
+"""Tests for image quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics.image import lpips_proxy, mse, psnr, ssim
+
+
+@pytest.fixture()
+def image(rng):
+    return np.clip(np.random.default_rng(0).normal(0.5, 0.2, (48, 64, 3)), 0, 1)
+
+
+class TestPsnr:
+    def test_identical_is_infinite(self, image):
+        assert psnr(image, image) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((10, 10))
+        b = np.full((10, 10), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_more_noise_lower_psnr(self, image, rng):
+        g = np.random.default_rng(1)
+        light = np.clip(image + g.normal(0, 0.01, image.shape), 0, 1)
+        heavy = np.clip(image + g.normal(0, 0.1, image.shape), 0, 1)
+        assert psnr(image, light) > psnr(image, heavy)
+
+    def test_shape_mismatch_rejected(self, image):
+        with pytest.raises(ValidationError):
+            psnr(image, image[:-1])
+
+
+class TestMse:
+    def test_zero_for_identical(self, image):
+        assert mse(image, image) == 0.0
+
+    def test_known_value(self):
+        assert mse(np.zeros(4).reshape(2, 2), np.ones(4).reshape(2, 2)) == 1.0
+
+
+class TestSsim:
+    def test_identical_is_one(self, image):
+        assert ssim(image, image) == pytest.approx(1.0)
+
+    def test_degrades_with_noise(self, image):
+        g = np.random.default_rng(2)
+        noisy = np.clip(image + g.normal(0, 0.2, image.shape), 0, 1)
+        assert ssim(image, noisy) < 0.95
+
+    def test_structural_sensitivity(self, image):
+        """SSIM punishes structural change more than constant shift."""
+        shifted = np.clip(image + 0.05, 0, 1)
+        scrambled = image[::-1].copy()
+        assert ssim(image, shifted) > ssim(image, scrambled)
+
+    def test_tiny_image_rejected(self):
+        with pytest.raises(ValidationError):
+            ssim(np.zeros((3, 3)), np.zeros((3, 3)))
+
+
+class TestLpipsProxy:
+    def test_identical_is_zero(self, image):
+        assert lpips_proxy(image, image) == pytest.approx(0.0, abs=1e-12)
+
+    def test_monotone_in_noise(self, image):
+        g = np.random.default_rng(3)
+        light = np.clip(image + g.normal(0, 0.02, image.shape), 0, 1)
+        heavy = np.clip(image + g.normal(0, 0.2, image.shape), 0, 1)
+        assert lpips_proxy(image, light) < lpips_proxy(image, heavy)
+
+    def test_deterministic(self, image, rng):
+        g = np.random.default_rng(4)
+        noisy = np.clip(image + g.normal(0, 0.05, image.shape), 0, 1)
+        assert lpips_proxy(image, noisy) == lpips_proxy(image, noisy)
+
+    def test_grayscale_rejected(self, image):
+        with pytest.raises(ValidationError):
+            lpips_proxy(image[..., 0], image[..., 0])

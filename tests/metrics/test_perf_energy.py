@@ -1,0 +1,74 @@
+"""Tests for performance and energy metrics."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics.energy import EnergyBreakdown, EnergyModel
+from repro.metrics.perf import (
+    fps_from_seconds,
+    geometric_mean,
+    harmonic_mean_fps,
+    speedup,
+)
+
+
+class TestPerf:
+    def test_fps(self):
+        assert fps_from_seconds(0.02) == pytest.approx(50.0)
+        with pytest.raises(ValidationError):
+            fps_from_seconds(0.0)
+
+    def test_speedup(self):
+        assert speedup(0.1, 0.05) == pytest.approx(2.0)
+        with pytest.raises(ValidationError):
+            speedup(-1.0, 0.1)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValidationError):
+            geometric_mean([])
+        with pytest.raises(ValidationError):
+            geometric_mean([1.0, -2.0])
+
+    def test_harmonic_mean_fps(self):
+        # Two frames at 10 and 30 FPS average to 15 FPS of wall time.
+        assert harmonic_mean_fps([10.0, 30.0]) == pytest.approx(15.0)
+
+
+class TestEnergyModel:
+    def test_baseline_frame(self):
+        model = EnergyModel()
+        energy = model.gpu_only_frame(0.080)
+        assert energy.gpu_busy_j == pytest.approx(15.0 * 0.080)
+        assert energy.gbu_j == 0.0
+
+    def test_enhanced_frame_components(self):
+        model = EnergyModel()
+        energy = model.enhanced_frame(0.010, gpu_busy_seconds=0.006,
+                                      gbu_busy_seconds=0.010)
+        assert energy.gpu_busy_j == pytest.approx(15.0 * 0.006)
+        assert energy.gpu_idle_j == pytest.approx(4.0 * 0.004)
+        assert energy.gbu_j == pytest.approx(0.22 * 0.010)
+
+    def test_busy_time_clamped_to_frame(self):
+        model = EnergyModel()
+        energy = model.enhanced_frame(0.010, gpu_busy_seconds=0.5,
+                                      gbu_busy_seconds=0.5)
+        assert energy.gpu_idle_j == 0.0
+        assert energy.gpu_busy_j == pytest.approx(15.0 * 0.010)
+
+    def test_efficiency_improvement(self):
+        baseline = EnergyBreakdown(gpu_busy_j=1.2, gpu_idle_j=0.0, gbu_j=0.0)
+        enhanced = EnergyBreakdown(gpu_busy_j=0.08, gpu_idle_j=0.02, gbu_j=0.01)
+        improvement = EnergyModel.efficiency_improvement(baseline, enhanced)
+        assert improvement == pytest.approx(1.2 / 0.11)
+
+    def test_per_n_frames(self):
+        energy = EnergyBreakdown(gpu_busy_j=0.01, gpu_idle_j=0.0, gbu_j=0.0)
+        assert energy.per_n_frames(60) == pytest.approx(0.6)
+        with pytest.raises(ValidationError):
+            energy.per_n_frames(0)
+
+    def test_invalid_frame_time(self):
+        with pytest.raises(ValidationError):
+            EnergyModel().gpu_only_frame(0.0)

@@ -1,0 +1,99 @@
+"""Tests for the evaluation-scene catalog."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gaussians import GaussianCloud
+from repro.scenes.catalog import (
+    CATALOG,
+    EVALUATION_SCENES,
+    AppType,
+    SceneSpec,
+    build_scene,
+    scenes_of_type,
+)
+
+
+class TestCatalogStructure:
+    def test_twelve_evaluation_scenes(self):
+        assert len(EVALUATION_SCENES) == 12
+        assert all(name in CATALOG for name in EVALUATION_SCENES)
+
+    def test_app_type_partition(self):
+        static = scenes_of_type(AppType.STATIC)
+        dynamic = scenes_of_type(AppType.DYNAMIC)
+        avatar = scenes_of_type(AppType.AVATAR)
+        assert len(static) == 6 and len(dynamic) == 3 and len(avatar) == 3
+
+    def test_spec_properties(self):
+        spec = CATALOG["bicycle"]
+        assert spec.sim_pixels == spec.width * spec.height
+        assert spec.paper_pixels == 1245 * 825
+        assert spec.gaussian_scale > 100
+        assert spec.paper_fragment_ratio == 541.0
+        assert spec.workload_scale > 1.0
+
+    def test_nerf_synthetic_present(self):
+        assert "nerf_lego" in CATALOG
+        assert CATALOG["nerf_lego"].app_type is AppType.STATIC
+
+
+class TestBuildScene:
+    @pytest.mark.parametrize("name", ["bonsai", "flame_steak", "male_3"])
+    def test_builds_each_app_type(self, name):
+        bundle = build_scene(name, detail=0.3)
+        cloud, extra = bundle.frame_cloud(0)
+        assert isinstance(cloud, GaussianCloud)
+        assert len(cloud) > 10
+        if bundle.spec.app_type is AppType.STATIC:
+            assert extra == 0
+        else:
+            assert extra > 0
+
+    def test_detail_scales_size(self):
+        small = build_scene("bonsai", detail=0.25)
+        full = build_scene("bonsai", detail=1.0)
+        assert len(small.frame_cloud(0)[0]) < len(full.frame_cloud(0)[0])
+        assert small.camera.width < full.camera.width
+
+    def test_dynamic_frames_differ(self):
+        bundle = build_scene("flame_steak", detail=0.3)
+        a, _ = bundle.frame_cloud(0)
+        b, _ = bundle.frame_cloud(3)
+        assert not np.array_equal(a.means[: len(b)], b.means[: len(a)])
+
+    def test_avatar_frames_differ(self):
+        bundle = build_scene("male_3", detail=0.3)
+        a, _ = bundle.frame_cloud(0)
+        b, _ = bundle.frame_cloud(2)
+        assert not np.allclose(a.means, b.means)
+
+    def test_static_frames_identical(self):
+        bundle = build_scene("bonsai", detail=0.3)
+        a, _ = bundle.frame_cloud(0)
+        b, _ = bundle.frame_cloud(5)
+        np.testing.assert_array_equal(a.means, b.means)
+
+    def test_deterministic_build(self):
+        a = build_scene("kitchen", detail=0.3)
+        b = build_scene("kitchen", detail=0.3)
+        np.testing.assert_array_equal(
+            a.frame_cloud(0)[0].means, b.frame_cloud(0)[0].means
+        )
+
+    def test_invalid_detail_rejected(self):
+        with pytest.raises(ValidationError):
+            build_scene("bonsai", detail=0.0)
+
+    def test_unknown_generator_rejected(self):
+        spec = SceneSpec(
+            name="broken", app_type=AppType.STATIC, width=64, height=64,
+            n_gaussians=100, generator="hologram",
+        )
+        with pytest.raises(ValidationError):
+            build_scene(spec)
+
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            build_scene("garden_of_eden")

@@ -1,0 +1,73 @@
+"""Tests for the procedural scene generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.scenes.synthetic import (
+    ground_and_objects,
+    ground_plane,
+    indoor_room,
+    object_cluster,
+    surface_shell,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generator", [surface_shell, object_cluster])
+    def test_counts_and_validity(self, generator):
+        cloud = generator(100, np.random.default_rng(1))
+        assert len(cloud) == 100
+        cloud.validate()
+
+    def test_ground_plane_flat(self):
+        cloud = ground_plane(50, np.random.default_rng(2))
+        spread_y = cloud.means[:, 1].std()
+        spread_x = cloud.means[:, 0].std()
+        assert spread_y < 0.1 * spread_x
+
+    def test_shell_points_on_surface(self):
+        cloud = surface_shell(
+            200, np.random.default_rng(3), radii=(2.0, 1.0, 2.0)
+        )
+        # Implicit ellipsoid equation ~ 1 for all means.
+        q = (
+            (cloud.means[:, 0] / 2.0) ** 2
+            + (cloud.means[:, 1] / 1.0) ** 2
+            + (cloud.means[:, 2] / 2.0) ** 2
+        )
+        np.testing.assert_allclose(q, 1.0, atol=1e-9)
+
+    def test_shell_splats_tangent_aligned(self):
+        """The smallest principal axis points along the normal."""
+        cloud = surface_shell(
+            50, np.random.default_rng(4), radii=(1.0, 1.0, 1.0), flatness=0.1
+        )
+        rots = cloud.rotations()
+        normals = cloud.means / np.linalg.norm(cloud.means, axis=1, keepdims=True)
+        # Local z-axis (third row of R^T = third column of R... here the
+        # rotation maps local to world via R^T; check smallest-scale
+        # axis alignment through the covariance instead.
+        covs = cloud.covariances()
+        for c, n in zip(covs[:10], normals[:10]):
+            # The normal direction should have near-minimal variance.
+            normal_var = n @ c @ n
+            eigenvalues = np.linalg.eigvalsh(c)
+            assert normal_var < 3.0 * eigenvalues[0] + 1e-9
+
+    def test_composite_scenes_build(self):
+        outdoor = ground_and_objects(400, np.random.default_rng(5))
+        indoor = indoor_room(400, np.random.default_rng(6))
+        assert abs(len(outdoor) - 400) <= 5
+        assert abs(len(indoor) - 400) <= 5
+        outdoor.validate()
+        indoor.validate()
+
+    def test_deterministic(self):
+        a = indoor_room(120, np.random.default_rng(7))
+        b = indoor_room(120, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.means, b.means)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValidationError):
+            object_cluster(0, np.random.default_rng(0))

@@ -1,0 +1,144 @@
+"""Failure-injection tests: corrupted inputs and misuse must fail
+loudly with library exceptions, never produce silent garbage."""
+
+import numpy as np
+import pytest
+
+from repro.config import RenderSettings
+from repro.core.gbu import GBUConfig, GBUDevice
+from repro.core.irss import render_irss
+from repro.core.transform import compute_transforms
+from repro.errors import RenderError, ReproError, ValidationError
+from repro.gaussians import (
+    Camera,
+    GaussianCloud,
+    TileGrid,
+    build_render_lists,
+    project,
+    render_reference,
+)
+from repro.gaussians.sorting import RenderLists
+
+
+@pytest.fixture(scope="module")
+def projected():
+    rng = np.random.default_rng(0)
+    cloud = GaussianCloud.random(40, rng, extent=0.4)
+    camera = Camera.look_at(eye=[0, 0, -2], target=[0, 0, 0],
+                            width=48, height=48)
+    return project(cloud, camera)
+
+
+class TestGridMismatch:
+    def test_reference_rejects_wrong_grid(self, projected):
+        wrong_grid = TileGrid(width=96, height=96)
+        lists = RenderLists(
+            grid=wrong_grid,
+            per_tile=[np.zeros(0, dtype=np.int64)] * wrong_grid.n_tiles,
+        )
+        with pytest.raises(RenderError):
+            render_reference(projected, lists)
+
+    def test_irss_rejects_wrong_grid(self, projected):
+        wrong_grid = TileGrid(width=96, height=96)
+        lists = RenderLists(
+            grid=wrong_grid,
+            per_tile=[np.zeros(0, dtype=np.int64)] * wrong_grid.n_tiles,
+        )
+        with pytest.raises(RenderError):
+            render_irss(projected, lists)
+
+
+class TestDegenerateConics:
+    def test_singular_conic_rejected(self):
+        conics = np.array([[0.0, 0.0, 1.0]])
+        with pytest.raises(ValidationError):
+            compute_transforms(conics, np.zeros((1, 2)), np.ones(1))
+
+    def test_indefinite_conic_rejected(self):
+        conics = np.array([[1.0, 2.0, 1.0]])  # b^2 > a c
+        with pytest.raises(ValidationError):
+            compute_transforms(conics, np.zeros((1, 2)), np.ones(1))
+
+
+class TestExceptionHierarchy:
+    def test_all_library_errors_are_repro_errors(self):
+        from repro import errors
+
+        for name in ("ValidationError", "RenderError", "SimulationError",
+                      "DeviceBusyError", "CalibrationError"):
+            assert issubclass(getattr(errors, name), ReproError)
+
+    def test_catching_base_class_works(self, projected):
+        device = GBUDevice()
+        width, height = projected.image_size
+        with pytest.raises(ReproError):
+            device.GBU_render_image(
+                height, width, projected, None, np.zeros((1, 1, 3))
+            )
+
+
+class TestRobustness:
+    def test_all_gaussians_behind_camera(self):
+        rng = np.random.default_rng(1)
+        cloud = GaussianCloud.random(10, rng, extent=0.2).translated([0, 0, -50])
+        camera = Camera.look_at(eye=[0, 0, -2], target=[0, 0, 0],
+                                width=32, height=32)
+        projected = project(cloud, camera)
+        result = render_reference(projected)
+        np.testing.assert_allclose(result.transmittance, 1.0)
+        gbu = GBUDevice().render(projected)
+        assert gbu.step3_seconds >= 0.0
+
+    def test_single_pixel_sized_image(self):
+        rng = np.random.default_rng(2)
+        cloud = GaussianCloud.random(5, rng, extent=0.2)
+        camera = Camera.look_at(eye=[0, 0, -2], target=[0, 0, 0],
+                                width=16, height=16)
+        projected = project(cloud, camera)
+        ref = render_reference(projected)
+        irss = render_irss(projected)
+        np.testing.assert_allclose(irss.image, ref.image, atol=1e-10)
+
+    def test_non_multiple_of_tile_resolution(self):
+        """Images whose size is not a multiple of 16 exercise clipped
+        edge tiles in both rasterizers."""
+        rng = np.random.default_rng(3)
+        cloud = GaussianCloud.random(30, rng, extent=0.4)
+        camera = Camera.look_at(eye=[0, 0, -2], target=[0, 0, 0],
+                                width=50, height=37)
+        projected = project(cloud, camera)
+        ref = render_reference(projected)
+        irss = render_irss(projected)
+        assert ref.image.shape == (37, 50, 3)
+        np.testing.assert_allclose(irss.image, ref.image, atol=1e-10)
+
+    def test_opaque_alpha_clamp(self):
+        """Opacity 1.0 gaussians clamp at alpha_max, keeping
+        transmittance strictly positive."""
+        cloud = GaussianCloud(
+            means=np.zeros((1, 3)),
+            scales=np.full((1, 3), 0.5),
+            quats=np.array([[1.0, 0, 0, 0]]),
+            opacities=np.array([1.0]),
+            sh=np.zeros((1, 1, 3)),
+        )
+        camera = Camera.look_at(eye=[0, 0, -2], target=[0, 0, 0],
+                                width=16, height=16)
+        result = render_reference(project(cloud, camera))
+        assert result.transmittance.min() > 0.0
+
+    def test_settings_thresholds_respected(self, projected):
+        """A higher alpha_min truncates more fragments."""
+        strict = RenderSettings(alpha_min=0.1)
+        loose = RenderSettings(alpha_min=1.0 / 255.0)
+        # Re-project so per-Gaussian thresholds follow the settings.
+        rng = np.random.default_rng(4)
+        cloud = GaussianCloud.random(40, rng, extent=0.4)
+        camera = Camera.look_at(eye=[0, 0, -2], target=[0, 0, 0],
+                                width=48, height=48)
+        p_strict = project(cloud, camera, settings=strict)
+        p_loose = project(cloud, camera, settings=loose)
+        r_strict = render_irss(p_strict, settings=strict)
+        r_loose = render_irss(p_loose, settings=loose)
+        assert r_strict.stats.fragments_shaded < r_loose.stats.fragments_shaded

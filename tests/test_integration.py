@@ -1,0 +1,102 @@
+"""End-to-end integration tests: the full pipeline at reduced detail,
+checking the paper's headline *shapes* (who wins, roughly by how much).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.endtoend import evaluate_all_configs
+from repro.core.standalone import GBUStandalone
+from repro.gpu.workload import ScaleFactors
+from repro.metrics.energy import EnergyModel
+from repro.scenes import build_scene
+
+DETAIL = 0.35
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_flow(self):
+        rng = np.random.default_rng(0)
+        cloud = repro.GaussianCloud.random(150, rng)
+        camera = repro.Camera.look_at(
+            eye=[0, 0.3, -3], target=[0, 0, 0], width=64, height=48
+        )
+        projected = repro.project(cloud, camera)
+        reference = repro.render_reference(projected)
+        irss = repro.render_irss(projected)
+        np.testing.assert_allclose(irss.image, reference.image, atol=1e-9)
+        report = repro.GBUDevice().render(projected)
+        assert report.step3_seconds > 0
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestPaperShapes:
+    """The headline claims, at reduced scene detail (looser bands)."""
+
+    @pytest.fixture(scope="class")
+    def static_results(self):
+        return evaluate_all_configs("kitchen", detail=DETAIL)
+
+    def test_irss_speeds_up_gpu(self, static_results):
+        speedup = static_results["gpu_irss"].fps / static_results["gpu_pfs"].fps
+        assert 1.3 < speedup < 3.5  # paper: 1.71x
+
+    def test_gbu_reaches_real_time_territory(self, static_results):
+        ratio = static_results["gbu_full"].fps / static_results["gpu_pfs"].fps
+        assert ratio > 3.0  # paper: ~7x on static scenes
+
+    def test_energy_ordering(self, static_results):
+        base = static_results["gpu_pfs"].energy
+        effs = [
+            EnergyModel.efficiency_improvement(base, static_results[c].energy)
+            for c in ("gpu_irss", "gbu_tile", "gbu_dnb", "gbu_full")
+        ]
+        assert all(b >= a * 0.95 for a, b in zip(effs, effs[1:]))
+        assert effs[-1] > 3.0
+
+    def test_gbu_quality_is_fp16_limited(self, static_results):
+        from repro.metrics.image import psnr
+
+        ref_img = static_results["gpu_pfs"].image
+        gbu_img = static_results["gbu_full"].image
+        assert psnr(ref_img, gbu_img) > 35.0
+
+
+class TestStandaloneIntegration:
+    def test_render_nerf_scene(self):
+        bundle = build_scene("nerf_lego", detail=DETAIL)
+        cloud, _ = bundle.frame_cloud(0)
+        report = GBUStandalone().render(
+            cloud, bundle.camera, scales=ScaleFactors.uniform(50.0)
+        )
+        assert report.fps > 0
+        assert np.all(np.isfinite(report.image))
+
+
+class TestMultiFrameAnimation:
+    def test_dynamic_scene_over_time(self):
+        bundle = build_scene("flame_steak", detail=DETAIL)
+        fps = []
+        for frame in range(3):
+            cloud, extra = bundle.frame_cloud(frame)
+            projected = repro.project(cloud, bundle.camera)
+            report = repro.GBUDevice().render(projected)
+            assert report.step3_seconds > 0
+            fps.append(1.0 / report.step3_seconds)
+        assert len(set(fps)) > 1  # motion changes the workload
+
+    def test_avatar_animation(self):
+        bundle = build_scene("female_4", detail=DETAIL)
+        images = []
+        for frame in (0, 3):
+            cloud, _ = bundle.frame_cloud(frame)
+            projected = repro.project(cloud, bundle.camera)
+            images.append(repro.render_reference(projected).image)
+        assert not np.allclose(images[0], images[1])
