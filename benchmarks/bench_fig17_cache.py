@@ -6,7 +6,6 @@ Paper shape: hit rate climbs with size and saturates around 32 KB
 
 from conftest import show
 from repro.harness import run_experiment
-from repro.scenes.catalog import AppType
 
 
 def test_fig17_cache(benchmark, experiments):

@@ -50,6 +50,12 @@ from repro.gaussians import (
     render_reference,
 )
 from repro.gpu import GPUTimingModel, ORIN_NX
+from repro.render import (
+    get_backend,
+    list_backends,
+    set_default_backend,
+    use_backend,
+)
 from repro.scenes import build_scene, scene_names
 
 __version__ = "1.0.0"
@@ -73,6 +79,10 @@ __all__ = [
     "render_reference",
     "GPUTimingModel",
     "ORIN_NX",
+    "get_backend",
+    "list_backends",
+    "set_default_backend",
+    "use_backend",
     "build_scene",
     "scene_names",
     "__version__",

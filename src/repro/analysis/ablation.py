@@ -18,7 +18,7 @@ from repro.analysis.quality import ground_truth_image
 from repro.metrics.energy import EnergyModel
 from repro.metrics.image import lpips_proxy, psnr
 from repro.metrics.perf import harmonic_mean_fps
-from repro.scenes.catalog import CATALOG, AppType, scenes_of_type
+from repro.scenes.catalog import AppType, scenes_of_type
 
 
 ABLATION_ROWS = {

@@ -10,8 +10,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.dnb import reuse_distance_table, run_dnb
-from repro.core.reuse_cache import POLICIES, CacheReport, sweep_cache_sizes
-from repro.gaussians import build_render_lists, project
+from repro.core.reuse_cache import POLICIES, sweep_cache_sizes
+from repro.gaussians import project
 from repro.gpu.specs import GBU_SPEC
 from repro.scenes import build_scene
 from repro.scenes.catalog import CATALOG, AppType, SceneSpec, scenes_of_type

@@ -55,13 +55,14 @@ class SystemConfig:
     def uses_gbu(self) -> bool:
         return self.name.startswith("gbu")
 
-    def gbu_config(self) -> GBUConfig:
+    def gbu_config(self, backend: str | None = None) -> GBUConfig:
         if not self.uses_gbu:
             raise ValidationError(f"{self.name} has no GBU")
         return GBUConfig(
             use_dnb=self.name in ("gbu_dnb", "gbu_full"),
             use_cache=self.name == "gbu_full",
             fp16=True,
+            backend=backend,
         )
 
 
@@ -108,6 +109,7 @@ def evaluate_scene(
     frame: int = 0,
     detail: float = 1.0,
     bundle: SceneBundle | None = None,
+    backend: str | None = None,
 ) -> SystemResult:
     """Evaluate one configuration on one scene frame.
 
@@ -124,6 +126,11 @@ def evaluate_scene(
     bundle:
         Reuse an already-built scene bundle (avoids regeneration when
         sweeping configurations).
+    backend:
+        Rendering engine for the functional renders ("reference",
+        "vectorized", ...); pixel-exact either way, so results are
+        unchanged — only wall-clock differs.  ``None`` uses the
+        process default (see :mod:`repro.render.backends`).
     """
     if isinstance(config, str):
         config = SystemConfig(config)
@@ -135,8 +142,8 @@ def evaluate_scene(
     lists = build_render_lists(projected)
     scales = ScaleFactors.for_scene(spec)
 
-    reference = render_reference(projected, lists)
-    irss = render_irss(projected, lists)
+    reference = render_reference(projected, lists, backend=backend)
+    irss = render_irss(projected, lists, backend=backend)
     workload = FrameWorkload.from_renders(
         reference, irss, lists, len(projected), extra_flops, scales
     )
@@ -169,11 +176,12 @@ def evaluate_scene(
         )
 
     # --- GBU configurations ---
-    device = GBUDevice(config=config.gbu_config())
+    gbu_config = config.gbu_config(backend=backend)
+    device = GBUDevice(config=gbu_config)
     report = device.render(
         projected,
         scales=scales,
-        lists=None if config.gbu_config().use_dnb else lists,
+        lists=None if gbu_config.use_dnb else lists,
     )
 
     step1_s = gpu_model.step1_seconds(workload)
@@ -211,11 +219,14 @@ def evaluate_all_configs(
     spec_or_name: SceneSpec | str,
     frame: int = 0,
     detail: float = 1.0,
+    backend: str | None = None,
 ) -> dict[str, SystemResult]:
     """Run every Tab. V configuration on one scene, reusing the build."""
     spec = CATALOG[spec_or_name] if isinstance(spec_or_name, str) else spec_or_name
     bundle = build_scene(spec, detail=detail)
     return {
-        name: evaluate_scene(spec, name, frame=frame, detail=detail, bundle=bundle)
+        name: evaluate_scene(
+            spec, name, frame=frame, detail=detail, bundle=bundle, backend=backend
+        )
         for name in CONFIG_NAMES
     }

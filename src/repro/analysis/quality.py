@@ -13,12 +13,10 @@ Tab. IV reports (<0.1 dB PSNR, <0.01 LPIPS).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
 from repro.core.gbu import GBUConfig, GBUDevice
-from repro.core.irss import render_irss
 from repro.gaussians import build_render_lists, project, render_reference
 from repro.metrics.image import lpips_proxy, psnr
 from repro.scenes import build_scene

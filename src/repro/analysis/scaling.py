@@ -8,11 +8,10 @@ predictions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
-import numpy as np
 
-from repro.analysis.endtoend import SYNC_SECONDS, SystemConfig, evaluate_scene
+from repro.analysis.endtoend import SYNC_SECONDS
 from repro.core.gbu import GBUDevice
 from repro.core.irss import render_irss
 from repro.core.pipeline import PipelinedFrame

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.analysis.literature import (
     GBU_STANDALONE_REPORTED,
@@ -18,9 +17,8 @@ from repro.analysis.literature import (
     NERF_ACCELERATORS,
     AcceleratorSpec,
 )
-from repro.core.standalone import STANDALONE_SPEC, GBUStandalone, StandaloneSpec
+from repro.core.standalone import STANDALONE_SPEC, GBUStandalone
 from repro.gpu.workload import ScaleFactors
-from repro.metrics.image import psnr
 from repro.metrics.perf import harmonic_mean_fps
 from repro.scenes import build_scene
 from repro.scenes.catalog import CATALOG

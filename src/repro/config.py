@@ -7,7 +7,7 @@ plus the hardware constants of the Gaussian Blending Unit (GBU).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -15,12 +15,12 @@ API parity; Python callers normally use :meth:`GBUDevice.render`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.config import DEFAULT_CHUNK_SIZE, DEFAULT_SETTINGS, RenderSettings
-from repro.core.dnb import DnBOutput, reuse_distance_table, run_dnb
+from repro.core.dnb import reuse_distance_table, run_dnb
 from repro.core.irss import IRSSRenderResult, render_irss
 from repro.core.pipeline import chunk_count, chunked_overlap_seconds
 from repro.core.reuse_cache import POLICIES, CacheReport
@@ -56,6 +56,11 @@ class GBUConfig:
     cross_tile_overlap:
         Let Row Buffers stream work across tile boundaries (design
         point); off inserts a per-tile barrier (ablation).
+    backend:
+        Rendering engine used for the functional IRSS render
+        ("reference", "vectorized", ...); every backend is
+        pixel-exact, so this only affects simulation wall-clock.
+        ``None`` uses the process default.
     """
 
     use_dnb: bool = True
@@ -65,6 +70,7 @@ class GBUConfig:
     chunk_size: int = DEFAULT_CHUNK_SIZE
     interleaved_rows: bool = True
     cross_tile_overlap: bool = True
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.cache_policy not in POLICIES:
@@ -181,6 +187,7 @@ class GBUDevice:
             settings=settings,
             transform=transform,
             fp16=self.config.fp16,
+            backend=self.config.backend,
         )
 
         # --- Tile engine cycles ---

@@ -6,13 +6,18 @@ modeling the IRSS execution: per (tile, Gaussian) instance, each
 intersected row is shaded left-to-right between the first and last
 significant fragments; everything outside is skipped.
 
-Two implementations are provided:
+Three implementations are provided:
 
-* :func:`render_irss` — the production path.  Per instance, the
-  per-row intervals come from the closed-form oracle
-  (:meth:`IRSSTransform.row_interval`) and fragments are evaluated with
-  the shared-intermediate arithmetic ``E = x''^2 + y''^2`` where
-  ``x'' = x_start + c * dx``; rows are processed with numpy.
+* :func:`render_irss` — the production entry point; dispatches to a
+  registered rendering backend (see :mod:`repro.render.backends`).
+  The default "reference" backend is :func:`render_irss_loop`; the
+  "vectorized" backend batches instances across tiles and is an order
+  of magnitude faster with bit-identical output.
+* :func:`render_irss_loop` — per instance, the per-row intervals come
+  from the closed-form oracle (:meth:`IRSSTransform.row_interval`) and
+  fragments are evaluated with the shared-intermediate arithmetic
+  ``E = x''^2 + y''^2`` where ``x'' = x_start + c * dx``; rows are
+  processed with numpy.
 * :func:`render_irss_sequential` — a literal scalar transcription of
   the dataflow (binary search for the first fragment, one-at-a-time
   stepping with ``x'' += dx'`` and walk-off detection of the last
@@ -27,7 +32,7 @@ counts for the Row Generation Engine model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -39,7 +44,6 @@ from repro.core.transform import (
     IRSSTransform,
     binary_search_first_fragment,
     compute_transforms,
-    walk_last_fragment,
 )
 
 
@@ -185,8 +189,9 @@ def render_irss(
     settings: RenderSettings = DEFAULT_SETTINGS,
     transform: IRSSTransform | None = None,
     fp16: bool = False,
+    backend: str | None = None,
 ) -> IRSSRenderResult:
-    """Render with the IRSS dataflow (vectorized production path).
+    """Render with the IRSS dataflow through a selectable backend.
 
     Parameters
     ----------
@@ -205,7 +210,27 @@ def render_irss(
         skip logic still uses the fp16-quantized features, so the
         shaded fragment set may differ slightly from fp64 (this is the
         <0.1 PSNR effect of Tab. IV).
+    backend:
+        Rendering engine name ("reference", "vectorized", ...); every
+        backend is pixel-exact, so this only selects an execution
+        strategy.  ``None`` uses the process default (see
+        :mod:`repro.render.backends`).
     """
+    from repro.render.backends import resolve_backend
+
+    return resolve_backend(backend).render_irss(
+        projected, lists=lists, settings=settings, transform=transform, fp16=fp16
+    )
+
+
+def render_irss_loop(
+    projected: Projected2D,
+    lists: RenderLists | None = None,
+    settings: RenderSettings = DEFAULT_SETTINGS,
+    transform: IRSSTransform | None = None,
+    fp16: bool = False,
+) -> IRSSRenderResult:
+    """The per-instance, row-vectorized IRSS loop (the "reference" backend)."""
     if lists is None:
         lists = build_render_lists(projected)
     if transform is None:

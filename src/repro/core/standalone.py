@@ -28,7 +28,7 @@ from repro.errors import ValidationError
 from repro.gaussians.camera import Camera
 from repro.gaussians.gaussian import GaussianCloud
 from repro.gaussians.projection import project
-from repro.gpu.specs import GBU_SPEC, GBUModuleSpec, GBUSpec
+from repro.gpu.specs import GBU_SPEC, GBUSpec
 from repro.gpu.workload import ScaleFactors
 
 

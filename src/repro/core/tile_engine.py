@@ -57,7 +57,10 @@ class TileEngineReport:
             return max(gen_total, float(pe_totals.max(initial=0.0))) + float(
                 self.drain_cycles
             )
-        return float(self.tile_cycles.sum())
+        # Per-tile barrier (ablation): every non-empty tile pays a
+        # pipeline flush on top of its own latency.
+        n_busy = int(np.count_nonzero(self.tile_cycles))
+        return float(self.tile_cycles.sum()) + float(self.drain_cycles) * n_busy
 
     @property
     def utilization(self) -> float:

@@ -20,7 +20,6 @@ import numpy as np
 
 from repro.config import (
     COV2D_DILATION,
-    MAX_MAHALANOBIS_SQ,
     NEAR_PLANE,
     DEFAULT_SETTINGS,
     RenderSettings,

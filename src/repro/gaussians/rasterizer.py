@@ -16,7 +16,7 @@ shortens tails), and per-pixel contributor counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -98,8 +98,9 @@ def render_reference(
     projected: Projected2D,
     lists: RenderLists | None = None,
     settings: RenderSettings = DEFAULT_SETTINGS,
+    backend: str | None = None,
 ) -> RenderResult:
-    """Rasterize with the reference PFS dataflow.
+    """Rasterize with the PFS dataflow through a selectable backend.
 
     Parameters
     ----------
@@ -109,7 +110,25 @@ def render_reference(
         Depth-sorted render lists (Step 2); built on demand if omitted.
     settings:
         Blending thresholds and background color.
+    backend:
+        Rendering engine name ("reference", "vectorized", ...); every
+        backend is pixel-exact, so this only selects an execution
+        strategy.  ``None`` uses the process default (see
+        :mod:`repro.render.backends`).
     """
+    from repro.render.backends import resolve_backend
+
+    return resolve_backend(backend).render_pfs(
+        projected, lists=lists, settings=settings
+    )
+
+
+def render_reference_loop(
+    projected: Projected2D,
+    lists: RenderLists | None = None,
+    settings: RenderSettings = DEFAULT_SETTINGS,
+) -> RenderResult:
+    """The scalar per-(tile, Gaussian) PFS loop (the "reference" backend)."""
     if lists is None:
         lists = build_render_lists(projected)
     grid = lists.grid

@@ -16,7 +16,11 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.gaussians.projection import Projected2D
-from repro.gaussians.tiles import TileGrid, bin_gaussians
+from repro.gaussians.tiles import (
+    TileGrid,
+    bin_gaussians_flat,
+    split_instances_per_tile,
+)
 
 
 @dataclass
@@ -111,7 +115,18 @@ def build_render_lists(
         width, height = projected.image_size
         grid = TileGrid(width=width, height=height)
     if per_tile is None:
-        per_tile = bin_gaussians(grid, projected.means2d, projected.radii)
+        # Flat vectorized path: bin to (tile, Gaussian) instance arrays,
+        # then one stable lexsort over (depth, tile) keys — the numpy
+        # equivalent of the reference radix sort over packed 64-bit
+        # (tile_id << 32) | depth keys.
+        tile_ids, gaussian_ids = bin_gaussians_flat(
+            grid, projected.means2d, projected.radii
+        )
+        order = np.lexsort((projected.depths[gaussian_ids], tile_ids))
+        per_tile = split_instances_per_tile(
+            grid, tile_ids[order], gaussian_ids[order]
+        )
+        return RenderLists(grid=grid, per_tile=per_tile)
     return RenderLists(grid=grid, per_tile=sort_tile_lists(per_tile, projected.depths))
 
 

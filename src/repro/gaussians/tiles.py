@@ -87,21 +87,108 @@ class TileGrid:
         return np.arange(self.n_tiles, dtype=np.int64)
 
 
+def tile_rects_of_footprints(
+    grid: TileGrid, means2d: np.ndarray, radii: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Tile-index rectangles (inclusive tx0/ty0, exclusive tx1/ty1)
+    covered by each footprint's bounding box, clipped to the grid.
+
+    The single definition of the conservative binning rectangle; the
+    scalar :func:`tile_rect_of_footprint` and the vectorized
+    :func:`bin_gaussians_flat` both use it.
+    """
+    tx0 = np.maximum(
+        np.floor((means2d[:, 0] - radii) / grid.tile).astype(np.int64), 0
+    )
+    ty0 = np.maximum(
+        np.floor((means2d[:, 1] - radii) / grid.tile).astype(np.int64), 0
+    )
+    tx1 = np.minimum(
+        np.floor((means2d[:, 0] + radii) / grid.tile).astype(np.int64) + 1,
+        grid.tiles_x,
+    )
+    ty1 = np.minimum(
+        np.floor((means2d[:, 1] + radii) / grid.tile).astype(np.int64) + 1,
+        grid.tiles_y,
+    )
+    return tx0, ty0, tx1, ty1
+
+
 def tile_rect_of_footprint(
     grid: TileGrid, mean2d: np.ndarray, radius: float
 ) -> tuple[int, int, int, int]:
     """Tile-index rectangle (inclusive tx0, ty0, exclusive tx1, ty1)
-    covered by a footprint's bounding box, clipped to the grid."""
-    tx0 = int(np.floor((mean2d[0] - radius) / grid.tile))
-    ty0 = int(np.floor((mean2d[1] - radius) / grid.tile))
-    tx1 = int(np.floor((mean2d[0] + radius) / grid.tile)) + 1
-    ty1 = int(np.floor((mean2d[1] + radius) / grid.tile)) + 1
-    return (
-        max(tx0, 0),
-        max(ty0, 0),
-        min(tx1, grid.tiles_x),
-        min(ty1, grid.tiles_y),
+    covered by one footprint's bounding box, clipped to the grid."""
+    tx0, ty0, tx1, ty1 = tile_rects_of_footprints(
+        grid,
+        np.asarray(mean2d, dtype=np.float64)[None, :],
+        np.asarray([radius], dtype=np.float64),
     )
+    return int(tx0[0]), int(ty0[0]), int(tx1[0]), int(ty1[0])
+
+
+def bin_gaussians_flat(
+    grid: TileGrid, means2d: np.ndarray, radii: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Conservative AABB binning as flat instance arrays.
+
+    Vectorized duplication step: every Gaussian is replicated once per
+    tile its bounding box overlaps, with no Python-level per-Gaussian
+    loop.  Returns ``(tile_ids, gaussian_ids)`` int64 arrays of equal
+    length (one entry per (tile, Gaussian) instance), ordered
+    Gaussian-major with row-major tiles inside each Gaussian — the
+    exact enumeration order of the scalar double loop it replaces.
+    """
+    means2d = np.asarray(means2d, dtype=np.float64)
+    radii = np.asarray(radii, dtype=np.float64)
+    if means2d.shape[0] != radii.shape[0]:
+        raise ValidationError("means2d and radii must have matching length")
+    n = means2d.shape[0]
+    if n == 0:
+        empty = np.zeros((0,), dtype=np.int64)
+        return empty, empty.copy()
+
+    tx0, ty0, tx1, ty1 = tile_rects_of_footprints(grid, means2d, radii)
+    nx = np.maximum(tx1 - tx0, 0)
+    ny = np.maximum(ty1 - ty0, 0)
+    counts = nx * ny
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.zeros((0,), dtype=np.int64)
+        return empty, empty.copy()
+
+    gaussian_ids = np.repeat(np.arange(n, dtype=np.int64), counts)
+    # Rank of each instance within its Gaussian's tile rectangle.
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    local = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    nx_rep = nx[gaussian_ids]
+    local_ty = local // nx_rep
+    local_tx = local - local_ty * nx_rep
+    tile_ids = (
+        (ty0[gaussian_ids] + local_ty) * grid.tiles_x
+        + tx0[gaussian_ids]
+        + local_tx
+    )
+    return tile_ids, gaussian_ids
+
+
+def split_instances_per_tile(
+    grid: TileGrid, tile_ids: np.ndarray, gaussian_ids: np.ndarray
+) -> list[np.ndarray]:
+    """Group flat instance arrays into one index array per tile.
+
+    The grouping sort is stable, so instances keep their flat-array
+    order inside each tile (for :func:`bin_gaussians_flat` output that
+    is Gaussian input order, matching the scalar binning loop).
+    """
+    order = np.argsort(tile_ids, kind="stable")
+    sorted_tiles = tile_ids[order]
+    sorted_gaussians = gaussian_ids[order]
+    counts = np.bincount(sorted_tiles, minlength=grid.n_tiles)
+    bounds = np.concatenate([[0], np.cumsum(counts)])
+    return [
+        sorted_gaussians[bounds[t]:bounds[t + 1]] for t in range(grid.n_tiles)
+    ]
 
 
 def bin_gaussians(
@@ -111,20 +198,10 @@ def bin_gaussians(
 
     Returns a list with one int64 array per tile holding the indices of
     Gaussians whose bounding box overlaps that tile, in input order.
+    Built from the flat :func:`bin_gaussians_flat` construction.
     """
-    means2d = np.asarray(means2d, dtype=np.float64)
-    radii = np.asarray(radii, dtype=np.float64)
-    if means2d.shape[0] != radii.shape[0]:
-        raise ValidationError("means2d and radii must have matching length")
-
-    per_tile: list[list[int]] = [[] for _ in range(grid.n_tiles)]
-    for g in range(means2d.shape[0]):
-        tx0, ty0, tx1, ty1 = tile_rect_of_footprint(grid, means2d[g], radii[g])
-        for ty in range(ty0, ty1):
-            row_base = ty * grid.tiles_x
-            for tx in range(tx0, tx1):
-                per_tile[row_base + tx].append(g)
-    return [np.asarray(lst, dtype=np.int64) for lst in per_tile]
+    tile_ids, gaussian_ids = bin_gaussians_flat(grid, means2d, radii)
+    return split_instances_per_tile(grid, tile_ids, gaussian_ids)
 
 
 def ellipse_intersects_rect(

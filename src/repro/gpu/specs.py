@@ -8,7 +8,7 @@ live in :mod:`repro.gpu.calibration`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ValidationError
 

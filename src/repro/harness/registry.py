@@ -20,7 +20,7 @@ from repro.analysis.endtoend import evaluate_all_configs
 from repro.errors import ValidationError
 from repro.harness.tables import format_table
 from repro.metrics.energy import EnergyModel
-from repro.scenes.catalog import EVALUATION_SCENES, AppType
+from repro.scenes.catalog import EVALUATION_SCENES
 
 
 @dataclass

@@ -1,0 +1,614 @@
+"""Instance-batched vectorized rasterizer backends (PFS and IRSS).
+
+The reference rasterizers iterate Python-level over every
+(tile, Gaussian) instance, which caps the whole repository at toy
+resolutions.  This module restructures the same dataflow for
+throughput — the GauRast/FLICKER observation that the win comes from
+batching work *across* instances rather than iterating them:
+
+* The per-tile member lists are flattened into padded instance
+  matrices, grouped by clipped tile shape (interior tiles batch
+  together; edge tiles batch per shape) and sorted by descending
+  instance count so padding stays negligible.
+* **Depth-slab batching:** whole depth slabs of instances are
+  evaluated at once in ``(tile, row, col, depth)`` bricks — depth
+  last, so the sequential-in-depth operations below run on contiguous
+  memory.  Per-pixel front-to-back blending order is preserved by
+  computing the transmittance recurrence
+  ``T_d = T_{d-1} * (1 - alpha_d)`` as an exclusive prefix product
+  (``np.cumprod`` along the depth axis, which multiplies in exactly
+  the reference order), and per-pixel early termination is reproduced
+  by *freezing* the transmittance at its first ``eps`` crossing — the
+  unfrozen tail of the product is only ever read where the blend mask
+  is already false, so the output is unchanged.
+* Eq. 7 conics are evaluated for whole bricks at a time; the
+  exp/alpha path runs only on the ~10% of fragments that pass the
+  threshold test (the reference multiplies the rest by 0 or 1, so
+  they never observe alpha).
+* The per-pixel color accumulation — the one genuinely sequential
+  float reduction — is performed with ``np.einsum`` (which
+  accumulates the contraction axis in order) or, for continuation
+  chunks and the fp16 datapath, with unbuffered ``np.add.at`` in
+  depth order.  Both reproduce the reference add sequence exactly.
+
+Both backends are pixel-exact against their references: bit-identical
+images, transmittance, contributor counts, and identical
+``RenderStats`` / ``IRSSStats`` / ``TileRowWorkload`` counters
+(including early-termination semantics and the fp16 Row-PE datapath).
+This is property-tested in ``tests/render/test_backend_parity.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import DEFAULT_SETTINGS, FLOPS, RenderSettings
+from repro.core.irss import (
+    IRSSRenderResult,
+    IRSSStats,
+    TileRowWorkload,
+    _Fp16Features,
+)
+from repro.core.transform import IRSSTransform, compute_transforms
+from repro.errors import RenderError
+from repro.gaussians.projection import Projected2D
+from repro.gaussians.rasterizer import RenderResult, RenderStats
+from repro.gaussians.sorting import RenderLists, build_render_lists
+
+#: Upper bound on the number of (tile, pixel, instance) fragments
+#: materialized per chunk (float64 working arrays are ~8x this in
+#: bytes).  Sized so a chunk's working set stays cache-resident — the
+#: brick sweeps below are bandwidth-bound, and small chunks beat big
+#: ones by ~2.5x — while still amortizing per-call overhead.  Tiles and
+#: depths are chunked to stay under it, so arbitrarily large scenes
+#: render in bounded memory.
+CHUNK_FRAGMENT_BUDGET = 1 << 16
+
+
+@dataclass
+class _TileBatch:
+    """Non-empty tiles sharing one clipped shape.
+
+    Tiles are ordered by descending member count so that chunks of
+    consecutive tiles have near-uniform depth (minimal padding).
+
+    Attributes
+    ----------
+    rows, cols:
+        Clipped tile shape in pixels.
+    tile_ids:
+        (T,) tile indices into the grid.
+    member_lists:
+        Per tile (batch order), the depth-ordered Gaussian indices.
+        Padded matrices are materialized per chunk (bounded memory),
+        not per batch — see :meth:`padded_members`.
+    lengths:
+        (T,) member counts (non-increasing).
+    x0, y0:
+        (T,) pixel origin of each tile.
+    """
+
+    rows: int
+    cols: int
+    tile_ids: np.ndarray
+    member_lists: list[np.ndarray]
+    lengths: np.ndarray
+    x0: np.ndarray
+    y0: np.ndarray
+
+    def padded_members(self, t0: int, t1: int) -> np.ndarray:
+        """(t1-t0, depth) member matrix for a tile chunk, -1 padded."""
+        depth = int(self.lengths[t0])
+        members = np.full((t1 - t0, depth), -1, dtype=np.int64)
+        for row, tile in enumerate(range(t0, t1)):
+            tile_members = self.member_lists[tile]
+            members[row, : len(tile_members)] = tile_members
+        return members
+
+
+def build_tile_batches(lists: RenderLists) -> list[_TileBatch]:
+    """Group the non-empty tiles of a frame into shape-uniform batches."""
+    grid = lists.grid
+    counts = lists.instances_per_tile()
+    groups: dict[tuple[int, int], list[int]] = {}
+    for tile_id in np.nonzero(counts > 0)[0]:
+        groups.setdefault(grid.tile_shape(int(tile_id)), []).append(int(tile_id))
+
+    batches: list[_TileBatch] = []
+    for (rows, cols), ids_list in groups.items():
+        ids = np.asarray(ids_list, dtype=np.int64)
+        lengths = counts[ids]
+        order = np.argsort(-lengths, kind="stable")
+        ids = ids[order]
+        lengths = lengths[order]
+        ty, tx = np.divmod(ids, grid.tiles_x)
+        batches.append(
+            _TileBatch(
+                rows=rows,
+                cols=cols,
+                tile_ids=ids,
+                member_lists=[lists.per_tile[int(t)] for t in ids],
+                lengths=lengths,
+                x0=tx * grid.tile,
+                y0=ty * grid.tile,
+            )
+        )
+    return batches
+
+
+def _tile_chunks(batch: _TileBatch, budget: int) -> list[tuple[int, int]]:
+    """Split a batch into [t0, t1) tile ranges bounded by the budget."""
+    pixels = batch.rows * batch.cols
+    chunks: list[tuple[int, int]] = []
+    t0 = 0
+    n = batch.tile_ids.size
+    while t0 < n:
+        depth = max(int(batch.lengths[t0]), 1)
+        span = max(budget // (depth * pixels), 1)
+        t1 = min(n, t0 + span)
+        chunks.append((t0, t1))
+        t0 = t1
+    return chunks
+
+
+def _prefix_products(t_in: np.ndarray, la: np.ndarray) -> np.ndarray:
+    """Running transmittance products, in place.
+
+    ``la`` is a ``(..., D+1)`` buffer whose slot 0 is free and whose
+    slots ``1..D`` hold each instance's ``(1 - alpha)`` factors (1.0
+    where the instance does not touch the pixel).  On return the
+    buffer holds the inclusive products ``[t_in, t_in*la_1, ...]`` —
+    ``np.multiply.accumulate`` multiplies left to right, the exact
+    order of the reference blending loop.
+    """
+    la[..., 0] = t_in
+    return np.multiply.accumulate(la, axis=-1, out=la)
+
+
+def _frozen_transmittance(
+    t_in: np.ndarray, prod: np.ndarray, live: np.ndarray, eps: float
+) -> np.ndarray:
+    """Transmittance after a chunk, with early termination frozen.
+
+    ``prod[..., d]`` is the running (unfrozen) product after instance
+    ``d`` and ``live[...]`` counts its entries above ``eps``.  The
+    physical recurrence stops updating a pixel once it crosses
+    ``eps``; the products are monotone non-increasing, so the entries
+    above ``eps`` form a prefix and the value at the *first* crossing
+    sits at index ``live`` (or the final product if it never crossed,
+    or the incoming value if the pixel was already terminated).
+    """
+    depth = prod.shape[-1]
+    idx = np.minimum(live, depth - 1)
+    frozen = np.take_along_axis(prod, idx[..., None], axis=-1)[..., 0]
+    return np.where(t_in <= eps, t_in, frozen)
+
+
+def _blend_state(
+    tile_t: np.ndarray,
+    frags: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    alpha: np.ndarray,
+    d_span: int,
+    eps: float,
+    acc_dtype: type = np.float64,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Transmittance state for one depth chunk of candidate fragments.
+
+    Scatters the fragments' ``(1 - alpha)`` factors (cast to the
+    accumulator dtype, matching the reference's per-step cast) into a
+    ones brick, runs the in-order prefix product, and derives the
+    activity mask.  Returns ``(prod, active, live)`` where ``prod``
+    has ``d_span + 1`` slots (slot 0 = incoming transmittance),
+    ``active[..., d]`` tests the pre-instance transmittance against
+    ``eps``, and ``live`` counts each pixel's post-instance products
+    above ``eps`` (the frozen-crossing index).
+    """
+    ti, ri, ci, di = frags
+    la = np.ones(tile_t.shape + (d_span + 1,), dtype=acc_dtype)
+    la[ti, ri, ci, di + 1] = (1.0 - alpha).astype(acc_dtype)
+    prod = _prefix_products(tile_t, la)
+    act_all = prod > eps
+    return prod, act_all[..., :-1], act_all[..., 1:].sum(axis=-1)
+
+
+def _blend_chunk(
+    tile_rgb: np.ndarray,
+    tile_n: np.ndarray,
+    tile_t: np.ndarray,
+    prod: np.ndarray,
+    live: np.ndarray,
+    frags: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    blend_at: np.ndarray,
+    alpha: np.ndarray,
+    colors: np.ndarray,
+    first_chunk: bool,
+    fp16: bool,
+    eps: float,
+) -> tuple[np.ndarray, int]:
+    """Blend one depth chunk into the framebuffer tiles, in place.
+
+    This is the bit-exactness-critical accumulation shared by both
+    dataflows.  The per-pixel color sum is the one order-sensitive
+    float reduction: the first depth chunk uses ``np.einsum`` (the
+    accumulator starts at the gathered zeros and einsum sums the
+    contraction axis in order — the exact reference sequence);
+    continuation chunks and the fp16 datapath use unbuffered
+    ``np.add.at``, which preserves the per-pixel depth order exactly.
+    Returns the frozen next-chunk transmittance and the number of
+    blended fragments.
+    """
+    ti, ri, ci, di = frags
+    rows, cols = tile_n.shape[1], tile_n.shape[2]
+    if fp16:
+        t_vals = prod[ti, ri, ci, di].astype(np.float64)
+        w16 = np.where(blend_at, t_vals * alpha, 0.0).astype(np.float16)
+        contrib = (
+            w16[:, None].astype(np.float64) * colors[ti, di]
+        ).astype(np.float16)
+        np.add.at(tile_rgb, (ti, ri, ci), contrib)
+    else:
+        weight = np.zeros(tile_t.shape + (prod.shape[-1] - 1,))
+        weight[ti, ri, ci, di] = np.where(
+            blend_at, prod[ti, ri, ci, di] * alpha, 0.0
+        )
+        if first_chunk:
+            tile_rgb += np.einsum(
+                "trcd,tdk->trck", weight, colors, optimize=False
+            )
+        else:
+            wi = np.nonzero(weight)
+            np.add.at(
+                tile_rgb,
+                (wi[0], wi[1], wi[2]),
+                weight[wi][:, None] * colors[wi[0], wi[3]],
+            )
+    key = (ti * rows + ri) * cols + ci
+    tile_n += (
+        np.bincount(key[blend_at], minlength=tile_n.size)
+        .reshape(tile_n.shape)
+        .astype(np.int32)
+    )
+    next_t = _frozen_transmittance(tile_t, prod[..., 1:], live, eps)
+    return next_t, int(np.count_nonzero(blend_at))
+
+
+# ----------------------------------------------------------------------
+# PFS (reference dataflow), vectorized
+# ----------------------------------------------------------------------
+def render_pfs_vectorized(
+    projected: Projected2D,
+    lists: RenderLists | None = None,
+    settings: RenderSettings = DEFAULT_SETTINGS,
+) -> RenderResult:
+    """Vectorized PFS rasterizer — pixel-exact vs. ``render_reference``."""
+    if lists is None:
+        lists = build_render_lists(projected)
+    grid = lists.grid
+    width, height = projected.image_size
+    if (grid.width, grid.height) != (width, height):
+        raise RenderError("tile grid does not match projection resolution")
+
+    image = np.zeros((height, width, 3), dtype=np.float64)
+    transmittance = np.ones((height, width), dtype=np.float64)
+    n_contrib = np.zeros((height, width), dtype=np.int32)
+    stats = RenderStats(pixels=width * height, instances=lists.n_instances)
+
+    eps = settings.transmittance_eps
+    conics = projected.conics
+    means2d = projected.means2d
+    opacities = projected.opacities
+    thresholds = projected.thresholds
+    colors = projected.colors
+
+    for batch in build_tile_batches(lists):
+        rows, cols = batch.rows, batch.cols
+        for t0, t1 in _tile_chunks(batch, CHUNK_FRAGMENT_BUDGET):
+            x0 = batch.x0[t0:t1]
+            y0 = batch.y0[t0:t1]
+            depth = int(batch.lengths[t0])
+            n_tiles = t1 - t0
+            # Pixel centers at half-integer coordinates (exact in fp64).
+            px = (
+                x0[:, None, None, None]
+                + np.arange(cols, dtype=np.int64)[None, None, :, None]
+            ).astype(np.float64) + 0.5  # (T, 1, cols, 1)
+            py = (
+                y0[:, None, None, None]
+                + np.arange(rows, dtype=np.int64)[None, :, None, None]
+            ).astype(np.float64) + 0.5  # (T, rows, 1, 1)
+            yy = y0[:, None, None] + np.arange(rows)[None, :, None]
+            xx = x0[:, None, None] + np.arange(cols)[None, None, :]
+            tile_t = transmittance[yy, xx]  # (T, rows, cols)
+            tile_rgb = image[yy, xx]
+            tile_n = n_contrib[yy, xx]
+            members = batch.padded_members(t0, t1)
+
+            d_step = max(CHUNK_FRAGMENT_BUDGET // (n_tiles * rows * cols), 1)
+            for d0 in range(0, depth, d_step):
+                d1 = min(depth, d0 + d_step)
+                m = members[:, d0:d1]
+                valid = m >= 0
+                g = np.where(valid, m, 0)
+
+                # Depth-last bricks: (T, rows, cols, D).  The quadratic
+                # is composed in-place but with the reference expression's
+                # exact association: (a*dx)*dx + ((2b)*dx)*dy + (c*dy)*dy
+                # (the += reorder below only swaps commutative adds).
+                dx = px - means2d[g, 0][:, None, None, :]  # (T, 1, cols, D)
+                dy = py - means2d[g, 1][:, None, None, :]  # (T, rows, 1, D)
+                a = conics[g, 0][:, None, None, :]
+                b = conics[g, 1][:, None, None, :]
+                c = conics[g, 2][:, None, None, :]
+                power = (2.0 * b * dx) * dy  # the only full-brick product
+                power += a * dx * dx
+                power += c * dy * dy
+
+                th = np.where(valid, thresholds[g], -np.inf)
+                cmask = power <= th[:, None, None, :]
+
+                # Alpha only matters at threshold-passing fragments (the
+                # reference multiplies by 0 / 1 elsewhere), so evaluate
+                # the exp on the masked ~10% of fragments only.
+                frags = np.nonzero(cmask)
+                ti, ri, ci, di = frags
+                alpha = opacities[g[ti, di]] * np.exp(-0.5 * power[ti, ri, ci, di])
+                alpha = np.minimum(alpha, settings.alpha_max)
+
+                prod, active, live = _blend_state(
+                    tile_t, frags, alpha, d1 - d0, eps
+                )
+                n_active = active.sum(axis=(1, 2))  # (T, D)
+                n_active *= valid
+                shaded = int(n_active.sum())
+                stats.instances_processed += int(np.count_nonzero(n_active))
+                stats.fragments_shaded += shaded
+                stats.eq7_flops += shaded * FLOPS.pfs_flops_per_fragment
+
+                blend_at = active[ti, ri, ci, di]
+                tile_t, blended = _blend_chunk(
+                    tile_rgb, tile_n, tile_t, prod, live, frags, blend_at,
+                    alpha, colors[g], first_chunk=d0 == 0, fp16=False, eps=eps,
+                )
+                stats.fragments_significant += blended
+
+            transmittance[yy, xx] = tile_t
+            image[yy, xx] = tile_rgb
+            n_contrib[yy, xx] = tile_n
+
+    background = settings.background_array()
+    image += transmittance[:, :, None] * background[None, None, :]
+    return RenderResult(
+        image=image, transmittance=transmittance, n_contrib=n_contrib, stats=stats
+    )
+
+
+# ----------------------------------------------------------------------
+# IRSS dataflow, vectorized
+# ----------------------------------------------------------------------
+def render_irss_vectorized(
+    projected: Projected2D,
+    lists: RenderLists | None = None,
+    settings: RenderSettings = DEFAULT_SETTINGS,
+    transform: IRSSTransform | None = None,
+    fp16: bool = False,
+) -> IRSSRenderResult:
+    """Vectorized IRSS rasterizer — pixel-exact vs. ``render_irss``."""
+    if lists is None:
+        lists = build_render_lists(projected)
+    if transform is None:
+        transform = compute_transforms(
+            projected.conics, projected.means2d, projected.thresholds
+        )
+    grid = lists.grid
+    width, height = projected.image_size
+    if (grid.width, grid.height) != (width, height):
+        raise RenderError("tile grid does not match projection resolution")
+
+    acc_dtype = np.float16 if fp16 else np.float64
+    image = np.zeros((height, width, 3), dtype=acc_dtype)
+    transmittance = np.ones((height, width), dtype=acc_dtype)
+    n_contrib = np.zeros((height, width), dtype=np.int32)
+    stats = IRSSStats(instances=lists.n_instances)
+
+    tile = grid.tile
+    workload = TileRowWorkload(
+        row_fragments=np.zeros((grid.n_tiles, tile), dtype=np.int64),
+        row_segments=np.zeros((grid.n_tiles, tile), dtype=np.int64),
+        instance_max_run=np.zeros(grid.n_tiles, dtype=np.int64),
+        instance_setup=np.zeros(grid.n_tiles, dtype=np.int64),
+        binary_search_steps=np.zeros(grid.n_tiles, dtype=np.int64),
+        instance_search=np.zeros(grid.n_tiles, dtype=np.int64),
+    )
+
+    features = _Fp16Features(projected, transform) if fp16 else None
+    eps = settings.transmittance_eps
+
+    for batch in build_tile_batches(lists):
+        rows, cols = batch.rows, batch.cols
+        col_idx = np.arange(cols, dtype=np.float64)
+        search_latency = max(int(np.ceil(np.log2(max(cols, 2)))), 1)
+
+        for t0, t1 in _tile_chunks(batch, CHUNK_FRAGMENT_BUDGET):
+            x0 = batch.x0[t0:t1]
+            y0 = batch.y0[t0:t1]
+            tids = batch.tile_ids[t0:t1]
+            depth = int(batch.lengths[t0])
+            n_tiles = t1 - t0
+            row_pix_y = (
+                y0[:, None] + np.arange(rows, dtype=np.int64)[None, :]
+            ).astype(np.float64) + 0.5  # (T, rows)
+            yy = y0[:, None, None] + np.arange(rows)[None, :, None]
+            xx = x0[:, None, None] + np.arange(cols)[None, None, :]
+            tile_t = transmittance[yy, xx]
+            tile_rgb = image[yy, xx]
+            tile_n = n_contrib[yy, xx]
+            local_rows = np.arange(rows, dtype=np.int64)
+            members = batch.padded_members(t0, t1)
+
+            d_step = max(CHUNK_FRAGMENT_BUDGET // (n_tiles * rows * cols), 1)
+            for d0 in range(0, depth, d_step):
+                d1 = min(depth, d0 + d_step)
+                m = members[:, d0:d1]
+                valid = m >= 0
+                g = np.where(valid, m, 0)
+
+                if fp16:
+                    u00 = features.u00[g]
+                    u01 = features.u01[g]
+                    u11 = features.u11[g]
+                    th = features.thresholds[g]
+                    mean = features.means2d[g]
+                    color = features.colors[g]
+                    opacity = features.opacities[g]
+                else:
+                    u00 = transform.u00[g]
+                    u01 = transform.u01[g]
+                    u11 = transform.u11[g]
+                    th = transform.thresholds[g]
+                    mean = transform.means2d[g]
+                    color = projected.colors[g]
+                    opacity = projected.opacities[g]
+                th = np.where(valid, th, -np.inf)
+
+                # Per-row transformed coordinates of the leftmost pixel
+                # center (all geometry is transmittance-independent).
+                # Row-level arrays are (T, rows, D); depth stays last.
+                dx_pix = (
+                    x0[:, None].astype(np.float64) + 0.5 - mean[:, :, 0]
+                )  # (T, D)
+                dy_pix = row_pix_y[:, :, None] - mean[:, :, 1][:, None, :]
+                x_start = (
+                    u00[:, None, :] * dx_pix[:, None, :] + u01[:, None, :] * dy_pix
+                )
+                y_pp = u11[:, None, :] * dy_pix
+                y_sq = y_pp * y_pp
+
+                # Step 1: whole-row rejection.
+                half_sq = th[:, None, :] - y_sq
+                intersects = half_sq >= 0.0
+                half_w = np.sqrt(np.maximum(half_sq, 0.0))
+                with np.errstate(invalid="ignore"):
+                    c0_raw = np.ceil((-half_w - x_start) / u00[:, None, :])
+                    c1_raw = np.floor((half_w - x_start) / u00[:, None, :])
+                in_tile = intersects & (c0_raw <= cols - 1) & (c1_raw >= 0)
+                c0 = np.clip(np.where(in_tile, c0_raw, 0), 0, cols - 1).astype(
+                    np.int64
+                )
+                c1 = np.clip(np.where(in_tile, c1_raw, -1), -1, cols - 1).astype(
+                    np.int64
+                )
+                nonempty = in_tile & (c1 >= c0) & valid[:, None, :]
+                outside_left = intersects & ~nonempty & (x_start > 0.0)
+                skipped_empty = intersects & ~nonempty & ~outside_left
+                needs_search = (
+                    intersects
+                    & (x_start * x_start + y_sq > th[:, None, :])
+                    & ~outside_left
+                )
+
+                # Shade: E = x''^2 + y''^2 with x'' = x_start + c * dx''.
+                xpp = (
+                    x_start[:, :, None, :]
+                    + col_idx[None, None, :, None] * u00[:, None, None, :]
+                )
+                if fp16:
+                    xpp = xpp.astype(np.float16).astype(np.float64)
+                # power = xpp^2 + y_sq, squaring the brick in place.
+                power = np.multiply(xpp, xpp, out=xpp)
+                power += y_sq[:, :, None, :]
+                cmask = (
+                    nonempty[:, :, None, :]
+                    & (col_idx[None, None, :, None] >= c0[:, :, None, :])
+                    & (col_idx[None, None, :, None] <= c1[:, :, None, :])
+                    & (power <= th[:, None, None, :])
+                )
+
+                frags = np.nonzero(cmask)
+                ti, ri, ci, di = frags
+                alpha = opacity[ti, di] * np.exp(-0.5 * power[ti, ri, ci, di])
+                if fp16:
+                    alpha = alpha.astype(np.float16).astype(np.float64)
+                alpha = np.minimum(alpha, settings.alpha_max)
+
+                prod, active, live = _blend_state(
+                    tile_t, frags, alpha, d1 - d0, eps, acc_dtype
+                )
+
+                # Early-termination bookkeeping: an instance is
+                # "processed" iff any of its tile's pixels was still
+                # active when its depth rank came up (the reference
+                # loop's whole-tile break).
+                n_live = active.sum(axis=(1, 2))  # (T, D)
+                n_live *= valid
+                processed = n_live > 0
+                n_proc = int(np.count_nonzero(processed))
+                stats.instances_processed += n_proc
+                stats.rows_considered += n_proc * rows
+                stats.fragments_pfs_equivalent += int(n_live.sum())
+                workload.instance_setup[tids] += processed.sum(axis=1)
+
+                stats.rows_skipped_y += int(
+                    ((~intersects).sum(axis=1) * processed).sum()
+                )
+                stats.rows_skipped_sign += int(
+                    (outside_left.sum(axis=1) * processed).sum()
+                )
+                stats.rows_skipped_empty += int(
+                    (skipped_empty.sum(axis=1) * processed).sum()
+                )
+
+                n_search = needs_search.sum(axis=1) * processed  # (T, D)
+                stats.binary_search_rows += int(n_search.sum())
+                steps = n_search * search_latency
+                stats.binary_search_steps += int(steps.sum())
+                workload.binary_search_steps[tids] += steps.sum(axis=1)
+                workload.instance_search[tids] += (n_search > 0).sum(axis=1)
+
+                row_active = active.any(axis=2)  # (T, rows, D)
+                terminated = nonempty & ~row_active
+                stats.rows_terminated += int(
+                    (terminated.sum(axis=1) * processed).sum()
+                )
+                shaded_rows = nonempty & row_active
+                seg_len = np.where(shaded_rows, c1 - c0 + 1, 0)
+                n_frag = int(seg_len.sum())
+                n_seg = int(np.count_nonzero(shaded_rows))
+                stats.fragments_shaded += n_frag
+                stats.segments += n_seg
+                stats.eq7_flops += (
+                    n_seg * FLOPS.irss_flops_first_fragment
+                    + (n_frag - n_seg) * FLOPS.irss_flops_per_fragment
+                )
+                workload.row_fragments[tids[:, None], local_rows[None, :]] += (
+                    seg_len.sum(axis=2)
+                )
+                workload.row_segments[tids[:, None], local_rows[None, :]] += (
+                    shaded_rows.sum(axis=2)
+                )
+                workload.instance_max_run[tids] += seg_len.max(axis=1).sum(axis=1)
+
+                blend_at = active[ti, ri, ci, di]
+                tile_t, blended = _blend_chunk(
+                    tile_rgb, tile_n, tile_t, prod, live, frags, blend_at,
+                    alpha, color, first_chunk=d0 == 0, fp16=fp16, eps=eps,
+                )
+                stats.fragments_blended += blended
+
+            transmittance[yy, xx] = tile_t
+            image[yy, xx] = tile_rgb
+            n_contrib[yy, xx] = tile_n
+
+    background = settings.background_array().astype(acc_dtype)
+    image = image.astype(np.float64) + (
+        transmittance.astype(np.float64)[:, :, None]
+        * background.astype(np.float64)[None, None, :]
+    )
+    return IRSSRenderResult(
+        image=image,
+        transmittance=transmittance.astype(np.float64),
+        n_contrib=n_contrib,
+        stats=stats,
+        workload=workload,
+    )

@@ -1,11 +1,9 @@
 """Tests for the Decomposition & Binning engine."""
 
 import numpy as np
-import pytest
 
 from repro.core.dnb import reuse_distance_table, run_dnb
 from repro.core.transform import compute_transforms
-from repro.gaussians import build_render_lists
 from repro.gaussians.rasterizer import render_reference
 from repro.core.irss import render_irss
 

@@ -4,7 +4,6 @@ statistics, FLOP accounting, and the fp16 datapath.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

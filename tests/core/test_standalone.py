@@ -1,11 +1,10 @@
 """Tests for the GBU-Standalone accelerator model."""
 
-import numpy as np
 import pytest
 
-from repro.core.standalone import STANDALONE_SPEC, GBUStandalone, StandaloneSpec
+from repro.core.standalone import STANDALONE_SPEC, GBUStandalone
 from repro.errors import ValidationError
-from repro.gaussians import GaussianCloud, Camera
+from repro.gaussians import GaussianCloud
 from repro.gpu.workload import ScaleFactors
 
 

@@ -13,7 +13,6 @@ from hypothesis import strategies as st
 
 from repro.errors import ValidationError
 from repro.core.transform import (
-    IRSSTransform,
     binary_search_first_fragment,
     compute_transforms,
     compute_transforms_evd,

@@ -1,7 +1,6 @@
 """Unit tests for the reference PFS rasterizer (Rendering Step 3)."""
 
 import numpy as np
-import pytest
 
 from repro.config import RenderSettings
 from repro.gaussians import Camera, GaussianCloud, build_render_lists, project
@@ -54,7 +53,6 @@ class TestBlendingSemantics:
     def test_single_gaussian_center_color(self):
         projected = self._single_gaussian(opacity=0.9)
         result = render_reference(projected)
-        from repro.gaussians.sh import SH_C0
         # Center pixel: alpha ~= opacity, color = 0.5 (DC-only zero SH).
         center = result.image[16, 16]
         expected = 0.9 * 0.5

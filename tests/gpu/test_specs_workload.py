@@ -1,6 +1,5 @@
 """Tests for device specs and the workload/scale layer."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ValidationError

@@ -1,6 +1,5 @@
 """Tests for the GPU SIMT kernel models and frame timing."""
 
-import numpy as np
 import pytest
 
 from repro.errors import CalibrationError, ValidationError

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.config import RenderSettings
-from repro.core.gbu import GBUConfig, GBUDevice
+from repro.core.gbu import GBUDevice
 from repro.core.irss import render_irss
 from repro.core.transform import compute_transforms
 from repro.errors import RenderError, ReproError, ValidationError
@@ -13,7 +13,6 @@ from repro.gaussians import (
     Camera,
     GaussianCloud,
     TileGrid,
-    build_render_lists,
     project,
     render_reference,
 )

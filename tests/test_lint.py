@@ -1,0 +1,23 @@
+"""Lint gate: the tree stays free of unused imports.
+
+CI runs the real ``ruff check``; this test runs the dependency-free
+AST checker in ``scripts/lint.py`` so the gate also holds in offline
+environments (and keeps dead imports from creeping back between ruff
+runs).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_no_unused_imports():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "lint.py")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, f"lint errors:\n{result.stdout}{result.stderr}"
