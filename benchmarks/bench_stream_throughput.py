@@ -1,0 +1,165 @@
+"""Stream-serving throughput: sessions x workers over the default scene.
+
+Serves N concurrent orbit sessions through the
+:class:`~repro.stream.server.StreamServer` at several worker-pool
+sizes and writes ``BENCH_stream_throughput.json`` at the repo root:
+per worker count, the *simulated* aggregate serving throughput (each
+worker is one simulated GBU+GPU unit; makespan = busiest worker) and
+the host wall-clock throughput of the simulation itself, plus the
+cross-frame reuse summary of the streamed sessions.
+
+Two acceptance bars are asserted:
+
+* **Worker scaling** — simulated frames/sec must improve by
+  ``REPRO_BENCH_STREAM_MIN_SCALING`` (default 2.0x) from 1 worker to
+  the largest pool.  Simulated throughput is the deployment-scaling
+  metric: it is derived from measured per-frame paper-scale latencies
+  and is independent of how many *host* cores run the simulation
+  (wall-clock numbers are recorded but not asserted — this container
+  may have a single core).
+* **Cross-frame reuse** — the warm (cumulative) reuse-cache hit rate
+  over a 16-frame orbit must be strictly above the single-frame
+  cold-cache rate (frame 0 of the same stream, which starts empty).
+
+Smoke knobs (used by CI): ``REPRO_BENCH_STREAM_SESSIONS``,
+``REPRO_BENCH_STREAM_FRAMES``, ``REPRO_BENCH_STREAM_WORKERS``
+(comma-separated pool sizes), ``REPRO_BENCH_STREAM_MIN_SCALING``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.scenes.catalog import CATALOG
+from repro.stream import (
+    CameraTrajectory,
+    FrameStream,
+    StreamServer,
+    StreamSession,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_stream_throughput.json"
+
+DEFAULT_SCENE = os.environ.get("REPRO_BENCH_STREAM_SCENE", "bicycle")
+N_SESSIONS = int(os.environ.get("REPRO_BENCH_STREAM_SESSIONS", "4"))
+N_FRAMES = int(os.environ.get("REPRO_BENCH_STREAM_FRAMES", "16"))
+WORKER_COUNTS = [
+    int(w)
+    for w in os.environ.get("REPRO_BENCH_STREAM_WORKERS", "1,2,4").split(",")
+    if w.strip()
+]
+MIN_SCALING = float(os.environ.get("REPRO_BENCH_STREAM_MIN_SCALING", "2.0"))
+
+
+def _make_sessions(scene: str, n_sessions: int, n_frames: int) -> list[StreamSession]:
+    """Same-scene orbit sessions, phase-shifted per client."""
+    spec = CATALOG[scene]
+    return [
+        StreamSession(
+            session_id=f"{scene}-{i}",
+            scene=scene,
+            trajectory=CameraTrajectory.for_scene(
+                spec,
+                kind="orbit",
+                n_frames=n_frames,
+                phase_deg=i * 360.0 / n_sessions,
+            ),
+        )
+        for i in range(n_sessions)
+    ]
+
+
+def test_stream_throughput(benchmark):
+    rows = []
+    reuse = None
+    for workers in WORKER_COUNTS:
+        sessions = _make_sessions(DEFAULT_SCENE, N_SESSIONS, N_FRAMES)
+        with StreamServer(workers=workers) as server:
+            server.warm_up()
+            results, summary = server.serve_timed(sessions)
+        rows.append(
+            {
+                "workers": summary.workers,
+                "sessions": summary.sessions,
+                "total_frames": summary.total_frames,
+                "sim_makespan_seconds": summary.sim_makespan_seconds,
+                "sim_frames_per_sec": summary.sim_frames_per_sec,
+                "wall_seconds": summary.wall_seconds,
+                "wall_frames_per_sec": summary.wall_frames_per_sec,
+            }
+        )
+        if reuse is None:
+            # Reuse summary from the first pool's first session: frame 0
+            # of the stream *is* the cold single-frame baseline.
+            rep = results[0].report
+            reuse = {
+                "trajectory": rep.trajectory,
+                "n_frames": rep.n_frames,
+                "cold_hit_rate": rep.cold_hit_rate,
+                "warm_hit_rate": rep.warm_hit_rate,
+                "per_frame_hit_rates": [f.hit_rate for f in rep.frames],
+                "binning_reuse": rep.binning_reuse,
+                "mean_sim_fps": rep.mean_sim_fps,
+            }
+
+    sim_by_workers = {r["workers"]: r["sim_frames_per_sec"] for r in rows}
+    lo, hi = min(sim_by_workers), max(sim_by_workers)
+    scaling = sim_by_workers[hi] / sim_by_workers[lo] if sim_by_workers[lo] else 0.0
+
+    payload = {
+        "benchmark": "stream_throughput",
+        "methodology": (
+            "N phase-shifted orbit sessions served to completion per pool "
+            "size; sim throughput = total frames / busiest worker's summed "
+            "paper-scale frame latencies (deployment scaling); wall "
+            "throughput = host wall-clock of the simulation (informational, "
+            f"host has {os.cpu_count()} core(s))"
+        ),
+        "scene": DEFAULT_SCENE,
+        "sessions": N_SESSIONS,
+        "frames_per_session": N_FRAMES,
+        "host_cores": os.cpu_count(),
+        "summary": {
+            "worker_counts": sorted(sim_by_workers),
+            "sim_scaling": scaling,
+            "sim_scaling_span": [lo, hi],
+        },
+        "reuse": reuse,
+        "pools": rows,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"\n=== stream throughput ({DEFAULT_SCENE}) -> {OUTPUT.name} ===")
+    print(f"{'workers':>8}{'sim f/s':>10}{'wall f/s':>10}")
+    for r in rows:
+        print(
+            f"{r['workers']:>8}{r['sim_frames_per_sec']:>10.1f}"
+            f"{r['wall_frames_per_sec']:>10.2f}"
+        )
+    print(
+        f"scaling {lo}->{hi} workers: {scaling:.2f}x (floor {MIN_SCALING}x); "
+        f"reuse cold {reuse['cold_hit_rate']:.3f} -> warm "
+        f"{reuse['warm_hit_rate']:.3f}"
+    )
+
+    assert scaling >= MIN_SCALING, (
+        f"simulated serving throughput must scale >= {MIN_SCALING}x from "
+        f"{lo} to {hi} workers, measured {scaling:.2f}x"
+    )
+    assert reuse["warm_hit_rate"] > reuse["cold_hit_rate"], (
+        "cross-frame reuse-cache hit rate "
+        f"({reuse['warm_hit_rate']:.3f}) must beat the single-frame "
+        f"cold-cache rate ({reuse['cold_hit_rate']:.3f})"
+    )
+
+    # pytest-benchmark bookkeeping: a short in-process 2-frame stream.
+    spec = CATALOG[DEFAULT_SCENE]
+    trajectory = CameraTrajectory.for_scene(spec, kind="orbit", n_frames=2)
+    benchmark.pedantic(
+        lambda: FrameStream(DEFAULT_SCENE, trajectory).run(),
+        rounds=3,
+        iterations=1,
+    )

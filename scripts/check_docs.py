@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Offline documentation gate.
+
+Two checks, both dependency-free so they run in CI and offline
+environments alike (``tests/test_docs.py`` wires them into the tier-1
+suite):
+
+1. **Module docstrings** — every module under ``src/repro/`` must open
+   with a docstring (the modules are the API reference; an
+   undocumented module is a dead end for readers).
+2. **No dead paths** — every repository path referenced from
+   ``README.md`` and ``docs/*.md`` must exist.  References are
+   harvested from markdown link targets, inline code spans and fenced
+   code blocks; a token counts as a repository path when it lives
+   under a known top-level directory (``src/``, ``docs/``, ``tests/``,
+   ``benchmarks/``, ``examples/``, ``scripts/``, ``.github/``) or is a
+   root-level file name with a documentation-ish extension.  Glob
+   patterns (e.g. ``BENCH_*.json``) pass when they match at least one
+   file.
+
+Usage: python scripts/check_docs.py   (from anywhere; paths resolve
+against the repository root).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories whose prefixed tokens are treated as repository paths.
+PATH_ROOTS = ("src", "docs", "tests", "benchmarks", "examples", "scripts", ".github")
+
+#: Extensions a bare root-level file reference may have.
+ROOT_FILE_EXTENSIONS = (".md", ".json", ".toml", ".py", ".yml", ".cfg", ".txt")
+
+#: Markdown files whose path references are verified.
+DOC_FILES = ("README.md", "docs")
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_SPAN_RE = re.compile(r"`([^`\n]+)`")
+_FENCE_RE = re.compile(r"```.*?\n(.*?)```", re.DOTALL)
+_TOKEN_RE = re.compile(r"^[\w.*/-]+$")
+
+
+def check_module_docstrings(src_root: Path) -> list[str]:
+    """Every module under ``src_root`` must have a module docstring."""
+    messages = []
+    for path in sorted(src_root.rglob("*.py")):
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError as exc:  # pragma: no cover - tree must parse
+            messages.append(f"{path.relative_to(REPO_ROOT)}: syntax error: {exc.msg}")
+            continue
+        if ast.get_docstring(tree) is None:
+            messages.append(
+                f"{path.relative_to(REPO_ROOT)}:1: missing module docstring"
+            )
+    return messages
+
+
+def _looks_like_path(token: str) -> bool:
+    token = token.strip()
+    if not token or not _TOKEN_RE.match(token):
+        return False
+    if "/" in token:
+        head = token.split("/", 1)[0]
+        return head in PATH_ROOTS
+    return token.endswith(ROOT_FILE_EXTENSIONS)
+
+
+def _exists(token: str, doc_dir: Path) -> bool:
+    """Resolve a referenced path.
+
+    Tokens with a directory component resolve against the repo root
+    (with the doc's own directory as fallback, so relative markdown
+    links between docs work).  Bare file names — ``camera.py`` named
+    inside a table row about its package — may live anywhere in the
+    tree.  Glob patterns pass when they match at least one file.
+    """
+    token = token.rstrip("/")
+    if "/" in token:
+        if "*" in token:
+            return any(REPO_ROOT.glob(token)) or any(doc_dir.glob(token))
+        return (REPO_ROOT / token).exists() or (doc_dir / token).exists()
+    if "*" in token:
+        return any(REPO_ROOT.rglob(token))
+    if (REPO_ROOT / token).exists() or (doc_dir / token).exists():
+        return True
+    return any(REPO_ROOT.rglob(token))
+
+
+def referenced_paths(text: str) -> set[str]:
+    """Repository-path tokens referenced by one markdown document."""
+    tokens: set[str] = set()
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "#", "mailto:")):
+            continue
+        tokens.add(target.split("#", 1)[0])
+    for regex in (_CODE_SPAN_RE, _FENCE_RE):
+        for match in regex.finditer(text):
+            for word in match.group(1).split():
+                tokens.add(word.strip(",;:()'\""))
+    return {t for t in tokens if _looks_like_path(t)}
+
+
+def check_doc_paths(doc_files: list[Path]) -> list[str]:
+    """Every repository path referenced in the docs must exist."""
+    messages = []
+    for doc in doc_files:
+        text = doc.read_text()
+        for token in sorted(referenced_paths(text)):
+            if not _exists(token, doc.parent):
+                messages.append(
+                    f"{doc.relative_to(REPO_ROOT)}: dead path '{token}'"
+                )
+    return messages
+
+
+def collect_doc_files() -> list[Path]:
+    files = []
+    for entry in DOC_FILES:
+        path = REPO_ROOT / entry
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def main() -> int:
+    failures = check_module_docstrings(REPO_ROOT / "src" / "repro")
+    failures += check_doc_paths(collect_doc_files())
+    for message in failures:
+        print(message)
+    if failures:
+        print(f"{len(failures)} documentation error(s)")
+        return 1
+    n_docs = len(collect_doc_files())
+    print(f"docs OK: all modules docstringed, no dead paths in {n_docs} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,8 +5,27 @@ so PEP 517 editable installs (which build a wheel) fail.  This shim
 enables the legacy editable path:
 
     pip install -e . --no-build-isolation --no-use-pep517
+
+Installation also registers the ``repro-stream`` console script; the
+uninstalled equivalent is ``PYTHONPATH=src python -m repro.stream``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-gbu",
+    version="1.0.0",
+    description=(
+        "Python reproduction of 'Gaussian Blending Unit: An Edge GPU "
+        "Plug-in for Real-Time Gaussian-Based Rendering in AR/VR'"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-stream=repro.stream.cli:main",
+        ]
+    },
+)

@@ -1,0 +1,95 @@
+"""Streaming study: cross-frame reuse over the evaluation scenes.
+
+Quantifies what the frame-sequence layer (:mod:`repro.stream`) buys on
+top of single-frame rendering: for one representative scene per
+application class (or any requested subset), a head-jitter trajectory
+is streamed and the study reports
+
+* the cold (single-frame) vs. warm (cross-frame) reuse-cache hit rate,
+* the fraction of (tile, Gaussian) binning instances served from the
+  previous frame,
+* the simulated frame rate of the stream, and
+* the scene's motion magnitude (0 for static scenes), which explains
+  why reuse differs across application classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scenes.catalog import CATALOG, AppType, SceneSpec, build_scene
+from repro.stream.pipeline import FrameStream, StreamReport
+from repro.stream.trajectory import CameraTrajectory
+
+#: One representative scene per application class (catalog order).
+DEFAULT_SCENES = ("bicycle", "flame_steak", "female_4")
+
+
+@dataclass(frozen=True)
+class StreamStudyPoint:
+    """One scene's streaming outcome."""
+
+    scene: str
+    app_type: AppType
+    trajectory: str
+    n_frames: int
+    cold_hit_rate: float
+    warm_hit_rate: float
+    binning_reuse: float
+    mean_sim_fps: float
+    motion: float
+
+    @property
+    def hit_rate_gain(self) -> float:
+        """Warm-over-cold hit-rate improvement (absolute)."""
+        return self.warm_hit_rate - self.cold_hit_rate
+
+
+def scene_motion(spec: SceneSpec, bundle, n_frames: int) -> float:
+    """Mean per-frame Gaussian motion along the stream (world units)."""
+    if spec.app_type is not AppType.DYNAMIC or bundle.temporal_model is None:
+        return 0.0
+    step = 1.0 / bundle.n_eval_frames
+    return bundle.temporal_model.mean_displacement(0.0, step)
+
+
+def stream_scene(
+    name: str,
+    kind: str = "head_jitter",
+    n_frames: int = 16,
+    detail: float = 1.0,
+    seed: int = 0,
+) -> tuple[StreamStudyPoint, StreamReport]:
+    """Stream one scene and summarize its cross-frame reuse."""
+    spec = CATALOG[name]
+    trajectory = CameraTrajectory.for_scene(
+        spec, kind=kind, n_frames=n_frames, seed=seed, detail=detail
+    )
+    bundle = build_scene(spec, detail=detail)
+    stream = FrameStream(spec, trajectory, detail=detail, bundle=bundle)
+    report = stream.run()
+    point = StreamStudyPoint(
+        scene=name,
+        app_type=spec.app_type,
+        trajectory=kind,
+        n_frames=report.n_frames,
+        cold_hit_rate=report.cold_hit_rate,
+        warm_hit_rate=report.warm_hit_rate,
+        binning_reuse=report.binning_reuse,
+        mean_sim_fps=report.mean_sim_fps,
+        motion=scene_motion(spec, bundle, n_frames),
+    )
+    return point, report
+
+
+def stream_reuse_study(
+    scenes: tuple[str, ...] = DEFAULT_SCENES,
+    kind: str = "head_jitter",
+    n_frames: int = 16,
+    detail: float = 1.0,
+) -> list[StreamStudyPoint]:
+    """The per-application-class streaming table."""
+    return [
+        stream_scene(name, kind=kind, n_frames=n_frames, detail=detail)[0]
+        for name in scenes
+    ]

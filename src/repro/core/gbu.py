@@ -23,7 +23,12 @@ from repro.config import DEFAULT_CHUNK_SIZE, DEFAULT_SETTINGS, RenderSettings
 from repro.core.dnb import reuse_distance_table, run_dnb
 from repro.core.irss import IRSSRenderResult, render_irss
 from repro.core.pipeline import chunk_count, chunked_overlap_seconds
-from repro.core.reuse_cache import POLICIES, CacheReport
+from repro.core.reuse_cache import (
+    POLICIES,
+    CacheReport,
+    FrameCacheSample,
+    TemporalReuseSimulator,
+)
 from repro.core.tile_engine import TileEngineReport, simulate_tile_engine
 from repro.errors import DeviceBusyError, ValidationError
 from repro.gaussians.projection import Projected2D
@@ -95,6 +100,10 @@ class GBUReport:
     step3_seconds: float
     feature_bytes_fetched: float
     feature_bytes_demanded: float
+    #: Set when the frame was rendered with a warm cross-frame cache
+    #: (``cache_state=`` in :meth:`GBUDevice.render`); ``cache`` then
+    #: holds the warm counters and this sample adds stream context.
+    cache_sample: FrameCacheSample | None = None
 
     @property
     def image(self) -> np.ndarray:
@@ -153,6 +162,8 @@ class GBUDevice:
         settings: RenderSettings = DEFAULT_SETTINGS,
         scales: ScaleFactors = ScaleFactors(),
         lists: RenderLists | None = None,
+        cache_state: TemporalReuseSimulator | None = None,
+        feature_ids: np.ndarray | None = None,
     ) -> GBUReport:
         """Render one frame and account its cycles.
 
@@ -167,6 +178,19 @@ class GBUDevice:
         lists:
             Pre-binned render lists; only honored when the D&B engine
             is disabled (otherwise the engine bins exactly itself).
+        cache_state:
+            Warm cross-frame reuse-cache state (streaming mode).  When
+            given, the frame's feature traffic runs through the
+            persistent :class:`TemporalReuseSimulator` instead of a
+            cold per-frame cache; build one with
+            :meth:`new_cache_state` and reuse it across the frames of
+            one stream session.
+        feature_ids:
+            Frame-stable identity per visible Gaussian (typically
+            ``projected.source_index``), required for ``cache_state``
+            to recognize the same Gaussian across frames.  Without it
+            the raw visible indices are used, which is only valid when
+            the visible set is frame-invariant.
         """
         # --- Decomposition & Binning ---
         if self.config.use_dnb:
@@ -201,10 +225,16 @@ class GBUDevice:
 
         # --- Feature traffic through the reuse cache ---
         trace, tile_of_access = reuse_distance_table(lists)
-        capacity = self.spec.cache_lines if self.config.use_cache else 0
-        cache = POLICIES[self.config.cache_policy](
-            capacity, self.spec.feature_bytes
-        ).simulate(trace, tile_of_access)
+        cache_sample: FrameCacheSample | None = None
+        if cache_state is not None:
+            stable = trace if feature_ids is None else feature_ids[trace]
+            cache_sample = cache_state.observe_frame(stable, tile_of_access)
+            cache = cache_sample.report
+        else:
+            capacity = self.spec.cache_lines if self.config.use_cache else 0
+            cache = POLICIES[self.config.cache_policy](
+                capacity, self.spec.feature_bytes
+            ).simulate(trace, tile_of_access)
 
         # --- Paper-scale seconds ---
         compute_s = engine.total_cycles * scales.fragment / self.spec.clock_hz
@@ -243,9 +273,25 @@ class GBUDevice:
             step3_seconds=step3_s,
             feature_bytes_fetched=feature_fetch,
             feature_bytes_demanded=demanded,
+            cache_sample=cache_sample,
         )
         self._last_report = report
         return report
+
+    def new_cache_state(self) -> TemporalReuseSimulator:
+        """A fresh warm-cache state sized for this device.
+
+        One state per stream session: capacity and policy come from the
+        device's spec/config (capacity 0 when the cache is disabled, so
+        streaming through a cacheless device degenerates to all
+        misses).
+        """
+        capacity = self.spec.cache_lines if self.config.use_cache else 0
+        return TemporalReuseSimulator(
+            capacity_lines=capacity,
+            bytes_per_line=self.spec.feature_bytes,
+            policy=self.config.cache_policy,
+        )
 
     # ------------------------------------------------------------------
     # Listing-1 style interface
@@ -258,12 +304,18 @@ class GBUDevice:
         sorted_index: RenderLists | None,
         frame_buffer: np.ndarray,
         ch: int = 3,
+        scales: ScaleFactors = ScaleFactors(),
+        cache_state: TemporalReuseSimulator | None = None,
+        feature_ids: np.ndarray | None = None,
     ) -> None:
         """C-interface shim of Listing 1.
 
         Triggers an asynchronous render into ``frame_buffer``; poll or
         block with :meth:`GBU_check_status`.  The ``sorted_index``
         argument carries the Step-2 output, as in the paper's API.
+        The keyword extensions (``scales``, ``cache_state``,
+        ``feature_ids``) mirror :meth:`render` so streaming servers can
+        drive the device through the busy/handshake protocol.
         """
         if self._busy:
             raise DeviceBusyError("GBU busy: frame already in flight")
@@ -276,7 +328,13 @@ class GBUDevice:
         if ch != 3:
             raise ValidationError("this model implements 3 color channels")
         self._busy = True
-        report = self.render(input_feature, lists=sorted_index)
+        report = self.render(
+            input_feature,
+            scales=scales,
+            lists=sorted_index,
+            cache_state=cache_state,
+            feature_ids=feature_ids,
+        )
         self._pending_copy = (frame_buffer, report.image)
 
     def GBU_check_status(self, blocking: bool = False) -> int:

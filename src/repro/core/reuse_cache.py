@@ -13,6 +13,21 @@ access trace is precomputable (the paper's key insight, Fig. 12).
 This module simulates the RD policy together with LRU and FIFO
 baselines used by the ablation study, and provides the size sweep of
 Fig. 17.
+
+Two simulation modes are provided:
+
+* **Cold (single frame)** — :class:`ReuseDistanceCache` /
+  :class:`LRUCache` / :class:`FIFOCache` start from an empty cache,
+  exactly as the paper evaluates one frame in isolation.
+* **Temporal (streaming)** — :class:`TemporalReuseSimulator` keeps the
+  resident set alive *across* frames, modeling a head-tracked stream
+  where consecutive frames touch largely overlapping Gaussian sets.
+  Lines carried over from earlier frames serve *inter-frame* hits that
+  a cold cache would miss; per-frame and cumulative hit rates are
+  reported so serving layers (``repro.stream``) can quantify
+  cross-frame reuse.  Callers must key the trace by a frame-stable
+  Gaussian identity (e.g. ``Projected2D.source_index``) — per-frame
+  visible indices are not comparable across frames.
 """
 
 from __future__ import annotations
@@ -210,6 +225,245 @@ POLICIES = {
     "lru": LRUCache,
     "fifo": FIFOCache,
 }
+
+
+@dataclass(frozen=True)
+class FrameCacheSample:
+    """One frame of a :class:`TemporalReuseSimulator` run.
+
+    Attributes
+    ----------
+    frame:
+        0-based index of the frame within the stream.
+    report:
+        The frame's own access counters (warm-start state included).
+    carried_hits:
+        Hits served by lines that were already resident when the frame
+        began — the *inter-frame* reuse a cold cache cannot capture.
+    cumulative_accesses / cumulative_hits:
+        Running totals over the stream up to and including this frame.
+    """
+
+    frame: int
+    report: CacheReport
+    carried_hits: int
+    cumulative_accesses: int
+    cumulative_hits: int
+
+    @property
+    def cumulative_hit_rate(self) -> float:
+        if self.cumulative_accesses == 0:
+            return 0.0
+        return self.cumulative_hits / self.cumulative_accesses
+
+    @property
+    def carried_hit_rate(self) -> float:
+        """Fraction of this frame's accesses served by carried lines."""
+        if self.report.accesses == 0:
+            return 0.0
+        return self.carried_hits / self.report.accesses
+
+
+class TemporalReuseSimulator:
+    """Streaming (cross-frame) mode of the Gaussian Reuse Cache.
+
+    The simulator owns the resident set and is fed one frame trace at a
+    time through :meth:`observe_frame`.  Frame 0 starts cold, so its
+    report equals the single-frame simulation; every later frame starts
+    from the previous frame's resident lines.
+
+    For the reuse-distance policy, carried lines are re-keyed at the
+    start of every frame with their *first* use tile in the incoming
+    trace (``+inf`` when the Gaussian is not referenced this frame), so
+    eviction decisions stay Belady-optimal at tile granularity within
+    the frame.  LRU and FIFO carry their recency/arrival order across
+    the frame boundary unchanged.
+    """
+
+    def __init__(
+        self,
+        capacity_lines: int,
+        bytes_per_line: int = 32,
+        policy: str = "reuse_distance",
+    ) -> None:
+        if capacity_lines < 0:
+            raise ValidationError("capacity cannot be negative")
+        if policy not in POLICIES:
+            raise ValidationError(f"unknown cache policy '{policy}'")
+        self.capacity_lines = capacity_lines
+        self.bytes_per_line = bytes_per_line
+        self.policy = policy
+        self._resident: dict[int, float] = {}
+        self._samples: list[FrameCacheSample] = []
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all resident lines and frame history (cold restart)."""
+        self._resident.clear()
+        self._samples.clear()
+
+    @property
+    def samples(self) -> list[FrameCacheSample]:
+        """Per-frame samples observed so far (oldest first)."""
+        return list(self._samples)
+
+    @property
+    def frames_observed(self) -> int:
+        return len(self._samples)
+
+    @property
+    def resident_lines(self) -> int:
+        return len(self._resident)
+
+    @property
+    def cumulative_hit_rate(self) -> float:
+        if not self._samples:
+            return 0.0
+        return self._samples[-1].cumulative_hit_rate
+
+    @property
+    def cold_hit_rate(self) -> float:
+        """Frame 0's hit rate — the single-frame (cold cache) baseline."""
+        if not self._samples:
+            return 0.0
+        return self._samples[0].report.hit_rate
+
+    def per_frame_hit_rates(self) -> list[float]:
+        return [s.report.hit_rate for s in self._samples]
+
+    # ------------------------------------------------------------------
+    # Frame observation
+    # ------------------------------------------------------------------
+    def observe_frame(
+        self, trace: np.ndarray, tile_of_access: np.ndarray
+    ) -> FrameCacheSample:
+        """Feed one frame's feature-access trace through the warm cache.
+
+        ``trace`` must be keyed by a frame-stable Gaussian identity;
+        ``tile_of_access`` gives the traversal-order tile of each
+        access, as in the cold simulations.
+        """
+        _validate_trace(trace, tile_of_access)
+        n = trace.shape[0]
+        if self.capacity_lines == 0:
+            report = CacheReport(n, 0, n, 0, self.bytes_per_line)
+            return self._record(report, carried_hits=0)
+
+        if self.policy == "reuse_distance":
+            report, carried = self._observe_rd(trace, tile_of_access)
+        elif self.policy == "lru":
+            report, carried = self._observe_lru(trace)
+        else:  # fifo
+            report, carried = self._observe_fifo(trace)
+        return self._record(report, carried_hits=carried)
+
+    def _record(self, report: CacheReport, carried_hits: int) -> FrameCacheSample:
+        prev = self._samples[-1] if self._samples else None
+        sample = FrameCacheSample(
+            frame=len(self._samples),
+            report=report,
+            carried_hits=carried_hits,
+            cumulative_accesses=(prev.cumulative_accesses if prev else 0)
+            + report.accesses,
+            cumulative_hits=(prev.cumulative_hits if prev else 0) + report.hits,
+        )
+        self._samples.append(sample)
+        return sample
+
+    def _observe_rd(
+        self, trace: np.ndarray, tile_of_access: np.ndarray
+    ) -> tuple[CacheReport, int]:
+        n = trace.shape[0]
+        next_use = next_use_tiles(trace, tile_of_access)
+        # Re-key carried lines with their first use in this frame.
+        first_use: dict[int, float] = {}
+        for i in range(n - 1, -1, -1):
+            first_use[int(trace[i])] = float(tile_of_access[i])
+        resident = {
+            g: first_use.get(g, np.inf) for g in self._resident
+        }
+        heap: list[tuple[float, int]] = [(-nu, g) for g, nu in resident.items()]
+        heapq.heapify(heap)
+
+        hits = 0
+        carried = 0
+        touched: set[int] = set()
+        for i in range(n):
+            g = int(trace[i])
+            nu = float(next_use[i])
+            if g in resident:
+                hits += 1
+                if g not in touched:
+                    carried += 1
+                touched.add(g)
+                resident[g] = nu
+                heapq.heappush(heap, (-nu, g))
+                continue
+            touched.add(g)
+            if len(resident) >= self.capacity_lines:
+                while heap:
+                    neg_nu, victim = heapq.heappop(heap)
+                    if victim in resident and resident[victim] == -neg_nu:
+                        del resident[victim]
+                        break
+                else:
+                    raise SimulationError("eviction heap exhausted with full cache")
+            resident[g] = nu
+            heapq.heappush(heap, (-nu, g))
+        self._resident = resident
+        return (
+            CacheReport(n, hits, n - hits, self.capacity_lines, self.bytes_per_line),
+            carried,
+        )
+
+    def _observe_lru(self, trace: np.ndarray) -> tuple[CacheReport, int]:
+        n = trace.shape[0]
+        resident = self._resident
+        hits = 0
+        carried = 0
+        touched: set[int] = set()
+        for i in range(n):
+            g = int(trace[i])
+            if g in resident:
+                hits += 1
+                if g not in touched:
+                    carried += 1
+                del resident[g]
+            elif len(resident) >= self.capacity_lines:
+                oldest = next(iter(resident))
+                del resident[oldest]
+            touched.add(g)
+            resident[g] = 0.0
+        return (
+            CacheReport(n, hits, n - hits, self.capacity_lines, self.bytes_per_line),
+            carried,
+        )
+
+    def _observe_fifo(self, trace: np.ndarray) -> tuple[CacheReport, int]:
+        n = trace.shape[0]
+        resident = self._resident
+        hits = 0
+        carried = 0
+        touched: set[int] = set()
+        for i in range(n):
+            g = int(trace[i])
+            if g in resident:
+                hits += 1
+                if g not in touched:
+                    carried += 1
+                touched.add(g)
+                continue
+            if len(resident) >= self.capacity_lines:
+                oldest = next(iter(resident))
+                del resident[oldest]
+            touched.add(g)
+            resident[g] = 0.0
+        return (
+            CacheReport(n, hits, n - hits, self.capacity_lines, self.bytes_per_line),
+            carried,
+        )
 
 
 def sweep_cache_sizes(

@@ -86,6 +86,17 @@ class TemporalGaussianModel:
         Returns a 3D :class:`GaussianCloud` containing every kernel
         whose temporally-modulated opacity clears ``opacity_floor``.
         """
+        return self.at_time_indexed(t, opacity_floor=opacity_floor)[0]
+
+    def at_time_indexed(
+        self, t: float, opacity_floor: float = 1e-3
+    ) -> tuple[GaussianCloud, np.ndarray]:
+        """Slice at ``t`` and also return the surviving kernel indices.
+
+        The index array maps each row of the returned cloud back to
+        its 4D kernel, giving streaming layers a frame-stable Gaussian
+        identity even as transient kernels appear and disappear.
+        """
         phase = 2.0 * np.pi * self.frequencies * t + self.phases
         offset = (
             self.velocities * t + self.amplitudes * np.sin(phase)[:, None]
@@ -97,15 +108,32 @@ class TemporalGaussianModel:
         keep = opacities > opacity_floor
         if not np.any(keep):
             # Empty frame is legal (e.g. sampling far outside the clip).
-            return self.base.subset(np.zeros(0, dtype=np.int64))
+            empty = np.zeros(0, dtype=np.int64)
+            return self.base.subset(empty), empty
         idx = np.nonzero(keep)[0]
-        return GaussianCloud(
+        cloud = GaussianCloud(
             means=self.base.means[idx] + offset[idx],
             scales=self.base.scales[idx],
             quats=self.base.quats[idx],
             opacities=opacities[idx],
             sh=self.base.sh[idx],
         )
+        return cloud, idx
+
+    def mean_displacement(self, t0: float, t1: float) -> float:
+        """Mean kernel-center motion between two timesteps (world units).
+
+        A scene-level motion magnitude used by the streaming analysis
+        to correlate cross-frame reuse with how much the scene moved.
+        """
+        def offsets(t: float) -> np.ndarray:
+            phase = 2.0 * np.pi * self.frequencies * t + self.phases
+            return self.velocities * t + self.amplitudes * np.sin(phase)[:, None]
+
+        delta = offsets(t1) - offsets(t0)
+        if delta.shape[0] == 0:
+            return 0.0
+        return float(np.mean(np.linalg.norm(delta, axis=1)))
 
     def slice_flops_per_gaussian(self) -> int:
         """Effective Step-1a GPU cost per kernel per frame.

@@ -127,28 +127,25 @@ def tile_rect_of_footprint(
     return int(tx0[0]), int(ty0[0]), int(tx1[0]), int(ty1[0])
 
 
-def bin_gaussians_flat(
-    grid: TileGrid, means2d: np.ndarray, radii: np.ndarray
+def instances_for_rects(
+    grid: TileGrid,
+    tx0: np.ndarray,
+    ty0: np.ndarray,
+    tx1: np.ndarray,
+    ty1: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Conservative AABB binning as flat instance arrays.
+    """Flat (owner, tile) enumeration of tile-index rectangles.
 
-    Vectorized duplication step: every Gaussian is replicated once per
-    tile its bounding box overlaps, with no Python-level per-Gaussian
-    loop.  Returns ``(tile_ids, gaussian_ids)`` int64 arrays of equal
-    length (one entry per (tile, Gaussian) instance), ordered
-    Gaussian-major with row-major tiles inside each Gaussian — the
-    exact enumeration order of the scalar double loop it replaces.
+    The single vectorized duplication core: every rectangle row is
+    replicated once per tile it covers, with no Python-level loop.
+    Returns ``(owner, tile_ids)`` int64 arrays of equal length, where
+    ``owner`` indexes into the rectangle arrays; instances are ordered
+    owner-major with row-major tiles inside each owner — the exact
+    enumeration order of the scalar double loop.  Both the cold
+    binning (:func:`bin_gaussians_flat`) and the warm-started
+    streaming binner reuse this core, which is what keeps their
+    outputs bit-identical.
     """
-    means2d = np.asarray(means2d, dtype=np.float64)
-    radii = np.asarray(radii, dtype=np.float64)
-    if means2d.shape[0] != radii.shape[0]:
-        raise ValidationError("means2d and radii must have matching length")
-    n = means2d.shape[0]
-    if n == 0:
-        empty = np.zeros((0,), dtype=np.int64)
-        return empty, empty.copy()
-
-    tx0, ty0, tx1, ty1 = tile_rects_of_footprints(grid, means2d, radii)
     nx = np.maximum(tx1 - tx0, 0)
     ny = np.maximum(ty1 - ty0, 0)
     counts = nx * ny
@@ -157,18 +154,38 @@ def bin_gaussians_flat(
         empty = np.zeros((0,), dtype=np.int64)
         return empty, empty.copy()
 
-    gaussian_ids = np.repeat(np.arange(n, dtype=np.int64), counts)
-    # Rank of each instance within its Gaussian's tile rectangle.
+    owner = np.repeat(np.arange(counts.shape[0], dtype=np.int64), counts)
+    # Rank of each instance within its owner's tile rectangle.
     starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
     local = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
-    nx_rep = nx[gaussian_ids]
+    nx_rep = nx[owner]
     local_ty = local // nx_rep
     local_tx = local - local_ty * nx_rep
-    tile_ids = (
-        (ty0[gaussian_ids] + local_ty) * grid.tiles_x
-        + tx0[gaussian_ids]
-        + local_tx
-    )
+    tile_ids = (ty0[owner] + local_ty) * grid.tiles_x + tx0[owner] + local_tx
+    return owner, tile_ids
+
+
+def bin_gaussians_flat(
+    grid: TileGrid, means2d: np.ndarray, radii: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Conservative AABB binning as flat instance arrays.
+
+    Vectorized duplication step: every Gaussian is replicated once per
+    tile its bounding box overlaps (see :func:`instances_for_rects`).
+    Returns ``(tile_ids, gaussian_ids)`` int64 arrays of equal length
+    (one entry per (tile, Gaussian) instance), ordered Gaussian-major
+    with row-major tiles inside each Gaussian — the exact enumeration
+    order of the scalar double loop it replaces.
+    """
+    means2d = np.asarray(means2d, dtype=np.float64)
+    radii = np.asarray(radii, dtype=np.float64)
+    if means2d.shape[0] != radii.shape[0]:
+        raise ValidationError("means2d and radii must have matching length")
+    if means2d.shape[0] == 0:
+        empty = np.zeros((0,), dtype=np.int64)
+        return empty, empty.copy()
+    tx0, ty0, tx1, ty1 = tile_rects_of_footprints(grid, means2d, radii)
+    gaussian_ids, tile_ids = instances_for_rects(grid, tx0, ty0, tx1, ty1)
     return tile_ids, gaussian_ids
 
 

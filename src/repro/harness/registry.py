@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.analysis import ablation as ablation_mod
 from repro.analysis import cache_study, literature, profiling, quality, scaling
-from repro.analysis import standalone_study
+from repro.analysis import standalone_study, streaming
 from repro.analysis.endtoend import evaluate_all_configs
 from repro.errors import ValidationError
 from repro.harness.tables import format_table
@@ -377,6 +377,40 @@ def tab6_tab7_standalone(detail: float = 1.0) -> ExperimentOutput:
     return ExperimentOutput("tab6_tab7", table, measured)
 
 
+def stream_reuse(detail: float = 1.0) -> ExperimentOutput:
+    """Streaming extension: cross-frame reuse per application class."""
+    points = streaming.stream_reuse_study(detail=detail)
+    rows = [
+        [
+            p.scene,
+            p.app_type.value,
+            p.trajectory,
+            p.cold_hit_rate,
+            p.warm_hit_rate,
+            p.hit_rate_gain,
+            p.binning_reuse,
+            p.mean_sim_fps,
+            p.motion,
+        ]
+        for p in points
+    ]
+    table = format_table(
+        [
+            "scene",
+            "type",
+            "path",
+            "cold hit",
+            "warm hit",
+            "gain",
+            "bin reuse",
+            "sim FPS",
+            "motion",
+        ],
+        rows,
+    )
+    return ExperimentOutput("stream", table, points)
+
+
 EXPERIMENTS: dict[str, Callable[..., ExperimentOutput]] = {
     "fig1": fig1_landscape,
     "tab1": tab1_datasets,
@@ -393,6 +427,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentOutput]] = {
     "sec5a": sec5a_memory,
     "sec6f": sec6f_distance,
     "tab6_tab7": tab6_tab7_standalone,
+    "stream": stream_reuse,
 }
 
 

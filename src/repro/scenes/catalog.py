@@ -115,6 +115,27 @@ class SceneSpec:
     def paper_fragment_ratio(self) -> float:
         return PAPER_FRAGMENT_RATIO[self.app_type]
 
+    def eval_resolution(self, detail: float = 1.0) -> tuple[int, int]:
+        """Detail-scaled render resolution (linear scale, 32-px floor).
+
+        The single definition shared by :func:`build_scene` and the
+        streaming trajectories, so streamed frames stay comparable
+        with the single-frame experiments.
+        """
+        if detail <= 0:
+            raise ValidationError("detail must be positive")
+        width = max(int(self.width * np.sqrt(detail)), 32)
+        height = max(int(self.height * np.sqrt(detail)), 32)
+        return width, height
+
+    def eval_eye(self) -> list[float]:
+        """The evaluation camera's eye position (orbit placement)."""
+        return [
+            self.camera_radius * 0.8,
+            self.camera_height,
+            -self.camera_radius * 0.6,
+        ]
+
 
 @dataclass
 class SceneBundle:
@@ -134,21 +155,70 @@ class SceneBundle:
     avatar_model: AvatarModel | None = None
     n_eval_frames: int = 8
 
+    @property
+    def is_static(self) -> bool:
+        """True when every frame shares the same Gaussian cloud."""
+        return self.spec.app_type is AppType.STATIC
+
+    def frame_clock(self, frame: int = 0) -> int:
+        """Scene-side identity of a frame's Gaussian cloud.
+
+        Static scenes return 0 forever; animated scenes tick through
+        their evaluation loop (``frame % n_eval_frames``).  Streaming
+        layers combine this with the camera pose to key cross-frame
+        caches: equal clocks guarantee equal clouds.
+        """
+        if self.is_static:
+            return 0
+        return frame % self.n_eval_frames
+
     def frame_cloud(self, frame: int = 0) -> tuple[GaussianCloud, int]:
+        cloud, extra_flops, _ = self.frame_cloud_indexed(frame)
+        return cloud, extra_flops
+
+    def frame_cloud_indexed(
+        self, frame: int = 0
+    ) -> tuple[GaussianCloud, int, np.ndarray]:
+        """Like :meth:`frame_cloud`, plus frame-stable source indices.
+
+        The third element maps each cloud row to a stable Gaussian
+        identity within the scene's model (static cloud row, 4D kernel
+        index, or avatar splat index) — what streaming layers key
+        their cross-frame caches on.  For static and avatar scenes the
+        mapping is the identity; dynamic scenes cull transient kernels,
+        so rows shift between frames.
+        """
         t = (frame % self.n_eval_frames) / self.n_eval_frames
         if self.spec.app_type is AppType.STATIC:
             if self.static_cloud is None:
                 raise ValidationError("static scene missing its cloud")
-            return self.static_cloud, 0
+            ids = np.arange(len(self.static_cloud), dtype=np.int64)
+            return self.static_cloud, 0, ids
         if self.spec.app_type is AppType.DYNAMIC:
             if self.temporal_model is None:
                 raise ValidationError("dynamic scene missing its temporal model")
-            cloud = self.temporal_model.at_time(t)
-            return cloud, self.temporal_model.slice_flops_per_gaussian()
+            cloud, ids = self.temporal_model.at_time_indexed(t)
+            return cloud, self.temporal_model.slice_flops_per_gaussian(), ids
         if self.avatar_model is None:
             raise ValidationError("avatar scene missing its model")
         cloud = self.avatar_model.at_pose(walking_pose(t))
-        return cloud, self.avatar_model.skinning_flops_per_gaussian()
+        ids = np.arange(len(cloud), dtype=np.int64)
+        return cloud, self.avatar_model.skinning_flops_per_gaussian(), ids
+
+    @property
+    def n_source_gaussians(self) -> int:
+        """Size of the stable Gaussian universe across every frame."""
+        if self.spec.app_type is AppType.STATIC:
+            if self.static_cloud is None:
+                raise ValidationError("static scene missing its cloud")
+            return len(self.static_cloud)
+        if self.spec.app_type is AppType.DYNAMIC:
+            if self.temporal_model is None:
+                raise ValidationError("dynamic scene missing its temporal model")
+            return len(self.temporal_model)
+        if self.avatar_model is None:
+            raise ValidationError("avatar scene missing its model")
+        return len(self.avatar_model.rest_cloud)
 
 
 def _static_specs() -> list[SceneSpec]:
@@ -296,11 +366,10 @@ def build_scene(spec_or_name: SceneSpec | str, detail: float = 1.0) -> SceneBund
         raise ValidationError("detail must be positive")
     rng = np.random.default_rng(spec.seed)
     n = max(int(spec.n_gaussians * detail), 50)
-    width = max(int(spec.width * np.sqrt(detail)), 32)
-    height = max(int(spec.height * np.sqrt(detail)), 32)
+    width, height = spec.eval_resolution(detail)
 
     camera = Camera.look_at(
-        eye=[spec.camera_radius * 0.8, spec.camera_height, -spec.camera_radius * 0.6],
+        eye=spec.eval_eye(),
         target=[0.0, 0.0, 0.0],
         width=width,
         height=height,

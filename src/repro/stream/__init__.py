@@ -1,0 +1,51 @@
+"""Frame-sequence streaming: trajectories, warm pipelines, serving.
+
+The paper's target is a *stream* of head-tracked frames, not isolated
+images.  This package layers a serving subsystem on top of the
+single-frame renderer:
+
+* :mod:`repro.stream.trajectory` — deterministic camera paths (orbit,
+  dolly, head jitter, frozen) built on :mod:`repro.gaussians.camera`;
+* :mod:`repro.stream.binning` — warm-started tile binning that carries
+  (tile, Gaussian) instances across frames and regenerates only the
+  Gaussians whose tile footprint moved;
+* :mod:`repro.stream.pipeline` — :class:`FrameStream`, the per-session
+  pipeline that renders a trajectory over any catalog scene while
+  persisting binning state and the temporal reuse-cache mode of
+  :class:`repro.core.reuse_cache.TemporalReuseSimulator`;
+* :mod:`repro.stream.server` — :class:`StreamServer`, multiplexing N
+  client sessions over a ``concurrent.futures`` worker pool with one
+  :class:`repro.core.gbu.GBUDevice` per worker and request batching of
+  same-scene sessions;
+* :mod:`repro.stream.cli` — the ``repro-stream`` command line
+  (also ``python -m repro.stream``).
+"""
+
+from repro.stream.binning import BinningStats, WarmBinner
+from repro.stream.pipeline import (
+    FrameRecord,
+    FrameStream,
+    StreamReport,
+    streaming_config,
+)
+from repro.stream.server import (
+    ServeSummary,
+    SessionResult,
+    StreamServer,
+    StreamSession,
+)
+from repro.stream.trajectory import CameraTrajectory
+
+__all__ = [
+    "BinningStats",
+    "WarmBinner",
+    "FrameRecord",
+    "FrameStream",
+    "StreamReport",
+    "streaming_config",
+    "ServeSummary",
+    "SessionResult",
+    "StreamServer",
+    "StreamSession",
+    "CameraTrajectory",
+]

@@ -1,0 +1,352 @@
+"""The per-session frame-sequence pipeline.
+
+A :class:`FrameStream` renders a :class:`~repro.stream.trajectory.
+CameraTrajectory` over one catalog scene (static, dynamic or avatar)
+through a :class:`~repro.core.gbu.GBUDevice`, *persisting* cross-frame
+state between frames:
+
+* **Warm tile binning** — the :class:`~repro.stream.binning.WarmBinner`
+  carries (tile, Gaussian) instances across frames and regenerates
+  only Gaussians whose tile rectangle moved (Step 2 amortized over the
+  stream);
+* **Temporal reuse cache** — the device renders with a
+  :class:`~repro.core.reuse_cache.TemporalReuseSimulator`, so feature
+  lines stay resident across frames and the per-frame / cumulative
+  hit rates quantify inter-frame reuse (frame 0 doubles as the
+  single-frame cold baseline).
+
+Timing model: each frame's simulated latency is the steady-state
+GPU/GBU pipeline of :class:`~repro.core.pipeline.PipelinedFrame`.
+The GPU side is Step 1 plus a depth-sort-only Step 2 — binning is
+served incrementally from the warm state, mirroring how the D&B
+engine removes the duplication kernels in the ``gbu_dnb``
+configuration — and the GBU side is the device's Step-3 roofline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.endtoend import SYNC_SECONDS
+from repro.core.gbu import GBUConfig, GBUDevice, GBUReport
+from repro.core.pipeline import PipelinedFrame
+from repro.core.reuse_cache import FrameCacheSample
+from repro.errors import DeviceBusyError, ValidationError
+from repro.gaussians import project
+from repro.gpu import FrameWorkload, GPUTimingModel, ScaleFactors
+from repro.scenes import SceneBundle, SceneSpec, build_scene
+from repro.scenes.catalog import CATALOG
+from repro.stream.binning import BinningStats, WarmBinner, camera_fingerprint
+from repro.stream.trajectory import CameraTrajectory
+
+
+def streaming_config(
+    backend: str | None = "vectorized",
+    cache_policy: str = "reuse_distance",
+    fp16: bool = True,
+    use_cache: bool = True,
+) -> GBUConfig:
+    """The GBU configuration used for stream serving.
+
+    The D&B engine is off because Rendering Step 2 is served from the
+    session's warm binning state; the reuse cache runs in its temporal
+    mode.  The vectorized backend is the serving default (pixel-exact,
+    ~5x faster combined than the reference loops — see
+    ``BENCH_render_speed.json``).
+    """
+    return GBUConfig(
+        use_dnb=False,
+        use_cache=use_cache,
+        cache_policy=cache_policy,
+        fp16=fp16,
+        backend=backend,
+    )
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Everything one streamed frame produced.
+
+    Attributes
+    ----------
+    frame:
+        0-based frame index within the stream.
+    n_visible / n_instances:
+        Culled Gaussian count and (tile, Gaussian) pair count.
+    sim_seconds:
+        Paper-scale steady-state frame latency (pipelined GPU + GBU).
+    wall_seconds:
+        Host wall-clock spent producing the frame (throughput metric).
+    cache:
+        The warm (cross-frame) cache sample for this frame.
+    binning:
+        What the warm binner reused vs. regenerated.
+    image:
+        The rendered frame (``None`` unless images are kept).
+    """
+
+    frame: int
+    n_visible: int
+    n_instances: int
+    sim_seconds: float
+    wall_seconds: float
+    cache: FrameCacheSample
+    binning: BinningStats
+    image: np.ndarray | None = None
+
+    @property
+    def sim_fps(self) -> float:
+        return 1.0 / self.sim_seconds
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache.report.hit_rate
+
+
+@dataclass
+class StreamReport:
+    """Summary of one rendered stream (one session's frames)."""
+
+    scene: str
+    trajectory: str
+    frames: list[FrameRecord] = field(default_factory=list)
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def cold_hit_rate(self) -> float:
+        """Frame 0's hit rate — the single-frame cold-cache baseline."""
+        return self.frames[0].hit_rate if self.frames else 0.0
+
+    @property
+    def warm_hit_rate(self) -> float:
+        """Cumulative hit rate over the whole stream (warm cache)."""
+        return self.frames[-1].cache.cumulative_hit_rate if self.frames else 0.0
+
+    @property
+    def binning_reuse(self) -> float:
+        """Mean instance-reuse fraction over the warm frames (1..n)."""
+        warm = self.frames[1:]
+        if not warm:
+            return 0.0
+        return float(np.mean([f.binning.reuse_fraction for f in warm]))
+
+    @property
+    def wall_seconds(self) -> float:
+        return float(sum(f.wall_seconds for f in self.frames))
+
+    @property
+    def wall_fps(self) -> float:
+        """Host frames/sec actually sustained (throughput)."""
+        total = self.wall_seconds
+        return len(self.frames) / total if total > 0 else 0.0
+
+    @property
+    def mean_sim_fps(self) -> float:
+        if not self.frames:
+            return 0.0
+        return float(np.mean([f.sim_fps for f in self.frames]))
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (per-frame and aggregate)."""
+        return {
+            "scene": self.scene,
+            "trajectory": self.trajectory,
+            "n_frames": self.n_frames,
+            "cold_hit_rate": self.cold_hit_rate,
+            "warm_hit_rate": self.warm_hit_rate,
+            "binning_reuse": self.binning_reuse,
+            "wall_fps": self.wall_fps,
+            "mean_sim_fps": self.mean_sim_fps,
+            "frames": [
+                {
+                    "frame": f.frame,
+                    "n_visible": f.n_visible,
+                    "n_instances": f.n_instances,
+                    "sim_fps": f.sim_fps,
+                    "hit_rate": f.hit_rate,
+                    "cumulative_hit_rate": f.cache.cumulative_hit_rate,
+                    "carried_hit_rate": f.cache.carried_hit_rate,
+                    "binning_reuse": f.binning.reuse_fraction,
+                    "full_reuse": f.binning.full_reuse,
+                }
+                for f in self.frames
+            ],
+        }
+
+
+class FrameStream:
+    """Render a camera trajectory over one scene with persistent state.
+
+    Parameters
+    ----------
+    scene:
+        Catalog scene (name, spec, or a pre-built bundle via
+        ``bundle=``).
+    trajectory:
+        The camera path; its resolution defines the frame size.
+    config:
+        GBU feature configuration; defaults to :func:`streaming_config`.
+        The D&B engine must be off — Step 2 is owned by the warm
+        binner.
+    detail:
+        Scene detail multiplier (tests use < 1).
+    keep_images:
+        Retain each frame's image on its :class:`FrameRecord`.
+    device:
+        Share an existing :class:`GBUDevice` (the server gives every
+        worker one device multiplexed across its sessions); the device
+        is driven through the Listing-1 busy/handshake protocol, so a
+        frame left in flight by another session raises — and is
+        drained via — :class:`~repro.errors.DeviceBusyError`.
+    """
+
+    def __init__(
+        self,
+        scene: SceneSpec | str,
+        trajectory: CameraTrajectory,
+        config: GBUConfig | None = None,
+        detail: float = 1.0,
+        keep_images: bool = False,
+        bundle: SceneBundle | None = None,
+        device: GBUDevice | None = None,
+    ) -> None:
+        spec = CATALOG[scene] if isinstance(scene, str) else scene
+        if device is not None and config is not None and device.config != config:
+            raise ValidationError("pass either a device or a config, not both")
+        if bundle is not None and bundle.spec != spec:
+            raise ValidationError(
+                f"bundle was built for scene '{bundle.spec.name}', "
+                f"stream requested '{spec.name}'"
+            )
+        config = (
+            device.config
+            if device is not None
+            else (streaming_config() if config is None else config)
+        )
+        if config.use_dnb:
+            raise ValidationError(
+                "FrameStream owns Rendering Step 2 (warm binning); "
+                "use a config with use_dnb=False (see streaming_config())"
+            )
+        self.spec = spec
+        self.trajectory = trajectory
+        self.bundle = bundle if bundle is not None else build_scene(spec, detail=detail)
+        self.device = device if device is not None else GBUDevice(config=config)
+        self.keep_images = keep_images
+        self.scales = ScaleFactors.for_scene(spec)
+        self._gpu_model = GPUTimingModel()
+        self.binner = WarmBinner(self.bundle.n_source_gaussians)
+        self.cache_state = self.device.new_cache_state()
+        self._next_frame = 0
+
+    @property
+    def frames_rendered(self) -> int:
+        return self._next_frame
+
+    def reset(self) -> None:
+        """Drop all cross-frame state and restart at frame 0."""
+        self.binner.reset()
+        self.cache_state.reset()
+        self._next_frame = 0
+
+    def render_next(self) -> FrameRecord:
+        """Render the next frame of the trajectory, advancing state."""
+        k = self._next_frame
+        t0 = time.perf_counter()
+        camera = self.trajectory.camera_at(k)
+        cloud, extra_flops, source_ids = self.bundle.frame_cloud_indexed(k)
+        projected = project(cloud, camera)
+        lists, binning = self.binner.build(
+            projected,
+            frame_key=(camera_fingerprint(camera), self.bundle.frame_clock(k)),
+            source_ids=source_ids,
+        )
+        report = self._render_via_device(projected, lists, source_ids)
+        sim_seconds = self._frame_seconds(report, len(projected), extra_flops)
+        wall = time.perf_counter() - t0
+        record = FrameRecord(
+            frame=k,
+            n_visible=len(projected),
+            n_instances=lists.n_instances,
+            sim_seconds=sim_seconds,
+            wall_seconds=wall,
+            cache=report.cache_sample,
+            binning=binning,
+            image=report.image if self.keep_images else None,
+        )
+        self._next_frame = k + 1
+        return record
+
+    def _render_via_device(self, projected, lists, source_ids) -> GBUReport:
+        """Issue the frame through the Listing-1 device protocol.
+
+        A device shared across a worker's sessions may still hold a
+        frame in flight; :class:`~repro.errors.DeviceBusyError` is
+        honored by draining the pending frame and re-issuing.
+        """
+        width, height = projected.image_size
+        frame_buffer = np.empty((height, width, 3), dtype=np.float64)
+        kwargs = dict(
+            scales=self.scales,
+            cache_state=self.cache_state,
+            feature_ids=source_ids[projected.source_index],
+        )
+        try:
+            self.device.GBU_render_image(
+                height, width, projected, lists, frame_buffer, **kwargs
+            )
+        except DeviceBusyError:
+            self.device.GBU_check_status(blocking=True)
+            self.device.GBU_render_image(
+                height, width, projected, lists, frame_buffer, **kwargs
+            )
+        self.device.GBU_check_status(blocking=True)
+        return self.device.last_report
+
+    def run(self, n_frames: int | None = None) -> StreamReport:
+        """Render ``n_frames`` (default: the whole trajectory)."""
+        n = self.trajectory.n_frames if n_frames is None else n_frames
+        if n <= 0:
+            raise ValidationError("stream needs at least one frame")
+        report = StreamReport(
+            scene=self.spec.name, trajectory=self.trajectory.kind
+        )
+        for _ in range(n):
+            report.frames.append(self.render_next())
+        return report
+
+    def _frame_seconds(
+        self, report: GBUReport, n_visible: int, extra_flops: float
+    ) -> float:
+        """Steady-state paper-scale frame latency for one stream frame.
+
+        Only the Step-1/Step-2 counters of the workload are consumed
+        here; the Step-3 side comes from the device report.
+        """
+        workload = FrameWorkload(
+            n_gaussians=n_visible * self.scales.gaussian,
+            step1_extra_flops_per_gaussian=extra_flops,
+            n_instances=report.cache.accesses * self.scales.instance,
+            pfs_fragments=0.0,
+            irss_fragments=0.0,
+            irss_segments=0.0,
+            irss_serial_slots=0.0,
+            pixels=report.image.shape[0] * report.image.shape[1] * self.scales.pixel,
+            feature_bytes=0.0,
+        )
+        step1_s = self._gpu_model.step1_seconds(workload)
+        step2_s = self._gpu_model.step2_seconds(
+            workload, keys=workload.n_gaussians, depth_sort_only=True
+        )
+        pipe = PipelinedFrame(
+            gpu_seconds=step1_s + step2_s,
+            gbu_seconds=report.step3_seconds,
+            sync_seconds=SYNC_SECONDS,
+        )
+        return pipe.frame_seconds

@@ -1,0 +1,423 @@
+"""Multi-session stream serving over a worker pool.
+
+A :class:`StreamServer` multiplexes N concurrent client sessions
+(scene + trajectory pairs) over a pool of workers:
+
+* **One GBU per worker** — each worker owns a single
+  :class:`~repro.core.gbu.GBUDevice` shared by every session assigned
+  to it; frames go through the Listing-1 busy/handshake protocol, so
+  :class:`~repro.errors.DeviceBusyError` is honored rather than
+  assumed away.
+* **Process isolation** — workers are single-process
+  ``concurrent.futures.ProcessPoolExecutor`` instances (one per
+  worker, giving session→worker affinity for the cross-frame state);
+  ``workers=0`` runs everything in the calling process, which is the
+  deterministic mode used by tests.
+* **Same-scene request batching** — sessions assigned to a worker are
+  grouped by scene, so one dispatched tick renders every same-scene
+  session's next frame from a single scene build (the catalog bundle
+  is constructed once per (worker, scene, detail)).
+* **Cross-frame state** — every session keeps its own
+  :class:`~repro.stream.pipeline.FrameStream` (warm binner + temporal
+  reuse cache) alive on its worker for the whole stream; sessions
+  never share state, only the device and scene bundles.
+
+The scheduler is tick-based: each round trip renders at most one frame
+per session, keeping all sessions progressing together the way a
+real-time multiplexer would, instead of draining one client before
+starting the next.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.gbu import GBUConfig, GBUDevice
+from repro.errors import ValidationError
+from repro.scenes import build_scene
+from repro.stream.pipeline import (
+    FrameRecord,
+    FrameStream,
+    StreamReport,
+    streaming_config,
+)
+from repro.stream.trajectory import CameraTrajectory
+
+
+@dataclass(frozen=True)
+class StreamSession:
+    """One client's stream request.
+
+    Attributes
+    ----------
+    session_id:
+        Unique identifier within a :meth:`StreamServer.serve` call.
+    scene:
+        Catalog scene name.
+    trajectory:
+        The client's camera path; its length bounds the stream unless
+        ``n_frames`` says otherwise.
+    n_frames:
+        Frames to render (``None``: the whole trajectory).
+    detail:
+        Scene detail multiplier (tests use < 1).
+    keep_images:
+        Ship rendered images back with the result.
+    config:
+        GBU feature configuration (default: :func:`streaming_config`).
+        Workers share one device per distinct configuration.
+    """
+
+    session_id: str
+    scene: str
+    trajectory: CameraTrajectory
+    n_frames: int | None = None
+    detail: float = 1.0
+    keep_images: bool = False
+    config: GBUConfig | None = None
+
+    @property
+    def frame_budget(self) -> int:
+        return self.trajectory.n_frames if self.n_frames is None else self.n_frames
+
+
+@dataclass
+class SessionResult:
+    """What one session streamed: its report plus placement info."""
+
+    session_id: str
+    scene: str
+    worker: int
+    report: StreamReport
+
+    @property
+    def frames(self) -> list[FrameRecord]:
+        return self.report.frames
+
+
+@dataclass
+class ServeSummary:
+    """Aggregate serving metrics over one :meth:`StreamServer.serve` call.
+
+    Two throughput views are reported:
+
+    * ``sim_frames_per_sec`` — *simulated serving throughput*: every
+      worker is one simulated GBU+GPU unit, its busy time is the sum
+      of its frames' paper-scale latencies, and the makespan is the
+      busiest worker.  This is the deployment-scaling metric (how much
+      frame rate N workers serve), consistent with how every other
+      number in this repository is extrapolated.
+    * ``wall_frames_per_sec`` — host wall-clock throughput of the
+      simulation itself; scales with physical cores, not with the
+      modeled hardware.
+    """
+
+    workers: int
+    sessions: int
+    total_frames: int
+    sim_makespan_seconds: float
+    wall_seconds: float
+
+    @property
+    def sim_frames_per_sec(self) -> float:
+        if self.sim_makespan_seconds <= 0:
+            return 0.0
+        return self.total_frames / self.sim_makespan_seconds
+
+    @property
+    def wall_frames_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_frames / self.wall_seconds
+
+    @staticmethod
+    def from_results(
+        results: list[SessionResult], workers: int, wall_seconds: float
+    ) -> "ServeSummary":
+        busy: dict[int, float] = {}
+        total = 0
+        for r in results:
+            total += r.report.n_frames
+            busy[r.worker] = busy.get(r.worker, 0.0) + float(
+                sum(f.sim_seconds for f in r.frames)
+            )
+        makespan = max(busy.values(), default=0.0)
+        return ServeSummary(
+            workers=max(workers, 1),
+            sessions=len(results),
+            total_frames=total,
+            sim_makespan_seconds=makespan,
+            wall_seconds=wall_seconds,
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _WorkerState:
+    """Per-worker serving state: one device, shared bundles, sessions."""
+
+    def __init__(self) -> None:
+        self.devices: dict[GBUConfig, GBUDevice] = {}
+        self.bundles: dict[tuple[str, float], object] = {}
+        self.streams: dict[str, FrameStream] = {}
+        self.budgets: dict[str, int] = {}
+
+    def reset(self) -> None:
+        self.devices.clear()
+        self.bundles.clear()
+        self.streams.clear()
+        self.budgets.clear()
+
+    def _device_for(self, config: GBUConfig) -> GBUDevice:
+        if config not in self.devices:
+            self.devices[config] = GBUDevice(config=config)
+        return self.devices[config]
+
+    def _stream_for(self, session: StreamSession | str) -> FrameStream:
+        session_id = (
+            session if isinstance(session, str) else session.session_id
+        )
+        stream = self.streams.get(session_id)
+        if stream is not None:
+            return stream
+        if isinstance(session, str):
+            raise ValidationError(
+                f"session '{session}' referenced by id before registration"
+            )
+        key = (session.scene, session.detail)
+        bundle = self.bundles.get(key)
+        if bundle is None:
+            bundle = build_scene(session.scene, detail=session.detail)
+            self.bundles[key] = bundle
+        config = streaming_config() if session.config is None else session.config
+        stream = FrameStream(
+            session.scene,
+            session.trajectory,
+            detail=session.detail,
+            keep_images=session.keep_images,
+            bundle=bundle,
+            device=self._device_for(config),
+        )
+        self.streams[session.session_id] = stream
+        self.budgets[session.session_id] = session.frame_budget
+        return stream
+
+    def render_tick(
+        self, sessions: list[StreamSession | str]
+    ) -> list[tuple[str, FrameRecord]]:
+        """Render the next frame of every (unfinished) session given.
+
+        The sessions of one tick batch share a scene, so they render
+        back-to-back from the same bundle on this worker's device.
+        After a session's first tick the scheduler sends only its id
+        (the full descriptor — trajectory cameras included — crosses
+        the process boundary once).
+        """
+        out = []
+        for session in sessions:
+            stream = self._stream_for(session)
+            session_id = (
+                session if isinstance(session, str) else session.session_id
+            )
+            if stream.frames_rendered >= self.budgets[session_id]:
+                continue
+            out.append((session_id, stream.render_next()))
+        return out
+
+
+_STATE: _WorkerState | None = None
+
+
+def _subprocess_state() -> _WorkerState:
+    global _STATE
+    if _STATE is None:
+        _STATE = _WorkerState()
+    return _STATE
+
+
+def _subprocess_render_tick(
+    sessions: list[StreamSession | str],
+) -> list[tuple[str, FrameRecord]]:
+    return _subprocess_state().render_tick(sessions)
+
+
+def _subprocess_reset() -> None:
+    _subprocess_state().reset()
+
+
+# ----------------------------------------------------------------------
+# Server side
+# ----------------------------------------------------------------------
+class StreamServer:
+    """Serve N concurrent stream sessions over a worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes.  ``0`` serves in the calling process (no
+        pool, fully deterministic); ``>= 1`` spawns that many
+        single-process executors, giving every worker exclusive,
+        long-lived session state.
+    """
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 0:
+            raise ValidationError("worker count cannot be negative")
+        self.workers = workers
+        self._executors: list[ProcessPoolExecutor] = []
+        self._local_states: list[_WorkerState] = []
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "StreamServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        for executor in self._executors:
+            executor.shutdown()
+        self._executors.clear()
+        self._local_states.clear()
+
+    def _ensure_pool(self) -> None:
+        if self.workers == 0:
+            if not self._local_states:
+                self._local_states = [_WorkerState()]
+            return
+        while len(self._executors) < self.workers:
+            self._executors.append(ProcessPoolExecutor(max_workers=1))
+
+    # -- scheduling -----------------------------------------------------
+    @staticmethod
+    def assign_workers(
+        sessions: list[StreamSession], workers: int
+    ) -> list[int]:
+        """Round-robin session→worker placement.
+
+        Sessions are spread across workers in arrival order, so
+        same-scene sessions land on *different* workers when capacity
+        allows (parallelism first); batching then merges whatever
+        same-scene sessions ended up together on a worker.
+        """
+        n = max(workers, 1)
+        return [i % n for i in range(len(sessions))]
+
+    @staticmethod
+    def _batches(
+        sessions: list[StreamSession], placement: list[int], workers: int
+    ) -> list[list[list[StreamSession]]]:
+        """Per worker, the list of same-scene session batches."""
+        per_worker: list[list[list[StreamSession]]] = []
+        for w in range(max(workers, 1)):
+            mine = [s for s, p in zip(sessions, placement) if p == w]
+            by_scene: dict[str, list[StreamSession]] = {}
+            for s in mine:
+                by_scene.setdefault(s.scene, []).append(s)
+            per_worker.append(list(by_scene.values()))
+        return per_worker
+
+    # -- serving --------------------------------------------------------
+    def serve(self, sessions: list[StreamSession]) -> list[SessionResult]:
+        """Stream every session to completion; returns per-session results.
+
+        Frames are dispatched in ticks (one frame per session per
+        round), with each worker receiving one task per same-scene
+        batch it hosts.
+        """
+        if not sessions:
+            return []
+        ids = [s.session_id for s in sessions]
+        if len(set(ids)) != len(ids):
+            raise ValidationError("session ids must be unique")
+        self._ensure_pool()
+        self._reset_workers()
+
+        placement = self.assign_workers(sessions, self.workers)
+        batches = self._batches(sessions, placement, self.workers)
+        reports = {
+            s.session_id: StreamReport(
+                scene=s.scene, trajectory=s.trajectory.kind
+            )
+            for s in sessions
+        }
+        budget = {s.session_id: s.frame_budget for s in sessions}
+
+        max_frames = max(budget.values())
+        shipped: set[str] = set()
+        for _ in range(max_frames):
+            pending: list[tuple[int, Future | list]] = []
+            for w, worker_batches in enumerate(batches):
+                for batch in worker_batches:
+                    live = [
+                        s
+                        for s in batch
+                        if len(reports[s.session_id].frames)
+                        < budget[s.session_id]
+                    ]
+                    if not live:
+                        continue
+                    # Ship the full descriptor once; ids afterwards.
+                    payload: list[StreamSession | str] = [
+                        s if s.session_id not in shipped else s.session_id
+                        for s in live
+                    ]
+                    shipped.update(s.session_id for s in live)
+                    pending.append((w, self._dispatch(w, payload)))
+            if not pending:
+                break
+            for w, item in pending:
+                results = item.result() if isinstance(item, Future) else item
+                for session_id, record in results:
+                    reports[session_id].frames.append(record)
+
+        worker_of = dict(zip(ids, placement))
+        return [
+            SessionResult(
+                session_id=s.session_id,
+                scene=s.scene,
+                worker=worker_of[s.session_id],
+                report=reports[s.session_id],
+            )
+            for s in sessions
+        ]
+
+    def _dispatch(self, worker: int, batch: list[StreamSession | str]):
+        if self.workers == 0:
+            return self._local_states[0].render_tick(batch)
+        return self._executors[worker].submit(_subprocess_render_tick, batch)
+
+    def _reset_workers(self) -> None:
+        if self.workers == 0:
+            for state in self._local_states:
+                state.reset()
+            return
+        for executor in self._executors:
+            executor.submit(_subprocess_reset).result()
+
+    # -- convenience ----------------------------------------------------
+    def serve_timed(
+        self, sessions: list[StreamSession]
+    ) -> tuple[list[SessionResult], ServeSummary]:
+        """:meth:`serve`, plus the aggregate :class:`ServeSummary`."""
+        t0 = time.perf_counter()
+        results = self.serve(sessions)
+        wall = time.perf_counter() - t0
+        return results, ServeSummary.from_results(results, self.workers, wall)
+
+    def warm_up(self) -> float:
+        """Spin up every worker process (imports + allocator warmup).
+
+        Returns the wall seconds spent; benchmarks call this before
+        timing so pool start-up is not billed to throughput.
+        """
+        t0 = time.perf_counter()
+        self._ensure_pool()
+        if self.workers > 0:
+            for executor in self._executors:
+                executor.submit(_subprocess_reset).result()
+        return time.perf_counter() - t0

@@ -1,0 +1,103 @@
+"""Temporal (cross-frame) mode of the Gaussian Reuse Cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.reuse_cache import (
+    POLICIES,
+    TemporalReuseSimulator,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture()
+def trace():
+    rng = np.random.default_rng(7)
+    trace = rng.integers(0, 60, 500)
+    tiles = np.sort(rng.integers(0, 24, 500))
+    return trace, tiles
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_frame_zero_matches_cold_simulation(trace, policy):
+    t, tiles = trace
+    cold = POLICIES[policy](24).simulate(t, tiles)
+    sim = TemporalReuseSimulator(24, policy=policy)
+    sample = sim.observe_frame(t, tiles)
+    assert sample.report.hits == cold.hits
+    assert sample.report.misses == cold.misses
+    assert sample.carried_hits == 0
+    assert sim.cold_hit_rate == cold.hit_rate
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_repeated_trace_hit_rate_is_monotone(trace, policy):
+    t, tiles = trace
+    sim = TemporalReuseSimulator(24, policy=policy)
+    rates = [sim.observe_frame(t, tiles).report.hit_rate for _ in range(6)]
+    for earlier, later in zip(rates, rates[1:]):
+        assert later >= earlier - 1e-12
+    assert rates[-1] > rates[0]
+
+
+def test_working_set_within_capacity_gets_full_warm_hits(trace):
+    t, tiles = trace
+    sim = TemporalReuseSimulator(1000)  # everything fits
+    sim.observe_frame(t, tiles)
+    warm = sim.observe_frame(t, tiles)
+    assert warm.report.hit_rate == 1.0
+    # Every distinct Gaussian's first access this frame was carried.
+    assert warm.carried_hits == len(np.unique(t))
+
+
+def test_cumulative_accounting(trace):
+    t, tiles = trace
+    sim = TemporalReuseSimulator(24)
+    s0 = sim.observe_frame(t, tiles)
+    s1 = sim.observe_frame(t, tiles)
+    assert s1.cumulative_accesses == 2 * len(t)
+    assert s1.cumulative_hits == s0.report.hits + s1.report.hits
+    assert sim.cumulative_hit_rate == pytest.approx(
+        s1.cumulative_hits / s1.cumulative_accesses
+    )
+    assert sim.frames_observed == 2
+    assert len(sim.samples) == 2
+
+
+def test_zero_capacity_never_hits(trace):
+    t, tiles = trace
+    sim = TemporalReuseSimulator(0)
+    for _ in range(3):
+        sample = sim.observe_frame(t, tiles)
+        assert sample.report.hits == 0
+        assert sample.report.misses == len(t)
+    assert sim.resident_lines == 0
+
+
+def test_reset_restores_cold_behavior(trace):
+    t, tiles = trace
+    sim = TemporalReuseSimulator(24)
+    first = sim.observe_frame(t, tiles)
+    sim.observe_frame(t, tiles)
+    sim.reset()
+    again = sim.observe_frame(t, tiles)
+    assert again.report.hits == first.report.hits
+    assert again.frame == 0
+
+
+def test_disjoint_frames_carry_nothing():
+    tiles = np.arange(50)
+    sim = TemporalReuseSimulator(64)
+    sim.observe_frame(np.arange(50), tiles)
+    sample = sim.observe_frame(np.arange(100, 150), tiles)
+    assert sample.carried_hits == 0
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        TemporalReuseSimulator(-1)
+    with pytest.raises(ValidationError):
+        TemporalReuseSimulator(8, policy="belady")
+    sim = TemporalReuseSimulator(8)
+    with pytest.raises(ValidationError):
+        sim.observe_frame(np.zeros(3), np.zeros(4))

@@ -1,0 +1,124 @@
+"""Warm-started tile binning: exact parity with cold Step 2."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gaussians import build_render_lists, project
+from repro.scenes import build_scene
+from repro.scenes.catalog import CATALOG
+from repro.stream import CameraTrajectory, WarmBinner
+from repro.stream.binning import camera_fingerprint
+
+
+def _assert_lists_equal(warm, cold):
+    assert warm.grid == cold.grid
+    assert len(warm.per_tile) == len(cold.per_tile)
+    for a, b in zip(warm.per_tile, cold.per_tile):
+        assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("kind", ["head_jitter", "orbit", "dolly"])
+def test_warm_lists_match_cold_binning_on_static_scene(kind):
+    spec = CATALOG["bicycle"]
+    bundle = build_scene(spec, detail=0.3)
+    cloud, _, ids = bundle.frame_cloud_indexed(0)
+    traj = CameraTrajectory.for_scene(spec, kind, n_frames=5, seed=2, detail=0.3)
+    binner = WarmBinner(bundle.n_source_gaussians)
+    for k in range(5):
+        cam = traj.camera_at(k)
+        projected = project(cloud, cam)
+        warm, stats = binner.build(
+            projected, frame_key=(camera_fingerprint(cam), 0), source_ids=ids
+        )
+        _assert_lists_equal(warm, build_render_lists(projected))
+        assert stats.total_instances == warm.n_instances
+        assert stats.reused_instances + stats.generated_instances == (
+            stats.total_instances
+        )
+
+
+def test_warm_lists_match_cold_binning_on_dynamic_scene():
+    spec = CATALOG["flame_steak"]
+    bundle = build_scene(spec, detail=0.3)
+    traj = CameraTrajectory.for_scene(
+        spec, "head_jitter", n_frames=4, seed=3, detail=0.3
+    )
+    binner = WarmBinner(bundle.n_source_gaussians)
+    for k in range(4):
+        cam = traj.camera_at(k)
+        cloud, _, ids = bundle.frame_cloud_indexed(k)
+        projected = project(cloud, cam)
+        warm, _ = binner.build(
+            projected,
+            frame_key=(camera_fingerprint(cam), bundle.frame_clock(k)),
+            source_ids=ids,
+        )
+        _assert_lists_equal(warm, build_render_lists(projected))
+
+
+def test_jitter_reuses_most_instances():
+    spec = CATALOG["bicycle"]
+    bundle = build_scene(spec, detail=0.3)
+    cloud, _, ids = bundle.frame_cloud_indexed(0)
+    traj = CameraTrajectory.for_scene(
+        spec, "head_jitter", n_frames=4, seed=1, detail=0.3
+    )
+    binner = WarmBinner(bundle.n_source_gaussians)
+    fractions = []
+    for k in range(4):
+        cam = traj.camera_at(k)
+        projected = project(cloud, cam)
+        _, stats = binner.build(
+            projected, frame_key=(camera_fingerprint(cam), 0), source_ids=ids
+        )
+        fractions.append(stats.reuse_fraction)
+    assert fractions[0] == 0.0  # cold start
+    assert all(f > 0.5 for f in fractions[1:])
+
+
+def test_identical_frame_key_takes_full_reuse_fast_path():
+    spec = CATALOG["bonsai"]
+    bundle = build_scene(spec, detail=0.3)
+    cloud, _, ids = bundle.frame_cloud_indexed(0)
+    cam = CameraTrajectory.for_scene(spec, "frozen", n_frames=2, detail=0.3).camera_at(0)
+    projected = project(cloud, cam)
+    binner = WarmBinner(bundle.n_source_gaussians)
+    key = (camera_fingerprint(cam), 0)
+    first, s0 = binner.build(projected, frame_key=key, source_ids=ids)
+    second, s1 = binner.build(projected, frame_key=key, source_ids=ids)
+    assert not s0.full_reuse
+    assert s1.full_reuse
+    assert s1.reuse_fraction == 1.0
+    assert second is first  # the cached object, no rebuild
+
+
+def test_reset_and_resolution_change_start_cold():
+    spec = CATALOG["bonsai"]
+    bundle = build_scene(spec, detail=0.3)
+    cloud, _, ids = bundle.frame_cloud_indexed(0)
+    traj = CameraTrajectory.for_scene(spec, "frozen", n_frames=2, detail=0.3)
+    cam = traj.camera_at(0)
+    projected = project(cloud, cam)
+    binner = WarmBinner(bundle.n_source_gaussians)
+    binner.build(projected, frame_key=None, source_ids=ids)
+    binner.reset()
+    _, stats = binner.build(projected, frame_key=None, source_ids=ids)
+    assert stats.reused_instances == 0
+    # A resolution switch invalidates tile ids; state restarts cold.
+    small = cam.with_resolution(cam.width // 2, cam.height // 2)
+    projected_small = project(cloud, small)
+    warm, stats = binner.build(projected_small, frame_key=None, source_ids=ids)
+    assert stats.reused_instances == 0
+    _assert_lists_equal(warm, build_render_lists(projected_small))
+
+
+def test_foreign_projection_is_rejected():
+    spec = CATALOG["bonsai"]
+    bundle = build_scene(spec, detail=0.3)
+    cloud, _, _ = bundle.frame_cloud_indexed(0)
+    cam = CameraTrajectory.for_scene(spec, "frozen", n_frames=1, detail=0.3).camera_at(0)
+    projected = project(cloud, cam)
+    too_small = WarmBinner(3)
+    with pytest.raises(ValidationError):
+        too_small.build(projected)

@@ -1,0 +1,107 @@
+"""FrameStream: single-frame parity, cross-frame reuse behavior."""
+
+import numpy as np
+import pytest
+
+from repro.core.gbu import GBUConfig, GBUDevice
+from repro.errors import ValidationError
+from repro.gaussians import build_render_lists, project
+from repro.scenes import build_scene
+from repro.scenes.catalog import CATALOG
+from repro.stream import CameraTrajectory, FrameStream, streaming_config
+
+DETAIL = 0.3
+
+
+def test_stream_images_match_single_frame_renders():
+    """Streamed frames are bitwise-identical to isolated renders."""
+    spec = CATALOG["bicycle"]
+    bundle = build_scene(spec, detail=DETAIL)
+    traj = CameraTrajectory.for_scene(
+        spec, "head_jitter", n_frames=3, seed=4, detail=DETAIL
+    )
+    stream = FrameStream(
+        spec, traj, detail=DETAIL, keep_images=True, bundle=bundle
+    )
+    report = stream.run()
+
+    single = GBUDevice(config=streaming_config())
+    cloud, _ = bundle.frame_cloud(0)
+    for record in report.frames:
+        projected = project(cloud, traj.camera_at(record.frame))
+        lists = build_render_lists(projected)
+        isolated = single.render(projected, lists=lists)
+        assert np.array_equal(record.image, isolated.image)
+        assert record.n_instances == lists.n_instances
+
+
+def test_frozen_camera_hit_rate_is_monotone():
+    spec = CATALOG["bicycle"]
+    traj = CameraTrajectory.for_scene(spec, "frozen", n_frames=5, detail=DETAIL)
+    report = FrameStream(spec, traj, detail=DETAIL).run()
+    rates = [f.hit_rate for f in report.frames]
+    for earlier, later in zip(rates, rates[1:]):
+        assert later >= earlier - 1e-12
+    assert rates[1] > rates[0]  # warm beats cold immediately
+    cumulative = [f.cache.cumulative_hit_rate for f in report.frames]
+    for earlier, later in zip(cumulative, cumulative[1:]):
+        assert later >= earlier - 1e-12
+    # Frozen frames reuse the previous render lists outright.
+    assert all(f.binning.full_reuse for f in report.frames[1:])
+
+
+def test_orbit_warm_hit_rate_beats_cold():
+    spec = CATALOG["bicycle"]
+    traj = CameraTrajectory.for_scene(spec, "orbit", n_frames=8, detail=DETAIL)
+    report = FrameStream(spec, traj, detail=DETAIL).run()
+    assert report.warm_hit_rate > report.cold_hit_rate
+    assert report.frames[0].cache.carried_hits == 0
+    assert any(f.cache.carried_hits > 0 for f in report.frames[1:])
+
+
+def test_dynamic_scene_streams_with_stable_identities():
+    spec = CATALOG["flame_steak"]
+    traj = CameraTrajectory.for_scene(
+        spec, "head_jitter", n_frames=4, seed=2, detail=DETAIL
+    )
+    report = FrameStream(spec, traj, detail=DETAIL).run()
+    assert report.n_frames == 4
+    assert report.warm_hit_rate > report.cold_hit_rate
+    assert report.binning_reuse > 0.3
+
+
+def test_reset_restarts_cold():
+    spec = CATALOG["bonsai"]
+    traj = CameraTrajectory.for_scene(spec, "frozen", n_frames=3, detail=DETAIL)
+    stream = FrameStream(spec, traj, detail=DETAIL)
+    first = stream.run()
+    stream.reset()
+    again = stream.run()
+    assert [f.hit_rate for f in first.frames] == [f.hit_rate for f in again.frames]
+
+
+def test_report_serialization_and_aggregates():
+    spec = CATALOG["bonsai"]
+    traj = CameraTrajectory.for_scene(spec, "frozen", n_frames=2, detail=DETAIL)
+    report = FrameStream(spec, traj, detail=DETAIL).run()
+    payload = report.to_dict()
+    assert payload["scene"] == "bonsai"
+    assert payload["n_frames"] == 2
+    assert len(payload["frames"]) == 2
+    assert report.wall_fps > 0
+    assert report.mean_sim_fps > 0
+
+
+def test_dnb_config_is_rejected():
+    spec = CATALOG["bonsai"]
+    traj = CameraTrajectory.for_scene(spec, "frozen", n_frames=1, detail=DETAIL)
+    with pytest.raises(ValidationError):
+        FrameStream(spec, traj, config=GBUConfig(use_dnb=True), detail=DETAIL)
+    with pytest.raises(ValidationError):
+        FrameStream(
+            spec,
+            traj,
+            config=streaming_config(),
+            device=GBUDevice(config=streaming_config(cache_policy="lru")),
+            detail=DETAIL,
+        )

@@ -1,0 +1,132 @@
+"""StreamServer: session isolation, batching, the busy protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.gbu import GBUDevice
+from repro.errors import ValidationError
+from repro.gaussians import build_render_lists, project
+from repro.scenes import build_scene
+from repro.scenes.catalog import CATALOG
+from repro.stream import (
+    CameraTrajectory,
+    FrameStream,
+    StreamServer,
+    StreamSession,
+    streaming_config,
+)
+
+DETAIL = 0.25
+
+
+def _sessions(n_frames=4):
+    spec = CATALOG["bicycle"]
+    return [
+        StreamSession(
+            "jitter",
+            "bicycle",
+            CameraTrajectory.for_scene(
+                spec, "head_jitter", n_frames=n_frames, seed=9, detail=DETAIL
+            ),
+            detail=DETAIL,
+        ),
+        StreamSession(
+            "orbit",
+            "bicycle",
+            CameraTrajectory.for_scene(
+                spec, "orbit", n_frames=n_frames, detail=DETAIL
+            ),
+            detail=DETAIL,
+        ),
+    ]
+
+
+def _key_fields(report):
+    return [
+        (f.frame, f.n_visible, f.n_instances, f.hit_rate,
+         f.cache.cumulative_hit_rate, f.binning.reuse_fraction)
+        for f in report.frames
+    ]
+
+
+def test_concurrent_sessions_do_not_bleed_state():
+    """Serving two sessions together equals serving each alone."""
+    sessions = _sessions()
+    with StreamServer(workers=0) as server:
+        results = server.serve(sessions)
+    for session, result in zip(sessions, results):
+        solo = FrameStream(
+            session.scene, session.trajectory, detail=session.detail
+        ).run()
+        assert _key_fields(result.report) == _key_fields(solo)
+
+
+def test_multiprocess_serving_matches_in_process():
+    sessions = _sessions(n_frames=3)
+    with StreamServer(workers=0) as server:
+        local = server.serve(sessions)
+    with StreamServer(workers=2) as server:
+        remote = server.serve(sessions)
+    for a, b in zip(local, remote):
+        assert _key_fields(a.report) == _key_fields(b.report)
+    assert {r.worker for r in remote} == {0, 1}
+
+
+def test_serve_summary_counts_every_frame():
+    sessions = _sessions(n_frames=3)
+    with StreamServer(workers=0) as server:
+        results, summary = server.serve_timed(sessions)
+    assert summary.total_frames == sum(r.report.n_frames for r in results) == 6
+    assert summary.sim_frames_per_sec > 0
+    assert summary.wall_frames_per_sec > 0
+
+
+def test_round_robin_placement_and_same_scene_batching():
+    spec = CATALOG["bicycle"]
+    traj = CameraTrajectory.for_scene(spec, "frozen", n_frames=1, detail=DETAIL)
+    sessions = [
+        StreamSession(f"s{i}", scene, traj, detail=DETAIL)
+        for i, scene in enumerate(["bicycle", "bicycle", "bonsai", "bicycle"])
+    ]
+    placement = StreamServer.assign_workers(sessions, 2)
+    assert placement == [0, 1, 0, 1]
+    batches = StreamServer._batches(sessions, placement, 2)
+    # Worker 0 hosts s0 (bicycle) and s2 (bonsai): two one-session
+    # batches; worker 1 hosts s1 and s3, both bicycle: one batch of 2.
+    assert sorted(len(b) for b in batches[0]) == [1, 1]
+    assert [len(b) for b in batches[1]] == [2]
+    assert {s.session_id for s in batches[1][0]} == {"s1", "s3"}
+
+
+def test_duplicate_session_ids_rejected():
+    sessions = _sessions()
+    twin = [sessions[0], sessions[0]]
+    with StreamServer(workers=0) as server:
+        with pytest.raises(ValidationError):
+            server.serve(twin)
+    with pytest.raises(ValidationError):
+        StreamServer(workers=-1)
+
+
+def test_device_busy_protocol_is_honored():
+    """A frame left in flight on the shared device is drained, not fatal."""
+    spec = CATALOG["bonsai"]
+    bundle = build_scene(spec, detail=DETAIL)
+    traj = CameraTrajectory.for_scene(spec, "frozen", n_frames=2, detail=DETAIL)
+    device = GBUDevice(config=streaming_config())
+
+    # Another "session" leaves a frame in flight on the worker device.
+    cloud, _ = bundle.frame_cloud(0)
+    projected = project(cloud, traj.camera_at(0))
+    lists = build_render_lists(projected)
+    width, height = projected.image_size
+    stale = np.empty((height, width, 3))
+    device.GBU_render_image(height, width, projected, lists, stale)
+    assert device.GBU_check_status() == 1  # busy
+
+    stream = FrameStream(
+        spec, traj, detail=DETAIL, bundle=bundle, device=device
+    )
+    record = stream.render_next()
+    assert record.frame == 0
+    assert device.GBU_check_status() == 0  # drained and completed

@@ -1,0 +1,90 @@
+"""Camera trajectories: determinism, shapes, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gaussians.camera import Camera, orbit_cameras
+from repro.scenes.catalog import CATALOG
+from repro.stream import CameraTrajectory
+
+
+@pytest.fixture()
+def base_camera():
+    return Camera.look_at(
+        eye=[2.0, 0.5, -1.5], target=[0, 0, 0], width=96, height=64
+    )
+
+
+def _same_camera(a: Camera, b: Camera) -> bool:
+    return (
+        a.width == b.width
+        and a.height == b.height
+        and np.array_equal(a.rotation, b.rotation)
+        and np.array_equal(a.translation, b.translation)
+        and (a.fx, a.fy, a.cx, a.cy) == (b.fx, b.fy, b.cx, b.cy)
+    )
+
+
+def test_head_jitter_is_seed_deterministic(base_camera):
+    a = CameraTrajectory.head_jitter(base_camera, 8, seed=5)
+    b = CameraTrajectory.head_jitter(base_camera, 8, seed=5)
+    c = CameraTrajectory.head_jitter(base_camera, 8, seed=6)
+    assert all(_same_camera(x, y) for x, y in zip(a, b))
+    assert not all(_same_camera(x, y) for x, y in zip(a, c))
+
+
+def test_orbit_full_circle_layers_on_orbit_cameras():
+    traj = CameraTrajectory.orbit(6, radius=2.5, height=0.4, width=80, height_px=60)
+    direct = orbit_cameras(6, 2.5, height=0.4, width=80, height_px=60)
+    assert len(traj) == 6
+    assert all(_same_camera(x, y) for x, y in zip(traj, direct))
+
+
+def test_partial_arc_spans_requested_angles():
+    traj = CameraTrajectory.orbit(5, radius=2.0, arc_deg=90.0)
+    # Eye positions sweep a quarter circle: end points 90 degrees apart.
+    p0 = traj.camera_at(0).position
+    p4 = traj.camera_at(4).position
+    cos = np.dot(p0[[0, 2]], p4[[0, 2]]) / (
+        np.linalg.norm(p0[[0, 2]]) * np.linalg.norm(p4[[0, 2]])
+    )
+    assert cos == pytest.approx(0.0, abs=1e-9)
+
+
+def test_dolly_moves_along_eye_target_ray(base_camera):
+    traj = CameraTrajectory.dolly(base_camera, 4, factor_range=(1.0, 2.0))
+    d0 = np.linalg.norm(traj.camera_at(0).position)
+    d3 = np.linalg.norm(traj.camera_at(3).position)
+    assert d3 == pytest.approx(2.0 * d0)
+
+
+def test_frozen_repeats_and_wraps(base_camera):
+    traj = CameraTrajectory.frozen(base_camera, 3)
+    assert len(traj) == 3
+    assert _same_camera(traj.camera_at(0), traj.camera_at(7))
+
+
+def test_for_scene_kinds_and_resolution():
+    spec = CATALOG["bonsai"]
+    for kind in ("orbit", "dolly", "head_jitter", "frozen"):
+        traj = CameraTrajectory.for_scene(spec, kind, n_frames=4, detail=0.25)
+        assert traj.kind == kind
+        assert traj.n_frames == 4
+        cam = traj.camera_at(0)
+        assert cam.width < spec.width  # detail-scaled
+
+
+def test_validation(base_camera):
+    with pytest.raises(ValidationError):
+        CameraTrajectory.orbit(0)
+    with pytest.raises(ValidationError):
+        CameraTrajectory.dolly(base_camera, 3, factor_range=(0.0, 1.0))
+    with pytest.raises(ValidationError):
+        CameraTrajectory.head_jitter(base_camera, 3, amplitude=-0.1)
+    with pytest.raises(ValidationError):
+        CameraTrajectory.head_jitter(base_camera, 3, smoothing=1.0)
+    with pytest.raises(ValidationError):
+        CameraTrajectory.for_scene(CATALOG["bonsai"], "spiral")
+    with pytest.raises(ValidationError):
+        CameraTrajectory(kind="empty", cameras=())

@@ -1,0 +1,25 @@
+"""Docs gate: modules stay docstringed, docs reference live paths.
+
+CI runs ``scripts/check_docs.py`` directly; this test runs the same
+dependency-free checker inside the tier-1 suite so documentation rot
+(an undocumented module, a renamed file leaving a dead link in
+``docs/`` or ``README.md``) fails fast offline too.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_docs_gate():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_docs.py")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, (
+        f"documentation errors:\n{result.stdout}{result.stderr}"
+    )
