@@ -1,0 +1,121 @@
+"""Scheduler benchmark: load-aware vs round-robin placement.
+
+Serves the skewed session mix of
+:func:`repro.analysis.streaming.skewed_session_mix` — heavy long
+streams interleaved with light short ones, arrival order chosen so
+round-robin stacks the heavy sessions — under both placement policies
+and writes ``BENCH_scheduler.json`` at the repo root: per policy the
+simulated makespan (busiest worker's summed paper-scale frame
+latencies), p50/p95 per-frame render latency (the workload profile),
+p50/p95 per-frame *completion* latency (simulated response time
+including queueing — the number placement actually moves), and the
+resulting load-aware-over-round-robin makespan speedup.
+
+Acceptance bar: load-aware placement must beat round-robin makespan by
+``REPRO_BENCH_SCHED_MIN_SPEEDUP`` (default 1.3x) on the default mix.
+Both serves run in the server's deterministic in-process ``local``
+mode — the simulated makespan depends only on placement, not on host
+cores, so the number is stable on any machine.
+
+Smoke knobs (used by CI): ``REPRO_BENCH_SCHED_WORKERS``,
+``REPRO_BENCH_SCHED_DETAIL``, ``REPRO_BENCH_SCHED_HEAVY_FRAMES``,
+``REPRO_BENCH_SCHED_LIGHT_FRAMES``, ``REPRO_BENCH_SCHED_MIN_SPEEDUP``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.analysis.streaming import compare_placements, skewed_session_mix
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_scheduler.json"
+
+WORKERS = int(os.environ.get("REPRO_BENCH_SCHED_WORKERS", "2"))
+DETAIL = float(os.environ.get("REPRO_BENCH_SCHED_DETAIL", "1.0"))
+HEAVY_FRAMES = int(os.environ.get("REPRO_BENCH_SCHED_HEAVY_FRAMES", "12"))
+LIGHT_FRAMES = int(os.environ.get("REPRO_BENCH_SCHED_LIGHT_FRAMES", "4"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_SCHED_MIN_SPEEDUP", "1.3"))
+
+
+def test_scheduler_placement(benchmark):
+    sessions = skewed_session_mix(
+        heavy_frames=HEAVY_FRAMES,
+        light_frames=LIGHT_FRAMES,
+        pairs=WORKERS,
+        detail=DETAIL,
+    )
+    comparison = compare_placements(
+        sessions=sessions, workers=WORKERS, detail=DETAIL
+    )
+
+    rows = []
+    for placement, point in comparison.points.items():
+        rows.append(
+            {
+                "placement": placement,
+                "workers": point.workers,
+                "sessions": point.sessions,
+                "total_frames": point.total_frames,
+                "sim_makespan_seconds": point.sim_makespan_seconds,
+                "p50_frame_seconds": point.p50_frame_seconds,
+                "p95_frame_seconds": point.p95_frame_seconds,
+                "p50_completion_seconds": point.p50_completion_seconds,
+                "p95_completion_seconds": point.p95_completion_seconds,
+                "migrations": point.migrations,
+            }
+        )
+
+    payload = {
+        "benchmark": "scheduler_placement",
+        "methodology": (
+            "skewed mix (heavy long + light short sessions, arrival order "
+            "adversarial for round-robin) served to completion per policy "
+            "in deterministic local mode; makespan = busiest worker's "
+            "summed paper-scale frame latencies; latency percentiles over "
+            "every session frame"
+        ),
+        "workers": WORKERS,
+        "detail": DETAIL,
+        "mix": {
+            "heavy": {"scene": "bicycle", "frames": HEAVY_FRAMES},
+            "light": {"scene": "female_4", "frames": LIGHT_FRAMES},
+            "pairs": WORKERS,
+        },
+        "summary": {
+            "makespan_speedup_load_over_rr": comparison.speedup,
+            "floor": MIN_SPEEDUP,
+        },
+        "placements": rows,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"\n=== scheduler placement ({WORKERS} workers) -> {OUTPUT.name} ===")
+    print(
+        f"{'policy':>8}{'makespan':>12}{'p50 frame':>12}{'p95 frame':>12}"
+        f"{'p50 compl':>12}{'p95 compl':>12}"
+    )
+    for row in rows:
+        print(
+            f"{row['placement']:>8}{row['sim_makespan_seconds']:>12.4f}"
+            f"{row['p50_frame_seconds']:>12.5f}{row['p95_frame_seconds']:>12.5f}"
+            f"{row['p50_completion_seconds']:>12.4f}"
+            f"{row['p95_completion_seconds']:>12.4f}"
+        )
+    print(f"load-aware over round-robin: {comparison.speedup:.2f}x "
+          f"(floor {MIN_SPEEDUP}x)")
+
+    assert comparison.speedup >= MIN_SPEEDUP, (
+        f"load-aware placement must beat round-robin makespan by "
+        f">= {MIN_SPEEDUP}x on the skewed mix, measured "
+        f"{comparison.speedup:.2f}x"
+    )
+
+    # pytest-benchmark bookkeeping: one small two-policy comparison.
+    benchmark.pedantic(
+        lambda: compare_placements(workers=2, detail=0.25),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,4 +1,4 @@
-"""Streaming study: cross-frame reuse over the evaluation scenes.
+"""Streaming study: cross-frame reuse and serving-layer scheduling.
 
 Quantifies what the frame-sequence layer (:mod:`repro.stream`) buys on
 top of single-frame rendering: for one representative scene per
@@ -11,14 +11,25 @@ is streamed and the study reports
 * the simulated frame rate of the stream, and
 * the scene's motion magnitude (0 for static scenes), which explains
   why reuse differs across application classes.
+
+The scheduling half (:func:`compare_placements`) serves a *skewed*
+session mix — heavy long streams interleaved with light short ones, the
+arrival order chosen so round-robin stacks the heavy sessions on one
+worker — under every placement policy and reports makespan plus
+per-frame latency percentiles.  ``benchmarks/bench_scheduler.py``
+records it as ``BENCH_scheduler.json``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.scenes.catalog import CATALOG, AppType, SceneSpec, build_scene
 from repro.stream.pipeline import FrameStream, StreamReport
+from repro.stream.scheduler import PLACEMENTS
+from repro.stream.server import StreamServer, StreamSession
 from repro.stream.trajectory import CameraTrajectory
 
 #: One representative scene per application class (catalog order).
@@ -93,3 +104,132 @@ def stream_reuse_study(
         stream_scene(name, kind=kind, n_frames=n_frames, detail=detail)[0]
         for name in scenes
     ]
+
+
+# ----------------------------------------------------------------------
+# Scheduling study
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlacementPoint:
+    """One placement policy's outcome on a session mix.
+
+    ``p50/p95_frame_seconds`` are percentiles of each frame's own
+    render latency (placement-invariant by construction — recorded as
+    the workload profile); ``p50/p95_completion_seconds`` are
+    percentiles of each frame's *simulated completion time* — the
+    rendering worker's cumulative busy seconds when the frame finished
+    — which includes queueing behind co-scheduled sessions and is what
+    placement actually moves.
+    """
+
+    placement: str
+    workers: int
+    sessions: int
+    total_frames: int
+    sim_makespan_seconds: float
+    p50_frame_seconds: float
+    p95_frame_seconds: float
+    p50_completion_seconds: float
+    p95_completion_seconds: float
+    migrations: int
+
+
+@dataclass(frozen=True)
+class PlacementComparison:
+    """Every placement policy served the same mix on the same pool."""
+
+    workers: int
+    points: dict[str, PlacementPoint]
+
+    @property
+    def speedup(self) -> float:
+        """Round-robin makespan over load-aware makespan (>1: load wins)."""
+        load = self.points["load"].sim_makespan_seconds
+        if load <= 0:
+            return 0.0
+        return self.points["rr"].sim_makespan_seconds / load
+
+
+def skewed_session_mix(
+    heavy_scene: str = "bicycle",
+    light_scene: str = "female_4",
+    heavy_frames: int = 12,
+    light_frames: int = 4,
+    pairs: int = 2,
+    detail: float = 1.0,
+) -> list[StreamSession]:
+    """A session mix that punishes arrival-order placement.
+
+    Heavy (large scene, long stream) and light (small scene, short
+    stream) sessions alternate in arrival order, so with ``pairs``
+    equal to the worker count, round-robin stacks every heavy session
+    on the even workers while load-aware placement spreads them.
+    """
+    sessions = []
+    for i in range(pairs):
+        for scene, frames, tag in (
+            (heavy_scene, heavy_frames, "heavy"),
+            (light_scene, light_frames, "light"),
+        ):
+            spec = CATALOG[scene]
+            sessions.append(
+                StreamSession(
+                    session_id=f"{tag}-{i}",
+                    scene=scene,
+                    trajectory=CameraTrajectory.for_scene(
+                        spec,
+                        kind="orbit",
+                        n_frames=frames,
+                        detail=detail,
+                        phase_deg=i * 360.0 / max(pairs, 1),
+                    ),
+                    detail=detail,
+                )
+            )
+    return sessions
+
+
+def compare_placements(
+    sessions: list[StreamSession] | None = None,
+    workers: int = 2,
+    detail: float = 1.0,
+    placements: tuple[str, ...] = PLACEMENTS,
+    max_inflight: int | None = None,
+) -> PlacementComparison:
+    """Serve one mix under every placement policy (deterministic).
+
+    Uses the server's in-process ``local`` mode: the simulated makespan
+    — total paper-scale busy seconds of the busiest worker — depends
+    only on placement, not on host parallelism, so no process pool is
+    needed to compare policies.
+    """
+    if sessions is None:
+        sessions = skewed_session_mix(pairs=workers, detail=detail)
+    points = {}
+    for placement in placements:
+        with StreamServer(
+            workers=workers,
+            placement=placement,
+            local=True,
+            max_inflight=max_inflight,
+        ) as server:
+            results, summary = server.serve_timed(sessions)
+            completions = [
+                c for stamps in server.frame_completions.values() for c in stamps
+            ]
+        latencies = [
+            f.sim_seconds for r in results for f in r.report.frames
+        ]
+        points[placement] = PlacementPoint(
+            placement=placement,
+            workers=summary.workers,
+            sessions=summary.sessions,
+            total_frames=summary.total_frames,
+            sim_makespan_seconds=summary.sim_makespan_seconds,
+            p50_frame_seconds=float(np.percentile(latencies, 50)),
+            p95_frame_seconds=float(np.percentile(latencies, 95)),
+            p50_completion_seconds=float(np.percentile(completions, 50)),
+            p95_completion_seconds=float(np.percentile(completions, 95)),
+            migrations=summary.migrations,
+        )
+    return PlacementComparison(workers=workers, points=points)

@@ -119,9 +119,14 @@ class GBUReport:
 
     @property
     def traffic_reduction(self) -> float:
-        if self.feature_bytes_demanded == 0:
-            return 0.0
-        return 1.0 - self.feature_bytes_fetched / self.feature_bytes_demanded
+        """Fraction of feature traffic the cache removed this frame.
+
+        Delegates to :attr:`CacheReport.traffic_reduction` — the
+        DRAM-burst scaling applied to ``feature_bytes_*`` multiplies
+        misses and demand alike, so re-deriving the ratio here would
+        just duplicate the cache's own byte accounting.
+        """
+        return self.cache.traffic_reduction
 
 
 class GBUDevice:

@@ -76,10 +76,17 @@ class CacheReport:
 
     @property
     def traffic_reduction(self) -> float:
-        """Fraction of off-chip feature traffic removed (paper: 44.9%)."""
-        if self.accesses == 0:
+        """Fraction of off-chip feature traffic removed (paper: 44.9%).
+
+        Computed from the byte counters (``miss_bytes`` vs
+        ``total_bytes``), not copied from :attr:`hit_rate`: the two
+        coincide only while every line costs the same
+        ``bytes_per_line``, and deriving both from one formula would
+        silently hide a future non-uniform line size.
+        """
+        if self.total_bytes == 0:
             return 0.0
-        return self.hits / self.accesses
+        return 1.0 - self.miss_bytes / self.total_bytes
 
 
 def _validate_trace(trace: np.ndarray, tile_of_access: np.ndarray) -> None:
@@ -264,6 +271,33 @@ class FrameCacheSample:
         return self.carried_hits / self.report.accesses
 
 
+@dataclass(frozen=True)
+class TemporalCacheState:
+    """Portable snapshot of a :class:`TemporalReuseSimulator`.
+
+    What crosses a process boundary when a stream session is
+    checkpointed (``repro.stream.checkpoint``): the resident line ids
+    in cache order plus the cumulative counters.  This is sufficient
+    for byte-identical continuation because no policy consults the
+    stored per-line *values* across a frame boundary — reuse-distance
+    re-keys every carried line with its first use in the incoming
+    trace, and LRU/FIFO only use the dict *order* (which
+    ``resident_ids`` preserves).
+    """
+
+    policy: str
+    capacity_lines: int
+    bytes_per_line: int
+    resident_ids: tuple[int, ...]
+    frames_observed: int
+    cumulative_accesses: int
+    cumulative_hits: int
+
+    @property
+    def resident_lines(self) -> int:
+        return len(self.resident_ids)
+
+
 class TemporalReuseSimulator:
     """Streaming (cross-frame) mode of the Gaussian Reuse Cache.
 
@@ -278,6 +312,11 @@ class TemporalReuseSimulator:
     eviction decisions stay Belady-optimal at tile granularity within
     the frame.  LRU and FIFO carry their recency/arrival order across
     the frame boundary unchanged.
+
+    :meth:`export_state` / :meth:`import_state` snapshot and restore
+    the cross-frame state (resident set + cumulative counters), which
+    is what session checkpointing and worker-crash recovery in
+    ``repro.stream`` are built on.
     """
 
     def __init__(
@@ -295,6 +334,9 @@ class TemporalReuseSimulator:
         self.policy = policy
         self._resident: dict[int, float] = {}
         self._samples: list[FrameCacheSample] = []
+        self._frames_observed = 0
+        self._cum_accesses = 0
+        self._cum_hits = 0
 
     # ------------------------------------------------------------------
     # State
@@ -303,15 +345,74 @@ class TemporalReuseSimulator:
         """Drop all resident lines and frame history (cold restart)."""
         self._resident.clear()
         self._samples.clear()
+        self._frames_observed = 0
+        self._cum_accesses = 0
+        self._cum_hits = 0
+
+    def export_state(self) -> TemporalCacheState:
+        """Snapshot the cross-frame state (resident set + counters).
+
+        The resident ids are exported in cache order (insertion order
+        of the backing dict), which is exactly the recency/arrival
+        order LRU and FIFO evict by.
+        """
+        return TemporalCacheState(
+            policy=self.policy,
+            capacity_lines=self.capacity_lines,
+            bytes_per_line=self.bytes_per_line,
+            resident_ids=tuple(int(g) for g in self._resident),
+            frames_observed=self._frames_observed,
+            cumulative_accesses=self._cum_accesses,
+            cumulative_hits=self._cum_hits,
+        )
+
+    def import_state(self, state: TemporalCacheState) -> None:
+        """Restore a snapshot taken by :meth:`export_state`.
+
+        The snapshot must come from a simulator with the same policy
+        and geometry; local per-frame samples are discarded (they
+        belong to the exporting instance) while the cumulative
+        counters continue from the snapshot.
+        """
+        if state.policy != self.policy:
+            raise ValidationError(
+                f"cache state was exported under policy '{state.policy}', "
+                f"this simulator runs '{self.policy}'"
+            )
+        if (
+            state.capacity_lines != self.capacity_lines
+            or state.bytes_per_line != self.bytes_per_line
+        ):
+            raise ValidationError(
+                "cache state geometry mismatch: exported "
+                f"{state.capacity_lines}x{state.bytes_per_line}B, simulator "
+                f"has {self.capacity_lines}x{self.bytes_per_line}B"
+            )
+        if len(state.resident_ids) > self.capacity_lines:
+            raise ValidationError("cache state holds more lines than capacity")
+        if len(set(state.resident_ids)) != len(state.resident_ids):
+            raise ValidationError("cache state resident ids must be unique")
+        # Values are irrelevant across a frame boundary (see class
+        # docstring); only membership and order must survive.
+        self._resident = {int(g): 0.0 for g in state.resident_ids}
+        self._samples = []
+        self._frames_observed = state.frames_observed
+        self._cum_accesses = state.cumulative_accesses
+        self._cum_hits = state.cumulative_hits
 
     @property
     def samples(self) -> list[FrameCacheSample]:
-        """Per-frame samples observed so far (oldest first)."""
+        """Per-frame samples observed by this instance (oldest first).
+
+        After :meth:`import_state` only post-restore frames appear
+        here; the pre-restore history lives in the cumulative
+        counters.
+        """
         return list(self._samples)
 
     @property
     def frames_observed(self) -> int:
-        return len(self._samples)
+        return self._frames_observed
 
     @property
     def resident_lines(self) -> int:
@@ -319,9 +420,9 @@ class TemporalReuseSimulator:
 
     @property
     def cumulative_hit_rate(self) -> float:
-        if not self._samples:
+        if self._cum_accesses == 0:
             return 0.0
-        return self._samples[-1].cumulative_hit_rate
+        return self._cum_hits / self._cum_accesses
 
     @property
     def cold_hit_rate(self) -> float:
@@ -360,16 +461,17 @@ class TemporalReuseSimulator:
         return self._record(report, carried_hits=carried)
 
     def _record(self, report: CacheReport, carried_hits: int) -> FrameCacheSample:
-        prev = self._samples[-1] if self._samples else None
         sample = FrameCacheSample(
-            frame=len(self._samples),
+            frame=self._frames_observed,
             report=report,
             carried_hits=carried_hits,
-            cumulative_accesses=(prev.cumulative_accesses if prev else 0)
-            + report.accesses,
-            cumulative_hits=(prev.cumulative_hits if prev else 0) + report.hits,
+            cumulative_accesses=self._cum_accesses + report.accesses,
+            cumulative_hits=self._cum_hits + report.hits,
         )
         self._samples.append(sample)
+        self._frames_observed += 1
+        self._cum_accesses = sample.cumulative_accesses
+        self._cum_hits = sample.cumulative_hits
         return sample
 
     def _observe_rd(

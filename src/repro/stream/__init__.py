@@ -13,39 +13,71 @@ single-frame renderer:
   pipeline that renders a trajectory over any catalog scene while
   persisting binning state and the temporal reuse-cache mode of
   :class:`repro.core.reuse_cache.TemporalReuseSimulator`;
+* :mod:`repro.stream.scheduler` — session placement (round-robin and
+  load-aware), admission control with backpressure, and
+  skew-triggered rebalancing;
+* :mod:`repro.stream.checkpoint` — lightweight session snapshots
+  (trajectory cursor + temporal-cache resident set) powering worker
+  crash recovery and migrations;
 * :mod:`repro.stream.server` — :class:`StreamServer`, multiplexing N
   client sessions over a ``concurrent.futures`` worker pool with one
-  :class:`repro.core.gbu.GBUDevice` per worker and request batching of
-  same-scene sessions;
+  :class:`repro.core.gbu.GBUDevice` per worker, request batching of
+  same-scene sessions, and checkpoint-replay fault tolerance;
 * :mod:`repro.stream.cli` — the ``repro-stream`` command line
   (also ``python -m repro.stream``).
 """
 
 from repro.stream.binning import BinningStats, WarmBinner
+from repro.stream.checkpoint import (
+    SessionCheckpoint,
+    capture_checkpoint,
+    restore_checkpoint,
+)
 from repro.stream.pipeline import (
     FrameRecord,
     FrameStream,
     StreamReport,
     streaming_config,
 )
+from repro.stream.scheduler import (
+    PLACEMENTS,
+    LoadAwareScheduler,
+    Migration,
+    RoundRobinScheduler,
+    StreamScheduler,
+    make_scheduler,
+    static_frame_estimate,
+)
 from repro.stream.server import (
     ServeSummary,
     SessionResult,
     StreamServer,
     StreamSession,
+    TickResult,
 )
 from repro.stream.trajectory import CameraTrajectory
 
 __all__ = [
     "BinningStats",
     "WarmBinner",
+    "SessionCheckpoint",
+    "capture_checkpoint",
+    "restore_checkpoint",
     "FrameRecord",
     "FrameStream",
     "StreamReport",
     "streaming_config",
+    "PLACEMENTS",
+    "LoadAwareScheduler",
+    "Migration",
+    "RoundRobinScheduler",
+    "StreamScheduler",
+    "make_scheduler",
+    "static_frame_estimate",
     "ServeSummary",
     "SessionResult",
     "StreamServer",
     "StreamSession",
+    "TickResult",
     "CameraTrajectory",
 ]

@@ -128,6 +128,11 @@ class WarmBinner:
     def last_stats(self) -> BinningStats | None:
         return self._last_stats
 
+    @property
+    def frame_key(self) -> tuple | None:
+        """Frame key of the last built frame (``None`` before any)."""
+        return self._frame_key
+
     def build(
         self,
         projected: Projected2D,

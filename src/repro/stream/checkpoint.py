@@ -1,0 +1,108 @@
+"""Lightweight session checkpoints for crash recovery and migration.
+
+A :class:`SessionCheckpoint` is everything the serving layer needs to
+resume a stream session on a *different* worker (or a respawned one)
+with byte-identical output:
+
+* **trajectory cursor** — the next frame index to render;
+* **warm-binner frame key** — the last frame's camera/clock identity,
+  kept as telemetry (the binner's instance arrays are *not* shipped:
+  warm binning is exact, so a cold binner reproduces the same render
+  lists and images, it merely reports a lower
+  ``BinningStats.reuse_fraction`` on the first recovered frame);
+* **temporal cache resident set** — the
+  :class:`~repro.core.reuse_cache.TemporalCacheState` snapshot
+  (resident line ids + cumulative counters), which *does* shape every
+  later frame's hit rates, memory traffic, and therefore simulated
+  latency.
+
+Checkpoints travel from worker to server on every successful tick and
+back to a worker on restore, so the only state lost in a crash is the
+tick in flight — which the server simply re-renders (deterministically)
+after replaying the checkpoint.
+
+Recovery invariant: a session restored from the checkpoint of frame
+``k-1`` renders frames ``k, k+1, ...`` byte-identical (images,
+``sim_seconds``, per-frame and cumulative cache hit rates) to an
+uninterrupted run.  Asserted in ``tests/stream/test_checkpoint.py``
+and the worker-crash tests of ``tests/stream/test_stream_server.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.reuse_cache import TemporalCacheState
+from repro.errors import ValidationError
+from repro.stream.pipeline import FrameStream
+
+
+@dataclass(frozen=True)
+class SessionCheckpoint:
+    """Snapshot of one stream session's cross-frame state.
+
+    Attributes
+    ----------
+    session_id:
+        The session this checkpoint belongs to.
+    scene / detail:
+        Scene identity.  :func:`restore_checkpoint` validates the
+        scene; the server additionally matches ``session_id`` and
+        ``detail`` against the descriptor before replaying, so a
+        checkpoint is never applied to the wrong stream.
+    next_frame:
+        Trajectory cursor: the first frame the restored session will
+        render.
+    frame_key:
+        The warm binner's last frame key (camera fingerprint + scene
+        clock); informational/telemetry — replay correctness does not
+        depend on it because warm binning is exact from cold state.
+    cache:
+        Exported temporal reuse-cache state (resident set + cumulative
+        counters).
+    """
+
+    session_id: str
+    scene: str
+    detail: float
+    next_frame: int
+    frame_key: tuple | None
+    cache: TemporalCacheState
+
+    @property
+    def resident_lines(self) -> int:
+        return self.cache.resident_lines
+
+
+def capture_checkpoint(
+    session_id: str, stream: FrameStream, detail: float = 1.0
+) -> SessionCheckpoint:
+    """Snapshot a session's stream state after its latest frame."""
+    return SessionCheckpoint(
+        session_id=session_id,
+        scene=stream.spec.name,
+        detail=detail,
+        next_frame=stream.frames_rendered,
+        frame_key=stream.frame_key,
+        cache=stream.cache_state.export_state(),
+    )
+
+
+def restore_checkpoint(stream: FrameStream, checkpoint: SessionCheckpoint) -> None:
+    """Replay a checkpoint onto a freshly built :class:`FrameStream`.
+
+    The stream must target the checkpoint's scene; its cache simulator
+    must match the exported policy/geometry (enforced by
+    :meth:`~repro.core.reuse_cache.TemporalReuseSimulator.import_state`).
+    After this call, ``stream.render_next()`` produces frame
+    ``checkpoint.next_frame`` exactly as the uninterrupted session
+    would have.
+    """
+    if stream.spec.name != checkpoint.scene:
+        raise ValidationError(
+            f"checkpoint of session '{checkpoint.session_id}' was taken on "
+            f"scene '{checkpoint.scene}', stream renders '{stream.spec.name}'"
+        )
+    stream.cache_state.import_state(checkpoint.cache)
+    stream.binner.reset()
+    stream.seek(checkpoint.next_frame)

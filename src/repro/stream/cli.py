@@ -23,6 +23,7 @@ from repro.core.reuse_cache import POLICIES
 from repro.harness import format_table
 from repro.scenes.catalog import CATALOG
 from repro.stream.pipeline import streaming_config
+from repro.stream.scheduler import PLACEMENTS
 from repro.stream.server import StreamServer, StreamSession
 from repro.stream.trajectory import CameraTrajectory
 
@@ -58,6 +59,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="worker processes; 0 = in-process (default: 0)",
+    )
+    parser.add_argument(
+        "--placement",
+        default="load",
+        choices=PLACEMENTS,
+        help="session->worker policy: load-aware or round-robin "
+        "(default: load)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission control: serve at most N sessions concurrently, "
+        "queueing the rest (default: unlimited)",
     )
     parser.add_argument(
         "--detail", type=float, default=1.0, help="scene detail multiplier"
@@ -121,9 +137,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.sessions <= 0:
         print("error: --sessions must be positive", file=sys.stderr)
         return 2
+    if args.max_inflight is not None and args.max_inflight < 1:
+        print("error: --max-inflight must be at least 1", file=sys.stderr)
+        return 2
 
     sessions = make_sessions(args)
-    with StreamServer(workers=args.workers) as server:
+    with StreamServer(
+        workers=args.workers,
+        placement=args.placement,
+        max_inflight=args.max_inflight,
+    ) as server:
         server.warm_up()
         results, summary = server.serve_timed(sessions)
 
@@ -159,7 +182,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(
         f"\nserved {summary.total_frames} frames over "
-        f"{summary.workers} worker(s): "
+        f"{summary.workers} worker(s), '{args.placement}' placement: "
         f"{summary.sim_frames_per_sec:.1f} simulated frames/sec "
         f"(aggregate), {summary.wall_frames_per_sec:.2f} wall frames/sec"
     )
@@ -169,6 +192,7 @@ def main(argv: list[str] | None = None) -> int:
             "scene": args.scene,
             "trajectory": args.trajectory,
             "workers": summary.workers,
+            "placement": args.placement,
             "sim_frames_per_sec": summary.sim_frames_per_sec,
             "wall_frames_per_sec": summary.wall_frames_per_sec,
             "sessions": [r.report.to_dict() for r in results],

@@ -249,11 +249,27 @@ class FrameStream:
     def frames_rendered(self) -> int:
         return self._next_frame
 
+    @property
+    def frame_key(self) -> tuple | None:
+        """The warm binner's last frame key (``None`` before frame 0)."""
+        return self.binner.frame_key
+
     def reset(self) -> None:
         """Drop all cross-frame state and restart at frame 0."""
         self.binner.reset()
         self.cache_state.reset()
         self._next_frame = 0
+
+    def seek(self, frame: int) -> None:
+        """Move the stream cursor so ``render_next`` produces ``frame``.
+
+        Used by checkpoint restore (``repro.stream.checkpoint``) after
+        the cross-frame cache state has been imported; it does not
+        touch the binner or cache state itself.
+        """
+        if frame < 0:
+            raise ValidationError("cannot seek to a negative frame")
+        self._next_frame = int(frame)
 
     def render_next(self) -> FrameRecord:
         """Render the next frame of the trajectory, advancing state."""

@@ -1,0 +1,346 @@
+"""Load-aware, fault-tolerant session scheduling for the stream server.
+
+PR 2's server spread sessions over workers blindly (arrival order
+modulo pool size) and kept dispatching every session id every tick.
+This module owns those decisions instead:
+
+* **Placement** — where a session runs.  ``rr`` keeps the arrival-order
+  round-robin; ``load`` places each admitted session on the worker with
+  the least *estimated remaining cost*, where a session costs
+  ``frame budget x per-frame latency``.  The per-frame latency starts
+  from a static catalog proxy (:func:`static_frame_estimate`) and is
+  replaced by the scene's *measured* paper-scale latency as soon as its
+  first streamed frame is observed; unobserved scenes are calibrated
+  against the observed ones so the two unit systems never mix.
+* **Admission control** — ``max_inflight`` bounds how many sessions are
+  served concurrently; the rest queue and are admitted as sessions
+  finish (backpressure instead of oversubscribing the pool).
+* **Rebalancing** — when the spread of per-worker remaining cost
+  exceeds ``rebalance_threshold`` (relative to the mean), the
+  load-aware policy proposes a :class:`Migration` of one session from
+  the most- to the least-loaded worker.  The server executes it by
+  replaying the session's checkpoint on the target worker
+  (``repro.stream.checkpoint``), so migration never changes a
+  session's output.
+* **Completion tracking** — workers report budget-exhausted sessions;
+  :meth:`StreamScheduler.mark_done` drops them from future ticks (no
+  more pay-per-tick IPC for finished streams) and admits queued ones.
+
+The scheduler is deterministic: identical sessions and observations
+produce identical placements, admissions, and migrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ValidationError
+from repro.scenes.catalog import CATALOG
+
+# The '"StreamSession"' annotations below refer to repro.stream.server,
+# which imports this module — a type-only forward reference keeps the
+# import acyclic (sessions are duck-typed here: session_id, scene,
+# detail, frame_budget).
+
+#: Placement policies accepted by the server and CLI.
+PLACEMENTS = ("rr", "load")
+
+
+def static_frame_estimate(scene: str, detail: float = 1.0) -> float:
+    """Relative per-frame cost proxy for a scene, before any frame ran.
+
+    The product of the catalog's sim-to-paper workload scale and the
+    detail-scaled Gaussian count tracks how Step-1/Step-3 work grows
+    across scenes.  Only the *relative* ordering matters: as soon as a
+    scene's first frame is rendered, its measured ``sim_seconds``
+    replaces this proxy.
+    """
+    spec = CATALOG[scene]
+    return spec.workload_scale * spec.n_gaussians * max(detail, 1e-6)
+
+
+@dataclass(frozen=True)
+class Migration:
+    """Move one session from worker ``src`` to worker ``dst``."""
+
+    session_id: str
+    src: int
+    dst: int
+
+
+@dataclass
+class _SessionPlan:
+    """Mutable scheduling state of one session."""
+
+    session: "StreamSession"
+    worker: int = -1  # -1: queued, not yet admitted
+    frames_done: int = 0
+    done: bool = False
+
+    @property
+    def admitted(self) -> bool:
+        return self.worker >= 0
+
+    @property
+    def active(self) -> bool:
+        return self.admitted and not self.done
+
+    @property
+    def frames_left(self) -> int:
+        return max(self.session.frame_budget - self.frames_done, 0)
+
+
+class StreamScheduler:
+    """Base scheduler: admission control + tick planning.
+
+    Subclasses decide *where* a session goes (:meth:`_place`) and
+    whether to rebalance; everything else — the admission queue, cost
+    model, completion bookkeeping — is shared.
+    """
+
+    def __init__(
+        self,
+        sessions: list["StreamSession"],
+        workers: int,
+        max_inflight: int | None = None,
+        estimator: Callable[[str, float], float] = static_frame_estimate,
+    ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValidationError("max_inflight must be at least 1 when set")
+        self.workers = max(workers, 1)
+        self.max_inflight = max_inflight
+        self._plans = {s.session_id: _SessionPlan(s) for s in sessions}
+        self._proxy = {
+            self._scene_key(s): estimator(s.scene, s.detail) for s in sessions
+        }
+        self._observed: dict[tuple[str, float], float] = {}
+        self.busy_seconds = {w: 0.0 for w in range(self.workers)}
+        self.migrations: list[Migration] = []
+        self._queue = self._admission_order(sessions)
+        self.admit()
+
+    # -- admission ------------------------------------------------------
+    def _admission_order(self, sessions: list["StreamSession"]) -> list[str]:
+        """Queue order for admission; base policy is FIFO (arrival)."""
+        return [s.session_id for s in sessions]
+
+    @property
+    def inflight(self) -> int:
+        return sum(1 for p in self._plans.values() if p.active)
+
+    @property
+    def queued(self) -> list[str]:
+        """Session ids waiting for admission (backpressure queue)."""
+        return list(self._queue)
+
+    def admit(self) -> list[str]:
+        """Admit queued sessions while the pool has capacity."""
+        admitted = []
+        while self._queue and (
+            self.max_inflight is None or self.inflight < self.max_inflight
+        ):
+            session_id = self._queue.pop(0)
+            plan = self._plans[session_id]
+            plan.worker = self._place(plan.session)
+            admitted.append(session_id)
+        return admitted
+
+    def _place(self, session: "StreamSession") -> int:
+        raise NotImplementedError
+
+    # -- cost model -----------------------------------------------------
+    @staticmethod
+    def _scene_key(session: "StreamSession") -> tuple[str, float]:
+        return (session.scene, session.detail)
+
+    def frame_estimate(self, session: "StreamSession") -> float:
+        """Best current estimate of one frame's paper-scale seconds."""
+        key = self._scene_key(session)
+        if key in self._observed:
+            return self._observed[key]
+        proxy = self._proxy[key]
+        if not self._observed:
+            return proxy
+        # Calibrate proxy units against scenes we have measured, so an
+        # unobserved scene competes in (approximate) real seconds.
+        ratios = [
+            self._observed[k] / self._proxy[k]
+            for k in self._observed
+            if self._proxy.get(k)
+        ]
+        return proxy * (sum(ratios) / len(ratios)) if ratios else proxy
+
+    def remaining_cost(self) -> dict[int, float]:
+        """Estimated outstanding seconds of work per worker."""
+        cost = {w: 0.0 for w in range(self.workers)}
+        for plan in self._plans.values():
+            if plan.active:
+                cost[plan.worker] += plan.frames_left * self.frame_estimate(
+                    plan.session
+                )
+        return cost
+
+    # -- observation / completion --------------------------------------
+    def observe_frame(self, session_id: str, sim_seconds: float) -> None:
+        """Account one rendered frame (updates costs and estimates)."""
+        plan = self._plans[session_id]
+        plan.frames_done += 1
+        self.busy_seconds[plan.worker] += float(sim_seconds)
+        self._observed.setdefault(self._scene_key(plan.session), float(sim_seconds))
+
+    def mark_done(self, session_id: str) -> list[str]:
+        """Drop a finished session from future ticks; admit queued ones."""
+        plan = self._plans[session_id]
+        plan.done = True
+        return self.admit()
+
+    # -- queries --------------------------------------------------------
+    def session(self, session_id: str) -> "StreamSession":
+        return self._plans[session_id].session
+
+    def worker_of(self, session_id: str) -> int:
+        return self._plans[session_id].worker
+
+    def is_done(self, session_id: str) -> bool:
+        return self._plans[session_id].done
+
+    def active_on(self, worker: int) -> list["StreamSession"]:
+        """Admitted, unfinished sessions placed on ``worker``."""
+        return [
+            p.session
+            for p in self._plans.values()
+            if p.active and p.worker == worker
+        ]
+
+    def tick_assignments(self) -> dict[int, list["StreamSession"]]:
+        """Per worker, the sessions to dispatch this tick (none when
+        every session has drained)."""
+        out: dict[int, list["StreamSession"]] = {}
+        for plan in self._plans.values():
+            if plan.active:
+                out.setdefault(plan.worker, []).append(plan.session)
+        return out
+
+    # -- rebalancing ----------------------------------------------------
+    def rebalance(self) -> list[Migration]:
+        """Propose migrations (base policy: placement is final)."""
+        return []
+
+
+class RoundRobinScheduler(StreamScheduler):
+    """PR 2's arrival-order placement, now with completion tracking."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        self._next = 0
+        super().__init__(*args, **kwargs)
+
+    def _place(self, session: "StreamSession") -> int:
+        worker = self._next % self.workers
+        self._next += 1
+        return worker
+
+
+class LoadAwareScheduler(StreamScheduler):
+    """Cost-based placement with skew-triggered rebalancing.
+
+    Admission order is estimated-cost-descending (longest processing
+    time first — the classic makespan heuristic); each admitted session
+    lands on the worker with the least estimated remaining cost.
+    """
+
+    def __init__(
+        self,
+        sessions: list["StreamSession"],
+        workers: int,
+        max_inflight: int | None = None,
+        estimator: Callable[[str, float], float] = static_frame_estimate,
+        rebalance_threshold: float = 0.25,
+    ) -> None:
+        if rebalance_threshold <= 0:
+            raise ValidationError("rebalance threshold must be positive")
+        self.rebalance_threshold = rebalance_threshold
+        super().__init__(
+            sessions, workers, max_inflight=max_inflight, estimator=estimator
+        )
+
+    def _admission_order(self, sessions: list["StreamSession"]) -> list[str]:
+        order = sorted(
+            range(len(sessions)),
+            key=lambda i: (
+                -sessions[i].frame_budget
+                * self._proxy[self._scene_key(sessions[i])],
+                i,
+            ),
+        )
+        return [sessions[i].session_id for i in order]
+
+    def _place(self, session: "StreamSession") -> int:
+        cost = self.remaining_cost()
+        return min(range(self.workers), key=lambda w: (cost[w], w))
+
+    def rebalance(self) -> list[Migration]:
+        """One migration from the most- to the least-loaded worker.
+
+        Triggered when the relative spread of remaining cost exceeds
+        the threshold; the moved session is the largest one that still
+        fits in the gap (strictly improving the imbalance).  One
+        migration per tick keeps the schedule easy to audit; persistent
+        skew drains over consecutive ticks.
+        """
+        if self.workers < 2:
+            return []
+        cost = self.remaining_cost()
+        total = sum(cost.values())
+        if total <= 0:
+            return []
+        mean = total / self.workers
+        src = max(cost, key=lambda w: (cost[w], -w))
+        dst = min(cost, key=lambda w: (cost[w], w))
+        gap = cost[src] - cost[dst]
+        if gap / mean <= self.rebalance_threshold:
+            return []
+        best: tuple[float, str] | None = None
+        for plan in self._plans.values():
+            if not plan.active or plan.worker != src:
+                continue
+            move = plan.frames_left * self.frame_estimate(plan.session)
+            if 0.0 < move < gap and (best is None or move > best[0]):
+                best = (move, plan.session.session_id)
+        if best is None:
+            return []
+        session_id = best[1]
+        self._plans[session_id].worker = dst
+        migration = Migration(session_id=session_id, src=src, dst=dst)
+        self.migrations.append(migration)
+        return [migration]
+
+
+SCHEDULERS = {"rr": RoundRobinScheduler, "load": LoadAwareScheduler}
+
+
+def make_scheduler(
+    placement: str,
+    sessions: list["StreamSession"],
+    workers: int,
+    max_inflight: int | None = None,
+    rebalance_threshold: float = 0.25,
+    estimator: Callable[[str, float], float] = static_frame_estimate,
+) -> StreamScheduler:
+    """Build the scheduler for a ``serve`` call."""
+    if placement not in SCHEDULERS:
+        raise ValidationError(
+            f"unknown placement policy '{placement}'; choose from "
+            + ", ".join(PLACEMENTS)
+        )
+    if placement == "load":
+        return LoadAwareScheduler(
+            sessions,
+            workers,
+            max_inflight=max_inflight,
+            estimator=estimator,
+            rebalance_threshold=rebalance_threshold,
+        )
+    return RoundRobinScheduler(
+        sessions, workers, max_inflight=max_inflight, estimator=estimator
+    )

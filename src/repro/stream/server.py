@@ -1,4 +1,4 @@
-"""Multi-session stream serving over a worker pool.
+"""Multi-session stream serving over a fault-tolerant worker pool.
 
 A :class:`StreamServer` multiplexes N concurrent client sessions
 (scene + trajectory pairs) over a pool of workers:
@@ -11,8 +11,22 @@ A :class:`StreamServer` multiplexes N concurrent client sessions
 * **Process isolation** — workers are single-process
   ``concurrent.futures.ProcessPoolExecutor`` instances (one per
   worker, giving session→worker affinity for the cross-frame state);
-  ``workers=0`` runs everything in the calling process, which is the
-  deterministic mode used by tests.
+  ``workers=0`` runs everything in the calling process, and
+  ``local=True`` runs N in-process worker states — the deterministic
+  modes used by tests and benchmarks.
+* **Scheduling** — session placement, admission control and
+  rebalancing live in :mod:`repro.stream.scheduler` (``placement="rr"``
+  arrival order, ``"load"`` cost-based).  Workers report
+  budget-exhausted sessions back, so finished streams stop costing a
+  dispatch per tick.
+* **Fault tolerance** — every successful tick returns per-session
+  :class:`~repro.stream.checkpoint.SessionCheckpoint` snapshots.  When
+  a worker dies mid-serve (``BrokenProcessPool``, or an injected fault
+  in the deterministic modes) the server respawns the worker, replays
+  the checkpoints of its unfinished sessions, and re-renders the lost
+  tick — recovered sessions produce frames byte-identical to an
+  uninterrupted run.  The same replay machinery powers load
+  rebalancing migrations.
 * **Same-scene request batching** — sessions assigned to a worker are
   grouped by scene, so one dispatched tick renders every same-scene
   session's next frame from a single scene build (the catalog bundle
@@ -23,26 +37,35 @@ A :class:`StreamServer` multiplexes N concurrent client sessions
   never share state, only the device and scene bundles.
 
 The scheduler is tick-based: each round trip renders at most one frame
-per session, keeping all sessions progressing together the way a
-real-time multiplexer would, instead of draining one client before
-starting the next.
+per admitted session, keeping all sessions progressing together the
+way a real-time multiplexer would, instead of draining one client
+before starting the next.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.gbu import GBUConfig, GBUDevice
-from repro.errors import ValidationError
+from repro.errors import SimulationError, ValidationError
 from repro.scenes import build_scene
+from repro.stream.checkpoint import (
+    SessionCheckpoint,
+    capture_checkpoint,
+    restore_checkpoint,
+)
 from repro.stream.pipeline import (
     FrameRecord,
     FrameStream,
     StreamReport,
     streaming_config,
 )
+from repro.stream.scheduler import Migration, StreamScheduler, make_scheduler
 from repro.stream.trajectory import CameraTrajectory
 
 
@@ -112,6 +135,9 @@ class ServeSummary:
     * ``wall_frames_per_sec`` — host wall-clock throughput of the
       simulation itself; scales with physical cores, not with the
       modeled hardware.
+
+    ``recoveries`` and ``migrations`` count worker respawns and
+    checkpoint-replay session moves during the serve.
     """
 
     workers: int
@@ -119,6 +145,8 @@ class ServeSummary:
     total_frames: int
     sim_makespan_seconds: float
     wall_seconds: float
+    recoveries: int = 0
+    migrations: int = 0
 
     @property
     def sim_frames_per_sec(self) -> float:
@@ -134,28 +162,55 @@ class ServeSummary:
 
     @staticmethod
     def from_results(
-        results: list[SessionResult], workers: int, wall_seconds: float
+        results: list[SessionResult],
+        workers: int,
+        wall_seconds: float,
+        recoveries: int = 0,
+        migrations: int = 0,
+        busy_seconds: dict[int, float] | None = None,
     ) -> "ServeSummary":
-        busy: dict[int, float] = {}
-        total = 0
-        for r in results:
-            total += r.report.n_frames
-            busy[r.worker] = busy.get(r.worker, 0.0) + float(
-                sum(f.sim_seconds for f in r.frames)
-            )
-        makespan = max(busy.values(), default=0.0)
+        """Aggregate results; ``busy_seconds`` is the scheduler's exact
+        per-worker busy accounting (frames attributed to the worker
+        that *rendered* them, which matters once a session migrated
+        mid-stream — the fallback attributes by final placement)."""
+        total = sum(r.report.n_frames for r in results)
+        if busy_seconds is None:
+            busy_seconds = {}
+            for r in results:
+                busy_seconds[r.worker] = busy_seconds.get(r.worker, 0.0) + float(
+                    sum(f.sim_seconds for f in r.frames)
+                )
+        makespan = max(busy_seconds.values(), default=0.0)
         return ServeSummary(
             workers=max(workers, 1),
             sessions=len(results),
             total_frames=total,
             sim_makespan_seconds=makespan,
             wall_seconds=wall_seconds,
+            recoveries=recoveries,
+            migrations=migrations,
         )
 
 
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
+@dataclass
+class TickResult:
+    """One worker's answer to a dispatched tick batch.
+
+    ``frames`` holds the rendered (session, record) pairs;
+    ``done`` names sessions whose frame budget is now exhausted (the
+    scheduler drops them from future ticks); ``checkpoints`` snapshots
+    every session that rendered, enabling crash recovery and
+    migration.
+    """
+
+    frames: list[tuple[str, FrameRecord]] = field(default_factory=list)
+    done: list[str] = field(default_factory=list)
+    checkpoints: dict[str, SessionCheckpoint] = field(default_factory=dict)
+
+
 class _WorkerState:
     """Per-worker serving state: one device, shared bundles, sessions."""
 
@@ -164,12 +219,14 @@ class _WorkerState:
         self.bundles: dict[tuple[str, float], object] = {}
         self.streams: dict[str, FrameStream] = {}
         self.budgets: dict[str, int] = {}
+        self.details: dict[str, float] = {}
 
     def reset(self) -> None:
         self.devices.clear()
         self.bundles.clear()
         self.streams.clear()
         self.budgets.clear()
+        self.details.clear()
 
     def _device_for(self, config: GBUConfig) -> GBUDevice:
         if config not in self.devices:
@@ -181,11 +238,14 @@ class _WorkerState:
             session if isinstance(session, str) else session.session_id
         )
         stream = self.streams.get(session_id)
-        if stream is not None:
+        if stream is not None and session_id in self.budgets:
             return stream
         if isinstance(session, str):
+            # Unknown id — or a half-registered stream that lost its
+            # budget across a reset/recovery.  Either way the session
+            # is not serviceable from an id alone.
             raise ValidationError(
-                f"session '{session}' referenced by id before registration"
+                f"session '{session_id}' referenced by id before registration"
             )
         key = (session.scene, session.detail)
         bundle = self.bundles.get(key)
@@ -203,29 +263,73 @@ class _WorkerState:
         )
         self.streams[session.session_id] = stream
         self.budgets[session.session_id] = session.frame_budget
+        self.details[session.session_id] = session.detail
         return stream
 
-    def render_tick(
-        self, sessions: list[StreamSession | str]
-    ) -> list[tuple[str, FrameRecord]]:
+    def render_tick(self, sessions: list[StreamSession | str]) -> TickResult:
         """Render the next frame of every (unfinished) session given.
 
         The sessions of one tick batch share a scene, so they render
         back-to-back from the same bundle on this worker's device.
         After a session's first tick the scheduler sends only its id
         (the full descriptor — trajectory cameras included — crosses
-        the process boundary once).
+        the process boundary once).  Budget-exhausted sessions render
+        nothing and are reported in ``done`` so the scheduler stops
+        dispatching them.
         """
-        out = []
+        result = TickResult()
         for session in sessions:
             stream = self._stream_for(session)
             session_id = (
                 session if isinstance(session, str) else session.session_id
             )
-            if stream.frames_rendered >= self.budgets[session_id]:
+            budget = self.budgets[session_id]
+            if stream.frames_rendered >= budget:
+                result.done.append(session_id)
                 continue
-            out.append((session_id, stream.render_next()))
-        return out
+            result.frames.append((session_id, stream.render_next()))
+            result.checkpoints[session_id] = capture_checkpoint(
+                session_id, stream, detail=self.details[session_id]
+            )
+            if stream.frames_rendered >= budget:
+                result.done.append(session_id)
+        return result
+
+    def restore_sessions(
+        self, payload: list[tuple[StreamSession, SessionCheckpoint | None]]
+    ) -> None:
+        """(Re)register sessions, replaying checkpoints where given.
+
+        Used after a worker respawn (fresh process, every session of
+        the dead worker is replayed) and for migrations (one session
+        arrives on an already-running worker).  A ``None`` checkpoint
+        means the session had not rendered any frame yet and simply
+        starts from frame 0.
+        """
+        for session, ckpt in payload:
+            if ckpt is not None and (
+                ckpt.session_id != session.session_id
+                or ckpt.scene != session.scene
+                or ckpt.detail != session.detail
+            ):
+                raise ValidationError(
+                    f"checkpoint ({ckpt.session_id}, {ckpt.scene}, "
+                    f"detail={ckpt.detail}) does not belong to session "
+                    f"({session.session_id}, {session.scene}, "
+                    f"detail={session.detail})"
+                )
+            self.streams.pop(session.session_id, None)
+            self.budgets.pop(session.session_id, None)
+            stream = self._stream_for(session)
+            if ckpt is not None:
+                restore_checkpoint(stream, ckpt)
+
+    def drop_sessions(self, session_ids: list[str]) -> None:
+        """Forget sessions (migration source side)."""
+        for session_id in session_ids:
+            self.streams.pop(session_id, None)
+            self.budgets.pop(session_id, None)
+            self.details.pop(session_id, None)
 
 
 _STATE: _WorkerState | None = None
@@ -238,14 +342,27 @@ def _subprocess_state() -> _WorkerState:
     return _STATE
 
 
-def _subprocess_render_tick(
-    sessions: list[StreamSession | str],
-) -> list[tuple[str, FrameRecord]]:
+def _subprocess_render_tick(sessions: list[StreamSession | str]) -> TickResult:
     return _subprocess_state().render_tick(sessions)
 
 
 def _subprocess_reset() -> None:
     _subprocess_state().reset()
+
+
+def _subprocess_restore(
+    payload: list[tuple[StreamSession, SessionCheckpoint | None]],
+) -> None:
+    _subprocess_state().restore_sessions(payload)
+
+
+def _subprocess_drop(session_ids: list[str]) -> None:
+    _subprocess_state().drop_sessions(session_ids)
+
+
+def _subprocess_crash() -> None:  # pragma: no cover - kills the process
+    """Fault injection: die the way a crashed worker does."""
+    os._exit(13)
 
 
 # ----------------------------------------------------------------------
@@ -261,14 +378,82 @@ class StreamServer:
         pool, fully deterministic); ``>= 1`` spawns that many
         single-process executors, giving every worker exclusive,
         long-lived session state.
+    placement:
+        Session→worker policy: ``"load"`` (default, cost-based with
+        rebalancing) or ``"rr"`` (arrival-order round-robin).  See
+        :mod:`repro.stream.scheduler`.
+    max_inflight:
+        Admission control: at most this many sessions are served
+        concurrently; the rest queue and are admitted as sessions
+        finish.  ``None`` admits everything immediately.
+    rebalance_threshold:
+        Relative remaining-cost spread above which the load-aware
+        policy migrates a session (ignored by ``"rr"``).
+    max_respawns:
+        Worker crashes tolerated per ``serve`` before giving up with
+        :class:`~repro.errors.SimulationError`.
+    fault_injector:
+        Test/chaos hook ``(tick, worker) -> bool``; returning True
+        kills that worker just before the tick is dispatched (process
+        workers die via ``os._exit``, deterministic modes lose their
+        state), exercising the recovery path.
+    local:
+        With ``workers >= 1``, keep that many *in-process* worker
+        states instead of spawning processes — full scheduling,
+        batching and recovery semantics, fully deterministic, no IPC.
+        Used by tests and the scheduler benchmark.
+    estimator:
+        Override the static per-frame cost proxy
+        (:func:`~repro.stream.scheduler.static_frame_estimate`);
+        tests inject deliberately wrong estimates to exercise the
+        rebalancing path.
     """
 
-    def __init__(self, workers: int = 2) -> None:
+    def __init__(
+        self,
+        workers: int = 2,
+        placement: str = "load",
+        max_inflight: int | None = None,
+        rebalance_threshold: float = 0.25,
+        max_respawns: int = 2,
+        fault_injector: Callable[[int, int], bool] | None = None,
+        local: bool = False,
+        estimator: Callable[[str, float], float] | None = None,
+    ) -> None:
         if workers < 0:
             raise ValidationError("worker count cannot be negative")
+        if max_respawns < 0:
+            raise ValidationError("max_respawns cannot be negative")
         self.workers = workers
+        self.placement = placement
+        self.max_inflight = max_inflight
+        self.rebalance_threshold = rebalance_threshold
+        self.max_respawns = max_respawns
+        self.fault_injector = fault_injector
+        self.estimator = estimator
+        self.local = local or workers == 0
+        self._n_workers = max(workers, 1)
         self._executors: list[ProcessPoolExecutor] = []
         self._local_states: list[_WorkerState] = []
+        #: Per-session dispatch counts of the last ``serve`` call (how
+        #: many tick payloads named the session) — the regression meter
+        #: for finished-session dispatch.
+        self.dispatch_counts: dict[str, int] = {}
+        #: Worker respawns performed during the last ``serve``.
+        self.recoveries: int = 0
+        #: Checkpoint migrations executed during the last ``serve``.
+        self.migrations: list[Migration] = []
+        #: Per-worker summed paper-scale busy seconds of the last
+        #: ``serve`` (frames attributed to the rendering worker, exact
+        #: under migration).
+        self.worker_busy_seconds: dict[int, float] = {}
+        #: Per-session simulated completion stamp of each frame — the
+        #: rendering worker's cumulative busy seconds when the frame
+        #: finished.  Unlike a frame's own ``sim_seconds`` this *does*
+        #: depend on placement (queueing behind co-scheduled sessions),
+        #: so it is the response-time metric the scheduler benchmark
+        #: compares across policies.
+        self.frame_completions: dict[str, list[float]] = {}
 
     # -- lifecycle ------------------------------------------------------
     def __enter__(self) -> "StreamServer":
@@ -285,114 +470,264 @@ class StreamServer:
         self._local_states.clear()
 
     def _ensure_pool(self) -> None:
-        if self.workers == 0:
-            if not self._local_states:
-                self._local_states = [_WorkerState()]
+        if self.local:
+            while len(self._local_states) < self._n_workers:
+                self._local_states.append(_WorkerState())
             return
         while len(self._executors) < self.workers:
             self._executors.append(ProcessPoolExecutor(max_workers=1))
 
     # -- scheduling -----------------------------------------------------
     @staticmethod
-    def assign_workers(
-        sessions: list[StreamSession], workers: int
-    ) -> list[int]:
-        """Round-robin session→worker placement.
-
-        Sessions are spread across workers in arrival order, so
-        same-scene sessions land on *different* workers when capacity
-        allows (parallelism first); batching then merges whatever
-        same-scene sessions ended up together on a worker.
-        """
-        n = max(workers, 1)
-        return [i % n for i in range(len(sessions))]
-
-    @staticmethod
-    def _batches(
-        sessions: list[StreamSession], placement: list[int], workers: int
-    ) -> list[list[list[StreamSession]]]:
-        """Per worker, the list of same-scene session batches."""
-        per_worker: list[list[list[StreamSession]]] = []
-        for w in range(max(workers, 1)):
-            mine = [s for s, p in zip(sessions, placement) if p == w]
-            by_scene: dict[str, list[StreamSession]] = {}
-            for s in mine:
-                by_scene.setdefault(s.scene, []).append(s)
-            per_worker.append(list(by_scene.values()))
-        return per_worker
+    def _scene_batches(
+        sessions: list[StreamSession],
+    ) -> list[list[StreamSession]]:
+        """Group one worker's sessions into same-scene batches."""
+        by_scene: dict[str, list[StreamSession]] = {}
+        for s in sessions:
+            by_scene.setdefault(s.scene, []).append(s)
+        return list(by_scene.values())
 
     # -- serving --------------------------------------------------------
     def serve(self, sessions: list[StreamSession]) -> list[SessionResult]:
         """Stream every session to completion; returns per-session results.
 
-        Frames are dispatched in ticks (one frame per session per
-        round), with each worker receiving one task per same-scene
-        batch it hosts.
+        Frames are dispatched in ticks (one frame per admitted session
+        per round), with each worker receiving one task per same-scene
+        batch it hosts.  Worker crashes are recovered by respawning the
+        worker and replaying session checkpoints; if anything is
+        unrecoverable the pool is torn down before the error
+        propagates, so no executor outlives a failed serve.
         """
+        self.worker_busy_seconds = {}
         if not sessions:
             return []
         ids = [s.session_id for s in sessions]
         if len(set(ids)) != len(ids):
             raise ValidationError("session ids must be unique")
+        try:
+            return self._serve(sessions)
+        except BaseException:
+            # Executor leak guard: a serve that raises must not leave
+            # worker processes behind (the pool restarts lazily on the
+            # next serve).
+            self.close()
+            raise
+
+    def _serve(self, sessions: list[StreamSession]) -> list[SessionResult]:
         self._ensure_pool()
         self._reset_workers()
-
-        placement = self.assign_workers(sessions, self.workers)
-        batches = self._batches(sessions, placement, self.workers)
+        kwargs = {} if self.estimator is None else {"estimator": self.estimator}
+        scheduler = make_scheduler(
+            self.placement,
+            sessions,
+            self._n_workers,
+            max_inflight=self.max_inflight,
+            rebalance_threshold=self.rebalance_threshold,
+            **kwargs,
+        )
         reports = {
             s.session_id: StreamReport(
                 scene=s.scene, trajectory=s.trajectory.kind
             )
             for s in sessions
         }
-        budget = {s.session_id: s.frame_budget for s in sessions}
-
-        max_frames = max(budget.values())
+        checkpoints: dict[str, SessionCheckpoint] = {}
         shipped: set[str] = set()
-        for _ in range(max_frames):
-            pending: list[tuple[int, Future | list]] = []
-            for w, worker_batches in enumerate(batches):
-                for batch in worker_batches:
-                    live = [
-                        s
-                        for s in batch
-                        if len(reports[s.session_id].frames)
-                        < budget[s.session_id]
-                    ]
-                    if not live:
-                        continue
-                    # Ship the full descriptor once; ids afterwards.
-                    payload: list[StreamSession | str] = [
-                        s if s.session_id not in shipped else s.session_id
-                        for s in live
-                    ]
-                    shipped.update(s.session_id for s in live)
-                    pending.append((w, self._dispatch(w, payload)))
-            if not pending:
-                break
-            for w, item in pending:
-                results = item.result() if isinstance(item, Future) else item
-                for session_id, record in results:
-                    reports[session_id].frames.append(record)
+        self.dispatch_counts = {s.session_id: 0 for s in sessions}
+        self.recoveries = 0
+        self.migrations = []
+        self.frame_completions = {s.session_id: [] for s in sessions}
 
-        worker_of = dict(zip(ids, placement))
+        # Progress is guaranteed (every tick either renders a frame or
+        # retires a session), so this cap only catches scheduler bugs.
+        max_ticks = (
+            sum(s.frame_budget for s in sessions)
+            + len(sessions)
+            + self.max_respawns
+            + 4
+        )
+        for tick in range(max_ticks):
+            assignments = scheduler.tick_assignments()
+            if not assignments:
+                break
+            self._inject_faults(tick, assignments, scheduler, checkpoints, shipped)
+            results = self._run_tick(assignments, scheduler, checkpoints, shipped)
+            for tick_result in results:
+                for session_id, record in tick_result.frames:
+                    reports[session_id].frames.append(record)
+                    scheduler.observe_frame(session_id, record.sim_seconds)
+                    self.frame_completions[session_id].append(
+                        scheduler.busy_seconds[scheduler.worker_of(session_id)]
+                    )
+                for session_id in tick_result.done:
+                    scheduler.mark_done(session_id)
+            self._apply_migrations(scheduler, checkpoints, shipped)
+        else:
+            raise SimulationError(
+                "stream serve did not drain within its tick budget"
+            )
+
+        self.worker_busy_seconds = dict(scheduler.busy_seconds)
         return [
             SessionResult(
                 session_id=s.session_id,
                 scene=s.scene,
-                worker=worker_of[s.session_id],
+                worker=scheduler.worker_of(s.session_id),
                 report=reports[s.session_id],
             )
             for s in sessions
         ]
 
+    # -- tick execution -------------------------------------------------
+    def _run_tick(
+        self,
+        assignments: dict[int, list[StreamSession]],
+        scheduler: StreamScheduler,
+        checkpoints: dict[str, SessionCheckpoint],
+        shipped: set[str],
+    ) -> list[TickResult]:
+        """Dispatch one tick and gather results, recovering crashes."""
+        pending: list[tuple[int, list[StreamSession], Future | TickResult]] = []
+        failed: dict[int, list[list[StreamSession]]] = {}
+        for w in sorted(assignments):
+            for batch in self._scene_batches(assignments[w]):
+                payload: list[StreamSession | str] = [
+                    s if s.session_id not in shipped else s.session_id
+                    for s in batch
+                ]
+                for s in batch:
+                    shipped.add(s.session_id)
+                    self.dispatch_counts[s.session_id] += 1
+                try:
+                    pending.append((w, batch, self._dispatch(w, payload)))
+                except BrokenProcessPool:
+                    # A pool already marked broken rejects the submit
+                    # itself; queue the batch for post-recovery retry.
+                    failed.setdefault(w, []).append(batch)
+
+        results: list[TickResult] = []
+        for w, batch, item in pending:
+            try:
+                result = item.result() if isinstance(item, Future) else item
+            except BrokenProcessPool:
+                failed.setdefault(w, []).append(batch)
+                continue
+            # Fold checkpoints in immediately: if a *later* batch of the
+            # same worker crashed, recovery must replay this batch's
+            # sessions from their post-tick state, not last tick's.
+            checkpoints.update(result.checkpoints)
+            results.append(result)
+        for w, batches in sorted(failed.items()):
+            self._recover_worker(w, scheduler, checkpoints, shipped)
+            for batch in batches:
+                # Post-restore every session is registered on the new
+                # worker; ids suffice and the lost frames re-render
+                # deterministically from the replayed checkpoints.  A
+                # repeat crash during the retry re-enters recovery,
+                # bounded by the respawn budget.
+                while True:
+                    for s in batch:
+                        self.dispatch_counts[s.session_id] += 1
+                    try:
+                        retry = self._dispatch(w, [s.session_id for s in batch])
+                        result = (
+                            retry.result() if isinstance(retry, Future) else retry
+                        )
+                        break
+                    except BrokenProcessPool:
+                        self._recover_worker(w, scheduler, checkpoints, shipped)
+                checkpoints.update(result.checkpoints)
+                results.append(result)
+        return results
+
     def _dispatch(self, worker: int, batch: list[StreamSession | str]):
-        if self.workers == 0:
-            return self._local_states[0].render_tick(batch)
+        if self.local:
+            return self._local_states[worker].render_tick(batch)
         return self._executors[worker].submit(_subprocess_render_tick, batch)
 
+    # -- fault handling -------------------------------------------------
+    def _inject_faults(
+        self,
+        tick: int,
+        assignments: dict[int, list[StreamSession]],
+        scheduler: StreamScheduler,
+        checkpoints: dict[str, SessionCheckpoint],
+        shipped: set[str],
+    ) -> None:
+        if self.fault_injector is None:
+            return
+        for w in sorted(assignments):
+            if not self.fault_injector(tick, w):
+                continue
+            if self.local:
+                # Deterministic modes cannot lose a process; losing the
+                # whole worker state is the same failure, recovered
+                # eagerly (process workers go through BrokenProcessPool
+                # detection instead).
+                self._recover_worker(w, scheduler, checkpoints, shipped)
+            else:
+                self._executors[w].submit(_subprocess_crash)
+
+    def _recover_worker(
+        self,
+        worker: int,
+        scheduler: StreamScheduler,
+        checkpoints: dict[str, SessionCheckpoint],
+        shipped: set[str],
+    ) -> None:
+        """Respawn a dead worker and replay its sessions' checkpoints."""
+        self.recoveries += 1
+        if self.recoveries > self.max_respawns:
+            raise SimulationError(
+                f"worker {worker} crashed beyond the respawn budget "
+                f"({self.max_respawns}); giving up"
+            )
+        if self.local:
+            self._local_states[worker] = _WorkerState()
+        else:
+            self._executors[worker].shutdown(wait=False)
+            self._executors[worker] = ProcessPoolExecutor(max_workers=1)
+        payload = [
+            (session, checkpoints.get(session.session_id))
+            for session in scheduler.active_on(worker)
+        ]
+        if payload:
+            self._dispatch_restore(worker, payload)
+            shipped.update(session.session_id for session, _ in payload)
+
+    def _apply_migrations(
+        self,
+        scheduler: StreamScheduler,
+        checkpoints: dict[str, SessionCheckpoint],
+        shipped: set[str],
+    ) -> None:
+        for migration in scheduler.rebalance():
+            session = scheduler.session(migration.session_id)
+            ckpt = checkpoints.get(migration.session_id)
+            self._dispatch_drop(migration.src, [migration.session_id])
+            self._dispatch_restore(migration.dst, [(session, ckpt)])
+            shipped.add(migration.session_id)
+            self.migrations.append(migration)
+
+    def _dispatch_restore(
+        self,
+        worker: int,
+        payload: list[tuple[StreamSession, SessionCheckpoint | None]],
+    ) -> None:
+        if self.local:
+            self._local_states[worker].restore_sessions(payload)
+            return
+        self._executors[worker].submit(_subprocess_restore, payload).result()
+
+    def _dispatch_drop(self, worker: int, session_ids: list[str]) -> None:
+        if self.local:
+            self._local_states[worker].drop_sessions(session_ids)
+            return
+        self._executors[worker].submit(_subprocess_drop, session_ids).result()
+
     def _reset_workers(self) -> None:
-        if self.workers == 0:
+        if self.local:
             for state in self._local_states:
                 state.reset()
             return
@@ -407,7 +742,14 @@ class StreamServer:
         t0 = time.perf_counter()
         results = self.serve(sessions)
         wall = time.perf_counter() - t0
-        return results, ServeSummary.from_results(results, self.workers, wall)
+        return results, ServeSummary.from_results(
+            results,
+            self.workers,
+            wall,
+            recoveries=self.recoveries,
+            migrations=len(self.migrations),
+            busy_seconds=self.worker_busy_seconds or None,
+        )
 
     def warm_up(self) -> float:
         """Spin up every worker process (imports + allocator warmup).
@@ -417,7 +759,7 @@ class StreamServer:
         """
         t0 = time.perf_counter()
         self._ensure_pool()
-        if self.workers > 0:
+        if not self.local:
             for executor in self._executors:
                 executor.submit(_subprocess_reset).result()
         return time.perf_counter() - t0

@@ -1,0 +1,165 @@
+"""Scheduler: placement, admission control, estimation, rebalancing."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.scenes.catalog import CATALOG
+from repro.stream import (
+    CameraTrajectory,
+    LoadAwareScheduler,
+    RoundRobinScheduler,
+    StreamSession,
+    make_scheduler,
+    static_frame_estimate,
+)
+
+DETAIL = 0.25
+
+
+def _session(session_id, scene, n_frames, seed=0):
+    spec = CATALOG[scene]
+    return StreamSession(
+        session_id,
+        scene,
+        CameraTrajectory.for_scene(
+            spec, "head_jitter", n_frames=n_frames, seed=seed, detail=DETAIL
+        ),
+        detail=DETAIL,
+    )
+
+
+def _skewed_mix():
+    """Heavy/light interleaved so round-robin stacks the heavies."""
+    return [
+        _session("heavy-0", "bicycle", 12, seed=0),
+        _session("light-0", "female_4", 4, seed=1),
+        _session("heavy-1", "bicycle", 12, seed=2),
+        _session("light-1", "female_4", 4, seed=3),
+    ]
+
+
+def test_static_estimate_orders_scenes_by_size():
+    assert static_frame_estimate("bicycle") > static_frame_estimate("female_4")
+    assert static_frame_estimate("bicycle", 0.5) < static_frame_estimate(
+        "bicycle", 1.0
+    )
+
+
+def test_round_robin_stacks_heavies_load_aware_spreads_them():
+    sessions = _skewed_mix()
+    rr = RoundRobinScheduler(sessions, workers=2)
+    assert rr.worker_of("heavy-0") == rr.worker_of("heavy-1") == 0
+    load = LoadAwareScheduler(sessions, workers=2)
+    assert load.worker_of("heavy-0") != load.worker_of("heavy-1")
+
+
+def test_load_aware_estimated_makespan_beats_round_robin():
+    sessions = _skewed_mix()
+    rr = RoundRobinScheduler(sessions, workers=2)
+    load = LoadAwareScheduler(sessions, workers=2)
+    assert max(load.remaining_cost().values()) < max(
+        rr.remaining_cost().values()
+    )
+
+
+def test_admission_control_queues_beyond_max_inflight():
+    sessions = _skewed_mix()
+    scheduler = LoadAwareScheduler(sessions, workers=2, max_inflight=2)
+    assert scheduler.inflight == 2
+    assert len(scheduler.queued) == 2
+    assignments = scheduler.tick_assignments()
+    assert sum(len(v) for v in assignments.values()) == 2
+    # Finishing one admitted session admits exactly one queued session.
+    running = next(iter(assignments.values()))[0].session_id
+    admitted = scheduler.mark_done(running)
+    assert len(admitted) == 1
+    assert scheduler.inflight == 2
+    assert len(scheduler.queued) == 1
+
+
+def test_completion_drops_session_from_ticks():
+    sessions = _skewed_mix()
+    scheduler = RoundRobinScheduler(sessions, workers=2)
+    scheduler.mark_done("heavy-0")
+    ids = {
+        s.session_id
+        for batch in scheduler.tick_assignments().values()
+        for s in batch
+    }
+    assert "heavy-0" not in ids
+    assert len(ids) == 3
+
+
+def test_observation_replaces_static_estimate():
+    sessions = _skewed_mix()
+    scheduler = LoadAwareScheduler(sessions, workers=2)
+    scheduler.observe_frame("heavy-0", 0.125)
+    assert scheduler.frame_estimate(sessions[0]) == 0.125
+    # Unobserved scenes are calibrated into the observed unit system.
+    light = scheduler.frame_estimate(sessions[1])
+    proxy_ratio = static_frame_estimate("female_4", DETAIL) / (
+        static_frame_estimate("bicycle", DETAIL)
+    )
+    assert light == pytest.approx(0.125 * proxy_ratio)
+
+
+def test_rebalance_fires_on_misestimated_load():
+    sessions = [
+        _session("light-0", "female_4", 4, seed=1),
+        _session("heavy-0", "bicycle", 12, seed=0),
+        _session("heavy-1", "bicycle", 12, seed=2),
+    ]
+    # Lie: the heavy scene is estimated cheap, so both heavies land on
+    # the same worker behind the "expensive" light session.
+    lying = lambda scene, detail: 1.0 if scene == "bicycle" else 1000.0  # noqa: E731
+    scheduler = LoadAwareScheduler(
+        sessions, workers=2, estimator=lying, rebalance_threshold=0.25
+    )
+    assert scheduler.worker_of("heavy-0") == scheduler.worker_of("heavy-1")
+    src = scheduler.worker_of("heavy-0")
+    # Reality arrives: heavy frames are 100x the lights.
+    scheduler.observe_frame("heavy-0", 1.0)
+    scheduler.observe_frame("light-0", 0.01)
+    migrations = scheduler.rebalance()
+    assert len(migrations) == 1
+    assert migrations[0].src == src
+    assert scheduler.worker_of(migrations[0].session_id) == migrations[0].dst
+    assert scheduler.migrations == migrations
+
+
+def test_rebalance_quiet_when_balanced():
+    sessions = _skewed_mix()
+    scheduler = LoadAwareScheduler(sessions, workers=2)
+    assert scheduler.rebalance() == []
+
+
+def test_validation_errors():
+    sessions = _skewed_mix()
+    with pytest.raises(ValidationError):
+        make_scheduler("bogus", sessions, 2)
+    with pytest.raises(ValidationError):
+        make_scheduler("load", sessions, 2, max_inflight=0)
+    with pytest.raises(ValidationError):
+        LoadAwareScheduler(sessions, workers=2, rebalance_threshold=0.0)
+
+
+def test_compare_placements_moves_completion_not_render_latency():
+    """Placement shifts queueing (completion times), never frame cost."""
+    from repro.analysis.streaming import compare_placements, skewed_session_mix
+
+    mix = skewed_session_mix(
+        heavy_frames=6, light_frames=2, pairs=2, detail=DETAIL
+    )
+    comparison = compare_placements(sessions=mix, workers=2, detail=DETAIL)
+    rr, load = comparison.points["rr"], comparison.points["load"]
+    assert comparison.speedup > 1.0
+    # Per-frame render latency is a property of the workload...
+    assert rr.p50_frame_seconds == load.p50_frame_seconds
+    # ...but the completion tail shrinks when the heavies are spread.
+    assert load.p95_completion_seconds < rr.p95_completion_seconds
+
+
+def test_factory_builds_both_policies():
+    sessions = _skewed_mix()
+    assert isinstance(make_scheduler("rr", sessions, 2), RoundRobinScheduler)
+    assert isinstance(make_scheduler("load", sessions, 2), LoadAwareScheduler)

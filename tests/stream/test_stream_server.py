@@ -1,25 +1,28 @@
-"""StreamServer: session isolation, batching, the busy protocol."""
+"""StreamServer: isolation, batching, the busy protocol, scheduling,
+admission control, and worker-crash recovery."""
 
 import numpy as np
 import pytest
 
 from repro.core.gbu import GBUDevice
-from repro.errors import ValidationError
+from repro.errors import SimulationError, ValidationError
 from repro.gaussians import build_render_lists, project
 from repro.scenes import build_scene
 from repro.scenes.catalog import CATALOG
 from repro.stream import (
     CameraTrajectory,
     FrameStream,
+    RoundRobinScheduler,
     StreamServer,
     StreamSession,
     streaming_config,
 )
+from repro.stream.server import _WorkerState
 
 DETAIL = 0.25
 
 
-def _sessions(n_frames=4):
+def _sessions(n_frames=4, keep_images=False, budgets=None):
     spec = CATALOG["bicycle"]
     return [
         StreamSession(
@@ -28,7 +31,9 @@ def _sessions(n_frames=4):
             CameraTrajectory.for_scene(
                 spec, "head_jitter", n_frames=n_frames, seed=9, detail=DETAIL
             ),
+            n_frames=None if budgets is None else budgets[0],
             detail=DETAIL,
+            keep_images=keep_images,
         ),
         StreamSession(
             "orbit",
@@ -36,7 +41,9 @@ def _sessions(n_frames=4):
             CameraTrajectory.for_scene(
                 spec, "orbit", n_frames=n_frames, detail=DETAIL
             ),
+            n_frames=None if budgets is None else budgets[1],
             detail=DETAIL,
+            keep_images=keep_images,
         ),
     ]
 
@@ -88,14 +95,16 @@ def test_round_robin_placement_and_same_scene_batching():
         StreamSession(f"s{i}", scene, traj, detail=DETAIL)
         for i, scene in enumerate(["bicycle", "bicycle", "bonsai", "bicycle"])
     ]
-    placement = StreamServer.assign_workers(sessions, 2)
-    assert placement == [0, 1, 0, 1]
-    batches = StreamServer._batches(sessions, placement, 2)
+    scheduler = RoundRobinScheduler(sessions, workers=2)
+    assert [scheduler.worker_of(s.session_id) for s in sessions] == [0, 1, 0, 1]
+    assignments = scheduler.tick_assignments()
     # Worker 0 hosts s0 (bicycle) and s2 (bonsai): two one-session
     # batches; worker 1 hosts s1 and s3, both bicycle: one batch of 2.
-    assert sorted(len(b) for b in batches[0]) == [1, 1]
-    assert [len(b) for b in batches[1]] == [2]
-    assert {s.session_id for s in batches[1][0]} == {"s1", "s3"}
+    batches0 = StreamServer._scene_batches(assignments[0])
+    batches1 = StreamServer._scene_batches(assignments[1])
+    assert sorted(len(b) for b in batches0) == [1, 1]
+    assert [len(b) for b in batches1] == [2]
+    assert {s.session_id for s in batches1[0]} == {"s1", "s3"}
 
 
 def test_duplicate_session_ids_rejected():
@@ -106,6 +115,180 @@ def test_duplicate_session_ids_rejected():
             server.serve(twin)
     with pytest.raises(ValidationError):
         StreamServer(workers=-1)
+
+
+def test_finished_sessions_stop_being_dispatched():
+    """A budget-exhausted session costs no further tick round-trips."""
+    sessions = _sessions(n_frames=6, budgets=[2, 6])
+    with StreamServer(workers=0) as server:
+        results = server.serve(sessions)
+        counts = dict(server.dispatch_counts)
+    assert [r.report.n_frames for r in results] == [2, 6]
+    # One dispatch per rendered frame: completion rides back with the
+    # final frame, so the short session is never named again.
+    assert counts == {"jitter": 2, "orbit": 6}
+
+
+def test_stale_session_id_raises_validation_error():
+    """A session id surviving a reset (or a half-registered stream) is a
+    ValidationError, never a bare KeyError."""
+    session = _sessions(n_frames=2)[0]
+    state = _WorkerState()
+    state.render_tick([session])
+    state.reset()
+    with pytest.raises(ValidationError):
+        state.render_tick([session.session_id])
+    # Half-registered: the stream survived but its budget did not (the
+    # recovery-path hazard) — same error, routed through registration.
+    state.render_tick([session])
+    state.budgets.pop(session.session_id)
+    with pytest.raises(ValidationError):
+        state.render_tick([session.session_id])
+
+
+def test_serve_failure_leaves_no_live_executors():
+    """An unrecoverable serve tears the pool down before raising."""
+    sessions = _sessions(n_frames=3)
+    server = StreamServer(
+        workers=2, fault_injector=lambda tick, w: w == 0, max_respawns=0
+    )
+    with pytest.raises(SimulationError):
+        server.serve(sessions)
+    assert server._executors == []
+    assert server._local_states == []
+    # The server recovers on the next serve with the injector removed.
+    server.fault_injector = None
+    try:
+        results = server.serve(sessions)
+    finally:
+        server.close()
+    assert [r.report.n_frames for r in results] == [3, 3]
+
+
+def _frame_evidence(report):
+    """What byte-identical recovery must preserve per frame."""
+    return [
+        (
+            f.frame,
+            f.sim_seconds,
+            f.hit_rate,
+            f.cache.cumulative_hit_rate,
+            f.cache.carried_hit_rate,
+        )
+        for f in report.frames
+    ]
+
+
+@pytest.mark.parametrize("crash_tick", [1, 7])
+def test_worker_crash_recovery_matches_uninterrupted_run(crash_tick):
+    """Kill a worker mid-stream; recovered frames must be identical."""
+    sessions = _sessions(n_frames=16, keep_images=True)
+    with StreamServer(workers=0) as server:
+        baseline = server.serve(sessions)
+
+    injector = lambda tick, w: tick == crash_tick  # noqa: E731 - every worker
+    with StreamServer(
+        workers=2, local=True, fault_injector=injector
+    ) as server:
+        recovered = server.serve(sessions)
+        assert server.recoveries >= 1
+
+    for before, after in zip(baseline, recovered):
+        assert _frame_evidence(before.report) == _frame_evidence(after.report)
+        for fb, fa in zip(before.report.frames, after.report.frames):
+            assert np.array_equal(fb.image, fa.image)
+
+
+def test_process_worker_crash_recovery_matches_uninterrupted_run():
+    """Same invariant through a real BrokenProcessPool respawn."""
+    sessions = _sessions(n_frames=5)
+    with StreamServer(workers=0) as server:
+        baseline = server.serve(sessions)
+    injector = lambda tick, w: tick == 2 and w == 0  # noqa: E731
+    with StreamServer(workers=2, fault_injector=injector) as server:
+        recovered = server.serve(sessions)
+        assert server.recoveries == 1
+    for before, after in zip(baseline, recovered):
+        assert _frame_evidence(before.report) == _frame_evidence(after.report)
+
+
+def test_rebalance_migration_preserves_results():
+    """A checkpoint migration changes placement, never output."""
+    spec_heavy, spec_light = CATALOG["bicycle"], CATALOG["female_4"]
+    sessions = [
+        StreamSession(
+            "light",
+            "female_4",
+            CameraTrajectory.for_scene(
+                spec_light, "head_jitter", n_frames=8, seed=1, detail=DETAIL
+            ),
+            detail=DETAIL,
+        ),
+        StreamSession(
+            "heavy-a",
+            "bicycle",
+            CameraTrajectory.for_scene(
+                spec_heavy, "head_jitter", n_frames=8, seed=2, detail=DETAIL
+            ),
+            detail=DETAIL,
+        ),
+        StreamSession(
+            "heavy-b",
+            "bicycle",
+            CameraTrajectory.for_scene(
+                spec_heavy, "head_jitter", n_frames=8, seed=3, detail=DETAIL
+            ),
+            detail=DETAIL,
+        ),
+    ]
+    with StreamServer(workers=0) as server:
+        baseline = server.serve(sessions)
+
+    # Lie about the heavy scene so both heavies stack on one worker;
+    # observed latencies then trigger a rebalance migration.
+    lying = lambda scene, detail: 1.0 if scene == "bicycle" else 1000.0  # noqa: E731
+    with StreamServer(
+        workers=2,
+        local=True,
+        placement="load",
+        estimator=lying,
+        rebalance_threshold=0.5,
+    ) as server:
+        rebalanced = server.serve(sessions)
+        assert len(server.migrations) >= 1
+
+    for before, after in zip(baseline, rebalanced):
+        assert _frame_evidence(before.report) == _frame_evidence(after.report)
+
+
+def test_admission_control_backpressure_preserves_results():
+    sessions = _sessions(n_frames=4)
+    with StreamServer(workers=0) as server:
+        unlimited = server.serve(sessions)
+    with StreamServer(workers=0, max_inflight=1) as server:
+        throttled = server.serve(sessions)
+    for a, b in zip(unlimited, throttled):
+        assert _frame_evidence(a.report) == _frame_evidence(b.report)
+    with pytest.raises(ValidationError):
+        StreamServer(workers=0, max_inflight=0).serve(sessions)
+
+
+def test_serve_summary_reports_recoveries():
+    sessions = _sessions(n_frames=4)
+    injector = lambda tick, w: tick == 1 and w == 0  # noqa: E731
+    with StreamServer(
+        workers=2, local=True, fault_injector=injector
+    ) as server:
+        _, summary = server.serve_timed(sessions)
+    assert summary.recoveries == 1
+    assert summary.migrations == 0
+
+
+def test_unknown_placement_is_rejected():
+    sessions = _sessions(n_frames=1)
+    server = StreamServer(workers=0, placement="bogus")
+    with pytest.raises(ValidationError):
+        server.serve(sessions)
 
 
 def test_device_busy_protocol_is_honored():
