@@ -1,0 +1,142 @@
+"""QoS benchmark: fixed-detail vs deadline-adaptive stream serving.
+
+Serves the mixed heavy/light session load of
+:func:`repro.analysis.streaming.qos_session_mix` — heavy outdoor
+sessions that blow a 72 Hz frame budget at full detail, light avatar
+sessions that meet it easily — in both quality modes at equal worker
+count and writes ``BENCH_qos.json`` at the repo root: per mode the
+deadline-miss count/rate, mean delivered detail (absolute and relative
+to the requested detail), and makespan, plus the fixed-over-adaptive
+miss-rate reduction.
+
+Acceptance bar: the adaptive controller must cut the deadline-miss
+rate by ``REPRO_BENCH_QOS_MIN_MISS_REDUCTION`` (default 2x) versus
+fixed detail on the default mix, while the mean delivered detail stays
+at or above ``REPRO_BENCH_QOS_MIN_MEAN_SCALE`` (default 0.5) of the
+requested detail — quality is traded, not given away.  Both serves run
+in the server's deterministic in-process ``local`` mode, so the
+numbers are stable on any machine.
+
+Smoke knobs (used by CI): ``REPRO_BENCH_QOS_WORKERS``,
+``REPRO_BENCH_QOS_DETAIL``, ``REPRO_BENCH_QOS_FRAMES``,
+``REPRO_BENCH_QOS_HEAVY``, ``REPRO_BENCH_QOS_LIGHT``,
+``REPRO_BENCH_QOS_TARGET_FPS``, ``REPRO_BENCH_QOS_MIN_MISS_REDUCTION``,
+``REPRO_BENCH_QOS_MIN_MEAN_SCALE``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.analysis.streaming import compare_qos, qos_session_mix
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_qos.json"
+
+WORKERS = int(os.environ.get("REPRO_BENCH_QOS_WORKERS", "2"))
+DETAIL = float(os.environ.get("REPRO_BENCH_QOS_DETAIL", "1.0"))
+FRAMES = int(os.environ.get("REPRO_BENCH_QOS_FRAMES", "16"))
+HEAVY = int(os.environ.get("REPRO_BENCH_QOS_HEAVY", "2"))
+LIGHT = int(os.environ.get("REPRO_BENCH_QOS_LIGHT", "2"))
+TARGET_FPS = float(os.environ.get("REPRO_BENCH_QOS_TARGET_FPS", "72"))
+MIN_MISS_REDUCTION = float(
+    os.environ.get("REPRO_BENCH_QOS_MIN_MISS_REDUCTION", "2.0")
+)
+MIN_MEAN_SCALE = float(os.environ.get("REPRO_BENCH_QOS_MIN_MEAN_SCALE", "0.5"))
+
+
+def test_qos_adaptive_vs_fixed(benchmark):
+    sessions = qos_session_mix(
+        heavy=HEAVY, light=LIGHT, n_frames=FRAMES, detail=DETAIL
+    )
+    comparison = compare_qos(
+        sessions=sessions, workers=WORKERS, target_fps=TARGET_FPS
+    )
+
+    rows = []
+    for mode, point in comparison.points.items():
+        rows.append(
+            {
+                "mode": mode,
+                "target_fps": point.target_fps,
+                "workers": point.workers,
+                "sessions": point.sessions,
+                "total_frames": point.total_frames,
+                "deadline_misses": point.deadline_misses,
+                "miss_rate": point.miss_rate,
+                "mean_detail": point.mean_detail,
+                "mean_scale": point.mean_scale,
+                "sim_makespan_seconds": point.sim_makespan_seconds,
+            }
+        )
+
+    reduction = comparison.miss_reduction
+    adaptive = comparison.points["adaptive"]
+    payload = {
+        "benchmark": "qos_adaptive_vs_fixed",
+        "methodology": (
+            "mixed heavy/light session load served to completion per "
+            "quality mode in deterministic local mode at equal worker "
+            "count; a frame misses when its paper-scale latency exceeds "
+            "1/target_fps; mean_scale = delivered detail / requested "
+            "detail"
+        ),
+        "workers": WORKERS,
+        "detail": DETAIL,
+        "target_fps": TARGET_FPS,
+        "mix": {
+            "heavy": {"scene": "bicycle", "sessions": HEAVY, "frames": FRAMES},
+            "light": {"scene": "female_4", "sessions": LIGHT, "frames": FRAMES},
+        },
+        "summary": {
+            "miss_rate_reduction_fixed_over_adaptive": reduction,
+            "reduction_floor": MIN_MISS_REDUCTION,
+            "adaptive_mean_scale": adaptive.mean_scale,
+            "mean_scale_floor": MIN_MEAN_SCALE,
+        },
+        "modes": rows,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(
+        f"\n=== QoS fixed vs adaptive ({WORKERS} workers, "
+        f"{TARGET_FPS:g} Hz) -> {OUTPUT.name} ==="
+    )
+    print(
+        f"{'mode':>10}{'misses':>10}{'miss rate':>12}{'mean detail':>13}"
+        f"{'mean scale':>12}{'makespan':>12}"
+    )
+    for row in rows:
+        print(
+            f"{row['mode']:>10}"
+            f"{row['deadline_misses']:>7}/{row['total_frames']:<3}"
+            f"{row['miss_rate']:>11.3f}{row['mean_detail']:>13.3f}"
+            f"{row['mean_scale']:>12.3f}{row['sim_makespan_seconds']:>12.4f}"
+        )
+    print(
+        f"adaptive cuts deadline misses {reduction:.1f}x "
+        f"(floor {MIN_MISS_REDUCTION}x) at mean scale "
+        f"{adaptive.mean_scale:.3f} (floor {MIN_MEAN_SCALE})"
+    )
+
+    assert reduction >= MIN_MISS_REDUCTION, (
+        f"adaptive QoS must cut the deadline-miss rate by "
+        f">= {MIN_MISS_REDUCTION}x vs fixed detail, measured {reduction:.2f}x"
+    )
+    assert adaptive.mean_scale >= MIN_MEAN_SCALE, (
+        f"adaptive QoS must keep mean delivered detail >= "
+        f"{MIN_MEAN_SCALE} of requested, measured {adaptive.mean_scale:.3f}"
+    )
+
+    # pytest-benchmark bookkeeping: one small two-mode comparison.
+    benchmark.pedantic(
+        lambda: compare_qos(
+            sessions=qos_session_mix(heavy=1, light=1, n_frames=4, detail=0.5),
+            workers=2,
+            target_fps=150.0,
+        ),
+        rounds=3,
+        iterations=1,
+    )

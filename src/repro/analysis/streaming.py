@@ -18,16 +18,25 @@ arrival order chosen so round-robin stacks the heavy sessions on one
 worker — under every placement policy and reports makespan plus
 per-frame latency percentiles.  ``benchmarks/bench_scheduler.py``
 records it as ``BENCH_scheduler.json``.
+
+The QoS half (:func:`compare_qos`) serves a mixed heavy/light load
+against a per-frame deadline in both quality modes — ``fixed`` (the
+requested detail, misses be damned) and ``adaptive`` (the closed-loop
+controller of :mod:`repro.stream.qos`) — and reports deadline-miss
+rates and delivered detail.  ``benchmarks/bench_qos.py`` records it as
+``BENCH_qos.json``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.scenes.catalog import CATALOG, AppType, SceneSpec, build_scene
 from repro.stream.pipeline import FrameStream, StreamReport
+from repro.stream.qos import QoSPolicy
 from repro.stream.scheduler import PLACEMENTS
 from repro.stream.server import StreamServer, StreamSession
 from repro.stream.trajectory import CameraTrajectory
@@ -187,6 +196,155 @@ def skewed_session_mix(
                 )
             )
     return sessions
+
+
+# ----------------------------------------------------------------------
+# Quality-of-service study
+# ----------------------------------------------------------------------
+
+#: The two quality modes :func:`compare_qos` serves.
+QOS_MODES = ("fixed", "adaptive")
+
+
+@dataclass(frozen=True)
+class QoSPoint:
+    """One quality mode's outcome on a session mix under a deadline.
+
+    ``mean_scale`` is the mean delivered detail relative to each
+    session's requested (nominal) detail — 1.0 means full requested
+    quality; the quality floor the QoS benchmark asserts is on this
+    number, so it reads the same at any nominal detail.
+    """
+
+    mode: str
+    target_fps: float
+    workers: int
+    sessions: int
+    total_frames: int
+    deadline_misses: int
+    miss_rate: float
+    mean_detail: float
+    mean_scale: float
+    sim_makespan_seconds: float
+
+
+@dataclass(frozen=True)
+class QoSComparison:
+    """Both quality modes served the same mix on the same pool."""
+
+    workers: int
+    target_fps: float
+    points: dict[str, QoSPoint]
+
+    @property
+    def miss_reduction(self) -> float:
+        """Fixed-over-adaptive deadline-miss-rate ratio (>1: QoS wins).
+
+        Infinite when the adaptive mode misses nothing while fixed
+        does; 1.0 when neither mode misses.
+        """
+        missing = [m for m in QOS_MODES if m not in self.points]
+        if missing:
+            raise ValidationError(
+                "miss_reduction needs both quality modes; comparison "
+                f"lacks {', '.join(missing)}"
+            )
+        fixed = self.points["fixed"].miss_rate
+        adaptive = self.points["adaptive"].miss_rate
+        if adaptive <= 0:
+            return float("inf") if fixed > 0 else 1.0
+        return fixed / adaptive
+
+
+def qos_session_mix(
+    heavy_scene: str = "bicycle",
+    light_scene: str = "female_4",
+    heavy: int = 2,
+    light: int = 2,
+    n_frames: int = 16,
+    detail: float = 1.0,
+) -> list[StreamSession]:
+    """A mixed heavy/light load for the QoS study.
+
+    Heavy sessions (large outdoor scene) blow a 72 Hz frame budget at
+    full detail; light ones (avatar scene) meet it with room to spare
+    — so fixed-detail serving misses on the heavy half while the
+    adaptive controller trades their detail for deadline compliance
+    and leaves the light half untouched.
+    """
+    sessions = []
+    for tag, scene, count in (
+        ("heavy", heavy_scene, heavy),
+        ("light", light_scene, light),
+    ):
+        spec = CATALOG[scene]
+        for i in range(count):
+            sessions.append(
+                StreamSession(
+                    session_id=f"{tag}-{i}",
+                    scene=scene,
+                    trajectory=CameraTrajectory.for_scene(
+                        spec,
+                        kind="orbit",
+                        n_frames=n_frames,
+                        detail=detail,
+                        phase_deg=i * 360.0 / max(count, 1),
+                    ),
+                    detail=detail,
+                )
+            )
+    return sessions
+
+
+def compare_qos(
+    sessions: list[StreamSession] | None = None,
+    workers: int = 2,
+    target_fps: float = 72.0,
+    detail: float = 1.0,
+    policy: QoSPolicy | None = None,
+    modes: tuple[str, ...] = QOS_MODES,
+) -> QoSComparison:
+    """Serve one mix under a deadline in every quality mode.
+
+    Every mode serves *the same* session descriptors (re-tagged with
+    the mode's QoS policy) on the same deterministic in-process pool at
+    equal worker count, so miss-rate differences are attributable to
+    quality control alone.
+    """
+    if sessions is None:
+        sessions = qos_session_mix(detail=detail)
+    nominal = {s.session_id: s.detail for s in sessions}
+    points = {}
+    for mode in modes:
+        if mode not in QOS_MODES:
+            raise ValidationError(f"unknown QoS mode '{mode}'")
+        mode_policy = QoSPolicy.fixed() if mode == "fixed" else policy
+        tagged = [
+            replace(s, target_fps=target_fps, qos=mode_policy)
+            for s in sessions
+        ]
+        with StreamServer(workers=workers, local=True) as server:
+            results, summary = server.serve_timed(tagged)
+        frames = [f for r in results for f in r.report.frames]
+        scales = [
+            f.detail / nominal[r.session_id]
+            for r in results
+            for f in r.report.frames
+        ]
+        misses = sum(1 for f in frames if f.qos is not None and not f.qos.met)
+        points[mode] = QoSPoint(
+            mode=mode,
+            target_fps=target_fps,
+            workers=summary.workers,
+            sessions=summary.sessions,
+            total_frames=summary.total_frames,
+            deadline_misses=misses,
+            miss_rate=misses / len(frames) if frames else 0.0,
+            mean_detail=float(np.mean([f.detail for f in frames])) if frames else 0.0,
+            mean_scale=float(np.mean(scales)) if scales else 0.0,
+            sim_makespan_seconds=summary.sim_makespan_seconds,
+        )
+    return QoSComparison(workers=workers, target_fps=target_fps, points=points)
 
 
 def compare_placements(

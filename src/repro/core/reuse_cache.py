@@ -349,6 +349,17 @@ class TemporalReuseSimulator:
         self._cum_accesses = 0
         self._cum_hits = 0
 
+    def flush_resident(self) -> None:
+        """Invalidate resident lines, keeping the cumulative counters.
+
+        Used by adaptive-quality streams (:mod:`repro.stream.qos`)
+        when a session switches detail: feature records of one level
+        of detail do not serve another, so a detail switch flushes the
+        resident set — the stream's cumulative hit statistics keep
+        accumulating across the switch.
+        """
+        self._resident.clear()
+
     def export_state(self) -> TemporalCacheState:
         """Snapshot the cross-frame state (resident set + counters).
 

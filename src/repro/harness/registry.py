@@ -411,6 +411,40 @@ def stream_reuse(detail: float = 1.0) -> ExperimentOutput:
     return ExperimentOutput("stream", table, points)
 
 
+def qos_study(detail: float = 1.0) -> ExperimentOutput:
+    """Streaming extension: deadline QoS, fixed vs adaptive detail."""
+    comparison = streaming.compare_qos(detail=detail)
+    rows = [
+        [
+            p.mode,
+            p.target_fps,
+            p.workers,
+            p.sessions,
+            p.total_frames,
+            p.deadline_misses,
+            p.miss_rate,
+            p.mean_detail,
+            p.mean_scale,
+        ]
+        for p in comparison.points.values()
+    ]
+    table = format_table(
+        [
+            "mode",
+            "target FPS",
+            "workers",
+            "sessions",
+            "frames",
+            "misses",
+            "miss rate",
+            "mean detail",
+            "mean scale",
+        ],
+        rows,
+    )
+    return ExperimentOutput("qos", table, comparison)
+
+
 EXPERIMENTS: dict[str, Callable[..., ExperimentOutput]] = {
     "fig1": fig1_landscape,
     "tab1": tab1_datasets,
@@ -428,6 +462,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentOutput]] = {
     "sec6f": sec6f_distance,
     "tab6_tab7": tab6_tab7_standalone,
     "stream": stream_reuse,
+    "qos": qos_study,
 }
 
 

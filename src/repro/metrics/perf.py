@@ -32,8 +32,16 @@ def geometric_mean(values) -> float:
 
 
 def harmonic_mean_fps(fps_values) -> float:
-    """Average FPS the way frame times average (harmonic mean)."""
+    """Average FPS the way frame times average (harmonic mean).
+
+    Empty input and non-positive values are distinct errors: an empty
+    sequence means the caller measured nothing (a harness bug), while
+    a non-positive FPS means a measurement was corrupt — conflating
+    them hides which invariant broke.
+    """
     arr = np.asarray(list(fps_values), dtype=np.float64)
-    if arr.size == 0 or np.any(arr <= 0):
+    if arr.size == 0:
+        raise ValidationError("harmonic mean of empty sequence")
+    if np.any(arr <= 0):
         raise ValidationError("harmonic mean requires positive values")
     return float(arr.size / np.sum(1.0 / arr))

@@ -15,6 +15,7 @@ from repro.scenes.synthetic import (
 )
 from repro.scenes.catalog import (
     AppType,
+    BundleCache,
     SceneBundle,
     SceneSpec,
     CATALOG,
@@ -29,6 +30,7 @@ __all__ = [
     "object_cluster",
     "surface_shell",
     "AppType",
+    "BundleCache",
     "SceneBundle",
     "SceneSpec",
     "CATALOG",

@@ -121,11 +121,21 @@ class SceneSpec:
         The single definition shared by :func:`build_scene` and the
         streaming trajectories, so streamed frames stay comparable
         with the single-frame experiments.
+
+        The 32-px floor is applied through one *shared* scale factor
+        (raised until the smaller dimension reaches 32), never per
+        axis: clamping width and height independently would distort
+        the aspect ratio at low detail and make the pixel count
+        non-monotone in ``detail`` — and this is the resolution ladder
+        the QoS controller (:mod:`repro.stream.qos`) walks, so both
+        properties are load-bearing (property-tested in
+        ``tests/scenes/test_catalog.py``).
         """
         if detail <= 0:
             raise ValidationError("detail must be positive")
-        width = max(int(self.width * np.sqrt(detail)), 32)
-        height = max(int(self.height * np.sqrt(detail)), 32)
+        scale = max(float(np.sqrt(detail)), 32.0 / min(self.width, self.height))
+        width = max(int(self.width * scale), 32)
+        height = max(int(self.height * scale), 32)
         return width, height
 
     def eval_eye(self) -> list[float]:
@@ -402,3 +412,60 @@ def build_scene(spec_or_name: SceneSpec | str, detail: float = 1.0) -> SceneBund
         model = AvatarModel.synthetic(n, rng)
         return SceneBundle(spec=spec, camera=camera, avatar_model=model)
     raise ValidationError(f"unknown generator '{spec.generator}'")
+
+
+class BundleCache:
+    """Bounded LRU cache of built scene bundles, keyed ``(scene, detail)``.
+
+    Serving workers build one bundle per distinct ``(scene, detail)``
+    pair they render.  With per-session *adaptive* detail
+    (:mod:`repro.stream.qos`) that key space is no longer one entry
+    per session — a controller walking the detail ladder touches a new
+    bundle per rung — so an unbounded dict grows without limit over a
+    long serve.  This cache evicts the least-recently-used bundle once
+    ``capacity`` is exceeded; an evicted rung is simply rebuilt on the
+    next touch (scene builds are deterministic, so eviction never
+    changes output, only build work).
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValidationError("bundle cache capacity must be at least 1")
+        self.capacity = capacity
+        self._bundles: dict[tuple[str, float], SceneBundle] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._bundles)
+
+    def get(self, scene: SceneSpec | str, detail: float = 1.0) -> SceneBundle:
+        """Fetch (or build) the bundle for ``(scene, detail)``."""
+        name = scene if isinstance(scene, str) else scene.name
+        key = (name, float(detail))
+        bundle = self._bundles.get(key)
+        if bundle is not None:
+            self.hits += 1
+            # Re-insert to refresh recency (dicts preserve insertion
+            # order, so the first key is always the LRU victim).
+            del self._bundles[key]
+            self._bundles[key] = bundle
+            return bundle
+        self.misses += 1
+        bundle = build_scene(scene, detail=detail)
+        self._bundles[key] = bundle
+        while len(self._bundles) > self.capacity:
+            self._bundles.pop(next(iter(self._bundles)))
+        return bundle
+
+    def put(self, scene: SceneSpec | str, detail: float, bundle: SceneBundle) -> None:
+        """Seed the cache with an already-built bundle."""
+        name = scene if isinstance(scene, str) else scene.name
+        self._bundles[(name, float(detail))] = bundle
+        while len(self._bundles) > self.capacity:
+            self._bundles.pop(next(iter(self._bundles)))
+
+    def clear(self) -> None:
+        self._bundles.clear()
+        self.hits = 0
+        self.misses = 0

@@ -13,9 +13,14 @@ single-frame renderer:
   pipeline that renders a trajectory over any catalog scene while
   persisting binning state and the temporal reuse-cache mode of
   :class:`repro.core.reuse_cache.TemporalReuseSimulator`;
+* :mod:`repro.stream.qos` — deadline-aware adaptive quality control:
+  per-session frame deadlines (target FPS) and a closed-loop AIMD
+  controller that walks the detail ladder from observed frame
+  latencies;
 * :mod:`repro.stream.scheduler` — session placement (round-robin and
-  load-aware), admission control with backpressure, and
-  skew-triggered rebalancing;
+  load-aware, with ``(scene, detail)``-keyed latency estimates),
+  admission control with backpressure, and skew-triggered
+  rebalancing;
 * :mod:`repro.stream.checkpoint` — lightweight session snapshots
   (trajectory cursor + temporal-cache resident set) powering worker
   crash recovery and migrations;
@@ -38,6 +43,13 @@ from repro.stream.pipeline import (
     FrameStream,
     StreamReport,
     streaming_config,
+)
+from repro.stream.qos import (
+    FrameDeadline,
+    QoSControllerState,
+    QoSPolicy,
+    QoSRecord,
+    QualityController,
 )
 from repro.stream.scheduler import (
     PLACEMENTS,
@@ -67,6 +79,11 @@ __all__ = [
     "FrameStream",
     "StreamReport",
     "streaming_config",
+    "FrameDeadline",
+    "QoSControllerState",
+    "QoSPolicy",
+    "QoSRecord",
+    "QualityController",
     "PLACEMENTS",
     "LoadAwareScheduler",
     "Migration",

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from repro.core.reuse_cache import TemporalCacheState
 from repro.errors import ValidationError
 from repro.stream.pipeline import FrameStream
+from repro.stream.qos import QoSControllerState
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,19 @@ class SessionCheckpoint:
     cache:
         Exported temporal reuse-cache state (resident set + cumulative
         counters).
+    active_detail:
+        Absolute detail of the last rendered frame's scene bundle.
+        Equal to ``detail`` for fixed-quality sessions; under QoS it is
+        whatever rung the controller had reached, and restore reloads
+        that bundle so the *next* frame flushes the cache only if the
+        controller actually changes rung — exactly as the
+        uninterrupted run would.
+    qos:
+        Exported :class:`~repro.stream.qos.QualityController` state
+        (``None`` for sessions without QoS).  Replaying it makes the
+        recovered session walk the identical detail ladder, so the
+        per-frame detail trace — and everything downstream of it —
+        stays byte-identical.
     """
 
     session_id: str
@@ -68,6 +82,8 @@ class SessionCheckpoint:
     next_frame: int
     frame_key: tuple | None
     cache: TemporalCacheState
+    active_detail: float | None = None
+    qos: QoSControllerState | None = None
 
     @property
     def resident_lines(self) -> int:
@@ -85,6 +101,12 @@ def capture_checkpoint(
         next_frame=stream.frames_rendered,
         frame_key=stream.frame_key,
         cache=stream.cache_state.export_state(),
+        active_detail=stream.active_detail,
+        qos=(
+            stream.controller.export_state()
+            if stream.controller is not None
+            else None
+        ),
     )
 
 
@@ -103,6 +125,23 @@ def restore_checkpoint(stream: FrameStream, checkpoint: SessionCheckpoint) -> No
             f"checkpoint of session '{checkpoint.session_id}' was taken on "
             f"scene '{checkpoint.scene}', stream renders '{stream.spec.name}'"
         )
+    if (checkpoint.qos is not None) != (stream.controller is not None):
+        raise ValidationError(
+            f"checkpoint of session '{checkpoint.session_id}' and the "
+            "restored stream disagree about QoS control"
+        )
     stream.cache_state.import_state(checkpoint.cache)
+    if checkpoint.qos is not None:
+        stream.controller.import_state(checkpoint.qos)
+    active = (
+        checkpoint.detail
+        if checkpoint.active_detail is None
+        else checkpoint.active_detail
+    )
+    if active != stream.active_detail:
+        # Reload the rung the session was on when checkpointed — the
+        # imported cache state belongs to that bundle, and the next
+        # frame must flush only on a *real* rung change.
+        stream.load_detail(active)
     stream.binner.reset()
     stream.seek(checkpoint.next_frame)

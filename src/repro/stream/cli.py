@@ -8,9 +8,20 @@ script; also runnable without installation:
     PYTHONPATH=src python -m repro.stream --scene bicycle \\
         --trajectory orbit --frames 16 --sessions 2 --workers 0
 
+With ``--target-fps`` every session runs under deadline-aware quality
+control (:mod:`repro.stream.qos`): ``--qos adaptive`` (default) lets
+the per-session controller walk the detail ladder, ``--qos fixed``
+only tracks deadline hits/misses at the requested detail; the table
+then also reports each session's deadline-miss rate and mean delivered
+detail.
+
 Each session gets its own trajectory: session ``i`` uses seed
 ``seed + i`` (head-jitter) or phase offset ``i`` (orbit), so concurrent
 clients view the scene from distinct, deterministic paths.
+
+Invalid arguments — an unknown scene, a non-positive ``--detail`` or
+``--target-fps`` — exit with status 2 and a one-line ``error:``
+message, never a traceback.
 """
 
 from __future__ import annotations
@@ -20,14 +31,18 @@ import json
 import sys
 
 from repro.core.reuse_cache import POLICIES
+from repro.errors import ValidationError
 from repro.harness import format_table
 from repro.scenes.catalog import CATALOG
 from repro.stream.pipeline import streaming_config
+from repro.stream.qos import QoSPolicy
 from repro.stream.scheduler import PLACEMENTS
 from repro.stream.server import StreamServer, StreamSession
 from repro.stream.trajectory import CameraTrajectory
 
 TRAJECTORIES = ("orbit", "dolly", "head_jitter", "frozen")
+
+QOS_MODES = ("adaptive", "fixed")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,7 +54,6 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scene",
         default="bicycle",
-        choices=sorted(CATALOG),
         help="catalog scene (default: bicycle)",
     )
     parser.add_argument(
@@ -79,6 +93,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--detail", type=float, default=1.0, help="scene detail multiplier"
     )
     parser.add_argument(
+        "--target-fps",
+        type=float,
+        default=None,
+        metavar="FPS",
+        help="per-frame deadline as a refresh rate (e.g. 72); enables "
+        "QoS tracking (default: no deadline)",
+    )
+    parser.add_argument(
+        "--qos",
+        default="adaptive",
+        choices=QOS_MODES,
+        help="with --target-fps: 'adaptive' closes the loop on detail, "
+        "'fixed' only records deadline hits/misses (default: adaptive)",
+    )
+    parser.add_argument(
         "--backend",
         default="vectorized",
         help="render backend (default: vectorized)",
@@ -101,12 +130,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def validate_args(args: argparse.Namespace) -> None:
+    """Reject invalid argument values with :class:`ValidationError`."""
+    if args.scene not in CATALOG:
+        raise ValidationError(
+            f"unknown scene '{args.scene}'; choose from "
+            + ", ".join(sorted(CATALOG))
+        )
+    if args.frames <= 0:
+        raise ValidationError("--frames must be positive")
+    if args.sessions <= 0:
+        raise ValidationError("--sessions must be positive")
+    if args.workers < 0:
+        raise ValidationError("--workers cannot be negative")
+    if args.max_inflight is not None and args.max_inflight < 1:
+        raise ValidationError("--max-inflight must be at least 1")
+    if args.detail <= 0:
+        raise ValidationError("--detail must be positive")
+    if args.target_fps is not None and args.target_fps <= 0:
+        raise ValidationError("--target-fps must be positive")
+
+
 def make_sessions(args: argparse.Namespace) -> list[StreamSession]:
     """Deterministic per-client sessions from the CLI arguments."""
     spec = CATALOG[args.scene]
     config = streaming_config(
         backend=args.backend, cache_policy=args.cache_policy
     )
+    qos = None
+    if args.target_fps is not None:
+        qos = QoSPolicy.fixed() if args.qos == "fixed" else QoSPolicy()
     sessions = []
     for i in range(args.sessions):
         trajectory = CameraTrajectory.for_scene(
@@ -124,24 +177,14 @@ def make_sessions(args: argparse.Namespace) -> list[StreamSession]:
                 trajectory=trajectory,
                 detail=args.detail,
                 config=config,
+                target_fps=args.target_fps,
+                qos=qos,
             )
         )
     return sessions
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.frames <= 0:
-        print("error: --frames must be positive", file=sys.stderr)
-        return 2
-    if args.sessions <= 0:
-        print("error: --sessions must be positive", file=sys.stderr)
-        return 2
-    if args.max_inflight is not None and args.max_inflight < 1:
-        print("error: --max-inflight must be at least 1", file=sys.stderr)
-        return 2
-
-    sessions = make_sessions(args)
+def _run(args: argparse.Namespace, sessions: list[StreamSession]) -> int:
     with StreamServer(
         workers=args.workers,
         placement=args.placement,
@@ -150,42 +193,53 @@ def main(argv: list[str] | None = None) -> int:
         server.warm_up()
         results, summary = server.serve_timed(sessions)
 
+    with_qos = args.target_fps is not None
+    headers = [
+        "session",
+        "worker",
+        "frames",
+        "cold hit",
+        "warm hit",
+        "bin reuse",
+        "sim FPS",
+        "wall FPS",
+    ]
+    if with_qos:
+        headers += ["miss rate", "mean detail"]
     rows = []
     for r in results:
         rep = r.report
-        rows.append(
-            [
-                r.session_id,
-                r.worker,
-                rep.n_frames,
-                rep.cold_hit_rate,
-                rep.warm_hit_rate,
-                rep.binning_reuse,
-                rep.mean_sim_fps,
-                rep.wall_fps,
-            ]
-        )
-    print(
-        format_table(
-            [
-                "session",
-                "worker",
-                "frames",
-                "cold hit",
-                "warm hit",
-                "bin reuse",
-                "sim FPS",
-                "wall FPS",
-            ],
-            rows,
-        )
-    )
+        row = [
+            r.session_id,
+            r.worker,
+            rep.n_frames,
+            rep.cold_hit_rate,
+            rep.warm_hit_rate,
+            rep.binning_reuse,
+            rep.mean_sim_fps,
+            rep.wall_fps,
+        ]
+        if with_qos:
+            row += [rep.deadline_miss_rate(), rep.mean_detail]
+        rows.append(row)
+    print(format_table(headers, rows))
     print(
         f"\nserved {summary.total_frames} frames over "
         f"{summary.workers} worker(s), '{args.placement}' placement: "
         f"{summary.sim_frames_per_sec:.1f} simulated frames/sec "
         f"(aggregate), {summary.wall_frames_per_sec:.2f} wall frames/sec"
     )
+    if with_qos:
+        misses = sum(
+            1
+            for r in results
+            for f in r.report.frames
+            if f.qos is not None and not f.qos.met
+        )
+        print(
+            f"QoS ({args.qos}, {args.target_fps:g} Hz): "
+            f"{misses}/{summary.total_frames} deadline misses"
+        )
 
     if args.json is not None:
         payload = {
@@ -193,6 +247,8 @@ def main(argv: list[str] | None = None) -> int:
             "trajectory": args.trajectory,
             "workers": summary.workers,
             "placement": args.placement,
+            "target_fps": args.target_fps,
+            "qos": args.qos if with_qos else None,
             "sim_frames_per_sec": summary.sim_frames_per_sec,
             "wall_frames_per_sec": summary.wall_frames_per_sec,
             "sessions": [r.report.to_dict() for r in results],
@@ -204,6 +260,21 @@ def main(argv: list[str] | None = None) -> int:
             with open(args.json, "w") as fh:
                 fh.write(text + "\n")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        validate_args(args)
+        sessions = make_sessions(args)
+    except ValidationError as exc:
+        # Argument-shaped failures exit like argparse does: one line on
+        # stderr and status 2, never a traceback.  Failures *during*
+        # the serve are server bugs, not argument mistakes — those
+        # propagate with their traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _run(args, sessions)
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -37,9 +38,10 @@ from repro.core.reuse_cache import FrameCacheSample
 from repro.errors import DeviceBusyError, ValidationError
 from repro.gaussians import project
 from repro.gpu import FrameWorkload, GPUTimingModel, ScaleFactors
-from repro.scenes import SceneBundle, SceneSpec, build_scene
+from repro.scenes import BundleCache, SceneBundle, SceneSpec, build_scene
 from repro.scenes.catalog import CATALOG
 from repro.stream.binning import BinningStats, WarmBinner, camera_fingerprint
+from repro.stream.qos import QoSRecord, QualityController
 from repro.stream.trajectory import CameraTrajectory
 
 
@@ -86,6 +88,11 @@ class FrameRecord:
         What the warm binner reused vs. regenerated.
     image:
         The rendered frame (``None`` unless images are kept).
+    detail:
+        Absolute detail the frame rendered at (equals the session's
+        nominal detail unless a QoS controller adapted it).
+    qos:
+        Per-frame deadline audit record (``None`` without QoS).
     """
 
     frame: int
@@ -96,6 +103,8 @@ class FrameRecord:
     cache: FrameCacheSample
     binning: BinningStats
     image: np.ndarray | None = None
+    detail: float = 1.0
+    qos: QoSRecord | None = None
 
     @property
     def sim_fps(self) -> float:
@@ -152,6 +161,39 @@ class StreamReport:
             return 0.0
         return float(np.mean([f.sim_fps for f in self.frames]))
 
+    @property
+    def mean_detail(self) -> float:
+        """Mean absolute detail delivered across the stream."""
+        if not self.frames:
+            return 0.0
+        return float(np.mean([f.detail for f in self.frames]))
+
+    @property
+    def detail_trace(self) -> list[float]:
+        """Per-frame delivered detail (the QoS replay invariant)."""
+        return [f.detail for f in self.frames]
+
+    def deadline_miss_rate(self, deadline_seconds: float | None = None) -> float:
+        """Fraction of frames that missed their deadline.
+
+        With no argument the per-frame :class:`~repro.stream.qos.
+        QoSRecord` verdicts are used (0.0 when the stream ran without
+        QoS); passing ``deadline_seconds`` judges the recorded
+        ``sim_seconds`` against an arbitrary budget — how fixed-detail
+        baselines are scored against the same deadline.
+        """
+        if not self.frames:
+            return 0.0
+        if deadline_seconds is None:
+            missed = sum(
+                1 for f in self.frames if f.qos is not None and not f.qos.met
+            )
+        else:
+            missed = sum(
+                1 for f in self.frames if f.sim_seconds > deadline_seconds
+            )
+        return missed / len(self.frames)
+
     def to_dict(self) -> dict:
         """JSON-serializable summary (per-frame and aggregate)."""
         return {
@@ -163,6 +205,8 @@ class StreamReport:
             "binning_reuse": self.binning_reuse,
             "wall_fps": self.wall_fps,
             "mean_sim_fps": self.mean_sim_fps,
+            "mean_detail": self.mean_detail,
+            "deadline_miss_rate": self.deadline_miss_rate(),
             "frames": [
                 {
                     "frame": f.frame,
@@ -174,6 +218,15 @@ class StreamReport:
                     "carried_hit_rate": f.cache.carried_hit_rate,
                     "binning_reuse": f.binning.reuse_fraction,
                     "full_reuse": f.binning.full_reuse,
+                    "detail": f.detail,
+                    **(
+                        {
+                            "deadline_met": f.qos.met,
+                            "margin_seconds": f.qos.margin_seconds,
+                        }
+                        if f.qos is not None
+                        else {}
+                    ),
                 }
                 for f in self.frames
             ],
@@ -204,6 +257,18 @@ class FrameStream:
         is driven through the Listing-1 busy/handshake protocol, so a
         frame left in flight by another session raises — and is
         drained via — :class:`~repro.errors.DeviceBusyError`.
+    controller:
+        Optional per-session :class:`~repro.stream.qos.
+        QualityController`.  When given, every frame renders at the
+        controller's current detail (scene bundle *and* resolution
+        follow the detail ladder) and the frame's paper-scale latency
+        is fed back into the loop; each :class:`FrameRecord` then
+        carries a :class:`~repro.stream.qos.QoSRecord`.
+    bundle_provider:
+        ``(scene, detail) -> SceneBundle`` used to fetch bundles when
+        the controller switches detail.  The server passes its
+        per-worker bounded :class:`~repro.scenes.BundleCache`; a
+        standalone adaptive stream falls back to a private cache.
     """
 
     def __init__(
@@ -215,6 +280,8 @@ class FrameStream:
         keep_images: bool = False,
         bundle: SceneBundle | None = None,
         device: GBUDevice | None = None,
+        controller: QualityController | None = None,
+        bundle_provider: Callable[..., SceneBundle] | None = None,
     ) -> None:
         spec = CATALOG[scene] if isinstance(scene, str) else scene
         if device is not None and config is not None and device.config != config:
@@ -234,20 +301,53 @@ class FrameStream:
                 "FrameStream owns Rendering Step 2 (warm binning); "
                 "use a config with use_dnb=False (see streaming_config())"
             )
+        if controller is not None and controller.nominal_detail != detail:
+            raise ValidationError(
+                f"controller nominal detail {controller.nominal_detail} "
+                f"does not match the stream's detail {detail}"
+            )
         self.spec = spec
         self.trajectory = trajectory
+        self.detail = detail
         self.bundle = bundle if bundle is not None else build_scene(spec, detail=detail)
         self.device = device if device is not None else GBUDevice(config=config)
         self.keep_images = keep_images
         self.scales = ScaleFactors.for_scene(spec)
+        self.controller = controller
+        if bundle_provider is None and controller is not None:
+            cache = BundleCache()
+            cache.put(spec, detail, self.bundle)
+            bundle_provider = cache.get
+        self._bundle_provider = bundle_provider
         self._gpu_model = GPUTimingModel()
         self.binner = WarmBinner(self.bundle.n_source_gaussians)
         self.cache_state = self.device.new_cache_state()
+        self._active_detail = detail
         self._next_frame = 0
 
     @property
     def frames_rendered(self) -> int:
         return self._next_frame
+
+    @property
+    def active_detail(self) -> float:
+        """Absolute detail of the currently-loaded scene bundle."""
+        return self._active_detail
+
+    def load_detail(self, detail: float) -> None:
+        """Swap in the bundle for ``detail`` (cold binner, new universe).
+
+        The temporal cache is *not* touched here: the adaptive render
+        path flushes the resident set around a live detail switch,
+        while checkpoint restore imports the exported state instead.
+        """
+        if self._bundle_provider is None:
+            raise ValidationError(
+                "stream has no bundle provider; detail cannot change"
+            )
+        self.bundle = self._bundle_provider(self.spec, detail)
+        self.binner = WarmBinner(self.bundle.n_source_gaussians)
+        self._active_detail = detail
 
     @property
     def frame_key(self) -> tuple | None:
@@ -256,6 +356,10 @@ class FrameStream:
 
     def reset(self) -> None:
         """Drop all cross-frame state and restart at frame 0."""
+        if self._active_detail != self.detail:
+            self.load_detail(self.detail)
+        if self.controller is not None:
+            self.controller.reset()
         self.binner.reset()
         self.cache_state.reset()
         self._next_frame = 0
@@ -272,10 +376,30 @@ class FrameStream:
         self._next_frame = int(frame)
 
     def render_next(self) -> FrameRecord:
-        """Render the next frame of the trajectory, advancing state."""
+        """Render the next frame of the trajectory, advancing state.
+
+        With a QoS controller, the frame renders at the controller's
+        current detail: a rung change swaps the scene bundle (through
+        the bundle provider), restarts the warm binner on the new
+        Gaussian universe, flushes the temporal cache's resident lines
+        (features of one level of detail do not serve another — the
+        cumulative counters keep accumulating), and rescales the
+        trajectory camera to the rung's evaluation resolution.  The
+        frame's simulated latency is then fed back into the loop.
+        """
         k = self._next_frame
         t0 = time.perf_counter()
+        detail = self._active_detail
+        if self.controller is not None:
+            detail = self.controller.next_detail
+            if detail != self._active_detail:
+                self.load_detail(detail)
+                self.cache_state.flush_resident()
         camera = self.trajectory.camera_at(k)
+        if self.controller is not None:
+            width, height = self.spec.eval_resolution(detail)
+            if (camera.width, camera.height) != (width, height):
+                camera = camera.with_resolution(width, height)
         cloud, extra_flops, source_ids = self.bundle.frame_cloud_indexed(k)
         projected = project(cloud, camera)
         lists, binning = self.binner.build(
@@ -285,6 +409,11 @@ class FrameStream:
         )
         report = self._render_via_device(projected, lists, source_ids)
         sim_seconds = self._frame_seconds(report, len(projected), extra_flops)
+        qos = None
+        if self.controller is not None:
+            qos = self.controller.observe(
+                frame=k, detail=detail, sim_seconds=sim_seconds
+            )
         wall = time.perf_counter() - t0
         record = FrameRecord(
             frame=k,
@@ -295,6 +424,8 @@ class FrameStream:
             cache=report.cache_sample,
             binning=binning,
             image=report.image if self.keep_images else None,
+            detail=detail,
+            qos=qos,
         )
         self._next_frame = k + 1
         return record

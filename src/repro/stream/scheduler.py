@@ -9,9 +9,14 @@ This module owns those decisions instead:
   the least *estimated remaining cost*, where a session costs
   ``frame budget x per-frame latency``.  The per-frame latency starts
   from a static catalog proxy (:func:`static_frame_estimate`) and is
-  replaced by the scene's *measured* paper-scale latency as soon as its
-  first streamed frame is observed; unobserved scenes are calibrated
-  against the observed ones so the two unit systems never mix.
+  replaced by *measured* paper-scale latency as frames are observed.
+  Estimates are keyed ``(scene, detail)`` — adaptive (QoS) sessions
+  render the same scene at several details, and one scene/one number
+  would let a low-detail observation poison the placement of a
+  full-detail session.  A detail without its own observation falls
+  back to the nearest observed detail of the same scene (proxy-ratio
+  rescaled); unobserved scenes are calibrated against the observed
+  ones so the two unit systems never mix.
 * **Admission control** — ``max_inflight`` bounds how many sessions are
   served concurrently; the rest queue and are admitted as sessions
   finish (backpressure instead of oversubscribing the pool).
@@ -71,12 +76,22 @@ class Migration:
 
 @dataclass
 class _SessionPlan:
-    """Mutable scheduling state of one session."""
+    """Mutable scheduling state of one session.
+
+    ``current_detail`` tracks the detail the session actually renders
+    at — it starts at the descriptor's nominal detail and follows the
+    QoS controller's rung as frames are observed, so cost estimates
+    for adaptive sessions stay honest.
+    """
 
     session: "StreamSession"
     worker: int = -1  # -1: queued, not yet admitted
     frames_done: int = 0
     done: bool = False
+    current_detail: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.current_detail = float(self.session.detail)
 
     @property
     def admitted(self) -> bool:
@@ -110,10 +125,11 @@ class StreamScheduler:
             raise ValidationError("max_inflight must be at least 1 when set")
         self.workers = max(workers, 1)
         self.max_inflight = max_inflight
+        self._estimator = estimator
         self._plans = {s.session_id: _SessionPlan(s) for s in sessions}
-        self._proxy = {
-            self._scene_key(s): estimator(s.scene, s.detail) for s in sessions
-        }
+        self._proxy: dict[tuple[str, float], float] = {}
+        for s in sessions:
+            self._proxy_for(s.scene, s.detail)
         self._observed: dict[tuple[str, float], float] = {}
         self.busy_seconds = {w: 0.0 for w in range(self.workers)}
         self.migrations: list[Migration] = []
@@ -151,15 +167,53 @@ class StreamScheduler:
 
     # -- cost model -----------------------------------------------------
     @staticmethod
-    def _scene_key(session: "StreamSession") -> tuple[str, float]:
-        return (session.scene, session.detail)
+    def _detail_key(detail: float) -> float:
+        """Estimate-table key for a detail value (float-noise safe)."""
+        return round(float(detail), 6)
 
-    def frame_estimate(self, session: "StreamSession") -> float:
-        """Best current estimate of one frame's paper-scale seconds."""
-        key = self._scene_key(session)
+    def _proxy_for(self, scene: str, detail: float) -> float:
+        """The static cost proxy for ``(scene, detail)`` (memoized)."""
+        key = (scene, self._detail_key(detail))
+        if key not in self._proxy:
+            self._proxy[key] = self._estimator(scene, detail)
+        return self._proxy[key]
+
+    def frame_estimate(
+        self, session: "StreamSession", detail: float | None = None
+    ) -> float:
+        """Best current estimate of one frame's paper-scale seconds.
+
+        Estimates are keyed ``(scene, detail)``: a scene rendered at
+        two details is two different workloads, and adaptive (QoS)
+        sessions change detail mid-stream.  ``detail`` defaults to the
+        session's *current* detail (the last observed rung).  Lookup
+        order:
+
+        1. an observation at exactly ``(scene, detail)``;
+        2. the nearest observed detail of the same scene, rescaled by
+           the static proxy ratio between the two details;
+        3. the static proxy, unit-calibrated against whatever other
+           scenes have been observed.
+        """
+        if detail is None:
+            plan = self._plans.get(session.session_id)
+            detail = (
+                plan.current_detail if plan is not None else session.detail
+            )
+        key = (session.scene, self._detail_key(detail))
         if key in self._observed:
             return self._observed[key]
-        proxy = self._proxy[key]
+        proxy = self._proxy_for(session.scene, detail)
+        same_scene = [
+            (abs(d - key[1]), d)
+            for (scene, d) in self._observed
+            if scene == session.scene
+        ]
+        if same_scene:
+            nearest = min(same_scene)[1]
+            observed = self._observed[(session.scene, nearest)]
+            near_proxy = self._proxy_for(session.scene, nearest)
+            return observed * proxy / near_proxy if near_proxy > 0 else observed
         if not self._observed:
             return proxy
         # Calibrate proxy units against scenes we have measured, so an
@@ -182,12 +236,27 @@ class StreamScheduler:
         return cost
 
     # -- observation / completion --------------------------------------
-    def observe_frame(self, session_id: str, sim_seconds: float) -> None:
-        """Account one rendered frame (updates costs and estimates)."""
+    def observe_frame(
+        self, session_id: str, sim_seconds: float, detail: float | None = None
+    ) -> None:
+        """Account one rendered frame (updates costs and estimates).
+
+        ``detail`` is the detail the frame actually rendered at; the
+        server forwards it from the frame record so adaptive sessions
+        re-key their estimates as the QoS controller moves, instead of
+        poisoning the nominal-detail entry with off-rung latencies.
+        """
         plan = self._plans[session_id]
         plan.frames_done += 1
         self.busy_seconds[plan.worker] += float(sim_seconds)
-        self._observed.setdefault(self._scene_key(plan.session), float(sim_seconds))
+        if detail is None:
+            detail = plan.current_detail
+        else:
+            plan.current_detail = float(detail)
+        self._proxy_for(plan.session.scene, detail)
+        self._observed.setdefault(
+            (plan.session.scene, self._detail_key(detail)), float(sim_seconds)
+        )
 
     def mark_done(self, session_id: str) -> list[str]:
         """Drop a finished session from future ticks; admit queued ones."""
@@ -269,7 +338,7 @@ class LoadAwareScheduler(StreamScheduler):
             range(len(sessions)),
             key=lambda i: (
                 -sessions[i].frame_budget
-                * self._proxy[self._scene_key(sessions[i])],
+                * self._proxy_for(sessions[i].scene, sessions[i].detail),
                 i,
             ),
         )

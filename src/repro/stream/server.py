@@ -30,7 +30,12 @@ A :class:`StreamServer` multiplexes N concurrent client sessions
 * **Same-scene request batching** — sessions assigned to a worker are
   grouped by scene, so one dispatched tick renders every same-scene
   session's next frame from a single scene build (the catalog bundle
-  is constructed once per (worker, scene, detail)).
+  is constructed once per (worker, scene, detail) and kept in a
+  bounded per-worker LRU).
+* **Quality of service** — sessions with a ``target_fps`` run under
+  the closed-loop detail controller of :mod:`repro.stream.qos`;
+  controller state rides along in the session checkpoints, so
+  recovery and migration replay the identical detail ladder.
 * **Cross-frame state** — every session keeps its own
   :class:`~repro.stream.pipeline.FrameStream` (warm binner + temporal
   reuse cache) alive on its worker for the whole stream; sessions
@@ -53,7 +58,7 @@ from typing import Callable
 
 from repro.core.gbu import GBUConfig, GBUDevice
 from repro.errors import SimulationError, ValidationError
-from repro.scenes import build_scene
+from repro.scenes import BundleCache
 from repro.stream.checkpoint import (
     SessionCheckpoint,
     capture_checkpoint,
@@ -65,6 +70,7 @@ from repro.stream.pipeline import (
     StreamReport,
     streaming_config,
 )
+from repro.stream.qos import FrameDeadline, QoSPolicy, QualityController
 from repro.stream.scheduler import Migration, StreamScheduler, make_scheduler
 from repro.stream.trajectory import CameraTrajectory
 
@@ -91,6 +97,17 @@ class StreamSession:
     config:
         GBU feature configuration (default: :func:`streaming_config`).
         Workers share one device per distinct configuration.
+    target_fps:
+        When set, the session runs under deadline-aware quality
+        control (:mod:`repro.stream.qos`): each frame is judged
+        against the ``1/target_fps`` budget and a per-session
+        controller adapts detail frame-by-frame.  ``None`` keeps the
+        fixed-detail behaviour.
+    qos:
+        Controller knobs (:class:`~repro.stream.qos.QoSPolicy`);
+        defaults to the standard adaptive policy.  Use
+        :meth:`QoSPolicy.fixed` to track deadlines without adapting.
+        Ignored unless ``target_fps`` is set.
     """
 
     session_id: str
@@ -100,6 +117,8 @@ class StreamSession:
     detail: float = 1.0
     keep_images: bool = False
     config: GBUConfig | None = None
+    target_fps: float | None = None
+    qos: QoSPolicy | None = None
 
     @property
     def frame_budget(self) -> int:
@@ -212,18 +231,27 @@ class TickResult:
 
 
 class _WorkerState:
-    """Per-worker serving state: one device, shared bundles, sessions."""
+    """Per-worker serving state: one device, shared bundles, sessions.
 
-    def __init__(self) -> None:
+    Scene bundles live in a bounded :class:`~repro.scenes.BundleCache`
+    keyed ``(scene, detail)``: adaptive-quality sessions touch one
+    bundle per detail rung they visit, so an unbounded mapping would
+    grow for the lifetime of the worker.
+    """
+
+    def __init__(self, bundle_cache_size: int = 8) -> None:
         self.devices: dict[GBUConfig, GBUDevice] = {}
-        self.bundles: dict[tuple[str, float], object] = {}
+        self.bundles = BundleCache(capacity=bundle_cache_size)
         self.streams: dict[str, FrameStream] = {}
         self.budgets: dict[str, int] = {}
         self.details: dict[str, float] = {}
 
-    def reset(self) -> None:
+    def reset(self, bundle_cache_size: int | None = None) -> None:
         self.devices.clear()
-        self.bundles.clear()
+        if bundle_cache_size is not None:
+            self.bundles = BundleCache(capacity=bundle_cache_size)
+        else:
+            self.bundles.clear()
         self.streams.clear()
         self.budgets.clear()
         self.details.clear()
@@ -247,12 +275,15 @@ class _WorkerState:
             raise ValidationError(
                 f"session '{session_id}' referenced by id before registration"
             )
-        key = (session.scene, session.detail)
-        bundle = self.bundles.get(key)
-        if bundle is None:
-            bundle = build_scene(session.scene, detail=session.detail)
-            self.bundles[key] = bundle
+        bundle = self.bundles.get(session.scene, session.detail)
         config = streaming_config() if session.config is None else session.config
+        controller = None
+        if session.target_fps is not None:
+            controller = QualityController(
+                FrameDeadline(session.target_fps),
+                session.qos,
+                nominal_detail=session.detail,
+            )
         stream = FrameStream(
             session.scene,
             session.trajectory,
@@ -260,6 +291,8 @@ class _WorkerState:
             keep_images=session.keep_images,
             bundle=bundle,
             device=self._device_for(config),
+            controller=controller,
+            bundle_provider=self.bundles.get,
         )
         self.streams[session.session_id] = stream
         self.budgets[session.session_id] = session.frame_budget
@@ -346,8 +379,8 @@ def _subprocess_render_tick(sessions: list[StreamSession | str]) -> TickResult:
     return _subprocess_state().render_tick(sessions)
 
 
-def _subprocess_reset() -> None:
-    _subprocess_state().reset()
+def _subprocess_reset(bundle_cache_size: int | None = None) -> None:
+    _subprocess_state().reset(bundle_cache_size)
 
 
 def _subprocess_restore(
@@ -407,6 +440,10 @@ class StreamServer:
         (:func:`~repro.stream.scheduler.static_frame_estimate`);
         tests inject deliberately wrong estimates to exercise the
         rebalancing path.
+    bundle_cache_size:
+        Capacity of each worker's bounded ``(scene, detail)``
+        bundle LRU (adaptive sessions touch one bundle per detail
+        rung; see :class:`~repro.scenes.BundleCache`).
     """
 
     def __init__(
@@ -419,12 +456,16 @@ class StreamServer:
         fault_injector: Callable[[int, int], bool] | None = None,
         local: bool = False,
         estimator: Callable[[str, float], float] | None = None,
+        bundle_cache_size: int = 8,
     ) -> None:
         if workers < 0:
             raise ValidationError("worker count cannot be negative")
         if max_respawns < 0:
             raise ValidationError("max_respawns cannot be negative")
+        if bundle_cache_size < 1:
+            raise ValidationError("bundle cache size must be at least 1")
         self.workers = workers
+        self.bundle_cache_size = bundle_cache_size
         self.placement = placement
         self.max_inflight = max_inflight
         self.rebalance_threshold = rebalance_threshold
@@ -472,7 +513,9 @@ class StreamServer:
     def _ensure_pool(self) -> None:
         if self.local:
             while len(self._local_states) < self._n_workers:
-                self._local_states.append(_WorkerState())
+                self._local_states.append(
+                    _WorkerState(bundle_cache_size=self.bundle_cache_size)
+                )
             return
         while len(self._executors) < self.workers:
             self._executors.append(ProcessPoolExecutor(max_workers=1))
@@ -556,7 +599,9 @@ class StreamServer:
             for tick_result in results:
                 for session_id, record in tick_result.frames:
                     reports[session_id].frames.append(record)
-                    scheduler.observe_frame(session_id, record.sim_seconds)
+                    scheduler.observe_frame(
+                        session_id, record.sim_seconds, detail=record.detail
+                    )
                     self.frame_completions[session_id].append(
                         scheduler.busy_seconds[scheduler.worker_of(session_id)]
                     )
@@ -684,7 +729,9 @@ class StreamServer:
                 f"({self.max_respawns}); giving up"
             )
         if self.local:
-            self._local_states[worker] = _WorkerState()
+            self._local_states[worker] = _WorkerState(
+                bundle_cache_size=self.bundle_cache_size
+            )
         else:
             self._executors[worker].shutdown(wait=False)
             self._executors[worker] = ProcessPoolExecutor(max_workers=1)
@@ -729,10 +776,12 @@ class StreamServer:
     def _reset_workers(self) -> None:
         if self.local:
             for state in self._local_states:
-                state.reset()
+                state.reset(self.bundle_cache_size)
             return
         for executor in self._executors:
-            executor.submit(_subprocess_reset).result()
+            executor.submit(
+                _subprocess_reset, self.bundle_cache_size
+            ).result()
 
     # -- convenience ----------------------------------------------------
     def serve_timed(

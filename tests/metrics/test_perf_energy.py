@@ -25,14 +25,29 @@ class TestPerf:
 
     def test_geometric_mean(self):
         assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
-        with pytest.raises(ValidationError):
+
+    def test_geometric_mean_error_paths_are_distinct(self):
+        """Empty input (nothing measured) and non-positive values
+        (corrupt measurement) are different bugs; the error must say
+        which one happened."""
+        with pytest.raises(ValidationError, match="empty sequence"):
             geometric_mean([])
-        with pytest.raises(ValidationError):
+        with pytest.raises(ValidationError, match="positive values"):
             geometric_mean([1.0, -2.0])
+        with pytest.raises(ValidationError, match="positive values"):
+            geometric_mean([0.0])
 
     def test_harmonic_mean_fps(self):
         # Two frames at 10 and 30 FPS average to 15 FPS of wall time.
         assert harmonic_mean_fps([10.0, 30.0]) == pytest.approx(15.0)
+
+    def test_harmonic_mean_error_paths_are_distinct(self):
+        with pytest.raises(ValidationError, match="empty sequence"):
+            harmonic_mean_fps([])
+        with pytest.raises(ValidationError, match="positive values"):
+            harmonic_mean_fps([10.0, 0.0])
+        with pytest.raises(ValidationError, match="positive values"):
+            harmonic_mean_fps([-5.0])
 
 
 class TestEnergyModel:

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ValidationError
 from repro.gaussians import GaussianCloud
@@ -37,6 +39,65 @@ class TestCatalogStructure:
     def test_nerf_synthetic_present(self):
         assert "nerf_lego" in CATALOG
         assert CATALOG["nerf_lego"].app_type is AppType.STATIC
+
+
+class TestEvalResolution:
+    """The detail->resolution ladder the QoS controller walks: the
+    32-px floor must never distort aspect ratio (shared scale factor)
+    and pixel count must be monotone in detail."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(CATALOG)),
+        detail=st.floats(min_value=1e-4, max_value=4.0),
+    )
+    def test_aspect_ratio_preserved_at_any_detail(self, name, detail):
+        spec = CATALOG[name]
+        width, height = spec.eval_resolution(detail)
+        assert width >= 32 and height >= 32
+        # Shared-scale clamping: truncation is the only ratio error,
+        # so the cross product stays within one rounding step.
+        assert abs(width * spec.height - height * spec.width) < max(
+            spec.width, spec.height
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(CATALOG)),
+        lo=st.floats(min_value=1e-4, max_value=4.0),
+        hi=st.floats(min_value=1e-4, max_value=4.0),
+    )
+    def test_pixel_count_monotone_in_detail(self, name, lo, hi):
+        lo, hi = sorted((lo, hi))
+        spec = CATALOG[name]
+        w_lo, h_lo = spec.eval_resolution(lo)
+        w_hi, h_hi = spec.eval_resolution(hi)
+        assert w_lo <= w_hi and h_lo <= h_hi
+        assert w_lo * h_lo <= w_hi * h_hi
+
+    def test_floor_regime_keeps_aspect(self):
+        """The old per-axis clamp squared off bicycle (256x168) at low
+        detail; the shared scale keeps its 1.52 ratio."""
+        spec = CATALOG["bicycle"]
+        width, height = spec.eval_resolution(0.01)
+        assert height == 32
+        assert width / height == pytest.approx(
+            spec.width / spec.height, rel=0.05
+        )
+
+    def test_unclamped_regime_unchanged(self):
+        """Details above the floor keep the historical truncation."""
+        spec = CATALOG["bicycle"]
+        for detail in (0.25, 0.5, 1.0):
+            expected = (
+                int(spec.width * np.sqrt(detail)),
+                int(spec.height * np.sqrt(detail)),
+            )
+            assert spec.eval_resolution(detail) == expected
+
+    def test_rejects_non_positive_detail(self):
+        with pytest.raises(ValidationError):
+            CATALOG["bicycle"].eval_resolution(0.0)
 
 
 class TestBuildScene:

@@ -1,0 +1,100 @@
+"""The repro-stream CLI: argument validation, clean error exits, QoS
+flags, JSON output."""
+
+import json
+
+import pytest
+
+from repro.stream.cli import build_parser, main
+
+SMALL = [
+    "--scene",
+    "nerf_lego",
+    "--trajectory",
+    "frozen",
+    "--frames",
+    "2",
+    "--detail",
+    "0.25",
+]
+
+
+class TestErrorExits:
+    """Invalid arguments exit 2 with a one-line error, no traceback."""
+
+    def test_unknown_scene(self, capsys):
+        assert main(["--scene", "garden_of_eden"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "garden_of_eden" in err
+
+    def test_non_positive_detail(self, capsys):
+        assert main(SMALL[:-1] + ["-0.5"]) == 2
+        assert "--detail" in capsys.readouterr().err
+
+    def test_non_positive_target_fps(self, capsys):
+        assert main(SMALL + ["--target-fps", "0"]) == 2
+        assert "--target-fps" in capsys.readouterr().err
+
+    def test_non_positive_frames(self, capsys):
+        assert main(["--frames", "0"]) == 2
+        assert "--frames" in capsys.readouterr().err
+
+    def test_non_positive_sessions(self, capsys):
+        assert main(["--sessions", "-1"]) == 2
+        assert "--sessions" in capsys.readouterr().err
+
+    def test_negative_workers(self, capsys):
+        assert main(SMALL + ["--workers", "-2"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_bad_max_inflight(self, capsys):
+        assert main(SMALL + ["--max-inflight", "0"]) == 2
+        assert "--max-inflight" in capsys.readouterr().err
+
+    def test_invalid_placement_is_argparse_choice_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--placement", "chaotic"])
+        assert exc.value.code == 2
+        assert "chaotic" in capsys.readouterr().err
+
+    def test_invalid_qos_mode_is_argparse_choice_error(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--qos", "psychic"])
+        assert exc.value.code == 2
+
+
+class TestServing:
+    def test_small_serve_prints_table(self, capsys):
+        assert main(SMALL) == 0
+        out = capsys.readouterr().out
+        assert "warm hit" in out
+        assert "served 2 frames" in out
+
+    def test_qos_serve_reports_misses_and_detail(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        argv = SMALL + [
+            "--frames",
+            "3",
+            "--target-fps",
+            "30",
+            "--json",
+            str(path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "miss rate" in out and "mean detail" in out
+        assert "QoS (adaptive, 30 Hz)" in out
+        payload = json.loads(path.read_text())
+        assert payload["target_fps"] == 30
+        assert payload["qos"] == "adaptive"
+        frames = payload["sessions"][0]["frames"]
+        assert all("deadline_met" in f and "detail" in f for f in frames)
+
+    def test_fixed_qos_mode_keeps_detail(self, capsys):
+        argv = SMALL + ["--target-fps", "1000", "--qos", "fixed", "--json", "-"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["qos"] == "fixed"
+        assert payload["sessions"][0]["mean_detail"] == pytest.approx(0.25)

@@ -103,6 +103,69 @@ def test_observation_replaces_static_estimate():
     assert light == pytest.approx(0.125 * proxy_ratio)
 
 
+def test_estimates_are_keyed_by_scene_and_detail():
+    """An adaptive session's low-detail frames must not poison the
+    estimate used for a full-detail session of the same scene."""
+    sessions = _skewed_mix()
+    scheduler = LoadAwareScheduler(sessions, workers=2)
+    # heavy-0 adapted down to detail 0.1 and got cheap frames...
+    scheduler.observe_frame("heavy-0", 0.001, detail=0.1)
+    # ...heavy-1 still renders at the nominal detail and is observed
+    # expensive there.
+    scheduler.observe_frame("heavy-1", 0.125, detail=DETAIL)
+    cheap = scheduler.frame_estimate(sessions[0])  # follows its rung
+    nominal = scheduler.frame_estimate(sessions[2])
+    assert cheap == 0.001
+    assert nominal == 0.125
+    # Explicit detail lookups hit their own keys.
+    assert scheduler.frame_estimate(sessions[0], detail=DETAIL) == 0.125
+    assert scheduler.frame_estimate(sessions[2], detail=0.1) == 0.001
+
+
+def test_nearest_detail_fallback_rescales_by_proxy_ratio():
+    sessions = _skewed_mix()
+    scheduler = LoadAwareScheduler(sessions, workers=2)
+    scheduler.observe_frame("heavy-0", 0.1, detail=0.2)
+    # 0.25 was never observed; the 0.2 observation is the nearest rung
+    # and is rescaled by the static proxy ratio (linear in detail).
+    est = scheduler.frame_estimate(sessions[0], detail=0.25)
+    ratio = static_frame_estimate("bicycle", 0.25) / static_frame_estimate(
+        "bicycle", 0.2
+    )
+    assert est == pytest.approx(0.1 * ratio)
+
+
+def test_mixed_detail_placement_uses_per_detail_costs():
+    """Two same-scene sessions at different details are not the same
+    workload: remaining-cost placement must spread a heavy pair whose
+    third member is cheap at its low rung."""
+    spec = CATALOG["bicycle"]
+
+    def session(session_id, detail, n_frames):
+        return StreamSession(
+            session_id,
+            "bicycle",
+            CameraTrajectory.for_scene(
+                spec, "head_jitter", n_frames=n_frames, seed=1, detail=detail
+            ),
+            detail=detail,
+        )
+
+    sessions = [
+        session("full-a", 1.0, 8),
+        session("full-b", 1.0, 8),
+        session("tiny", 0.1, 8),
+    ]
+    scheduler = LoadAwareScheduler(sessions, workers=2)
+    # Per-detail proxies already separate the two full sessions.
+    assert scheduler.worker_of("full-a") != scheduler.worker_of("full-b")
+    # The tiny session rides with one full session, not on a third
+    # imaginary worker: its per-rung cost is a fraction of a full one.
+    assert scheduler.frame_estimate(sessions[2]) < scheduler.frame_estimate(
+        sessions[0]
+    )
+
+
 def test_rebalance_fires_on_misestimated_load():
     sessions = [
         _session("light-0", "female_4", 4, seed=1),

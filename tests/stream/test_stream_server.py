@@ -212,6 +212,70 @@ def test_process_worker_crash_recovery_matches_uninterrupted_run():
         assert _frame_evidence(before.report) == _frame_evidence(after.report)
 
 
+def test_migrate_crash_restore_migrate_is_byte_identical():
+    """Double migration with a crash in between: migrate -> crash ->
+    restore -> migrate again must replay byte-identically, including
+    the QoS controller state of adaptive sessions."""
+    spec_heavy, spec_light = CATALOG["bicycle"], CATALOG["female_4"]
+    sessions = [
+        StreamSession(
+            "light",
+            "female_4",
+            CameraTrajectory.for_scene(
+                spec_light, "head_jitter", n_frames=10, seed=1, detail=DETAIL
+            ),
+            detail=DETAIL,
+            keep_images=True,
+            target_fps=300.0,
+        ),
+        StreamSession(
+            "heavy-a",
+            "bicycle",
+            CameraTrajectory.for_scene(
+                spec_heavy, "head_jitter", n_frames=10, seed=2, detail=DETAIL
+            ),
+            detail=DETAIL,
+            keep_images=True,
+            target_fps=300.0,
+        ),
+        StreamSession(
+            "heavy-b",
+            "bicycle",
+            CameraTrajectory.for_scene(
+                spec_heavy, "head_jitter", n_frames=10, seed=3, detail=DETAIL
+            ),
+            detail=DETAIL,
+            keep_images=True,
+            target_fps=300.0,
+        ),
+    ]
+    with StreamServer(workers=0) as server:
+        baseline = server.serve(sessions)
+
+    # The lying estimator stacks both heavies, so observed latencies
+    # keep proposing migrations; the crash at tick 4 forces a restore
+    # between them.
+    lying = lambda scene, detail: 1.0 if scene == "bicycle" else 1000.0  # noqa: E731
+    injector = lambda tick, w: tick == 4  # noqa: E731 - every worker
+    with StreamServer(
+        workers=2,
+        local=True,
+        placement="load",
+        estimator=lying,
+        rebalance_threshold=0.2,
+        fault_injector=injector,
+    ) as server:
+        relayed = server.serve(sessions)
+        assert len(server.migrations) >= 2
+        assert server.recoveries >= 1
+
+    for before, after in zip(baseline, relayed):
+        assert _frame_evidence(before.report) == _frame_evidence(after.report)
+        assert before.report.detail_trace == after.report.detail_trace
+        for fb, fa in zip(before.report.frames, after.report.frames):
+            assert np.array_equal(fb.image, fa.image)
+
+
 def test_rebalance_migration_preserves_results():
     """A checkpoint migration changes placement, never output."""
     spec_heavy, spec_light = CATALOG["bicycle"], CATALOG["female_4"]
