@@ -1,0 +1,233 @@
+"""Fleet serving: node scaling, migration, and autoscaling on
+generated traffic.
+
+Serves one seeded open-loop Poisson trace
+(:class:`~repro.stream.traffic.TrafficGenerator`) on fleets of
+increasing node count (:class:`~repro.stream.fleet.EdgeFleet`) and
+writes ``BENCH_fleet.json`` at the repo root:
+
+* **Scaling** — simulated serving throughput per fleet size; the
+  acceptance bar is ``REPRO_BENCH_FLEET_MIN_SCALING`` (default 1.5x)
+  from 1 node to the largest fleet on the same arrivals.
+* **Migration** — the same trace on 2 nodes behind the *affinity*
+  router (which deliberately stacks same-scene sessions) with
+  cross-node checkpoint migration on vs. off: migration count and the
+  makespan benefit.  Replay byte-identity is asserted in
+  ``tests/stream/test_fleet.py``, not here.
+* **Autoscaling** — a 1-node fleet allowed to grow to 4 under the
+  same burst: spawn/drain events and the reaction time (ticks between
+  the queue breaching the threshold and the node coming up).
+
+Every asserted number is a *simulated* metric — paper-scale busy
+seconds, tick counts, event counters — derived from the seeded trace,
+so the bars hold on any host at any load (wall-clock is recorded for
+information only).
+
+Smoke knobs (used by CI): ``REPRO_BENCH_FLEET_DETAIL``,
+``REPRO_BENCH_FLEET_RATE``, ``REPRO_BENCH_FLEET_DURATION``,
+``REPRO_BENCH_FLEET_NODES`` (comma-separated counts),
+``REPRO_BENCH_FLEET_MIN_SCALING``, ``REPRO_BENCH_FLEET_MIX``,
+``REPRO_BENCH_FLEET_SEED``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.analysis.streaming import fleet_scaling_study
+from repro.stream.fleet import EdgeFleet
+from repro.stream.traffic import TrafficGenerator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_fleet.json"
+
+MIX = os.environ.get("REPRO_BENCH_FLEET_MIX", "heavy")
+RATE = float(os.environ.get("REPRO_BENCH_FLEET_RATE", "60.0"))
+DURATION = float(os.environ.get("REPRO_BENCH_FLEET_DURATION", "0.25"))
+DETAIL = float(os.environ.get("REPRO_BENCH_FLEET_DETAIL", "1.0"))
+SEED = int(os.environ.get("REPRO_BENCH_FLEET_SEED", "3"))
+NODE_COUNTS = [
+    int(n)
+    for n in os.environ.get("REPRO_BENCH_FLEET_NODES", "1,2,4").split(",")
+    if n.strip()
+]
+MIN_SCALING = float(os.environ.get("REPRO_BENCH_FLEET_MIN_SCALING", "1.5"))
+CAPACITY = int(os.environ.get("REPRO_BENCH_FLEET_CAPACITY", "4"))
+
+
+def _arrivals():
+    return TrafficGenerator(
+        mix=MIX, rate=RATE, duration=DURATION, seed=SEED, detail=DETAIL
+    ).generate()
+
+
+def test_fleet_serving(benchmark):
+    # -- scaling ------------------------------------------------------
+    comparison = fleet_scaling_study(
+        node_counts=tuple(NODE_COUNTS),
+        mix=MIX,
+        rate=RATE,
+        duration=DURATION,
+        detail=DETAIL,
+        seed=SEED,
+        node_capacity=CAPACITY,
+    )
+    scaling_rows = [
+        {
+            "nodes": p.nodes,
+            "sessions": p.sessions,
+            "total_frames": p.total_frames,
+            "sim_makespan_seconds": p.sim_makespan_seconds,
+            "sim_frames_per_sec": p.sim_frames_per_sec,
+            "migrations": p.migrations,
+            "max_queue_depth": p.max_queue_depth,
+            "mean_admission_delay": p.mean_admission_delay,
+            "ticks": p.ticks,
+        }
+        for p in comparison.points.values()
+    ]
+    lo, hi = comparison.scaling_span
+
+    # -- migration: affinity stacking, rebalancing on vs. off ---------
+    migration_points = {}
+    for enabled in (False, True):
+        with EdgeFleet(
+            nodes=2,
+            node_capacity=max(CAPACITY, 8),
+            router="affinity",
+            migration=enabled,
+            migration_threshold=0.3,
+        ) as fleet:
+            result = fleet.serve(_arrivals())
+        migration_points[enabled] = {
+            "migrations": len(result.migrations),
+            "sim_makespan_seconds": result.summary.sim_makespan_seconds,
+            "sim_frames_per_sec": result.sim_frames_per_sec,
+            "total_frames": result.total_frames,
+        }
+    moved = migration_points[True]
+    pinned = migration_points[False]
+    migration_benefit = (
+        pinned["sim_makespan_seconds"] / moved["sim_makespan_seconds"]
+        if moved["sim_makespan_seconds"] > 0
+        else 0.0
+    )
+
+    # -- autoscaling: 1 node allowed to grow to 4 under the burst -----
+    sustain = 2
+    with EdgeFleet(
+        nodes=1,
+        node_capacity=2,
+        max_nodes=4,
+        scale_up_queue=2,
+        sustain=sustain,
+        scale_down_idle=4,
+        min_nodes=1,
+    ) as fleet:
+        scaled = fleet.serve(_arrivals())
+    spawns = scaled.spawns
+    reaction_ticks = [e.reaction_ticks for e in spawns]
+
+    payload = {
+        "benchmark": "fleet_serving",
+        "methodology": (
+            "one seeded open-loop Poisson trace served per fleet size "
+            "(identical arrivals); throughput = total frames / busiest "
+            "node's summed paper-scale busy seconds; migration compared "
+            "on 2 affinity-routed nodes with rebalancing on vs off; "
+            "autoscale reaction = ticks from sustained queue breach to "
+            "node spawn.  All asserted numbers are simulated metrics "
+            "derived from the seeded trace (host-independent)."
+        ),
+        "traffic": {
+            "mix": MIX,
+            "rate": RATE,
+            "duration": DURATION,
+            "seed": SEED,
+            "detail": DETAIL,
+            "sessions": scaling_rows[0]["sessions"],
+        },
+        "summary": {
+            "node_counts": sorted(comparison.points),
+            "scaling": comparison.scaling,
+            "scaling_span": [lo, hi],
+            "floor": MIN_SCALING,
+            "migration_benefit_makespan": migration_benefit,
+            "migrations": moved["migrations"],
+            "autoscale_spawns": len(spawns),
+            "autoscale_drains": len(scaled.drains),
+            "autoscale_reaction_ticks": reaction_ticks,
+            "autoscale_peak_nodes": scaled.peak_nodes,
+        },
+        "scaling": scaling_rows,
+        "migration": {
+            "pinned": pinned,
+            "migrated": moved,
+        },
+        "autoscale": {
+            "events": [
+                {
+                    "action": e.action,
+                    "node": e.node,
+                    "tick": e.tick,
+                    "sim_time": e.sim_time,
+                    "queue_depth": e.queue_depth,
+                    "reaction_ticks": e.reaction_ticks,
+                }
+                for e in scaled.autoscale_events
+            ],
+            "max_queue_depth": scaled.max_queue_depth,
+            "mean_admission_delay": scaled.mean_admission_delay,
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"\n=== fleet serving ({MIX} mix, seed {SEED}) -> {OUTPUT.name} ===")
+    print(f"{'nodes':>6}{'sessions':>10}{'frames':>8}{'sim f/s':>10}{'moves':>7}")
+    for row in scaling_rows:
+        print(
+            f"{row['nodes']:>6}{row['sessions']:>10}{row['total_frames']:>8}"
+            f"{row['sim_frames_per_sec']:>10.1f}{row['migrations']:>7}"
+        )
+    print(
+        f"scaling {lo}->{hi} nodes: {comparison.scaling:.2f}x "
+        f"(floor {MIN_SCALING}x); migration benefit "
+        f"{migration_benefit:.2f}x makespan over pinned affinity; "
+        f"{len(spawns)} spawn(s), reaction {reaction_ticks} tick(s)"
+    )
+
+    # Acceptance bars — all simulated/deterministic.
+    assert comparison.scaling >= MIN_SCALING, (
+        f"fleet throughput must scale >= {MIN_SCALING}x from {lo} to {hi} "
+        f"nodes on the generated mix, measured {comparison.scaling:.2f}x"
+    )
+    frames = {row["total_frames"] for row in scaling_rows}
+    assert len(frames) == 1, (
+        f"every fleet size must serve the identical generated workload, "
+        f"saw frame totals {sorted(frames)}"
+    )
+    assert moved["migrations"] >= 1, (
+        "the affinity-stacked trace must trigger cross-node migration"
+    )
+    assert migration_benefit >= 1.0, (
+        f"checkpoint migration must not worsen the simulated makespan, "
+        f"measured {migration_benefit:.2f}x"
+    )
+    assert len(spawns) >= 1, "the burst must trigger at least one scale-up"
+    assert all(r <= sustain for r in reaction_ticks), (
+        f"autoscale must react within the sustain window ({sustain} "
+        f"ticks), measured {reaction_ticks}"
+    )
+
+    # pytest-benchmark bookkeeping: a small 2-node generated serve.
+    def _small():
+        with EdgeFleet(nodes=2, node_capacity=4) as fleet:
+            return fleet.serve(
+                TrafficGenerator(
+                    mix=MIX, rate=RATE, duration=DURATION, seed=SEED, detail=0.25
+                ).generate()
+            )
+
+    benchmark.pedantic(_small, rounds=3, iterations=1)

@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""Dependency-free line-coverage gate for the serving stack.
+
+Runs a pytest subset under a ``sys.settrace`` line tracer restricted to
+one source subtree and enforces a minimum line-coverage floor — no
+``coverage``/``pytest-cov`` install required, so the gate behaves
+identically in CI and in offline/sandboxed environments (where those
+packages may not exist).  When ``coverage.py`` *is* available it will
+happily run alongside; this gate never imports it.
+
+Executable lines are derived from the AST: every statement's first
+line, minus module/class/function docstrings, ``global``/``nonlocal``
+declarations (no runtime line event), ``if __name__ == "__main__"``
+bodies, and anything marked ``# pragma: no cover`` (a marked compound
+header excludes its whole suite — the same convention coverage.py
+uses, so worker-subprocess-only code is excluded consistently).
+
+Usage (defaults shown):
+
+    PYTHONPATH=src python scripts/coverage_gate.py \\
+        --target src/repro/stream --tests tests/stream \\
+        --min 85 --report coverage_stream.json
+
+Exit status: 0 when total coverage >= the floor and the test run
+passed; 1 otherwise.  The JSON report (per-file covered/missed lines)
+is written either way, so CI can upload it as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+PRAGMA = "pragma: no cover"
+
+
+def executable_lines(path: Path) -> set[int]:
+    """Statement lines of ``path`` that a complete run should execute."""
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    source_lines = source.splitlines()
+    pragma_lines = {
+        i + 1 for i, line in enumerate(source_lines) if PRAGMA in line
+    }
+
+    excluded: set[int] = set()
+
+    def exclude_subtree(node: ast.AST) -> None:
+        end = getattr(node, "end_lineno", node.lineno)
+        excluded.update(range(node.lineno, end + 1))
+
+    lines: set[int] = set()
+
+    def visit(node: ast.AST) -> None:
+        body = getattr(node, "body", None)
+        docstring = None
+        if isinstance(
+            node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and body:
+            first = body[0]
+            if isinstance(first, ast.Expr) and isinstance(
+                first.value, ast.Constant
+            ) and isinstance(first.value.value, str):
+                docstring = first
+        for child in ast.iter_child_nodes(node):
+            if child is docstring:
+                continue
+            if isinstance(child, ast.stmt):
+                if child.lineno in pragma_lines:
+                    exclude_subtree(child)
+                    continue
+                if _is_main_guard(child):
+                    lines.add(child.lineno)  # the `if` itself runs on import
+                    for stmt in child.body:
+                        exclude_subtree(stmt)
+                    continue
+                if not isinstance(child, (ast.Global, ast.Nonlocal)):
+                    lines.add(child.lineno)
+            visit(child)
+
+    def _is_main_guard(node: ast.stmt) -> bool:
+        if not isinstance(node, ast.If):
+            return False
+        test = node.test
+        return (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "__name__"
+            and any(
+                isinstance(c, ast.Constant) and c.value == "__main__"
+                for c in test.comparators
+            )
+        )
+
+    visit(tree)
+    return lines - excluded
+
+
+class LineTracer:
+    """Global trace hook recording executed lines under one subtree."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = str(root)
+        self.executed: dict[str, set[int]] = {}
+
+    def __call__(self, frame, event, arg):
+        if event != "call":
+            return None
+        filename = frame.f_code.co_filename
+        if not filename.startswith(self.root):
+            return None
+        return self._local
+
+    def _local(self, frame, event, arg):
+        if event == "line":
+            self.executed.setdefault(
+                frame.f_code.co_filename, set()
+            ).add(frame.f_lineno)
+        return self._local
+
+    def install(self) -> None:
+        threading.settrace(self)
+        sys.settrace(self)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--target",
+        default="src/repro/stream",
+        help="source subtree to measure (default: src/repro/stream)",
+    )
+    parser.add_argument(
+        "--tests",
+        default="tests/stream",
+        help="pytest path to run under the tracer (default: tests/stream)",
+    )
+    parser.add_argument(
+        "--min",
+        type=float,
+        default=85.0,
+        help="minimum total line coverage in percent (default: 85)",
+    )
+    parser.add_argument(
+        "--report",
+        default="coverage_stream.json",
+        help="JSON report path, repo-root relative (default: "
+        "coverage_stream.json)",
+    )
+    args = parser.parse_args(argv)
+
+    target = (REPO_ROOT / args.target).resolve()
+    if not target.is_dir():
+        print(f"error: target '{target}' is not a directory", file=sys.stderr)
+        return 1
+
+    tracer = LineTracer(target)
+    tracer.install()
+    try:
+        import pytest
+
+        status = pytest.main([str(REPO_ROOT / args.tests), "-q", "-x"])
+    finally:
+        tracer.uninstall()
+    if status != 0:
+        print(f"error: test run failed (pytest exit {status})", file=sys.stderr)
+        return 1
+
+    rows = []
+    total_exec = 0
+    total_hit = 0
+    for path in sorted(target.rglob("*.py")):
+        expected = executable_lines(path)
+        hit = tracer.executed.get(str(path), set()) & expected
+        missed = sorted(expected - hit)
+        total_exec += len(expected)
+        total_hit += len(hit)
+        rows.append(
+            {
+                "file": str(path.relative_to(REPO_ROOT)),
+                "executable": len(expected),
+                "covered": len(hit),
+                "percent": (
+                    100.0 * len(hit) / len(expected) if expected else 100.0
+                ),
+                "missed_lines": missed,
+            }
+        )
+    total = 100.0 * total_hit / total_exec if total_exec else 100.0
+
+    report = {
+        "target": args.target,
+        "tests": args.tests,
+        "floor_percent": args.min,
+        "total_percent": total,
+        "total_executable": total_exec,
+        "total_covered": total_hit,
+        "files": rows,
+    }
+    report_path = REPO_ROOT / args.report
+    report_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    width = max(len(r["file"]) for r in rows) if rows else 10
+    print(f"\n{'file':<{width}}  {'lines':>6}  {'hit':>6}  {'cover':>7}")
+    for r in rows:
+        print(
+            f"{r['file']:<{width}}  {r['executable']:>6}  {r['covered']:>6}"
+            f"  {r['percent']:>6.1f}%"
+        )
+    print(
+        f"{'TOTAL':<{width}}  {total_exec:>6}  {total_hit:>6}  {total:>6.1f}%"
+        f"  (floor {args.min:.0f}%) -> {report_path.name}"
+    )
+    if total < args.min:
+        worst = sorted(rows, key=lambda r: r["percent"])[:3]
+        for r in worst:
+            print(
+                f"  lowest: {r['file']} {r['percent']:.1f}% "
+                f"(missed lines {r['missed_lines'][:10]}...)",
+                file=sys.stderr,
+            )
+        print(
+            f"error: coverage {total:.1f}% is below the {args.min:.0f}% floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,13 @@ requested detail, misses be damned) and ``adaptive`` (the closed-loop
 controller of :mod:`repro.stream.qos`) — and reports deadline-miss
 rates and delivered detail.  ``benchmarks/bench_qos.py`` records it as
 ``BENCH_qos.json``.
+
+The fleet half (:func:`fleet_scaling_study`) serves one *generated*
+open-loop Poisson traffic trace (:mod:`repro.stream.traffic`) on
+fleets of increasing node count (:mod:`repro.stream.fleet`) and
+reports per-count serving throughput, queue behaviour and cross-node
+migrations — the multi-node scaling picture
+``benchmarks/bench_fleet.py`` records as ``BENCH_fleet.json``.
 """
 
 from __future__ import annotations
@@ -35,10 +42,12 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.scenes.catalog import CATALOG, AppType, SceneSpec, build_scene
+from repro.stream.fleet import EdgeFleet
 from repro.stream.pipeline import FrameStream, StreamReport
 from repro.stream.qos import QoSPolicy
 from repro.stream.scheduler import PLACEMENTS
 from repro.stream.server import StreamServer, StreamSession
+from repro.stream.traffic import TrafficGenerator
 from repro.stream.trajectory import CameraTrajectory
 
 #: One representative scene per application class (catalog order).
@@ -345,6 +354,102 @@ def compare_qos(
             sim_makespan_seconds=summary.sim_makespan_seconds,
         )
     return QoSComparison(workers=workers, target_fps=target_fps, points=points)
+
+
+# ----------------------------------------------------------------------
+# Fleet scaling study
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetScalingPoint:
+    """One fleet size's outcome on a generated traffic trace."""
+
+    nodes: int
+    sessions: int
+    total_frames: int
+    sim_makespan_seconds: float
+    sim_frames_per_sec: float
+    migrations: int
+    max_queue_depth: int
+    mean_admission_delay: float
+    ticks: int
+
+
+@dataclass(frozen=True)
+class FleetScalingComparison:
+    """Every fleet size served the identical generated arrival trace.
+
+    ``scaling`` is the simulated serving-throughput ratio between the
+    largest and the smallest fleet — the acceptance number
+    ``benchmarks/bench_fleet.py`` asserts a floor on.
+    """
+
+    mix: str
+    rate: float
+    duration: float
+    seed: int
+    points: dict[int, FleetScalingPoint]
+
+    @property
+    def scaling(self) -> float:
+        lo, hi = min(self.points), max(self.points)
+        base = self.points[lo].sim_frames_per_sec
+        if base <= 0:
+            return 0.0
+        return self.points[hi].sim_frames_per_sec / base
+
+    @property
+    def scaling_span(self) -> tuple[int, int]:
+        return (min(self.points), max(self.points))
+
+
+def fleet_scaling_study(
+    node_counts: tuple[int, ...] = (1, 2, 4),
+    mix: str = "heavy",
+    rate: float = 60.0,
+    duration: float = 0.25,
+    detail: float = 1.0,
+    seed: int = 3,
+    node_capacity: int = 4,
+    node_workers: int = 1,
+    migration: bool = True,
+) -> FleetScalingComparison:
+    """Serve one generated Poisson trace on fleets of each size.
+
+    The trace is regenerated from the same seed per fleet size, so
+    every fleet sees bitwise-identical arrivals; throughput differences
+    are attributable to the node count (plus routing/migration), not
+    the workload.  The rate deliberately saturates a single node so
+    scaling reflects added capacity rather than idle machines.
+    """
+    if not node_counts:
+        raise ValidationError("fleet study needs at least one node count")
+    points = {}
+    for nodes in node_counts:
+        arrivals = TrafficGenerator(
+            mix=mix, rate=rate, duration=duration, seed=seed, detail=detail
+        ).generate()
+        with EdgeFleet(
+            nodes=nodes,
+            node_workers=node_workers,
+            node_capacity=node_capacity,
+            migration=migration,
+        ) as fleet:
+            result = fleet.serve(arrivals)
+        summary = result.summary
+        points[nodes] = FleetScalingPoint(
+            nodes=nodes,
+            sessions=summary.sessions,
+            total_frames=summary.total_frames,
+            sim_makespan_seconds=summary.sim_makespan_seconds,
+            sim_frames_per_sec=summary.sim_frames_per_sec,
+            migrations=len(result.migrations),
+            max_queue_depth=result.max_queue_depth,
+            mean_admission_delay=result.mean_admission_delay,
+            ticks=result.ticks,
+        )
+    return FleetScalingComparison(
+        mix=mix, rate=rate, duration=duration, seed=seed, points=points
+    )
 
 
 def compare_placements(

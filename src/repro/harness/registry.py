@@ -445,6 +445,42 @@ def qos_study(detail: float = 1.0) -> ExperimentOutput:
     return ExperimentOutput("qos", table, comparison)
 
 
+def fleet_study(detail: float = 1.0) -> ExperimentOutput:
+    """Streaming extension: fleet scaling on generated Poisson traffic."""
+    comparison = streaming.fleet_scaling_study(detail=detail)
+    rows = [
+        [
+            p.nodes,
+            p.sessions,
+            p.total_frames,
+            p.sim_makespan_seconds,
+            p.sim_frames_per_sec,
+            p.migrations,
+            p.max_queue_depth,
+            p.mean_admission_delay * 1e3,
+        ]
+        for p in comparison.points.values()
+    ]
+    lo, hi = comparison.scaling_span
+    rows.append(
+        [f"{lo}->{hi}", "", "", "", f"{comparison.scaling:.2f}x", "", "", ""]
+    )
+    table = format_table(
+        [
+            "nodes",
+            "sessions",
+            "frames",
+            "makespan s",
+            "sim f/s",
+            "moves",
+            "max queue",
+            "adm delay ms",
+        ],
+        rows,
+    )
+    return ExperimentOutput("fleet", table, comparison)
+
+
 EXPERIMENTS: dict[str, Callable[..., ExperimentOutput]] = {
     "fig1": fig1_landscape,
     "tab1": tab1_datasets,
@@ -463,6 +499,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentOutput]] = {
     "tab6_tab7": tab6_tab7_standalone,
     "stream": stream_reuse,
     "qos": qos_study,
+    "fleet": fleet_study,
 }
 
 

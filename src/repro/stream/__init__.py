@@ -27,9 +27,19 @@ single-frame renderer:
 * :mod:`repro.stream.server` — :class:`StreamServer`, multiplexing N
   client sessions over a ``concurrent.futures`` worker pool with one
   :class:`repro.core.gbu.GBUDevice` per worker, request batching of
-  same-scene sessions, and checkpoint-replay fault tolerance;
+  same-scene sessions, checkpoint-replay fault tolerance, and the
+  incremental ``begin``/``submit``/``step``/``finish`` protocol the
+  fleet layer drives;
+* :mod:`repro.stream.traffic` — seeded open-loop synthetic traffic:
+  Poisson arrivals over named archetype mixes with diurnal/ramp rate
+  profiles and per-session target-FPS sampling;
+* :mod:`repro.stream.fleet` — :class:`EdgeFleet`, N server nodes
+  behind a global router with fleet admission control, least-loaded/
+  affinity node selection, checkpoint-based cross-node migration, and
+  threshold-driven autoscaling;
 * :mod:`repro.stream.cli` — the ``repro-stream`` command line
-  (also ``python -m repro.stream``).
+  (also ``python -m repro.stream``), including the ``fleet``
+  subcommand.
 """
 
 from repro.stream.binning import BinningStats, WarmBinner
@@ -37,6 +47,13 @@ from repro.stream.checkpoint import (
     SessionCheckpoint,
     capture_checkpoint,
     restore_checkpoint,
+)
+from repro.stream.fleet import (
+    ROUTERS,
+    AutoscaleEvent,
+    EdgeFleet,
+    FleetResult,
+    NodeMigration,
 )
 from repro.stream.pipeline import (
     FrameRecord,
@@ -67,11 +84,30 @@ from repro.stream.server import (
     StreamSession,
     TickResult,
 )
+from repro.stream.traffic import (
+    MIXES,
+    PROFILES,
+    RateProfile,
+    SessionArchetype,
+    SessionArrival,
+    TrafficGenerator,
+)
 from repro.stream.trajectory import CameraTrajectory
 
 __all__ = [
     "BinningStats",
     "WarmBinner",
+    "ROUTERS",
+    "AutoscaleEvent",
+    "EdgeFleet",
+    "FleetResult",
+    "NodeMigration",
+    "MIXES",
+    "PROFILES",
+    "RateProfile",
+    "SessionArchetype",
+    "SessionArrival",
+    "TrafficGenerator",
     "SessionCheckpoint",
     "capture_checkpoint",
     "restore_checkpoint",

@@ -89,6 +89,21 @@ class SessionCheckpoint:
     def resident_lines(self) -> int:
         return self.cache.resident_lines
 
+    def belongs_to(self, session) -> bool:
+        """Whether this checkpoint snapshots ``session``'s stream.
+
+        Matches identity (``session_id``), scene, and the *nominal*
+        detail — the three fields that make replaying a checkpoint
+        onto the wrong stream unrecoverable.  Used by worker-respawn
+        restore and by cross-server session injection
+        (:meth:`~repro.stream.server.StreamServer.inject_session`).
+        """
+        return (
+            self.session_id == session.session_id
+            and self.scene == session.scene
+            and self.detail == session.detail
+        )
+
 
 def capture_checkpoint(
     session_id: str, stream: FrameStream, detail: float = 1.0

@@ -8,6 +8,16 @@ script; also runnable without installation:
     PYTHONPATH=src python -m repro.stream --scene bicycle \\
         --trajectory orbit --frames 16 --sessions 2 --workers 0
 
+The ``fleet`` subcommand serves *generated* open-loop traffic over a
+multi-node fleet instead of a hand-built session list:
+
+    PYTHONPATH=src python -m repro.stream fleet --nodes 2 \\
+        --mix mixed --rate 40 --duration 0.5 --detail 0.5
+
+It prints per-node serving totals plus the fleet summary (throughput,
+queue depth, migrations, autoscale events); ``--max-nodes`` above
+``--nodes`` enables threshold autoscaling.
+
 With ``--target-fps`` every session runs under deadline-aware quality
 control (:mod:`repro.stream.qos`): ``--qos adaptive`` (default) lets
 the per-session controller walk the detail ladder, ``--qos fixed``
@@ -34,10 +44,12 @@ from repro.core.reuse_cache import POLICIES
 from repro.errors import ValidationError
 from repro.harness import format_table
 from repro.scenes.catalog import CATALOG
+from repro.stream.fleet import ROUTERS, EdgeFleet
 from repro.stream.pipeline import streaming_config
 from repro.stream.qos import QoSPolicy
 from repro.stream.scheduler import PLACEMENTS
 from repro.stream.server import StreamServer, StreamSession
+from repro.stream.traffic import MIXES, PROFILES, RateProfile, TrafficGenerator
 from repro.stream.trajectory import CameraTrajectory
 
 TRAJECTORIES = ("orbit", "dolly", "head_jitter", "frozen")
@@ -149,6 +161,8 @@ def validate_args(args: argparse.Namespace) -> None:
         raise ValidationError("--detail must be positive")
     if args.target_fps is not None and args.target_fps <= 0:
         raise ValidationError("--target-fps must be positive")
+    if args.seed < 0:
+        raise ValidationError("--seed cannot be negative")
 
 
 def make_sessions(args: argparse.Namespace) -> list[StreamSession]:
@@ -262,7 +276,235 @@ def _run(args: argparse.Namespace, sessions: list[StreamSession]) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# The `fleet` subcommand: generated traffic over a multi-node fleet
+# ----------------------------------------------------------------------
+def build_fleet_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stream fleet",
+        description="Serve generated open-loop traffic over a fleet of "
+        "stream-server nodes.",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=2, help="initial fleet nodes (default: 2)"
+    )
+    parser.add_argument(
+        "--node-workers",
+        type=int,
+        default=1,
+        help="workers per node (default: 1)",
+    )
+    parser.add_argument(
+        "--node-capacity",
+        type=int,
+        default=4,
+        help="max concurrent sessions per node (default: 4)",
+    )
+    parser.add_argument(
+        "--router",
+        default="least",
+        choices=ROUTERS,
+        help="node selection: least-loaded or scene affinity "
+        "(default: least)",
+    )
+    parser.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="autoscaling ceiling; above --nodes enables queue-driven "
+        "scale-up (default: --nodes, autoscaling off)",
+    )
+    parser.add_argument(
+        "--min-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="autoscaling floor for idle-node drain (default: --nodes)",
+    )
+    parser.add_argument(
+        "--no-migration",
+        action="store_true",
+        help="disable cross-node checkpoint-replay rebalancing",
+    )
+    parser.add_argument(
+        "--mix",
+        default="mixed",
+        choices=sorted(MIXES),
+        help="traffic archetype mix (default: mixed)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=40.0,
+        help="peak arrivals per simulated second (default: 40)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=0.5,
+        help="arrival window in simulated seconds (default: 0.5)",
+    )
+    parser.add_argument(
+        "--profile",
+        default="constant",
+        choices=PROFILES,
+        help="arrival-rate shape (default: constant)",
+    )
+    parser.add_argument(
+        "--detail",
+        type=float,
+        default=1.0,
+        help="global detail multiplier on the generated sessions",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="traffic generator seed"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the fleet report as JSON ('-' for stdout)",
+    )
+    return parser
+
+
+def validate_fleet_args(args: argparse.Namespace) -> None:
+    """Reject invalid fleet arguments with :class:`ValidationError`."""
+    if args.nodes < 1:
+        raise ValidationError("--nodes must be at least 1")
+    if args.node_workers < 1:
+        raise ValidationError("--node-workers must be at least 1")
+    if args.node_capacity < 1:
+        raise ValidationError("--node-capacity must be at least 1")
+    if args.rate <= 0:
+        raise ValidationError("--rate must be positive")
+    if args.duration <= 0:
+        raise ValidationError("--duration must be positive")
+    if args.detail <= 0:
+        raise ValidationError("--detail must be positive")
+    if args.max_nodes is not None and args.max_nodes < args.nodes:
+        raise ValidationError("--max-nodes cannot be below --nodes")
+    if args.min_nodes is not None and not 1 <= args.min_nodes <= args.nodes:
+        raise ValidationError("--min-nodes must be in [1, --nodes]")
+    if args.seed < 0:
+        raise ValidationError("--seed cannot be negative")
+
+
+def _run_fleet(args: argparse.Namespace) -> int:
+    generator = TrafficGenerator(
+        mix=args.mix,
+        rate=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        profile=RateProfile(kind=args.profile),
+        detail=args.detail,
+    )
+    arrivals = generator.generate()
+    with EdgeFleet(
+        nodes=args.nodes,
+        node_workers=args.node_workers,
+        router=args.router,
+        node_capacity=args.node_capacity,
+        min_nodes=args.min_nodes,
+        max_nodes=args.max_nodes,
+        migration=not args.no_migration,
+    ) as fleet:
+        result = fleet.serve(arrivals)
+
+    rows = []
+    for node_id, summary in sorted(result.node_summaries.items()):
+        rows.append(
+            [
+                node_id,
+                summary.sessions,
+                summary.total_frames,
+                summary.sim_makespan_seconds,
+                summary.migrations,
+                summary.recoveries,
+            ]
+        )
+    print(
+        format_table(
+            ["node", "sessions", "frames", "busy s", "moves", "recoveries"],
+            rows,
+        )
+    )
+    summary = result.summary
+    print(
+        f"\nfleet served {summary.sessions} generated sessions "
+        f"({args.mix} mix, {args.rate:g}/s x {args.duration:g}s, "
+        f"seed {args.seed}): {summary.total_frames} frames, "
+        f"{summary.sim_frames_per_sec:.1f} simulated frames/sec over "
+        f"{result.peak_nodes} node(s)"
+    )
+    print(
+        f"router '{args.router}': max queue depth "
+        f"{result.max_queue_depth}, mean admission delay "
+        f"{result.mean_admission_delay * 1e3:.2f} ms (simulated), "
+        f"{len(result.migrations)} cross-node migration(s), "
+        f"{len(result.spawns)} spawn(s), {len(result.drains)} drain(s)"
+    )
+
+    if args.json is not None:
+        payload = {
+            "mix": args.mix,
+            "rate": args.rate,
+            "duration": args.duration,
+            "seed": args.seed,
+            "router": args.router,
+            "nodes": args.nodes,
+            "peak_nodes": result.peak_nodes,
+            "sessions": summary.sessions,
+            "total_frames": summary.total_frames,
+            "sim_frames_per_sec": summary.sim_frames_per_sec,
+            "sim_makespan_seconds": summary.sim_makespan_seconds,
+            "max_queue_depth": result.max_queue_depth,
+            "mean_admission_delay": result.mean_admission_delay,
+            "migrations": len(result.migrations),
+            "autoscale_events": [
+                {
+                    "action": e.action,
+                    "node": e.node,
+                    "tick": e.tick,
+                    "sim_time": e.sim_time,
+                    "queue_depth": e.queue_depth,
+                    "reaction_ticks": e.reaction_ticks,
+                }
+                for e in result.autoscale_events
+            ],
+            "node_summaries": {
+                str(node_id): {
+                    "sessions": s.sessions,
+                    "total_frames": s.total_frames,
+                    "sim_makespan_seconds": s.sim_makespan_seconds,
+                    "migrations": s.migrations,
+                    "recoveries": s.recoveries,
+                }
+                for node_id, s in sorted(result.node_summaries.items())
+            },
+        }
+        text = json.dumps(payload, indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Manual subcommand dispatch keeps the original flat argument set
+    # (and every existing invocation) working unchanged.
+    if argv and argv[0] == "fleet":
+        fleet_args = build_fleet_parser().parse_args(argv[1:])
+        try:
+            validate_fleet_args(fleet_args)
+        except ValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _run_fleet(fleet_args)
     args = build_parser().parse_args(argv)
     try:
         validate_args(args)

@@ -1,0 +1,573 @@
+"""Fleet-scale serving: N stream-server nodes behind a global router.
+
+One :class:`~repro.stream.server.StreamServer` is one edge node — a
+worker pool, a scheduler, a QoS loop.  The paper's deployment target
+(and the roadmap's north star) is many such nodes serving open-loop
+user traffic.  :class:`EdgeFleet` adds that layer:
+
+* **Global routing** — arriving sessions (usually from
+  :class:`~repro.stream.traffic.TrafficGenerator`) queue at the fleet
+  router and are placed on a node with free capacity:
+  ``router="least"`` picks the least-loaded node (fewest active
+  sessions, then least simulated busy time), ``"affinity"`` prefers a
+  node already serving the same scene (bundle and estimate reuse)
+  before falling back to least-loaded.
+* **Fleet admission control** — each node serves at most
+  ``node_capacity`` sessions concurrently; the rest wait in the
+  router queue.  Queue depth is the autoscaling signal and is traced
+  per tick.
+* **Cross-node migration** — when the estimated remaining cost spread
+  across nodes exceeds ``migration_threshold`` (relative to the
+  mean), one session moves from the most- to the least-loaded node by
+  checkpoint replay (:meth:`StreamServer.extract_session` /
+  :meth:`StreamServer.inject_session`).  Replay is byte-identical, so
+  migration changes *where* frames render, never what they contain.
+* **Threshold autoscaling** — a router queue deeper than
+  ``scale_up_queue`` for ``sustain`` consecutive ticks spawns a node
+  (up to ``max_nodes``); a node idle for ``scale_down_idle`` ticks
+  with an empty queue drains (down to ``min_nodes``).  Every action
+  is recorded as an :class:`AutoscaleEvent` with its reaction time.
+
+Simulated time: the fleet clock advances to the earliest point the
+least-loaded *stepped* node has worked through its issued frames (the
+same paper-scale busy accounting workers use), or jumps to the next
+arrival when the fleet is idle — deterministic, host-independent, and
+composable with every other simulated metric in this repository.
+Node-level :class:`~repro.stream.server.ServeSummary` objects merge
+into the fleet summary via :meth:`ServeSummary.merge`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError, ValidationError
+from repro.stream.server import (
+    ServeSummary,
+    SessionResult,
+    StreamServer,
+    StreamSession,
+)
+from repro.stream.traffic import SessionArrival
+
+#: Fleet routing policies.
+ROUTERS = ("least", "affinity")
+
+
+@dataclass(frozen=True)
+class NodeMigration:
+    """One cross-node session move (checkpoint replay on ``dst``)."""
+
+    session_id: str
+    src: int
+    dst: int
+    tick: int
+    sim_time: float
+
+
+@dataclass(frozen=True)
+class AutoscaleEvent:
+    """One autoscaling action and the signal that triggered it.
+
+    ``reaction_ticks`` is the fleet's response latency: for a spawn,
+    ticks between the queue first breaching the threshold and the node
+    coming up; for a drain, the idle streak length that triggered it.
+    """
+
+    action: str  # "spawn" | "drain"
+    node: int
+    tick: int
+    sim_time: float
+    queue_depth: int
+    reaction_ticks: int
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet serve produced.
+
+    ``results`` holds every session exactly once (reported by the node
+    that finished it — migrations carry reports along);
+    ``node_summaries`` are per-node :class:`ServeSummary` views (one
+    per node that ever existed, including drained ones) and
+    ``summary`` their :meth:`ServeSummary.merge` composition with
+    ``workers`` corrected to the *peak concurrent* capacity —
+    autoscale churn can spawn more nodes over a serve's lifetime than
+    were ever alive at once.
+    """
+
+    results: list[SessionResult]
+    summary: ServeSummary
+    node_summaries: dict[int, ServeSummary]
+    migrations: list[NodeMigration] = field(default_factory=list)
+    autoscale_events: list[AutoscaleEvent] = field(default_factory=list)
+    queue_depth_trace: list[int] = field(default_factory=list)
+    admission_delays: dict[str, float] = field(default_factory=dict)
+    ticks: int = 0
+    #: Maximum number of simultaneously-alive nodes during the serve.
+    peak_nodes: int = 0
+
+    @property
+    def total_frames(self) -> int:
+        return self.summary.total_frames
+
+    @property
+    def sim_frames_per_sec(self) -> float:
+        return self.summary.sim_frames_per_sec
+
+    @property
+    def total_nodes(self) -> int:
+        """Nodes that ever existed (spawned ones included)."""
+        return len(self.node_summaries)
+
+    @property
+    def spawns(self) -> list[AutoscaleEvent]:
+        return [e for e in self.autoscale_events if e.action == "spawn"]
+
+    @property
+    def drains(self) -> list[AutoscaleEvent]:
+        return [e for e in self.autoscale_events if e.action == "drain"]
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max(self.queue_depth_trace, default=0)
+
+    @property
+    def mean_admission_delay(self) -> float:
+        if not self.admission_delays:
+            return 0.0
+        delays = list(self.admission_delays.values())
+        return float(sum(delays) / len(delays))
+
+
+class _FleetNode:
+    """One live node: a server plus the router's bookkeeping.
+
+    ``clock_offset`` anchors the node's busy ledger to absolute fleet
+    time: a node spawned at fleet clock C starts counting busy seconds
+    from zero, so its absolute serving horizon is
+    ``clock_offset + busy_makespan``.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        server: StreamServer,
+        tick: int,
+        clock_offset: float = 0.0,
+    ) -> None:
+        self.node_id = node_id
+        self.server = server
+        self.spawned_tick = tick
+        self.clock_offset = clock_offset
+        self.idle_ticks = 0
+        self.alive = True
+
+    @property
+    def horizon(self) -> float:
+        """Absolute fleet time this node has worked up to."""
+        return self.clock_offset + self.server.busy_makespan
+
+
+class EdgeFleet:
+    """Serve open-loop session traffic over a fleet of server nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Initial node count.
+    node_workers:
+        Workers per node (each node is a deterministic in-process
+        multi-worker :class:`StreamServer`, ``local=True``).
+    router:
+        Node-selection policy: ``"least"`` or ``"affinity"``.
+    node_capacity:
+        Max concurrent sessions per node (fleet admission control).
+    placement:
+        Intra-node session→worker policy (``"load"``/``"rr"``).
+    min_nodes / max_nodes:
+        Autoscaling band; both default to ``nodes`` (autoscaling off).
+    scale_up_queue:
+        Router queue depth that (sustained) triggers a spawn; defaults
+        to ``node_capacity``.
+    sustain:
+        Consecutive breached ticks required before spawning.
+    scale_down_idle:
+        Consecutive idle ticks (with an empty queue) before a node
+        drains.
+    migration:
+        Enable cross-node checkpoint-replay rebalancing.
+    migration_threshold:
+        Relative remaining-cost spread (vs. the mean) above which one
+        session migrates per tick.
+    fault_injector:
+        Chaos hook ``(node, tick, worker) -> bool`` forwarded to each
+        node's server (node-local tick counter), exercising worker
+        recovery inside a fleet serve.
+    bundle_cache_size:
+        Per-worker bundle LRU capacity, forwarded to the nodes.
+    """
+
+    def __init__(
+        self,
+        nodes: int = 2,
+        node_workers: int = 1,
+        router: str = "least",
+        node_capacity: int = 4,
+        placement: str = "load",
+        min_nodes: int | None = None,
+        max_nodes: int | None = None,
+        scale_up_queue: int | None = None,
+        sustain: int = 2,
+        scale_down_idle: int = 4,
+        migration: bool = True,
+        migration_threshold: float = 0.5,
+        fault_injector=None,
+        bundle_cache_size: int = 8,
+    ) -> None:
+        if nodes < 1:
+            raise ValidationError("fleet needs at least one node")
+        if node_workers < 1:
+            raise ValidationError("nodes need at least one worker")
+        if router not in ROUTERS:
+            raise ValidationError(
+                f"unknown router '{router}'; choose from " + ", ".join(ROUTERS)
+            )
+        if node_capacity < 1:
+            raise ValidationError("node capacity must be at least 1")
+        self.min_nodes = nodes if min_nodes is None else min_nodes
+        self.max_nodes = nodes if max_nodes is None else max_nodes
+        if not 1 <= self.min_nodes <= nodes <= self.max_nodes:
+            raise ValidationError(
+                "autoscale band needs 1 <= min_nodes <= nodes <= max_nodes"
+            )
+        self.scale_up_queue = (
+            node_capacity if scale_up_queue is None else scale_up_queue
+        )
+        if self.scale_up_queue < 1:
+            raise ValidationError("scale_up_queue must be at least 1")
+        if sustain < 1:
+            raise ValidationError("sustain must be at least 1")
+        if scale_down_idle < 1:
+            raise ValidationError("scale_down_idle must be at least 1")
+        if migration_threshold <= 0:
+            raise ValidationError("migration threshold must be positive")
+        self.initial_nodes = nodes
+        self.node_workers = node_workers
+        self.router = router
+        self.node_capacity = node_capacity
+        self.placement = placement
+        self.sustain = sustain
+        self.scale_down_idle = scale_down_idle
+        self.migration = migration
+        self.migration_threshold = migration_threshold
+        self.fault_injector = fault_injector
+        self.bundle_cache_size = bundle_cache_size
+        self._nodes: list[_FleetNode] = []
+        self._next_node_id = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "EdgeFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down every node's worker pool (idempotent)."""
+        for node in self._nodes:
+            node.server.close()
+        self._nodes = []
+
+    def _spawn_node(self, tick: int, clock: float = 0.0) -> _FleetNode:
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        injector = None
+        if self.fault_injector is not None:
+            hook = self.fault_injector
+            injector = lambda t, w, n=node_id: hook(n, t, w)  # noqa: E731
+        server = StreamServer(
+            workers=self.node_workers,
+            placement=self.placement,
+            local=True,
+            fault_injector=injector,
+            bundle_cache_size=self.bundle_cache_size,
+        )
+        server.begin([])
+        node = _FleetNode(node_id, server, tick, clock_offset=clock)
+        self._nodes.append(node)
+        return node
+
+    # -- routing --------------------------------------------------------
+    def _alive(self) -> list[_FleetNode]:
+        return [n for n in self._nodes if n.alive]
+
+    def _has_capacity(self, node: _FleetNode) -> bool:
+        return node.server.n_active < self.node_capacity
+
+    def _route(
+        self,
+        queue: list[SessionArrival],
+        clock: float,
+        admission_delays: dict[str, float],
+    ) -> list[SessionArrival]:
+        """Place queued sessions onto nodes with capacity (FIFO).
+
+        Returns the arrivals still waiting; admitted sessions record
+        their router-queue delay in simulated seconds.
+        """
+        still_queued: list[SessionArrival] = []
+        for arrival in queue:
+            node = self._select_node(arrival.session)
+            if node is None:
+                still_queued.append(arrival)
+                continue
+            node.server.submit(arrival.session)
+            admission_delays[arrival.session_id] = max(
+                clock - arrival.time, 0.0
+            )
+        return still_queued
+
+    def _select_node(self, session: StreamSession) -> _FleetNode | None:
+        """Pick the node a queued session routes to (None: no capacity)."""
+        open_nodes = [n for n in self._alive() if self._has_capacity(n)]
+        if not open_nodes:
+            return None
+        if self.router == "affinity":
+            same_scene = [
+                n for n in open_nodes if session.scene in n.server.active_scenes()
+            ]
+            if same_scene:
+                open_nodes = same_scene
+        return min(
+            open_nodes,
+            key=lambda n: (
+                n.server.n_active,
+                n.server.remaining_cost(),
+                n.node_id,
+            ),
+        )
+
+    # -- rebalancing ----------------------------------------------------
+    def _rebalance(
+        self, tick: int, clock: float, migrations: list[NodeMigration]
+    ) -> None:
+        """Move one session from the most- to the least-loaded node."""
+        alive = self._alive()
+        if len(alive) < 2:
+            return
+        costs = {n.node_id: n.server.remaining_cost() for n in alive}
+        total = sum(costs.values())
+        if total <= 0:
+            return
+        mean = total / len(alive)
+        src = max(alive, key=lambda n: (costs[n.node_id], -n.node_id))
+        dst = min(alive, key=lambda n: (costs[n.node_id], n.node_id))
+        gap = costs[src.node_id] - costs[dst.node_id]
+        if gap / mean <= self.migration_threshold:
+            return
+        if not self._has_capacity(dst):
+            return
+        # Largest session that still fits in the gap (strict improvement).
+        for session_id, cost in src.server.migration_candidates():
+            if 0.0 < cost < gap:
+                session, ckpt, report = src.server.extract_session(session_id)
+                dst.server.inject_session(session, ckpt, report)
+                migrations.append(
+                    NodeMigration(
+                        session_id=session_id,
+                        src=src.node_id,
+                        dst=dst.node_id,
+                        tick=tick,
+                        sim_time=clock,
+                    )
+                )
+                return
+
+    # -- serving --------------------------------------------------------
+    def serve_sessions(self, sessions: list[StreamSession]) -> FleetResult:
+        """Serve a closed session list (everything arrives at t=0)."""
+        return self.serve([SessionArrival(0.0, s) for s in sessions])
+
+    def serve(self, arrivals: list[SessionArrival]) -> FleetResult:
+        """Serve an open-loop arrival sequence to completion.
+
+        The loop per tick: admit due arrivals into the router queue,
+        route queued sessions onto nodes with capacity, autoscale on
+        the sustained queue signal, step every node with work one tick
+        (one frame per admitted session), rebalance, then advance the
+        fleet clock.  Returns once every session has drained.
+        """
+        ids = [a.session_id for a in arrivals]
+        if len(set(ids)) != len(ids):
+            raise ValidationError("session ids must be unique across arrivals")
+        try:
+            return self._serve(sorted(arrivals, key=lambda a: a.time))
+        except BaseException:
+            self.close()
+            raise
+
+    def _serve(self, pending: list[SessionArrival]) -> FleetResult:
+        wall0 = time.perf_counter()
+        self.close()
+        self._next_node_id = 0
+        for _ in range(self.initial_nodes):
+            self._spawn_node(tick=0)
+
+        queue: list[SessionArrival] = []
+        clock = 0.0
+        tick = 0
+        breach_start: int | None = None
+        migrations: list[NodeMigration] = []
+        events: list[AutoscaleEvent] = []
+        queue_trace: list[int] = []
+        admission_delays: dict[str, float] = {}
+        finished: dict[int, tuple[list[SessionResult], ServeSummary]] = {}
+
+        total_frames = sum(a.session.frame_budget for a in pending)
+        max_ticks = total_frames + 2 * len(pending) + 64
+        cursor = 0
+        peak_nodes = len(self._alive())
+        while True:
+            if tick > max_ticks:
+                raise SimulationError(
+                    "fleet serve did not drain within its tick budget"
+                )
+            # 1. Admit arrivals whose time has come.
+            while cursor < len(pending) and pending[cursor].time <= clock:
+                queue.append(pending[cursor])
+                cursor += 1
+            # 2. Route queued sessions onto nodes with capacity.  The
+            # per-tick trace records the depth *after* routing — the
+            # autoscaling signal.
+            queue = self._route(queue, clock, admission_delays)
+            queue_trace.append(len(queue))
+            # 3. Autoscale on the sustained queue-depth signal (at most
+            # one spawn per tick; the new node is filled immediately at
+            # the same clock and steps below with everyone else).
+            if len(queue) >= self.scale_up_queue:
+                if breach_start is None:
+                    breach_start = tick
+                sustained = tick - breach_start + 1
+                if (
+                    sustained >= self.sustain
+                    and len(self._alive()) < self.max_nodes
+                ):
+                    node = self._spawn_node(tick, clock=clock)
+                    events.append(
+                        AutoscaleEvent(
+                            action="spawn",
+                            node=node.node_id,
+                            tick=tick,
+                            sim_time=clock,
+                            queue_depth=len(queue),
+                            reaction_ticks=tick - breach_start,
+                        )
+                    )
+                    breach_start = None
+                    queue = self._route(queue, clock, admission_delays)
+            else:
+                breach_start = None
+            peak_nodes = max(peak_nodes, len(self._alive()))
+            # 4. Step every node that has work.
+            stepped: list[_FleetNode] = []
+            for node in self._alive():
+                if node.server.n_active > 0:
+                    node.server.step()
+                    node.idle_ticks = 0
+                    stepped.append(node)
+                else:
+                    node.idle_ticks += 1
+            # 5. Drain long-idle nodes while the queue is empty.
+            if not queue and len(self._alive()) > self.min_nodes:
+                for node in self._alive():
+                    if node.idle_ticks >= self.scale_down_idle:
+                        finished[node.node_id] = self._retire(node)
+                        events.append(
+                            AutoscaleEvent(
+                                action="drain",
+                                node=node.node_id,
+                                tick=tick,
+                                sim_time=clock,
+                                queue_depth=0,
+                                reaction_ticks=node.idle_ticks,
+                            )
+                        )
+                        break  # at most one scale-down per tick
+            # 6. Cross-node rebalancing.
+            if self.migration:
+                self._rebalance(tick, clock, migrations)
+            # 7. Advance the fleet clock to the earliest absolute time
+            # a stepped node has worked through its issued frames
+            # (node horizons anchor busy ledgers at spawn time, so a
+            # freshly spawned node never drags the clock backwards).
+            if stepped:
+                candidate = min(n.horizon for n in stepped)
+                if cursor < len(pending) and any(
+                    self._has_capacity(n) for n in self._alive()
+                ):
+                    candidate = min(candidate, pending[cursor].time)
+                clock = max(clock, candidate)
+            elif cursor < len(pending):
+                clock = max(clock, pending[cursor].time)
+            elif not queue:
+                break
+            # 8. Re-anchor caught-up nodes to the present: a node whose
+            # horizon fell behind the clock (it sat idle through a
+            # jumped gap, or drained its issued work early) cannot
+            # serve in the past — its next frame completes after *now*.
+            # Without this, arrivals after an idle gap would wait for
+            # busy ledgers to catch up to absolute time and serialize.
+            for node in self._alive():
+                if node.horizon < clock:
+                    node.clock_offset = clock - node.server.busy_makespan
+            tick += 1
+
+        wall = time.perf_counter() - wall0
+        results: list[SessionResult] = []
+        node_summaries: dict[int, ServeSummary] = {}
+        for node in list(self._nodes):
+            if node.alive:
+                finished[node.node_id] = self._retire(node, wall=wall)
+        for node_id in sorted(finished):
+            node_results, summary = finished[node_id]
+            results.extend(node_results)
+            node_summaries[node_id] = summary
+        self._nodes = []
+        order = {a.session_id: i for i, a in enumerate(pending)}
+        results.sort(key=lambda r: order[r.session_id])
+        fleet_summary = ServeSummary.merge(list(node_summaries.values()))
+        fleet_summary.wall_seconds = wall
+        fleet_summary.migrations += len(migrations)
+        # Worker capacity is what was ever alive *at once*, not the
+        # sum over autoscale churn.
+        fleet_summary.workers = peak_nodes * self.node_workers
+        return FleetResult(
+            results=results,
+            summary=fleet_summary,
+            node_summaries=node_summaries,
+            migrations=migrations,
+            autoscale_events=events,
+            queue_depth_trace=queue_trace,
+            admission_delays=admission_delays,
+            ticks=tick,
+            peak_nodes=peak_nodes,
+        )
+
+    def _retire(
+        self, node: _FleetNode, wall: float = 0.0
+    ) -> tuple[list[SessionResult], ServeSummary]:
+        """Finish a node's open serve and fold it into a summary."""
+        results = node.server.finish()
+        summary = ServeSummary.from_results(
+            results,
+            workers=self.node_workers,
+            wall_seconds=wall,
+            recoveries=node.server.recoveries,
+            migrations=len(node.server.migrations),
+            busy_seconds=node.server.worker_busy_seconds or None,
+        )
+        node.server.close()
+        node.alive = False
+        return results, summary

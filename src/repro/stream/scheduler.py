@@ -141,6 +141,78 @@ class StreamScheduler:
         """Queue order for admission; base policy is FIFO (arrival)."""
         return [s.session_id for s in sessions]
 
+    # -- dynamic session population ------------------------------------
+    def add_session(self, session: "StreamSession") -> bool:
+        """Register a session that arrived after construction.
+
+        Open-loop serving (the fleet's generated traffic) submits
+        sessions while a serve is already running; they join the
+        admission queue and are placed the moment capacity allows.
+        Returns whether the session was admitted immediately.
+        """
+        if session.session_id in self._plans:
+            raise ValidationError(
+                f"session '{session.session_id}' is already scheduled"
+            )
+        self._plans[session.session_id] = _SessionPlan(session)
+        self._proxy_for(session.scene, session.detail)
+        self._queue.append(session.session_id)
+        return session.session_id in self.admit()
+
+    def attach_session(
+        self,
+        session: "StreamSession",
+        frames_done: int = 0,
+        worker: int | None = None,
+    ) -> int:
+        """Admit a (possibly mid-stream) session immediately.
+
+        Used for checkpoint-replay *injection*: a session migrating in
+        from another node arrives with ``frames_done`` frames already
+        rendered elsewhere and must start ticking now, bypassing the
+        admission queue (its source node already admitted it — a fleet
+        migration must never park a running client behind
+        backpressure).  ``worker`` forces placement; ``None`` asks the
+        policy.  Returns the worker the session landed on.
+        """
+        if session.session_id in self._plans:
+            raise ValidationError(
+                f"session '{session.session_id}' is already scheduled"
+            )
+        if frames_done < 0:
+            raise ValidationError("frames_done cannot be negative")
+        plan = _SessionPlan(session)
+        plan.frames_done = int(frames_done)
+        self._proxy_for(session.scene, session.detail)
+        plan.worker = self._place(session) if worker is None else worker
+        if not 0 <= plan.worker < self.workers:
+            raise ValidationError(
+                f"worker {plan.worker} is outside the pool of {self.workers}"
+            )
+        plan.done = plan.frames_left == 0
+        self._plans[session.session_id] = plan
+        return plan.worker
+
+    def remove_session(self, session_id: str) -> "StreamSession":
+        """Forget a session (migration source side).
+
+        Busy-seconds already attributed to this scheduler's workers
+        stay — frames rendered here were rendered here.  A session
+        still waiting in the admission queue is simply dequeued.
+        """
+        plan = self._plans.pop(session_id, None)
+        if plan is None:
+            raise ValidationError(f"unknown session '{session_id}'")
+        if session_id in self._queue:
+            self._queue.remove(session_id)
+        else:
+            # An admitted session left; its capacity slot frees up.
+            self.admit()
+        return plan.session
+
+    def frames_done(self, session_id: str) -> int:
+        return self._plans[session_id].frames_done
+
     @property
     def inflight(self) -> int:
         return sum(1 for p in self._plans.values() if p.active)

@@ -45,6 +45,17 @@ The scheduler is tick-based: each round trip renders at most one frame
 per admitted session, keeping all sessions progressing together the
 way a real-time multiplexer would, instead of draining one client
 before starting the next.
+
+Serving comes in two shapes over the same machinery: the closed
+:meth:`StreamServer.serve` call (a fixed session list streamed to
+completion) and the incremental protocol — :meth:`StreamServer.begin`,
+:meth:`~StreamServer.submit`, :meth:`~StreamServer.step`,
+:meth:`~StreamServer.finish` — that open-ended callers drive tick by
+tick.  :meth:`~StreamServer.extract_session` /
+:meth:`~StreamServer.inject_session` move a live session between
+servers as a (descriptor, checkpoint, report) triple; the fleet layer
+(:mod:`repro.stream.fleet`) builds cross-node migration on exactly
+this.
 """
 
 from __future__ import annotations
@@ -180,6 +191,34 @@ class ServeSummary:
         return self.total_frames / self.wall_seconds
 
     @staticmethod
+    def merge(summaries: list["ServeSummary"]) -> "ServeSummary":
+        """Compose node-level summaries into one fleet-level summary.
+
+        Worker and session counts add; frames add; the makespan is the
+        busiest *node* (nodes serve concurrently, exactly like workers
+        within a node); wall seconds take the max for the same reason.
+        Used by :mod:`repro.stream.fleet` to report a fleet serve in
+        the same vocabulary as a single server.
+        """
+        if not summaries:
+            return ServeSummary(
+                workers=0,
+                sessions=0,
+                total_frames=0,
+                sim_makespan_seconds=0.0,
+                wall_seconds=0.0,
+            )
+        return ServeSummary(
+            workers=sum(s.workers for s in summaries),
+            sessions=sum(s.sessions for s in summaries),
+            total_frames=sum(s.total_frames for s in summaries),
+            sim_makespan_seconds=max(s.sim_makespan_seconds for s in summaries),
+            wall_seconds=max(s.wall_seconds for s in summaries),
+            recoveries=sum(s.recoveries for s in summaries),
+            migrations=sum(s.migrations for s in summaries),
+        )
+
+    @staticmethod
     def from_results(
         results: list[SessionResult],
         workers: int,
@@ -228,6 +267,30 @@ class TickResult:
     frames: list[tuple[str, FrameRecord]] = field(default_factory=list)
     done: list[str] = field(default_factory=list)
     checkpoints: dict[str, SessionCheckpoint] = field(default_factory=dict)
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def sim_seconds(self) -> float:
+        """Summed paper-scale latency of this tick's frames.
+
+        One worker's batches render serially, so this is the simulated
+        busy time the tick added — the composable unit the fleet's
+        clock advances on.
+        """
+        return float(sum(record.sim_seconds for _, record in self.frames))
+
+    @staticmethod
+    def merged(results: list["TickResult"]) -> "TickResult":
+        """Fold the per-batch results of one tick into a single view."""
+        out = TickResult()
+        for result in results:
+            out.frames.extend(result.frames)
+            out.done.extend(result.done)
+            out.checkpoints.update(result.checkpoints)
+        return out
 
 
 class _WorkerState:
@@ -340,11 +403,7 @@ class _WorkerState:
         starts from frame 0.
         """
         for session, ckpt in payload:
-            if ckpt is not None and (
-                ckpt.session_id != session.session_id
-                or ckpt.scene != session.scene
-                or ckpt.detail != session.detail
-            ):
+            if ckpt is not None and not ckpt.belongs_to(session):
                 raise ValidationError(
                     f"checkpoint ({ckpt.session_id}, {ckpt.scene}, "
                     f"detail={ckpt.detail}) does not belong to session "
@@ -495,6 +554,12 @@ class StreamServer:
         #: so it is the response-time metric the scheduler benchmark
         #: compares across policies.
         self.frame_completions: dict[str, list[float]] = {}
+        # Incremental-serving state (between begin() and finish()).
+        self._scheduler: StreamScheduler | None = None
+        self._reports: dict[str, StreamReport] = {}
+        self._checkpoints: dict[str, SessionCheckpoint] = {}
+        self._shipped: set[str] = set()
+        self._steps = 0
 
     # -- lifecycle ------------------------------------------------------
     def __enter__(self) -> "StreamServer":
@@ -531,6 +596,256 @@ class StreamServer:
             by_scene.setdefault(s.scene, []).append(s)
         return list(by_scene.values())
 
+    # -- incremental serving --------------------------------------------
+    @property
+    def serving(self) -> bool:
+        """A serve is open (between :meth:`begin` and :meth:`finish`)."""
+        return self._scheduler is not None
+
+    @property
+    def n_active(self) -> int:
+        """Admitted, unfinished sessions (0 outside an open serve)."""
+        return self._scheduler.inflight if self.serving else 0
+
+    @property
+    def n_queued(self) -> int:
+        """Sessions waiting in the admission queue."""
+        return len(self._scheduler.queued) if self.serving else 0
+
+    @property
+    def busy_makespan(self) -> float:
+        """Busiest worker's simulated busy seconds of the open serve."""
+        if not self.serving:
+            return max(self.worker_busy_seconds.values(), default=0.0)
+        return max(self._scheduler.busy_seconds.values(), default=0.0)
+
+    def begin(self, sessions: list[StreamSession] | None = None) -> None:
+        """Open an incremental serve.
+
+        Unlike :meth:`serve` this does not run to completion: the
+        caller drives ticks with :meth:`step`, may :meth:`submit` new
+        sessions at any point (open-loop traffic), and collects
+        results with :meth:`finish`.  The fleet layer
+        (:mod:`repro.stream.fleet`) is built on this protocol.
+        """
+        if self.serving:
+            raise ValidationError("a serve is already open on this server")
+        sessions = list(sessions or [])
+        ids = [s.session_id for s in sessions]
+        if len(set(ids)) != len(ids):
+            raise ValidationError("session ids must be unique")
+        self._ensure_pool()
+        self._reset_workers()
+        kwargs = {} if self.estimator is None else {"estimator": self.estimator}
+        self._scheduler = make_scheduler(
+            self.placement,
+            sessions,
+            self._n_workers,
+            max_inflight=self.max_inflight,
+            rebalance_threshold=self.rebalance_threshold,
+            **kwargs,
+        )
+        self._reports = {
+            s.session_id: StreamReport(
+                scene=s.scene, trajectory=s.trajectory.kind
+            )
+            for s in sessions
+        }
+        self._checkpoints = {}
+        self._shipped = set()
+        self._steps = 0
+        self.dispatch_counts = {s.session_id: 0 for s in sessions}
+        self.recoveries = 0
+        self.migrations = []
+        self.frame_completions = {s.session_id: [] for s in sessions}
+        self.worker_busy_seconds = {}
+
+    def submit(self, session: StreamSession) -> None:
+        """Add a session to the open serve (admission rules apply)."""
+        if not self.serving:
+            raise ValidationError("submit requires an open serve (begin first)")
+        if session.session_id in self._reports:
+            raise ValidationError(
+                f"session id '{session.session_id}' is already being served"
+            )
+        self._reports[session.session_id] = StreamReport(
+            scene=session.scene, trajectory=session.trajectory.kind
+        )
+        self.dispatch_counts[session.session_id] = 0
+        self.frame_completions[session.session_id] = []
+        self._scheduler.add_session(session)
+
+    def step(self) -> TickResult:
+        """Run one scheduling tick: render at most one frame per
+        admitted session, recover crashes, apply rebalancing.
+
+        Returns the tick's merged :class:`TickResult` (empty when
+        every session has drained — the caller's stop signal).
+        """
+        if not self.serving:
+            raise ValidationError("step requires an open serve (begin first)")
+        scheduler = self._scheduler
+        assignments = scheduler.tick_assignments()
+        if not assignments:
+            return TickResult()
+        self._inject_faults(self._steps, assignments)
+        results = self._run_tick(assignments)
+        for tick_result in results:
+            for session_id, record in tick_result.frames:
+                self._reports[session_id].frames.append(record)
+                scheduler.observe_frame(
+                    session_id, record.sim_seconds, detail=record.detail
+                )
+                self.frame_completions[session_id].append(
+                    scheduler.busy_seconds[scheduler.worker_of(session_id)]
+                )
+            for session_id in tick_result.done:
+                scheduler.mark_done(session_id)
+        self._apply_migrations()
+        self.worker_busy_seconds = dict(scheduler.busy_seconds)
+        self._steps += 1
+        return TickResult.merged(results)
+
+    def finish(self) -> list[SessionResult]:
+        """Close the open serve and return the per-session results.
+
+        Sessions are reported in submission order; a session migrated
+        away with :meth:`extract_session` is reported by the server it
+        migrated *to* (its report travels with it).
+        """
+        if not self.serving:
+            raise ValidationError("finish requires an open serve (begin first)")
+        scheduler = self._scheduler
+        results = [
+            SessionResult(
+                session_id=session_id,
+                scene=report.scene,
+                worker=scheduler.worker_of(session_id),
+                report=report,
+            )
+            for session_id, report in self._reports.items()
+        ]
+        self.worker_busy_seconds = dict(scheduler.busy_seconds)
+        self._scheduler = None
+        self._reports = {}
+        self._checkpoints = {}
+        self._shipped = set()
+        return results
+
+    # -- cross-server migration ----------------------------------------
+    def extract_session(
+        self, session_id: str
+    ) -> tuple[StreamSession, SessionCheckpoint | None, StreamReport]:
+        """Remove a session from the open serve for migration elsewhere.
+
+        Returns the session descriptor, its latest checkpoint (``None``
+        when no frame rendered yet) and the frames streamed so far —
+        everything :meth:`inject_session` on another server needs to
+        resume the stream byte-identically.
+        """
+        if not self.serving:
+            raise ValidationError("extract requires an open serve")
+        if session_id not in self._reports:
+            raise ValidationError(f"unknown session '{session_id}'")
+        scheduler = self._scheduler
+        admitted = (
+            session_id not in scheduler.queued
+            and scheduler.worker_of(session_id) >= 0
+        )
+        worker = scheduler.worker_of(session_id) if admitted else -1
+        session = scheduler.remove_session(session_id)
+        if admitted:
+            self._dispatch_drop(worker, [session_id])
+        self._shipped.discard(session_id)
+        checkpoint = self._checkpoints.pop(session_id, None)
+        report = self._reports.pop(session_id)
+        return session, checkpoint, report
+
+    def inject_session(
+        self,
+        session: StreamSession,
+        checkpoint: SessionCheckpoint | None = None,
+        report: StreamReport | None = None,
+    ) -> int:
+        """Resume a migrated-in session on this server's open serve.
+
+        The checkpoint is replayed onto a worker chosen by this
+        server's placement policy (bypassing the admission queue — the
+        source server already admitted the client); the carried report
+        keeps accumulating, so the final :class:`SessionResult` spans
+        the whole stream regardless of how many servers rendered it.
+        Returns the worker the session landed on.
+        """
+        if not self.serving:
+            raise ValidationError("inject requires an open serve")
+        if session.session_id in self._reports:
+            raise ValidationError(
+                f"session id '{session.session_id}' is already being served"
+            )
+        if checkpoint is not None and not checkpoint.belongs_to(session):
+            raise ValidationError(
+                f"checkpoint ({checkpoint.session_id}, {checkpoint.scene}, "
+                f"detail={checkpoint.detail}) cannot be injected as session "
+                f"({session.session_id}, {session.scene}, "
+                f"detail={session.detail})"
+            )
+        if report is None:
+            report = StreamReport(
+                scene=session.scene, trajectory=session.trajectory.kind
+            )
+        frames_done = (
+            checkpoint.next_frame if checkpoint is not None else len(report.frames)
+        )
+        worker = self._scheduler.attach_session(session, frames_done=frames_done)
+        self._reports[session.session_id] = report
+        self.dispatch_counts.setdefault(session.session_id, 0)
+        self.frame_completions.setdefault(session.session_id, [])
+        if checkpoint is not None:
+            self._checkpoints[session.session_id] = checkpoint
+        self._dispatch_restore(worker, [(session, checkpoint)])
+        self._shipped.add(session.session_id)
+        return worker
+
+    def remaining_cost(self) -> float:
+        """Estimated outstanding simulated seconds across all workers."""
+        if not self.serving:
+            return 0.0
+        return float(sum(self._scheduler.remaining_cost().values()))
+
+    def migration_candidates(self) -> list[tuple[str, float]]:
+        """Active sessions with their estimated remaining seconds.
+
+        The fleet router uses this to pick which session to migrate
+        off an overloaded node (largest candidate that fits the
+        inter-node cost gap).
+        """
+        if not self.serving:
+            return []
+        scheduler = self._scheduler
+        out = []
+        for w in range(scheduler.workers):
+            for session in scheduler.active_on(w):
+                left = scheduler.frames_done(session.session_id)
+                left = session.frame_budget - left
+                out.append(
+                    (
+                        session.session_id,
+                        max(left, 0) * scheduler.frame_estimate(session),
+                    )
+                )
+        return sorted(out, key=lambda item: (-item[1], item[0]))
+
+    def active_scenes(self) -> set[str]:
+        """Scenes of the currently admitted, unfinished sessions."""
+        if not self.serving:
+            return set()
+        scheduler = self._scheduler
+        return {
+            session.scene
+            for w in range(scheduler.workers)
+            for session in scheduler.active_on(w)
+        }
+
     # -- serving --------------------------------------------------------
     def serve(self, sessions: list[StreamSession]) -> list[SessionResult]:
         """Stream every session to completion; returns per-session results.
@@ -541,98 +856,58 @@ class StreamServer:
         worker and replaying session checkpoints; if anything is
         unrecoverable the pool is torn down before the error
         propagates, so no executor outlives a failed serve.
+
+        Implemented over the incremental :meth:`begin` / :meth:`step` /
+        :meth:`finish` protocol that open-ended callers (the fleet) use
+        directly.
         """
+        if self.serving:
+            # Raise *before* the cleanup guard below: an already-open
+            # incremental serve (and its sessions' live state) must
+            # survive a mistaken serve() call untouched.
+            raise ValidationError(
+                "a serve is already open on this server; finish() it "
+                "before calling serve()"
+            )
         self.worker_busy_seconds = {}
         if not sessions:
             return []
-        ids = [s.session_id for s in sessions]
-        if len(set(ids)) != len(ids):
-            raise ValidationError("session ids must be unique")
         try:
-            return self._serve(sessions)
+            self.begin(sessions)
+            # Progress is guaranteed (every tick either renders a frame
+            # or retires a session), so this cap only catches scheduler
+            # bugs.
+            max_ticks = (
+                sum(s.frame_budget for s in sessions)
+                + len(sessions)
+                + self.max_respawns
+                + 4
+            )
+            for _ in range(max_ticks):
+                if self._scheduler.tick_assignments():
+                    self.step()
+                else:
+                    break
+            else:
+                raise SimulationError(
+                    "stream serve did not drain within its tick budget"
+                )
+            return self.finish()
         except BaseException:
             # Executor leak guard: a serve that raises must not leave
             # worker processes behind (the pool restarts lazily on the
             # next serve).
+            self._scheduler = None
             self.close()
             raise
 
-    def _serve(self, sessions: list[StreamSession]) -> list[SessionResult]:
-        self._ensure_pool()
-        self._reset_workers()
-        kwargs = {} if self.estimator is None else {"estimator": self.estimator}
-        scheduler = make_scheduler(
-            self.placement,
-            sessions,
-            self._n_workers,
-            max_inflight=self.max_inflight,
-            rebalance_threshold=self.rebalance_threshold,
-            **kwargs,
-        )
-        reports = {
-            s.session_id: StreamReport(
-                scene=s.scene, trajectory=s.trajectory.kind
-            )
-            for s in sessions
-        }
-        checkpoints: dict[str, SessionCheckpoint] = {}
-        shipped: set[str] = set()
-        self.dispatch_counts = {s.session_id: 0 for s in sessions}
-        self.recoveries = 0
-        self.migrations = []
-        self.frame_completions = {s.session_id: [] for s in sessions}
-
-        # Progress is guaranteed (every tick either renders a frame or
-        # retires a session), so this cap only catches scheduler bugs.
-        max_ticks = (
-            sum(s.frame_budget for s in sessions)
-            + len(sessions)
-            + self.max_respawns
-            + 4
-        )
-        for tick in range(max_ticks):
-            assignments = scheduler.tick_assignments()
-            if not assignments:
-                break
-            self._inject_faults(tick, assignments, scheduler, checkpoints, shipped)
-            results = self._run_tick(assignments, scheduler, checkpoints, shipped)
-            for tick_result in results:
-                for session_id, record in tick_result.frames:
-                    reports[session_id].frames.append(record)
-                    scheduler.observe_frame(
-                        session_id, record.sim_seconds, detail=record.detail
-                    )
-                    self.frame_completions[session_id].append(
-                        scheduler.busy_seconds[scheduler.worker_of(session_id)]
-                    )
-                for session_id in tick_result.done:
-                    scheduler.mark_done(session_id)
-            self._apply_migrations(scheduler, checkpoints, shipped)
-        else:
-            raise SimulationError(
-                "stream serve did not drain within its tick budget"
-            )
-
-        self.worker_busy_seconds = dict(scheduler.busy_seconds)
-        return [
-            SessionResult(
-                session_id=s.session_id,
-                scene=s.scene,
-                worker=scheduler.worker_of(s.session_id),
-                report=reports[s.session_id],
-            )
-            for s in sessions
-        ]
-
     # -- tick execution -------------------------------------------------
     def _run_tick(
-        self,
-        assignments: dict[int, list[StreamSession]],
-        scheduler: StreamScheduler,
-        checkpoints: dict[str, SessionCheckpoint],
-        shipped: set[str],
+        self, assignments: dict[int, list[StreamSession]]
     ) -> list[TickResult]:
         """Dispatch one tick and gather results, recovering crashes."""
+        shipped = self._shipped
+        checkpoints = self._checkpoints
         pending: list[tuple[int, list[StreamSession], Future | TickResult]] = []
         failed: dict[int, list[list[StreamSession]]] = {}
         for w in sorted(assignments):
@@ -664,7 +939,7 @@ class StreamServer:
             checkpoints.update(result.checkpoints)
             results.append(result)
         for w, batches in sorted(failed.items()):
-            self._recover_worker(w, scheduler, checkpoints, shipped)
+            self._recover_worker(w)
             for batch in batches:
                 # Post-restore every session is registered on the new
                 # worker; ids suffice and the lost frames re-render
@@ -681,7 +956,7 @@ class StreamServer:
                         )
                         break
                     except BrokenProcessPool:
-                        self._recover_worker(w, scheduler, checkpoints, shipped)
+                        self._recover_worker(w)
                 checkpoints.update(result.checkpoints)
                 results.append(result)
         return results
@@ -693,12 +968,7 @@ class StreamServer:
 
     # -- fault handling -------------------------------------------------
     def _inject_faults(
-        self,
-        tick: int,
-        assignments: dict[int, list[StreamSession]],
-        scheduler: StreamScheduler,
-        checkpoints: dict[str, SessionCheckpoint],
-        shipped: set[str],
+        self, tick: int, assignments: dict[int, list[StreamSession]]
     ) -> None:
         if self.fault_injector is None:
             return
@@ -710,17 +980,11 @@ class StreamServer:
                 # whole worker state is the same failure, recovered
                 # eagerly (process workers go through BrokenProcessPool
                 # detection instead).
-                self._recover_worker(w, scheduler, checkpoints, shipped)
+                self._recover_worker(w)
             else:
                 self._executors[w].submit(_subprocess_crash)
 
-    def _recover_worker(
-        self,
-        worker: int,
-        scheduler: StreamScheduler,
-        checkpoints: dict[str, SessionCheckpoint],
-        shipped: set[str],
-    ) -> None:
+    def _recover_worker(self, worker: int) -> None:
         """Respawn a dead worker and replay its sessions' checkpoints."""
         self.recoveries += 1
         if self.recoveries > self.max_respawns:
@@ -736,25 +1000,20 @@ class StreamServer:
             self._executors[worker].shutdown(wait=False)
             self._executors[worker] = ProcessPoolExecutor(max_workers=1)
         payload = [
-            (session, checkpoints.get(session.session_id))
-            for session in scheduler.active_on(worker)
+            (session, self._checkpoints.get(session.session_id))
+            for session in self._scheduler.active_on(worker)
         ]
         if payload:
             self._dispatch_restore(worker, payload)
-            shipped.update(session.session_id for session, _ in payload)
+            self._shipped.update(session.session_id for session, _ in payload)
 
-    def _apply_migrations(
-        self,
-        scheduler: StreamScheduler,
-        checkpoints: dict[str, SessionCheckpoint],
-        shipped: set[str],
-    ) -> None:
-        for migration in scheduler.rebalance():
-            session = scheduler.session(migration.session_id)
-            ckpt = checkpoints.get(migration.session_id)
+    def _apply_migrations(self) -> None:
+        for migration in self._scheduler.rebalance():
+            session = self._scheduler.session(migration.session_id)
+            ckpt = self._checkpoints.get(migration.session_id)
             self._dispatch_drop(migration.src, [migration.session_id])
             self._dispatch_restore(migration.dst, [(session, ckpt)])
-            shipped.add(migration.session_id)
+            self._shipped.add(migration.session_id)
             self.migrations.append(migration)
 
     def _dispatch_restore(

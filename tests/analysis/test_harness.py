@@ -39,7 +39,7 @@ class TestRegistry:
             "tab2_tab3", "tab4", "tab5", "fig14_fig15", "fig16",
             "fig17", "sec5a", "sec6f", "tab6_tab7",
         }
-        extensions = {"stream", "qos"}
+        extensions = {"stream", "qos", "fleet"}
         assert paper | extensions == set(EXPERIMENTS)
 
     def test_unknown_experiment_rejected(self):

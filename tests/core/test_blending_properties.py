@@ -15,6 +15,8 @@ from repro.config import RenderSettings
 from repro.core.irss import render_irss
 from repro.gaussians import Camera, GaussianCloud, project, render_reference
 
+pytestmark = pytest.mark.property
+
 
 def _scene(seed: int, n: int, opacity_hi: float = 0.9) -> GaussianCloud:
     rng = np.random.default_rng(seed)

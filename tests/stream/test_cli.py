@@ -98,3 +98,88 @@ class TestServing:
         payload = json.loads(out[out.index("{"):])
         assert payload["qos"] == "fixed"
         assert payload["sessions"][0]["mean_detail"] == pytest.approx(0.25)
+
+
+FLEET_SMALL = [
+    "fleet",
+    "--nodes",
+    "2",
+    "--mix",
+    "light",
+    "--rate",
+    "30",
+    "--duration",
+    "0.2",
+    "--detail",
+    "0.25",
+    "--seed",
+    "4",
+]
+
+
+class TestFleetSubcommand:
+    """The `fleet` subcommand: generated traffic over a node fleet."""
+
+    def test_fleet_serve_prints_node_table_and_summary(self, capsys):
+        assert main(FLEET_SMALL) == 0
+        out = capsys.readouterr().out
+        assert "node" in out and "sessions" in out
+        assert "fleet served" in out
+        assert "light mix" in out
+        assert "router 'least'" in out
+
+    def test_fleet_json_report(self, capsys, tmp_path):
+        path = tmp_path / "fleet.json"
+        assert main(FLEET_SMALL + ["--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["mix"] == "light"
+        assert payload["nodes"] == 2
+        assert payload["total_frames"] > 0
+        assert payload["sim_frames_per_sec"] > 0
+        assert set(payload["node_summaries"]) <= {"0", "1"}
+
+    def test_fleet_autoscale_flags(self, capsys):
+        argv = FLEET_SMALL + [
+            "--nodes",
+            "1",
+            "--max-nodes",
+            "2",
+            "--node-capacity",
+            "1",
+            "--rate",
+            "80",
+            "--json",
+            "-",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["peak_nodes"] >= 1
+
+    def test_fleet_error_exits(self, capsys):
+        assert main(["fleet", "--rate", "0"]) == 2
+        assert "--rate" in capsys.readouterr().err
+        assert main(["fleet", "--nodes", "0"]) == 2
+        assert "--nodes" in capsys.readouterr().err
+        assert main(["fleet", "--duration", "-1"]) == 2
+        assert "--duration" in capsys.readouterr().err
+        assert main(["fleet", "--nodes", "2", "--max-nodes", "1"]) == 2
+        assert "--max-nodes" in capsys.readouterr().err
+        assert main(["fleet", "--nodes", "2", "--min-nodes", "3"]) == 2
+        assert "--min-nodes" in capsys.readouterr().err
+        assert main(["fleet", "--detail", "0"]) == 2
+        assert "--detail" in capsys.readouterr().err
+        assert main(["fleet", "--seed", "-1"]) == 2
+        assert "--seed" in capsys.readouterr().err
+
+    def test_negative_seed_is_clean_error_in_both_commands(self, capsys):
+        assert main(SMALL + ["--seed", "-1"]) == 2
+        assert "--seed" in capsys.readouterr().err
+
+    def test_fleet_bad_choices_are_argparse_errors(self, capsys):
+        from repro.stream.cli import build_fleet_parser
+
+        for argv in (["--mix", "rush-hour"], ["--router", "hash-ring"]):
+            with pytest.raises(SystemExit) as exc:
+                build_fleet_parser().parse_args(argv)
+            assert exc.value.code == 2

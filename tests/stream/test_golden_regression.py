@@ -1,0 +1,156 @@
+"""Golden end-to-end serving regression: an exact committed snapshot.
+
+A 2-session x 6-frame serve is snapshotted into
+``tests/stream/golden_serve.json``: the ServeSummary scalars plus, per
+frame, the simulated latency, cache counters, instance counts and a
+SHA-256 of the rendered image bytes.  Both render backends must
+reproduce the snapshot *exactly* — the backends are bit-identical by
+contract, and the serving pipeline on top of them is deterministic —
+so any refactor that silently drifts images, latencies or cache
+behaviour fails here first, with a per-field diff instead of a distant
+downstream symptom.
+
+When a change *intentionally* alters serving output, regenerate with:
+
+    REPRO_GOLDEN_REGEN=1 PYTHONPATH=src python \\
+        tests/stream/test_golden_regression.py
+
+and commit the updated fixture alongside the change that explains it.
+"""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.scenes.catalog import CATALOG
+from repro.stream import (
+    CameraTrajectory,
+    StreamServer,
+    StreamSession,
+    streaming_config,
+)
+
+pytestmark = pytest.mark.golden
+
+FIXTURE = Path(__file__).parent / "golden_serve.json"
+
+BACKENDS = ("reference", "vectorized")
+DETAIL = 0.25
+N_FRAMES = 6
+
+
+def _sessions(backend: str) -> list[StreamSession]:
+    config = streaming_config(backend=backend)
+    heavy, light = CATALOG["bicycle"], CATALOG["female_4"]
+    return [
+        StreamSession(
+            "golden-orbit",
+            "bicycle",
+            CameraTrajectory.for_scene(
+                heavy, "orbit", n_frames=N_FRAMES, detail=DETAIL
+            ),
+            detail=DETAIL,
+            keep_images=True,
+            config=config,
+        ),
+        StreamSession(
+            "golden-jitter",
+            "female_4",
+            CameraTrajectory.for_scene(
+                light, "head_jitter", n_frames=N_FRAMES, seed=5, detail=DETAIL
+            ),
+            detail=DETAIL,
+            keep_images=True,
+            config=config,
+        ),
+    ]
+
+
+def _image_hash(image) -> str:
+    digest = hashlib.sha256()
+    digest.update(str(image.shape).encode())
+    digest.update(str(image.dtype).encode())
+    digest.update(image.tobytes())
+    return digest.hexdigest()
+
+
+def _snapshot(backend: str) -> dict:
+    """Serve the golden scenario and flatten it to JSON-safe values."""
+    with StreamServer(workers=0) as server:
+        results, summary = server.serve_timed(_sessions(backend))
+    return {
+        "summary": {
+            "workers": summary.workers,
+            "sessions": summary.sessions,
+            "total_frames": summary.total_frames,
+            "sim_makespan_seconds": summary.sim_makespan_seconds,
+            "recoveries": summary.recoveries,
+            "migrations": summary.migrations,
+        },
+        "sessions": {
+            r.session_id: [
+                {
+                    "frame": f.frame,
+                    "n_visible": f.n_visible,
+                    "n_instances": f.n_instances,
+                    "sim_seconds": f.sim_seconds,
+                    "hit_rate": f.hit_rate,
+                    "cumulative_hit_rate": f.cache.cumulative_hit_rate,
+                    "carried_hit_rate": f.cache.carried_hit_rate,
+                    "binning_reuse": f.binning.reuse_fraction,
+                    "detail": f.detail,
+                    "image_sha256": _image_hash(f.image),
+                }
+                for f in r.report.frames
+            ]
+            for r in results
+        },
+    }
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_serve_matches_golden_snapshot(backend):
+    assert FIXTURE.exists(), (
+        f"golden fixture {FIXTURE} is missing; regenerate it with "
+        "REPRO_GOLDEN_REGEN=1 PYTHONPATH=src python "
+        "tests/stream/test_golden_regression.py"
+    )
+    golden = json.loads(FIXTURE.read_text())
+    snapshot = _snapshot(backend)
+    assert snapshot["summary"] == golden["summary"], (
+        f"[{backend}] serve summary drifted from the golden snapshot; "
+        "if intentional, regenerate the fixture (see module docstring)"
+    )
+    assert set(snapshot["sessions"]) == set(golden["sessions"])
+    for session_id, frames in snapshot["sessions"].items():
+        for mine, ref in zip(frames, golden["sessions"][session_id]):
+            assert mine == ref, (
+                f"[{backend}] {session_id} frame {mine['frame']} drifted "
+                f"from the golden snapshot: {mine} != {ref}"
+            )
+
+
+def _regenerate() -> None:  # pragma: no cover - maintenance entry point
+    import sys
+
+    snapshots = {backend: _snapshot(backend) for backend in BACKENDS}
+    first = snapshots[BACKENDS[0]]
+    for backend, snap in snapshots.items():
+        if snap != first:
+            sys.exit(
+                f"backend '{backend}' disagrees with '{BACKENDS[0]}'; "
+                "fix backend parity before committing a golden fixture"
+            )
+    FIXTURE.write_text(json.dumps(first, indent=2) + "\n")
+    print(f"wrote {FIXTURE} ({first['summary']['total_frames']} frames)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    if os.environ.get("REPRO_GOLDEN_REGEN") != "1":
+        raise SystemExit(
+            "set REPRO_GOLDEN_REGEN=1 to confirm fixture regeneration"
+        )
+    _regenerate()

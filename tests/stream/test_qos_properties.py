@@ -1,0 +1,187 @@
+"""Property-based invariants of the QoS quality controller.
+
+For *arbitrary* policies and latency traces (not just the handful of
+hand-picked traces in ``test_qos.py``), the controller must:
+
+* only ever emit details on the quantized ladder, clamped to the
+  policy band scaled by the nominal detail;
+* back off *multiplicatively* on every miss (floored at the band);
+* never recover while the latency margin sits inside the hysteresis
+  band, and recover by exactly the additive step outside it;
+* count frames/misses consistently and survive an export/import
+  round-trip bit-exactly.
+
+These are the invariants checkpoint replay and the serving layer lean
+on; Hypothesis hunts the corners (tiny quanta, decrease=1.0, traces
+hugging the deadline) that example-based tests miss.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stream.qos import FrameDeadline, QoSPolicy, QualityController
+
+pytestmark = pytest.mark.property
+
+# Keep floats well-conditioned: the controller is float-exact on its
+# ladder, but degenerate magnitudes (1e-300 deadlines) only test the
+# float format, not the control loop.
+_detail = st.floats(0.05, 1.0)
+_policies = st.builds(
+    lambda lo, hi, dec, inc, hys, q: QoSPolicy(
+        min_detail=min(lo, hi),
+        max_detail=max(lo, hi),
+        decrease=dec,
+        increase=inc,
+        hysteresis=hys,
+        quantum=q,
+    ),
+    _detail,
+    _detail,
+    st.floats(0.1, 1.0),
+    st.floats(0.0, 0.3),
+    st.floats(0.0, 0.5),
+    st.floats(0.01, 0.25),
+)
+_nominals = st.floats(0.1, 2.0)
+_fps = st.floats(10.0, 500.0)
+#: Latency traces as multiples of the deadline: values > 1 miss,
+#: values in (1 - hysteresis, 1] sit inside the recovery dead band.
+_traces = st.lists(st.floats(0.05, 4.0), min_size=1, max_size=40)
+
+
+def _controller(policy, nominal, fps):
+    return QualityController(
+        FrameDeadline(fps), policy, nominal_detail=nominal
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(policy=_policies, nominal=_nominals, fps=_fps, trace=_traces)
+def test_emitted_detail_stays_on_the_clamped_ladder(
+    policy, nominal, fps, trace
+):
+    """Every emitted detail lies in [min, max] x nominal and is either
+    a ladder rung (quantum multiple) or a band edge."""
+    controller = _controller(policy, nominal, fps)
+    deadline = controller.deadline.deadline_seconds
+    # Dividing the emitted detail back by the nominal reintroduces one
+    # ulp of float noise; the band/ladder checks tolerate exactly that.
+    tol = 1e-9
+    for k, factor in enumerate(trace):
+        detail = controller.next_detail
+        rung = detail / nominal
+        assert (
+            policy.min_detail * (1 - tol)
+            <= rung
+            <= policy.max_detail * (1 + tol)
+            or detail == nominal
+        )
+        on_ladder = (
+            abs(rung - round(rung / policy.quantum) * policy.quantum) < tol
+        )
+        at_edge = (
+            abs(rung - policy.min_detail) < tol
+            or abs(rung - policy.max_detail) < tol
+        )
+        assert on_ladder or at_edge
+        # The internal scale itself always respects the band.
+        assert policy.min_detail <= controller.scale <= policy.max_detail
+        controller.observe(k, detail, factor * deadline)
+
+
+@settings(max_examples=200, deadline=None)
+@given(policy=_policies, nominal=_nominals, fps=_fps, n_misses=st.integers(1, 12))
+def test_consecutive_misses_decrease_multiplicatively(
+    policy, nominal, fps, n_misses
+):
+    """Scale after k misses is exactly max(start * decrease^k, min)."""
+    controller = _controller(policy, nominal, fps)
+    deadline = controller.deadline.deadline_seconds
+    expected = controller.scale
+    for k in range(n_misses):
+        controller.observe(k, controller.next_detail, deadline * 2.0)
+        expected = max(expected * policy.decrease, policy.min_detail)
+        assert controller.scale == expected
+        assert controller.misses == k + 1
+    if policy.decrease < 1.0:
+        assert controller.scale <= controller.policy.max_detail
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    policy=_policies,
+    nominal=_nominals,
+    fps=_fps,
+    margins=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=20),
+)
+def test_no_recovery_inside_the_hysteresis_band(policy, nominal, fps, margins):
+    """Met frames whose margin is within hysteresis x deadline leave
+    the scale exactly where it was (the controller parks)."""
+    controller = _controller(policy, nominal, fps)
+    deadline = controller.deadline.deadline_seconds
+    # Drop the scale off the ceiling first so recovery *could* happen.
+    controller.observe(0, controller.next_detail, deadline * 2.0)
+    parked = controller.scale
+    for k, frac in enumerate(margins):
+        # Latency that meets the deadline with margin <= hysteresis band.
+        latency = deadline - frac * policy.hysteresis * deadline
+        if latency <= 0:
+            continue
+        # `deadline - (deadline - h)` can exceed h by one ulp; judge
+        # band membership by the margin the controller itself computes.
+        if deadline - latency > policy.hysteresis * deadline:
+            continue
+        controller.observe(k + 1, controller.next_detail, latency)
+        assert controller.scale == parked
+
+
+@settings(max_examples=200, deadline=None)
+@given(policy=_policies, nominal=_nominals, fps=_fps)
+def test_comfortable_frames_recover_additively_to_the_cap(
+    policy, nominal, fps
+):
+    controller = _controller(policy, nominal, fps)
+    deadline = controller.deadline.deadline_seconds
+    controller.observe(0, controller.next_detail, deadline * 3.0)
+    before = controller.scale
+    # Far inside the comfortable zone: margin strictly beyond hysteresis.
+    latency = deadline * 1e-3
+    if controller.deadline.margin(latency) <= policy.hysteresis * deadline:
+        return  # hysteresis >= whole deadline: recovery is impossible
+    controller.observe(1, controller.next_detail, latency)
+    assert controller.scale == min(
+        before + policy.increase, policy.max_detail
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(policy=_policies, nominal=_nominals, fps=_fps, trace=_traces)
+def test_counters_and_checkpoint_roundtrip(policy, nominal, fps, trace):
+    """Misses count exactly the over-deadline frames; export/import
+    onto a fresh controller reproduces the emitted ladder bit-exactly."""
+    controller = _controller(policy, nominal, fps)
+    deadline = controller.deadline.deadline_seconds
+    expected_misses = 0
+    for k, factor in enumerate(trace):
+        latency = factor * deadline
+        if latency > deadline:
+            expected_misses += 1
+        controller.observe(k, controller.next_detail, latency)
+    assert controller.frames_observed == len(trace)
+    assert controller.misses == expected_misses
+    assert controller.miss_rate == pytest.approx(expected_misses / len(trace))
+
+    clone = _controller(policy, nominal, fps)
+    clone.import_state(controller.export_state())
+    assert clone.next_detail == controller.next_detail
+    assert clone.scale == controller.scale
+    assert clone.misses == controller.misses
+    # Both walk the identical ladder afterwards.
+    for k, factor in enumerate(trace[:10]):
+        latency = factor * deadline
+        a = controller.observe(100 + k, controller.next_detail, latency)
+        b = clone.observe(100 + k, clone.next_detail, latency)
+        assert a == b
+        assert controller.scale == clone.scale

@@ -1,5 +1,7 @@
 """StreamServer: isolation, batching, the busy protocol, scheduling,
-admission control, and worker-crash recovery."""
+admission control, worker-crash recovery, the incremental serving
+protocol, and the chaos matrix (crash at every frame index x placement
+x QoS mode)."""
 
 import numpy as np
 import pytest
@@ -353,6 +355,232 @@ def test_unknown_placement_is_rejected():
     server = StreamServer(workers=0, placement="bogus")
     with pytest.raises(ValidationError):
         server.serve(sessions)
+
+
+def test_incremental_protocol_matches_serve():
+    """begin / submit / step / finish reproduces serve() exactly."""
+    sessions = _sessions(n_frames=3)
+    with StreamServer(workers=0) as server:
+        baseline = server.serve(sessions)
+    with StreamServer(workers=0) as server:
+        server.begin([])
+        for s in sessions:
+            server.submit(s)
+        ticks = 0
+        while True:
+            result = server.step()
+            if result.n_frames == 0 and not result.done:
+                break
+            ticks += 1
+            assert result.sim_seconds >= 0.0
+        incremental = server.finish()
+        assert not server.serving
+    assert ticks >= 3
+    for a, b in zip(baseline, incremental):
+        assert a.session_id == b.session_id
+        assert _frame_evidence(a.report) == _frame_evidence(b.report)
+
+
+def test_extract_inject_moves_a_session_byte_identically():
+    """Mid-stream extract on one server, inject on another: the stream
+    resumes exactly where it left off, report riding along."""
+    sessions = _sessions(n_frames=6)
+    with StreamServer(workers=0) as server:
+        baseline = server.serve(sessions)
+
+    src = StreamServer(workers=0)
+    dst = StreamServer(workers=0)
+    try:
+        src.begin(sessions)
+        for _ in range(2):
+            src.step()
+        moved, ckpt, report = src.extract_session("jitter")
+        assert moved.session_id == "jitter"
+        assert ckpt is not None and ckpt.next_frame == 2
+        assert report.n_frames == 2
+        dst.begin([])
+        dst.inject_session(moved, ckpt, report)
+        while src.n_active:
+            src.step()
+        while dst.n_active:
+            dst.step()
+        results = {r.session_id: r for r in src.finish() + dst.finish()}
+    finally:
+        src.close()
+        dst.close()
+    assert set(results) == {"jitter", "orbit"}
+    for ref in baseline:
+        assert _frame_evidence(ref.report) == _frame_evidence(
+            results[ref.session_id].report
+        )
+
+
+def test_incremental_protocol_validation():
+    sessions = _sessions(n_frames=1)
+    server = StreamServer(workers=0)
+    with pytest.raises(ValidationError):
+        server.step()
+    with pytest.raises(ValidationError):
+        server.finish()
+    with pytest.raises(ValidationError):
+        server.submit(sessions[0])
+    try:
+        server.begin(sessions)
+        with pytest.raises(ValidationError):
+            server.begin([])
+        with pytest.raises(ValidationError):
+            server.submit(sessions[0])
+        with pytest.raises(ValidationError):
+            server.extract_session("nobody")
+        with pytest.raises(ValidationError):
+            server.inject_session(sessions[1])  # id already being served
+        # A mistaken serve() must refuse *without* destroying the open
+        # serve: the incremental run continues and drains normally.
+        with pytest.raises(ValidationError):
+            server.serve(_sessions(n_frames=1))
+        assert server.serving
+        while server.n_active:
+            server.step()
+        results = server.finish()
+        assert [r.report.n_frames for r in results] == [1, 1]
+    finally:
+        server.close()
+
+
+# ----------------------------------------------------------------------
+# Chaos matrix: crash at every frame index x placement x QoS mode
+# ----------------------------------------------------------------------
+CHAOS_FRAMES = 4
+
+
+def _chaos_sessions(qos_mode: str):
+    """Two mixed-weight sessions, optionally under deadline control."""
+    target_fps = None if qos_mode == "none" else 300.0
+    from repro.stream import QoSPolicy
+
+    policy = QoSPolicy.fixed() if qos_mode == "fixed" else None
+    spec_heavy, spec_light = CATALOG["bicycle"], CATALOG["female_4"]
+    return [
+        StreamSession(
+            "heavy",
+            "bicycle",
+            CameraTrajectory.for_scene(
+                spec_heavy, "head_jitter", n_frames=CHAOS_FRAMES, seed=2,
+                detail=DETAIL,
+            ),
+            detail=DETAIL,
+            keep_images=True,
+            target_fps=target_fps,
+            qos=policy,
+        ),
+        StreamSession(
+            "light",
+            "female_4",
+            CameraTrajectory.for_scene(
+                spec_light, "orbit", n_frames=CHAOS_FRAMES, detail=DETAIL
+            ),
+            detail=DETAIL,
+            keep_images=True,
+            target_fps=target_fps,
+            qos=policy,
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def chaos_baselines():
+    """Uninterrupted single-process reference runs, one per QoS mode."""
+    out = {}
+    for qos_mode in ("adaptive", "fixed"):
+        with StreamServer(workers=0) as server:
+            out[qos_mode] = server.serve(_chaos_sessions(qos_mode))
+    return out
+
+
+def _chaos_evidence(report):
+    """Everything recovery must reproduce: timing, cache counters
+    (per-frame and cumulative), QoS verdicts and the detail trace."""
+    return [
+        (
+            f.frame,
+            f.sim_seconds,
+            f.hit_rate,
+            f.cache.cumulative_hit_rate,
+            f.cache.carried_hit_rate,
+            f.detail,
+            None if f.qos is None else (f.qos.met, f.qos.margin_seconds),
+        )
+        for f in report.frames
+    ]
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("crash_tick", range(CHAOS_FRAMES))
+@pytest.mark.parametrize("placement", ["rr", "load"])
+@pytest.mark.parametrize("qos_mode", ["adaptive", "fixed"])
+def test_chaos_matrix_recovery_is_byte_identical(
+    crash_tick, placement, qos_mode, chaos_baselines
+):
+    """Kill every worker at every frame index under every placement and
+    QoS mode; recovery must replay images, detail traces and cache
+    counters byte for byte."""
+    injector = lambda tick, w: tick == crash_tick  # noqa: E731 - all workers
+    with StreamServer(
+        workers=2,
+        local=True,
+        placement=placement,
+        fault_injector=injector,
+        max_respawns=4,
+    ) as server:
+        recovered = server.serve(_chaos_sessions(qos_mode))
+        assert server.recoveries >= 1
+    for before, after in zip(chaos_baselines[qos_mode], recovered):
+        assert _chaos_evidence(before.report) == _chaos_evidence(after.report)
+        assert before.report.detail_trace == after.report.detail_trace
+        for fb, fa in zip(before.report.frames, after.report.frames):
+            assert np.array_equal(fb.image, fa.image)
+
+
+def test_tick_result_composition():
+    """TickResult.merged folds batches; counters compose."""
+    from repro.stream import FrameRecord, TickResult
+
+    sessions = _sessions(n_frames=2)
+    with StreamServer(workers=0) as server:
+        server.begin(sessions)
+        merged = server.step()
+        rest = server.step()
+        server.finish()
+    assert merged.n_frames == 2
+    assert merged.sim_seconds == pytest.approx(
+        sum(record.sim_seconds for _, record in merged.frames)
+    )
+    refolded = TickResult.merged([merged, rest])
+    assert refolded.n_frames == merged.n_frames + rest.n_frames
+    assert all(isinstance(r, FrameRecord) for _, r in refolded.frames)
+
+
+def test_serve_summary_merge():
+    from repro.stream import ServeSummary
+
+    a = ServeSummary(
+        workers=1, sessions=2, total_frames=10,
+        sim_makespan_seconds=2.0, wall_seconds=1.0, recoveries=1,
+    )
+    b = ServeSummary(
+        workers=2, sessions=3, total_frames=20,
+        sim_makespan_seconds=3.0, wall_seconds=0.5, migrations=2,
+    )
+    merged = ServeSummary.merge([a, b])
+    assert merged.workers == 3
+    assert merged.sessions == 5
+    assert merged.total_frames == 30
+    assert merged.sim_makespan_seconds == 3.0
+    assert merged.wall_seconds == 1.0
+    assert merged.recoveries == 1 and merged.migrations == 2
+    assert merged.sim_frames_per_sec == pytest.approx(10.0)
+    empty = ServeSummary.merge([])
+    assert empty.total_frames == 0 and empty.sim_frames_per_sec == 0.0
 
 
 def test_device_busy_protocol_is_honored():
