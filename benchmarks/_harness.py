@@ -1,0 +1,76 @@
+"""Shared timing / JSON-emit helpers for the ``bench_*`` files.
+
+Every perf benchmark in this directory ends the same way: a payload
+with a ``benchmark`` name and a ``methodology`` string is serialized to
+``BENCH_<name>.json`` at the repo root so the perf trajectory is
+tracked across PRs.  Several of them also share the same wall-clock
+discipline — best-of-N with the compared configurations *interleaved*
+within each repeat, so a load transient on a shared runner hits every
+configuration of that repeat symmetrically and cancels out of the
+asserted ratios.  This module is that shared boilerplate, extracted so
+each ``bench_*.py`` file holds only its experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable
+
+#: Repository root — where every BENCH_*.json lands.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Default repeat count for :func:`interleaved_best`.
+DEFAULT_REPEATS = 5
+
+
+def bench_output_path(name: str) -> Path:
+    """The repo-root path of ``BENCH_<name>.json``."""
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def write_bench_json(
+    name: str, methodology: str, payload: dict, path: Path | None = None
+) -> Path:
+    """Serialize one benchmark's payload to ``BENCH_<name>.json``.
+
+    The ``benchmark`` and ``methodology`` keys are stamped first so
+    every emitted file self-describes how its numbers were measured.
+    """
+    out = bench_output_path(name) if path is None else path
+    body = {"benchmark": name, "methodology": methodology, **payload}
+    out.write_text(json.dumps(body, indent=2) + "\n")
+    return out
+
+
+def interleaved_best(
+    fns: dict[str, Callable[[], object]], repeats: int = DEFAULT_REPEATS
+) -> dict[str, float]:
+    """Best-of-N seconds per configuration, interleaved within repeats.
+
+    Interleaving makes the ratio of two minima robust to load
+    transients on shared runners: a slow repeat slows every
+    configuration of that repeat, and the best-of filter drops it for
+    all of them.
+    """
+    best = {name: float("inf") for name in fns}
+    for _ in range(repeats):
+        for name, fn in fns.items():
+            t0 = time.perf_counter()
+            fn()
+            best[name] = min(best[name], time.perf_counter() - t0)
+    return best
+
+
+def scene_list(default: list[str] | tuple[str, ...]) -> list[str]:
+    """Scenes to benchmark: ``REPRO_BENCH_SCENES`` or the given default.
+
+    The environment variable takes a comma-separated list; CI smoke
+    runs use it to narrow multi-scene benchmarks to one scene.
+    """
+    env = os.environ.get("REPRO_BENCH_SCENES")
+    if env:
+        return [s.strip() for s in env.split(",") if s.strip()]
+    return list(default)

@@ -1,0 +1,256 @@
+"""Approx-backend quality/speed ladder and the shard-scaling curve.
+
+The approx backend trades quality for latency through one scalar
+tolerance (see ``repro/render/approx.py``).  This benchmark *measures*
+that trade on the default scene instead of assuming it, and writes
+``BENCH_approx.json`` at the repo root:
+
+* **Tolerance ladder** — for every QoS detail rung (the tolerances
+  :func:`repro.render.approx.tolerance_for_rung` actually emits, plus
+  the process default), PSNR/SSIM of the approx render against the
+  exact vectorized backend, the culled-instance fraction, and the
+  wall-clock speedup.  Each rung has an asserted quality floor, so a
+  change that silently degrades a rung below its band fails here.
+* **Headline acceptance** — at the default tolerance the approx
+  backend must clear PSNR >= 35 dB and SSIM >= 0.95 while rendering
+  >= 2x faster (combined PFS+IRSS) than exact ``vectorized``.  The
+  quality floors are deterministic and always asserted; the speedup
+  bar can be lowered for CI smoke runs on unknown shared hardware via
+  ``REPRO_BENCH_MIN_APPROX_SPEEDUP`` (the committed JSON records the
+  real measurement either way).
+* **Shard-scaling curve** — wall-clock of one frame under
+  :class:`repro.render.sharding.ShardedRenderer` with a process pool
+  at 1/2/4 shards, for the exact and approx backends (recorded, not
+  asserted: the curve depends on host core count).
+
+Timing follows the harness discipline: best-of-N with every
+configuration interleaved within each repeat, so load transients on
+shared runners cancel out of the reported ratios.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _harness import (
+    DEFAULT_REPEATS as REPEATS,
+    bench_output_path,
+    interleaved_best,
+    write_bench_json,
+)
+from repro.core.irss import render_irss
+from repro.gaussians import build_render_lists, project, render_reference
+from repro.metrics.image import psnr, ssim
+from repro.render.approx import (
+    DEFAULT_TOLERANCE,
+    ApproxPolicy,
+    cull_render_lists,
+    tolerance_for_rung,
+    use_approx_policy,
+)
+from repro.render.sharding import ShardedRenderer
+from repro.scenes.catalog import build_scene
+
+OUTPUT = bench_output_path("approx")
+
+#: The catalog's first scene: where the floors are asserted.
+DEFAULT_SCENE = "bicycle"
+
+#: Headline acceptance floors at the default tolerance.
+MIN_PSNR_DB = 35.0
+MIN_SSIM = 0.95
+MIN_APPROX_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_APPROX_SPEEDUP", "2.0")
+)
+
+#: QoS detail rungs the ladder measures (relative scale, 1.0 = full
+#: detail) -> the tolerances the serving stack actually renders with.
+RUNG_SCALES = (1.0, 0.75, 0.5, 0.25, 1e-9)
+
+#: Per-tolerance quality floors (min over the two dataflows), set one
+#: comfortable notch below the values measured at calibration time so
+#: the ladder catches regressions without flaking on host noise (the
+#: renders are deterministic; the margin absorbs future scene/knob
+#: recalibration, not randomness).
+QUALITY_FLOORS = {
+    0.15: (40.0, 0.970),
+    0.25: (38.0, 0.960),
+    0.35: (36.5, 0.955),
+    0.45: (35.5, 0.950),
+    0.55: (35.0, 0.950),
+}
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _quality(exact_pfs, exact_irss, appr_pfs, appr_irss) -> dict:
+    """Min-over-dataflows PSNR/SSIM of approx vs exact renders."""
+    return {
+        "psnr_db": min(
+            psnr(appr_pfs.image, exact_pfs.image),
+            psnr(appr_irss.image, exact_irss.image),
+        ),
+        "ssim": min(
+            ssim(appr_pfs.image, exact_pfs.image),
+            ssim(appr_irss.image, exact_irss.image),
+        ),
+    }
+
+
+def test_approx_quality(benchmark):
+    bundle = build_scene(DEFAULT_SCENE)
+    cloud, _ = bundle.frame_cloud(0)
+    projected = project(cloud, bundle.camera)
+    lists = build_render_lists(projected)
+
+    exact_pfs = render_reference(projected, lists, backend="vectorized")
+    exact_irss = render_irss(projected, lists, backend="vectorized")
+
+    tolerances = sorted(
+        {round(tolerance_for_rung(s), 6) for s in RUNG_SCALES}
+        | {DEFAULT_TOLERANCE}
+    )
+
+    # One interleaved timing block covering exact + every rung: every
+    # repeat times all configurations back to back, so the asserted
+    # speedup ratios share each repeat's load conditions.
+    fns = {
+        "exact/pfs": lambda: render_reference(
+            projected, lists, backend="vectorized"
+        ),
+        "exact/irss": lambda: render_irss(
+            projected, lists, backend="vectorized"
+        ),
+    }
+
+    def approx_pair(tol):
+        def run_pfs(tol=tol):
+            with use_approx_policy(tol):
+                return render_reference(projected, lists, backend="approx")
+
+        def run_irss(tol=tol):
+            with use_approx_policy(tol):
+                return render_irss(projected, lists, backend="approx")
+
+        return run_pfs, run_irss
+
+    for tol in tolerances:
+        fns[f"approx@{tol}/pfs"], fns[f"approx@{tol}/irss"] = approx_pair(tol)
+    best = interleaved_best(fns, repeats=REPEATS)
+    exact_s = best["exact/pfs"] + best["exact/irss"]
+
+    ladder = []
+    for tol in tolerances:
+        with use_approx_policy(tol) as policy:
+            appr_pfs = render_reference(projected, lists, backend="approx")
+            appr_irss = render_irss(projected, lists, backend="approx")
+        _, cull = cull_render_lists(projected, lists, policy)
+        approx_s = best[f"approx@{tol}/pfs"] + best[f"approx@{tol}/irss"]
+        row = {
+            "tolerance": tol,
+            "is_default": tol == DEFAULT_TOLERANCE,
+            **_quality(exact_pfs, exact_irss, appr_pfs, appr_irss),
+            "culled_fraction": cull.culled_fraction,
+            "pfs_ms": best[f"approx@{tol}/pfs"] * 1e3,
+            "irss_ms": best[f"approx@{tol}/irss"] * 1e3,
+            "speedup_combined": exact_s / approx_s,
+        }
+        ladder.append(row)
+
+        floor = QUALITY_FLOORS.get(round(tol, 6))
+        if floor is not None:
+            floor_psnr, floor_ssim = floor
+            assert row["psnr_db"] >= floor_psnr, (
+                f"tolerance {tol}: PSNR {row['psnr_db']:.2f} dB below "
+                f"its {floor_psnr} dB rung floor"
+            )
+            assert row["ssim"] >= floor_ssim, (
+                f"tolerance {tol}: SSIM {row['ssim']:.4f} below "
+                f"its {floor_ssim} rung floor"
+            )
+
+    default_row = next(r for r in ladder if r["is_default"])
+    assert default_row["psnr_db"] >= MIN_PSNR_DB, (
+        f"default tolerance PSNR {default_row['psnr_db']:.2f} dB "
+        f"< {MIN_PSNR_DB} dB"
+    )
+    assert default_row["ssim"] >= MIN_SSIM, (
+        f"default tolerance SSIM {default_row['ssim']:.4f} < {MIN_SSIM}"
+    )
+    assert default_row["speedup_combined"] >= MIN_APPROX_SPEEDUP, (
+        f"approx backend must be >= {MIN_APPROX_SPEEDUP}x over exact "
+        f"vectorized on {DEFAULT_SCENE} at the default tolerance, "
+        f"measured {default_row['speedup_combined']:.2f}x"
+    )
+
+    # Shard-scaling curve: one frame over a process pool.  Recorded
+    # only — wall-clock scaling depends on the host's core count.
+    shard_fns = {}
+    for backend in ("vectorized", "approx"):
+        for n in SHARD_COUNTS:
+            renderer = ShardedRenderer(n, backend=backend, processes=n > 1)
+            shard_fns[f"{backend}/shards={n}"] = (
+                lambda r=renderer: r.render_pfs(projected, lists)
+            )
+    shard_best = interleaved_best(shard_fns, repeats=3)
+    shards = {
+        backend: [
+            {
+                "n_shards": n,
+                "pfs_ms": shard_best[f"{backend}/shards={n}"] * 1e3,
+                "speedup_vs_1": (
+                    shard_best[f"{backend}/shards=1"]
+                    / shard_best[f"{backend}/shards={n}"]
+                ),
+            }
+            for n in SHARD_COUNTS
+        ]
+        for backend in ("vectorized", "approx")
+    }
+
+    write_bench_json(
+        "approx",
+        f"best-of-{REPEATS} wall-clock, exact and every tolerance rung "
+        "interleaved within each repeat (load transients cancel in the "
+        "asserted ratios); PSNR/SSIM are min over the PFS and IRSS "
+        "dataflows vs the exact vectorized render; shard curve is "
+        "best-of-3 over a shared process pool",
+        {
+            "scene": DEFAULT_SCENE,
+            "exact_pfs_ms": best["exact/pfs"] * 1e3,
+            "exact_irss_ms": best["exact/irss"] * 1e3,
+            "floors": {
+                "default_psnr_db": MIN_PSNR_DB,
+                "default_ssim": MIN_SSIM,
+                "default_min_speedup": MIN_APPROX_SPEEDUP,
+                "per_rung": {
+                    str(t): {"psnr_db": p, "ssim": s}
+                    for t, (p, s) in sorted(QUALITY_FLOORS.items())
+                },
+            },
+            "ladder": ladder,
+            "shard_scaling": shards,
+        },
+    )
+
+    print(f"\n=== approx quality ladder ({DEFAULT_SCENE}) -> {OUTPUT.name} ===")
+    print(f"{'tol':>6}{'PSNR dB':>9}{'SSIM':>8}{'culled':>8}{'speedup':>9}")
+    for r in ladder:
+        mark = "*" if r["is_default"] else " "
+        print(
+            f"{r['tolerance']:>6.2f}{r['psnr_db']:>9.2f}{r['ssim']:>8.4f}"
+            f"{r['culled_fraction']:>8.1%}{r['speedup_combined']:>8.2f}x{mark}"
+        )
+    for backend, rows in shards.items():
+        curve = ", ".join(
+            f"{row['n_shards']}:{row['speedup_vs_1']:.2f}x" for row in rows
+        )
+        print(f"shard scaling [{backend}]: {curve}")
+
+    # pytest-benchmark bookkeeping: one approx frame at the default
+    # tolerance.
+    def one_frame():
+        with use_approx_policy(ApproxPolicy.for_tolerance(DEFAULT_TOLERANCE)):
+            return render_reference(projected, lists, backend="approx")
+
+    benchmark.pedantic(one_frame, rounds=3, iterations=1)

@@ -31,18 +31,21 @@ engine.
 
 from __future__ import annotations
 
-import json
 import math
 import os
-import time
-from pathlib import Path
 
+from _harness import (
+    DEFAULT_REPEATS as REPEATS,
+    bench_output_path,
+    interleaved_best,
+    scene_list,
+    write_bench_json,
+)
 from repro.core.irss import render_irss
 from repro.gaussians import build_render_lists, project, render_reference
 from repro.scenes.catalog import EVALUATION_SCENES, build_scene
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-OUTPUT = REPO_ROOT / "BENCH_render_speed.json"
+OUTPUT = bench_output_path("render_speed")
 
 #: The catalog's first scene: the acceptance measurement.
 DEFAULT_SCENE = "bicycle"
@@ -51,26 +54,9 @@ DEFAULT_SCENE = "bicycle"
 #: REPRO_BENCH_MIN_SPEEDUP (the committed BENCH_render_speed.json
 #: records the real measurement either way).
 MIN_DEFAULT_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "5.0"))
-REPEATS = 5
 
 
 BACKENDS = ("reference", "vectorized")
-
-
-def _interleaved_best(fns: dict[str, object], repeats: int = REPEATS) -> dict:
-    """Best-of-N per backend, backends alternating within each repeat.
-
-    Interleaving makes the ratio of the two minima robust to load
-    transients on shared runners: a slow repeat slows every backend of
-    that repeat, and the best-of filter drops it for all of them.
-    """
-    best = {name: float("inf") for name in fns}
-    for _ in range(repeats):
-        for name, fn in fns.items():
-            t0 = time.perf_counter()
-            fn()
-            best[name] = min(best[name], time.perf_counter() - t0)
-    return best
 
 
 def _bench_scene(name: str) -> tuple[dict, object, object]:
@@ -105,13 +91,13 @@ def _bench_scene(name: str) -> tuple[dict, object, object]:
         "resolution": f"{width}x{height}",
         "backends": {},
     }
-    pfs_best = _interleaved_best(
+    pfs_best = interleaved_best(
         {
             b: (lambda b=b: render_reference(projected, lists, backend=b))
             for b in BACKENDS
         }
     )
-    irss_best = _interleaved_best(
+    irss_best = interleaved_best(
         {
             b: (lambda b=b: render_irss(projected, lists, backend=b))
             for b in BACKENDS
@@ -140,15 +126,8 @@ def _bench_scene(name: str) -> tuple[dict, object, object]:
     return row, projected, lists
 
 
-def _scene_list() -> list[str]:
-    env = os.environ.get("REPRO_BENCH_SCENES")
-    if env:
-        return [s.strip() for s in env.split(",") if s.strip()]
-    return list(EVALUATION_SCENES)
-
-
 def test_render_speed(benchmark):
-    scenes = _scene_list()
+    scenes = scene_list(EVALUATION_SCENES)
     rows = []
     handles = {}
     for name in scenes:
@@ -169,16 +148,14 @@ def test_render_speed(benchmark):
         summary["default_scene"] = DEFAULT_SCENE
         summary["default_scene_speedup"] = default_row["speedup"]
 
-    payload = {
-        "benchmark": "render_speed",
-        "methodology": f"best-of-{REPEATS} wall-clock per cell, backends "
+    write_bench_json(
+        "render_speed",
+        f"best-of-{REPEATS} wall-clock per cell, backends "
         "interleaved within each repeat (load transients cancel in the "
         "asserted ratio); shared Step-2 lists; backends asserted "
         "bit-identical per scene",
-        "summary": summary,
-        "scenes": rows,
-    }
-    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+        {"summary": summary, "scenes": rows},
+    )
 
     print(f"\n=== render speed ({len(rows)} scenes) -> {OUTPUT.name} ===")
     print(f"{'scene':<14}{'instances':>10}{'PFS x':>8}{'IRSS x':>8}{'combined x':>12}")

@@ -16,7 +16,10 @@ suite):
    ``benchmarks/``, ``examples/``, ``scripts/``, ``.github/``) or is a
    root-level file name with a documentation-ish extension.  Glob
    patterns (e.g. ``BENCH_*.json``) pass when they match at least one
-   file.
+   file.  Literal (non-glob) ``.gitignore`` entries also pass: they
+   name *generated* artifacts (coverage reports, build outputs) that
+   the docs may legitimately describe even though a fresh checkout
+   does not contain them.
 
 Usage: python scripts/check_docs.py   (from anywhere; paths resolve
 against the repository root).
@@ -71,6 +74,28 @@ def _looks_like_path(token: str) -> bool:
     return token.endswith(ROOT_FILE_EXTENSIONS)
 
 
+def _generated_artifacts() -> frozenset[str]:
+    """Literal (non-glob) ``.gitignore`` entries.
+
+    These name generated artifacts — coverage reports, build outputs —
+    that the docs may describe even though a fresh checkout does not
+    contain them.  Patterns, comments and negations are skipped: only
+    an exactly-named artifact vouches for a doc reference.
+    """
+    path = REPO_ROOT / ".gitignore"
+    if not path.exists():
+        return frozenset()
+    names = set()
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith(("#", "!")):
+            continue
+        if any(ch in line for ch in "*?["):
+            continue
+        names.add(line.strip("/"))
+    return frozenset(names)
+
+
 def _exists(token: str, doc_dir: Path) -> bool:
     """Resolve a referenced path.
 
@@ -78,18 +103,28 @@ def _exists(token: str, doc_dir: Path) -> bool:
     (with the doc's own directory as fallback, so relative markdown
     links between docs work).  Bare file names — ``camera.py`` named
     inside a table row about its package — may live anywhere in the
-    tree.  Glob patterns pass when they match at least one file.
+    tree.  Glob patterns pass when they match at least one file, and
+    known generated artifacts (see :func:`_generated_artifacts`) pass
+    by name.
     """
     token = token.rstrip("/")
     if "/" in token:
         if "*" in token:
-            return any(REPO_ROOT.glob(token)) or any(doc_dir.glob(token))
-        return (REPO_ROOT / token).exists() or (doc_dir / token).exists()
-    if "*" in token:
-        return any(REPO_ROOT.rglob(token))
-    if (REPO_ROOT / token).exists() or (doc_dir / token).exists():
+            found = any(REPO_ROOT.glob(token)) or any(doc_dir.glob(token))
+        else:
+            found = (REPO_ROOT / token).exists() or (doc_dir / token).exists()
+    elif "*" in token:
+        found = any(REPO_ROOT.rglob(token))
+    else:
+        found = (
+            (REPO_ROOT / token).exists()
+            or (doc_dir / token).exists()
+            or any(REPO_ROOT.rglob(token))
+        )
+    if found:
         return True
-    return any(REPO_ROOT.rglob(token))
+    generated = _generated_artifacts()
+    return token in generated or token.rsplit("/", 1)[-1] in generated
 
 
 def referenced_paths(text: str) -> set[str]:

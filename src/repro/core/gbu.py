@@ -29,6 +29,7 @@ from repro.core.reuse_cache import (
     FrameCacheSample,
     TemporalReuseSimulator,
 )
+from repro.core.irss import TileRowWorkload
 from repro.core.tile_engine import TileEngineReport, simulate_tile_engine
 from repro.errors import DeviceBusyError, ValidationError
 from repro.gaussians.projection import Projected2D
@@ -63,9 +64,19 @@ class GBUConfig:
         point); off inserts a per-tile barrier (ablation).
     backend:
         Rendering engine used for the functional IRSS render
-        ("reference", "vectorized", ...); every backend is
-        pixel-exact, so this only affects simulation wall-clock.
-        ``None`` uses the process default.
+        ("reference", "vectorized", "approx", ...).  The exact
+        backends are pixel-identical, so there the choice only affects
+        simulation wall-clock; "approx" additionally applies the
+        process-wide :class:`~repro.render.approx.ApproxPolicy`
+        (measured-quality approximation), which shrinks both the
+        blending workload and the feature traffic the cache model
+        sees.  ``None`` uses the process default.
+    shards:
+        Number of parallel tile engines the frame's tile grid is
+        sharded across.  The functional image is unchanged (tile
+        sharding is exact); compute time becomes the *slowest shard's*
+        cycle count, so a deadline-missing stream can buy latency with
+        hardware parallelism instead of quality.
     """
 
     use_dnb: bool = True
@@ -76,10 +87,20 @@ class GBUConfig:
     interleaved_rows: bool = True
     cross_tile_overlap: bool = True
     backend: str | None = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.cache_policy not in POLICIES:
             raise ValidationError(f"unknown cache policy '{self.cache_policy}'")
+        if self.shards < 1:
+            raise ValidationError("shards must be at least 1")
+        if self.backend is not None:
+            # Fail at configuration time with the registered-name list
+            # instead of mid-render.  Imported here to keep the device
+            # model importable without the backend registry.
+            from repro.render.backends import get_backend
+
+            get_backend(self.backend)
 
 
 @dataclass
@@ -127,6 +148,27 @@ class GBUReport:
         just duplicate the cache's own byte accounting.
         """
         return self.cache.traffic_reduction
+
+
+def _workload_subset(
+    workload: TileRowWorkload, tile_ids: np.ndarray
+) -> TileRowWorkload:
+    """The workload restricted to ``tile_ids`` (other tiles zeroed).
+
+    The tile engine skips tiles with no instance setup, so simulating a
+    subset costs only the shard's own tiles.
+    """
+    from dataclasses import fields
+
+    mask = np.zeros(workload.instance_setup.shape[0], dtype=bool)
+    mask[tile_ids] = True
+    kwargs = {}
+    for f in fields(TileRowWorkload):
+        arr = getattr(workload, f.name)
+        out = np.zeros_like(arr)
+        out[mask] = arr[mask]
+        kwargs[f.name] = out
+    return TileRowWorkload(**kwargs)
 
 
 class GBUDevice:
@@ -229,7 +271,15 @@ class GBUDevice:
         )
 
         # --- Feature traffic through the reuse cache ---
-        trace, tile_of_access = reuse_distance_table(lists)
+        # The approx backend culls per-tile membership before blending,
+        # so the feature stream the cache sees must be the culled one:
+        # approximation reduces memory traffic, not just compute.
+        trace_lists = lists
+        if self.resolved_backend_name() == "approx":
+            from repro.render.approx import cull_render_lists
+
+            trace_lists, _ = cull_render_lists(projected, trace_lists)
+        trace, tile_of_access = reuse_distance_table(trace_lists)
         cache_sample: FrameCacheSample | None = None
         if cache_state is not None:
             stable = trace if feature_ids is None else feature_ids[trace]
@@ -242,7 +292,24 @@ class GBUDevice:
             ).simulate(trace, tile_of_access)
 
         # --- Paper-scale seconds ---
-        compute_s = engine.total_cycles * scales.fragment / self.spec.clock_hz
+        # With N tile shards, N engines blend disjoint tile subsets in
+        # parallel; the frame completes when the slowest shard does.
+        # Memory time is *not* divided — the shards share one DRAM.
+        compute_cycles = engine.total_cycles
+        if self.config.shards > 1:
+            from repro.render.sharding import shard_tile_ranges
+
+            compute_cycles = max(
+                simulate_tile_engine(
+                    _workload_subset(render.workload, tiles),
+                    spec=self.spec,
+                    calib=self.calib,
+                    interleaved=self.config.interleaved_rows,
+                    cross_tile_overlap=self.config.cross_tile_overlap,
+                ).total_cycles
+                for tiles in shard_tile_ranges(trace_lists, self.config.shards)
+            )
+        compute_s = compute_cycles * scales.fragment / self.spec.clock_hz
         # Feature stream: every miss pulls the fp32 source record at
         # DRAM burst granularity; hits are served from the 32 B fp16
         # lines on chip.  Index lists and framebuffer writeback always
@@ -282,6 +349,14 @@ class GBUDevice:
         )
         self._last_report = report
         return report
+
+    def resolved_backend_name(self) -> str:
+        """The backend name this device will actually render with."""
+        if self.config.backend is not None:
+            return self.config.backend
+        from repro.render.backends import default_backend
+
+        return default_backend()
 
     def new_cache_state(self) -> TemporalReuseSimulator:
         """A fresh warm-cache state sized for this device.

@@ -20,8 +20,19 @@ from repro.errors import ValidationError
 
 
 def _check_pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
+    a_in = np.asarray(a)
+    b_in = np.asarray(b)
+    # Distinct errors per defect so callers (and their tests) can tell a
+    # resolution mismatch from a representation mismatch: comparing a
+    # float render against a uint8 one is a *units* bug (0..1 vs 0..255
+    # against one data_range), not a resizing bug.
+    if a_in.dtype.kind != b_in.dtype.kind:
+        raise ValidationError(
+            f"image dtypes differ in kind: {a_in.dtype} vs {b_in.dtype}; "
+            "convert both to the same representation before comparing"
+        )
+    a = a_in.astype(np.float64)
+    b = b_in.astype(np.float64)
     if a.shape != b.shape:
         raise ValidationError(f"image shapes differ: {a.shape} vs {b.shape}")
     if a.ndim not in (2, 3):

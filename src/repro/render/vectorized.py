@@ -36,6 +36,13 @@ images, transmittance, contributor counts, and identical
 ``RenderStats`` / ``IRSSStats`` / ``TileRowWorkload`` counters
 (including early-termination semantics and the fp16 Row-PE datapath).
 This is property-tested in ``tests/render/test_backend_parity.py``.
+
+Both renderers also take a ``dtype`` parameter (default ``float64``,
+the exact datapath).  ``float32`` halves the brick bandwidth — the
+sweeps above are memory-bound — at ~1e-7 relative error; the approx
+backend uses it, where that error is negligible against its culling
+error.  The exactness guarantees above apply to the default dtype
+only.
 """
 
 from __future__ import annotations
@@ -249,7 +256,7 @@ def _blend_chunk(
         ).astype(np.float16)
         np.add.at(tile_rgb, (ti, ri, ci), contrib)
     else:
-        weight = np.zeros(tile_t.shape + (prod.shape[-1] - 1,))
+        weight = np.zeros(tile_t.shape + (prod.shape[-1] - 1,), dtype=prod.dtype)
         weight[ti, ri, ci, di] = np.where(
             blend_at, prod[ti, ri, ci, di] * alpha, 0.0
         )
@@ -274,6 +281,124 @@ def _blend_chunk(
     return next_t, int(np.count_nonzero(blend_at))
 
 
+def _sparse_state(
+    tile_t: np.ndarray,
+    frags: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    alpha: np.ndarray,
+    d_span: int,
+    eps: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-fragment transmittance state without the dense brick.
+
+    The reduced-precision (approx) counterpart of :func:`_blend_state`:
+    fragments arrive from ``np.nonzero`` in ``(tile, row, col, depth)``
+    lexicographic order, so each pixel's fragments form one contiguous
+    run in depth order.  Per-pixel exclusive prefix products are then a
+    segmented log-cumsum over the fragment array — work proportional to
+    the fragments that exist instead of the whole
+    ``(tile, row, col, depth)`` brick.  The small (log/exp) rounding is
+    why this path is reserved for the approx datapath.
+
+    Returns ``(t_before, active, key, n_active, t_out, row_limit)``:
+    per-fragment pre-instance transmittance and activity, the flat
+    pixel key per fragment, the per-``(tile, depth)`` count of
+    still-active pixels (the dense path's ``active.sum(axis=(1, 2))``),
+    the frozen post-chunk transmittance, and per ``(tile, row)`` the
+    last depth index at which any of its pixels was active (-1 if
+    none; drives the IRSS row bookkeeping).
+    """
+    ti, ri, ci, di = frags
+    n_tiles, rows, cols = tile_t.shape
+    npix = tile_t.size
+    key = (ti * rows + ri) * cols + ci
+    t_in = tile_t.reshape(-1)
+    la = 1.0 - alpha  # alpha is capped at alpha_max < 1, so log is safe
+    # float64 keeps the cross-segment rounding of the shared cumsum far
+    # below the output's float32 quantum, so sharded approx renders stay
+    # equal to unsharded ones to within last-ulp noise.
+    logs = np.log(la, dtype=np.float64)
+    excl = np.cumsum(logs)
+    excl -= logs  # exclusive prefix: product of earlier fragments
+    n_frags = key.size
+    first = np.empty(n_frags, dtype=bool)
+    last = np.empty(n_frags, dtype=bool)
+    if n_frags:
+        first[0] = True
+        first[1:] = key[1:] != key[:-1]
+        last[-1] = True
+        last[:-1] = first[1:]
+        seg_id = np.cumsum(first) - 1
+        base = excl[first]
+        t_before = t_in[key] * np.exp(excl - base[seg_id])
+    else:
+        t_before = excl  # empty
+    t_after = t_before * la
+    active = t_before > eps
+    crossing = active & (t_after <= eps)  # at most one per pixel
+
+    # Per-pixel frozen transmittance and last-active depth index.
+    entered = t_in > eps
+    limit = np.where(entered, d_span - 1, -1)
+    t_out = t_in.copy()
+    if n_frags:
+        tail_key = key[last]
+        t_out[tail_key] = np.where(
+            entered[tail_key], t_after[last], t_in[tail_key]
+        )
+        t_out[key[crossing]] = t_after[crossing]
+        limit[key[crossing]] = di[crossing]
+
+    # active-pixel counts per (tile, depth): a histogram of last-active
+    # depths, suffix-summed (limit >= d  <=>  active at depth d).
+    tile_of_pix = np.repeat(np.arange(n_tiles, dtype=np.int64), rows * cols)
+    hist = np.bincount(
+        tile_of_pix * (d_span + 1) + limit + 1,
+        minlength=n_tiles * (d_span + 1),
+    ).reshape(n_tiles, d_span + 1)
+    n_active = np.cumsum(hist[:, ::-1], axis=1)[:, ::-1][:, 1:]
+
+    row_limit = limit.reshape(n_tiles, rows, cols).max(axis=2)
+    return (
+        t_before,
+        active,
+        key,
+        n_active,
+        t_out.reshape(n_tiles, rows, cols),
+        row_limit,
+    )
+
+
+def _sparse_blend(
+    tile_rgb: np.ndarray,
+    tile_n: np.ndarray,
+    key: np.ndarray,
+    blend_at: np.ndarray,
+    t_before: np.ndarray,
+    alpha: np.ndarray,
+    frag_colors: np.ndarray,
+) -> int:
+    """Scatter-blend active fragments into the framebuffer tiles.
+
+    The approx counterpart of :func:`_blend_chunk`: one ``np.bincount``
+    per channel over the fragments only.  ``np.bincount`` adds weights
+    in scan order, so each pixel still accumulates front to back.
+    Returns the number of blended fragments.
+    """
+    weight = np.where(blend_at, t_before * alpha, 0.0)
+    npix = tile_n.size
+    flat_rgb = tile_rgb.reshape(npix, 3)
+    for ch in range(3):
+        flat_rgb[:, ch] += np.bincount(
+            key, weights=weight * frag_colors[:, ch], minlength=npix
+        ).astype(flat_rgb.dtype)
+    tile_n += (
+        np.bincount(key[blend_at], minlength=npix)
+        .reshape(tile_n.shape)
+        .astype(np.int32)
+    )
+    return int(np.count_nonzero(blend_at))
+
+
 # ----------------------------------------------------------------------
 # PFS (reference dataflow), vectorized
 # ----------------------------------------------------------------------
@@ -281,8 +406,13 @@ def render_pfs_vectorized(
     projected: Projected2D,
     lists: RenderLists | None = None,
     settings: RenderSettings = DEFAULT_SETTINGS,
+    dtype: type = np.float64,
 ) -> RenderResult:
-    """Vectorized PFS rasterizer — pixel-exact vs. ``render_reference``."""
+    """Vectorized PFS rasterizer — pixel-exact vs. ``render_reference``.
+
+    ``dtype`` selects the brick / accumulator precision; the pixel-exact
+    guarantee holds for the default ``float64`` only.
+    """
     if lists is None:
         lists = build_render_lists(projected)
     grid = lists.grid
@@ -290,17 +420,17 @@ def render_pfs_vectorized(
     if (grid.width, grid.height) != (width, height):
         raise RenderError("tile grid does not match projection resolution")
 
-    image = np.zeros((height, width, 3), dtype=np.float64)
-    transmittance = np.ones((height, width), dtype=np.float64)
+    image = np.zeros((height, width, 3), dtype=dtype)
+    transmittance = np.ones((height, width), dtype=dtype)
     n_contrib = np.zeros((height, width), dtype=np.int32)
     stats = RenderStats(pixels=width * height, instances=lists.n_instances)
 
     eps = settings.transmittance_eps
-    conics = projected.conics
-    means2d = projected.means2d
-    opacities = projected.opacities
-    thresholds = projected.thresholds
-    colors = projected.colors
+    conics = projected.conics.astype(dtype, copy=False)
+    means2d = projected.means2d.astype(dtype, copy=False)
+    opacities = projected.opacities.astype(dtype, copy=False)
+    thresholds = projected.thresholds.astype(dtype, copy=False)
+    colors = projected.colors.astype(dtype, copy=False)
 
     for batch in build_tile_batches(lists):
         rows, cols = batch.rows, batch.cols
@@ -313,11 +443,11 @@ def render_pfs_vectorized(
             px = (
                 x0[:, None, None, None]
                 + np.arange(cols, dtype=np.int64)[None, None, :, None]
-            ).astype(np.float64) + 0.5  # (T, 1, cols, 1)
+            ).astype(dtype) + dtype(0.5)  # (T, 1, cols, 1)
             py = (
                 y0[:, None, None, None]
                 + np.arange(rows, dtype=np.int64)[None, :, None, None]
-            ).astype(np.float64) + 0.5  # (T, rows, 1, 1)
+            ).astype(dtype) + dtype(0.5)  # (T, rows, 1, 1)
             yy = y0[:, None, None] + np.arange(rows)[None, :, None]
             xx = x0[:, None, None] + np.arange(cols)[None, None, :]
             tile_t = transmittance[yy, xx]  # (T, rows, cols)
@@ -356,28 +486,49 @@ def render_pfs_vectorized(
                 alpha = opacities[g[ti, di]] * np.exp(-0.5 * power[ti, ri, ci, di])
                 alpha = np.minimum(alpha, settings.alpha_max)
 
-                prod, active, live = _blend_state(
-                    tile_t, frags, alpha, d1 - d0, eps
-                )
-                n_active = active.sum(axis=(1, 2))  # (T, D)
+                if dtype is np.float64:
+                    prod, active, live = _blend_state(
+                        tile_t, frags, alpha, d1 - d0, eps, dtype
+                    )
+                    n_active = active.sum(axis=(1, 2))  # (T, D)
+                    blend_at = active[ti, ri, ci, di]
+                else:
+                    t_before, blend_at, pkey, n_active, t_out, _ = (
+                        _sparse_state(tile_t, frags, alpha, d1 - d0, eps)
+                    )
                 n_active *= valid
                 shaded = int(n_active.sum())
                 stats.instances_processed += int(np.count_nonzero(n_active))
                 stats.fragments_shaded += shaded
                 stats.eq7_flops += shaded * FLOPS.pfs_flops_per_fragment
 
-                blend_at = active[ti, ri, ci, di]
-                tile_t, blended = _blend_chunk(
-                    tile_rgb, tile_n, tile_t, prod, live, frags, blend_at,
-                    alpha, colors[g], first_chunk=d0 == 0, fp16=False, eps=eps,
-                )
+                if dtype is np.float64:
+                    tile_t, blended = _blend_chunk(
+                        tile_rgb, tile_n, tile_t, prod, live, frags, blend_at,
+                        alpha, colors[g], first_chunk=d0 == 0, fp16=False,
+                        eps=eps,
+                    )
+                else:
+                    blended = _sparse_blend(
+                        tile_rgb, tile_n, pkey, blend_at, t_before, alpha,
+                        colors[g[ti, di]],
+                    )
+                    tile_t = t_out
                 stats.fragments_significant += blended
+                # Whole-chunk early termination: once every pixel of the
+                # tile chunk has crossed eps, the remaining depth chunks
+                # blend nothing and touch no counter (every mask above is
+                # derived from `tile_t > eps`), so skipping them is exact.
+                if not (tile_t > eps).any():
+                    break
 
             transmittance[yy, xx] = tile_t
             image[yy, xx] = tile_rgb
             n_contrib[yy, xx] = tile_n
 
     background = settings.background_array()
+    image = image.astype(np.float64, copy=False)
+    transmittance = transmittance.astype(np.float64, copy=False)
     image += transmittance[:, :, None] * background[None, None, :]
     return RenderResult(
         image=image, transmittance=transmittance, n_contrib=n_contrib, stats=stats
@@ -387,14 +538,39 @@ def render_pfs_vectorized(
 # ----------------------------------------------------------------------
 # IRSS dataflow, vectorized
 # ----------------------------------------------------------------------
+class _CastFeatures:
+    """Per-Gaussian feature record cast once to the compute dtype.
+
+    The reduced-precision (non-fp16) datapath: same attribute layout as
+    ``_Fp16Features`` so the gather code below is shared.
+    """
+
+    def __init__(
+        self, projected: Projected2D, transform: IRSSTransform, dtype: type
+    ) -> None:
+        self.u00 = transform.u00.astype(dtype)
+        self.u01 = transform.u01.astype(dtype)
+        self.u11 = transform.u11.astype(dtype)
+        self.thresholds = transform.thresholds.astype(dtype)
+        self.colors = projected.colors.astype(dtype)
+        self.opacities = projected.opacities.astype(dtype)
+        self.means2d = transform.means2d.astype(dtype)
+
+
 def render_irss_vectorized(
     projected: Projected2D,
     lists: RenderLists | None = None,
     settings: RenderSettings = DEFAULT_SETTINGS,
     transform: IRSSTransform | None = None,
     fp16: bool = False,
+    dtype: type = np.float64,
 ) -> IRSSRenderResult:
-    """Vectorized IRSS rasterizer — pixel-exact vs. ``render_irss``."""
+    """Vectorized IRSS rasterizer — pixel-exact vs. ``render_irss``.
+
+    ``dtype`` selects the brick / accumulator precision; the pixel-exact
+    guarantee holds for the default ``float64`` only.  ``fp16`` (the
+    Row-PE datapath) takes precedence over ``dtype``.
+    """
     if lists is None:
         lists = build_render_lists(projected)
     if transform is None:
@@ -406,7 +582,7 @@ def render_irss_vectorized(
     if (grid.width, grid.height) != (width, height):
         raise RenderError("tile grid does not match projection resolution")
 
-    acc_dtype = np.float16 if fp16 else np.float64
+    acc_dtype = np.float16 if fp16 else dtype
     image = np.zeros((height, width, 3), dtype=acc_dtype)
     transmittance = np.ones((height, width), dtype=acc_dtype)
     n_contrib = np.zeros((height, width), dtype=np.int32)
@@ -422,12 +598,18 @@ def render_irss_vectorized(
         instance_search=np.zeros(grid.n_tiles, dtype=np.int64),
     )
 
-    features = _Fp16Features(projected, transform) if fp16 else None
+    if fp16:
+        features = _Fp16Features(projected, transform)
+    elif dtype is not np.float64:
+        features = _CastFeatures(projected, transform, dtype)
+    else:
+        features = None
+    geo_dtype = np.float64 if fp16 else dtype
     eps = settings.transmittance_eps
 
     for batch in build_tile_batches(lists):
         rows, cols = batch.rows, batch.cols
-        col_idx = np.arange(cols, dtype=np.float64)
+        col_idx = np.arange(cols, dtype=geo_dtype)
         search_latency = max(int(np.ceil(np.log2(max(cols, 2)))), 1)
 
         for t0, t1 in _tile_chunks(batch, CHUNK_FRAGMENT_BUDGET):
@@ -438,7 +620,7 @@ def render_irss_vectorized(
             n_tiles = t1 - t0
             row_pix_y = (
                 y0[:, None] + np.arange(rows, dtype=np.int64)[None, :]
-            ).astype(np.float64) + 0.5  # (T, rows)
+            ).astype(geo_dtype) + geo_dtype(0.5)  # (T, rows)
             yy = y0[:, None, None] + np.arange(rows)[None, :, None]
             xx = x0[:, None, None] + np.arange(cols)[None, None, :]
             tile_t = transmittance[yy, xx]
@@ -454,7 +636,7 @@ def render_irss_vectorized(
                 valid = m >= 0
                 g = np.where(valid, m, 0)
 
-                if fp16:
+                if features is not None:
                     u00 = features.u00[g]
                     u01 = features.u01[g]
                     u11 = features.u11[g]
@@ -476,7 +658,7 @@ def render_irss_vectorized(
                 # center (all geometry is transmittance-independent).
                 # Row-level arrays are (T, rows, D); depth stays last.
                 dx_pix = (
-                    x0[:, None].astype(np.float64) + 0.5 - mean[:, :, 0]
+                    x0[:, None].astype(geo_dtype) + geo_dtype(0.5) - mean[:, :, 0]
                 )  # (T, D)
                 dy_pix = row_pix_y[:, :, None] - mean[:, :, 1][:, None, :]
                 x_start = (
@@ -532,15 +714,26 @@ def render_irss_vectorized(
                     alpha = alpha.astype(np.float16).astype(np.float64)
                 alpha = np.minimum(alpha, settings.alpha_max)
 
-                prod, active, live = _blend_state(
-                    tile_t, frags, alpha, d1 - d0, eps, acc_dtype
-                )
+                if fp16 or dtype is np.float64:
+                    prod, active, live = _blend_state(
+                        tile_t, frags, alpha, d1 - d0, eps, acc_dtype
+                    )
+                    n_live = active.sum(axis=(1, 2))  # (T, D)
+                    row_active = active.any(axis=2)  # (T, rows, D)
+                    blend_at = active[ti, ri, ci, di]
+                else:
+                    t_before, blend_at, pkey, n_live, t_out, row_limit = (
+                        _sparse_state(tile_t, frags, alpha, d1 - d0, eps)
+                    )
+                    row_active = (
+                        row_limit[:, :, None]
+                        >= np.arange(d1 - d0, dtype=np.int64)[None, None, :]
+                    )
 
                 # Early-termination bookkeeping: an instance is
                 # "processed" iff any of its tile's pixels was still
                 # active when its depth rank came up (the reference
                 # loop's whole-tile break).
-                n_live = active.sum(axis=(1, 2))  # (T, D)
                 n_live *= valid
                 processed = n_live > 0
                 n_proc = int(np.count_nonzero(processed))
@@ -566,7 +759,6 @@ def render_irss_vectorized(
                 workload.binary_search_steps[tids] += steps.sum(axis=1)
                 workload.instance_search[tids] += (n_search > 0).sum(axis=1)
 
-                row_active = active.any(axis=2)  # (T, rows, D)
                 terminated = nonempty & ~row_active
                 stats.rows_terminated += int(
                     (terminated.sum(axis=1) * processed).sum()
@@ -589,12 +781,21 @@ def render_irss_vectorized(
                 )
                 workload.instance_max_run[tids] += seg_len.max(axis=1).sum(axis=1)
 
-                blend_at = active[ti, ri, ci, di]
-                tile_t, blended = _blend_chunk(
-                    tile_rgb, tile_n, tile_t, prod, live, frags, blend_at,
-                    alpha, color, first_chunk=d0 == 0, fp16=fp16, eps=eps,
-                )
+                if fp16 or dtype is np.float64:
+                    tile_t, blended = _blend_chunk(
+                        tile_rgb, tile_n, tile_t, prod, live, frags, blend_at,
+                        alpha, color, first_chunk=d0 == 0, fp16=fp16, eps=eps,
+                    )
+                else:
+                    blended = _sparse_blend(
+                        tile_rgb, tile_n, pkey, blend_at, t_before, alpha,
+                        color[ti, di],
+                    )
+                    tile_t = t_out
                 stats.fragments_blended += blended
+                # Exact whole-chunk early termination (see the PFS loop).
+                if not (tile_t > eps).any():
+                    break
 
             transmittance[yy, xx] = tile_t
             image[yy, xx] = tile_rgb

@@ -25,6 +25,12 @@ only tracks deadline hits/misses at the requested detail; the table
 then also reports each session's deadline-miss rate and mean delivered
 detail.
 
+``--render-mode approx`` serves with the contribution-aware
+approximate backend (optionally tuned with ``--tolerance``), and
+``--shards N`` enables intra-frame tile sharding: a static N-way split
+without QoS, or the controller's escalation ceiling under
+``--target-fps`` with adaptive QoS.
+
 Each session gets its own trajectory: session ``i`` uses seed
 ``seed + i`` (head-jitter) or phase offset ``i`` (orbit), so concurrent
 clients view the scene from distinct, deterministic paths.
@@ -38,11 +44,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from dataclasses import replace
 
 from repro.core.reuse_cache import POLICIES
 from repro.errors import ValidationError
 from repro.harness import format_table
+from repro.render.approx import APPROX_TOLERANCE_ENV_VAR
+from repro.render.backends import get_backend
 from repro.scenes.catalog import CATALOG
 from repro.stream.fleet import ROUTERS, EdgeFleet
 from repro.stream.pipeline import streaming_config
@@ -55,6 +65,8 @@ from repro.stream.trajectory import CameraTrajectory
 TRAJECTORIES = ("orbit", "dolly", "head_jitter", "frozen")
 
 QOS_MODES = ("adaptive", "fixed")
+
+RENDER_MODES = ("exact", "approx")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,6 +137,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="render backend (default: vectorized)",
     )
     parser.add_argument(
+        "--render-mode",
+        default="exact",
+        choices=RENDER_MODES,
+        help="'exact' renders with --backend; 'approx' renders with the "
+        "contribution-aware approximate backend (measured-quality, see "
+        "BENCH_approx.json) (default: exact)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="T",
+        help="approx-mode quality tolerance in [0, 1]; only valid with "
+        "--render-mode approx (default: the backend's built-in default)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="intra-frame tile shards: with --target-fps and adaptive QoS "
+        "this is the escalation ceiling (sessions shard only after their "
+        "quality band is exhausted); otherwise every frame renders with "
+        "N parallel tile engines (default: 1)",
+    )
+    parser.add_argument(
         "--cache-policy",
         default="reuse_distance",
         choices=sorted(POLICIES),
@@ -163,17 +201,38 @@ def validate_args(args: argparse.Namespace) -> None:
         raise ValidationError("--target-fps must be positive")
     if args.seed < 0:
         raise ValidationError("--seed cannot be negative")
+    # Resolve the backend eagerly: an unknown name is an argument
+    # mistake (one-line error, exit 2), not a mid-serve traceback.
+    get_backend(args.backend)
+    if args.shards < 1:
+        raise ValidationError("--shards must be at least 1")
+    if args.tolerance is not None:
+        if args.render_mode != "approx":
+            raise ValidationError(
+                "--tolerance is only valid with --render-mode approx"
+            )
+        if not 0.0 <= args.tolerance <= 1.0:
+            raise ValidationError("--tolerance must be in [0, 1]")
 
 
 def make_sessions(args: argparse.Namespace) -> list[StreamSession]:
     """Deterministic per-client sessions from the CLI arguments."""
     spec = CATALOG[args.scene]
+    backend = "approx" if args.render_mode == "approx" else args.backend
+    adaptive = args.target_fps is not None and args.qos == "adaptive"
     config = streaming_config(
-        backend=args.backend, cache_policy=args.cache_policy
+        backend=backend, cache_policy=args.cache_policy
     )
+    if args.shards > 1 and not adaptive:
+        # No controller to escalate: every frame shards statically.
+        config = replace(config, shards=args.shards)
     qos = None
     if args.target_fps is not None:
-        qos = QoSPolicy.fixed() if args.qos == "fixed" else QoSPolicy()
+        qos = (
+            QoSPolicy.fixed()
+            if args.qos == "fixed"
+            else QoSPolicy(max_shards=args.shards)
+        )
     sessions = []
     for i in range(args.sessions):
         trajectory = CameraTrajectory.for_scene(
@@ -516,6 +575,11 @@ def main(argv: list[str] | None = None) -> int:
         # propagate with their traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.tolerance is not None:
+        # Environment, not a process-global override: worker processes
+        # inherit the environment, so approx renders use the same
+        # tolerance on every worker.
+        os.environ[APPROX_TOLERANCE_ENV_VAR] = str(args.tolerance)
     return _run(args, sessions)
 
 

@@ -26,7 +26,8 @@ configuration — and the GBU side is the device's Step-3 roofline.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
@@ -38,6 +39,7 @@ from repro.core.reuse_cache import FrameCacheSample
 from repro.errors import DeviceBusyError, ValidationError
 from repro.gaussians import project
 from repro.gpu import FrameWorkload, GPUTimingModel, ScaleFactors
+from repro.render.approx import tolerance_for_rung, use_approx_policy
 from repro.scenes import BundleCache, SceneBundle, SceneSpec, build_scene
 from repro.scenes.catalog import CATALOG
 from repro.stream.binning import BinningStats, WarmBinner, camera_fingerprint
@@ -93,6 +95,9 @@ class FrameRecord:
         nominal detail unless a QoS controller adapted it).
     qos:
         Per-frame deadline audit record (``None`` without QoS).
+    shards:
+        Parallel tile shards the frame rendered with (1 unless the
+        controller escalated the session).
     """
 
     frame: int
@@ -105,6 +110,7 @@ class FrameRecord:
     image: np.ndarray | None = None
     detail: float = 1.0
     qos: QoSRecord | None = None
+    shards: int = 1
 
     @property
     def sim_fps(self) -> float:
@@ -219,6 +225,10 @@ class StreamReport:
                     "binning_reuse": f.binning.reuse_fraction,
                     "full_reuse": f.binning.full_reuse,
                     "detail": f.detail,
+                    # Only emitted when the session actually sharded, so
+                    # serve summaries of unsharded runs (including the
+                    # golden fixtures) keep their exact bytes.
+                    **({"shards": f.shards} if f.shards > 1 else {}),
                     **(
                         {
                             "deadline_met": f.qos.met,
@@ -407,7 +417,10 @@ class FrameStream:
             frame_key=(camera_fingerprint(camera), self.bundle.frame_clock(k)),
             source_ids=source_ids,
         )
-        report = self._render_via_device(projected, lists, source_ids)
+        shards = 1 if self.controller is None else self.controller.next_shards
+        report = self._render_via_device(
+            projected, lists, source_ids, shards=shards, detail=detail
+        )
         sim_seconds = self._frame_seconds(report, len(projected), extra_flops)
         qos = None
         if self.controller is not None:
@@ -426,16 +439,28 @@ class FrameStream:
             image=report.image if self.keep_images else None,
             detail=detail,
             qos=qos,
+            shards=shards,
         )
         self._next_frame = k + 1
         return record
 
-    def _render_via_device(self, projected, lists, source_ids) -> GBUReport:
+    def _render_via_device(
+        self, projected, lists, source_ids, shards: int = 1,
+        detail: float | None = None,
+    ) -> GBUReport:
         """Issue the frame through the Listing-1 device protocol.
 
         A device shared across a worker's sessions may still hold a
         frame in flight; :class:`~repro.errors.DeviceBusyError` is
         honored by draining the pending frame and re-issuing.
+
+        ``shards`` reconfigures the (per-worker, shared) device's tile
+        sharding for this frame only — sessions multiplexed onto one
+        device each carry their own controller-chosen shard count.
+        With the ``approx`` backend under QoS control, the frame also
+        renders under the rung's tolerance
+        (:func:`~repro.render.approx.tolerance_for_rung`), so dropping
+        a rung makes the rung itself cheaper to render.
         """
         width, height = projected.image_size
         frame_buffer = np.empty((height, width, 3), dtype=np.float64)
@@ -444,16 +469,26 @@ class FrameStream:
             cache_state=self.cache_state,
             feature_ids=source_ids[projected.source_index],
         )
-        try:
-            self.device.GBU_render_image(
-                height, width, projected, lists, frame_buffer, **kwargs
-            )
-        except DeviceBusyError:
+        if shards != self.device.config.shards:
+            self.device.config = replace(self.device.config, shards=shards)
+        ctx = nullcontext()
+        if (
+            self.controller is not None
+            and detail is not None
+            and self.device.resolved_backend_name() == "approx"
+        ):
+            ctx = use_approx_policy(tolerance_for_rung(detail / self.detail))
+        with ctx:
+            try:
+                self.device.GBU_render_image(
+                    height, width, projected, lists, frame_buffer, **kwargs
+                )
+            except DeviceBusyError:
+                self.device.GBU_check_status(blocking=True)
+                self.device.GBU_render_image(
+                    height, width, projected, lists, frame_buffer, **kwargs
+                )
             self.device.GBU_check_status(blocking=True)
-            self.device.GBU_render_image(
-                height, width, projected, lists, frame_buffer, **kwargs
-            )
-        self.device.GBU_check_status(blocking=True)
         return self.device.last_report
 
     def run(self, n_frames: int | None = None) -> StreamReport:

@@ -92,6 +92,20 @@ class QoSPolicy:
         continuous, but emitted details snap to multiples of the
         quantum — keeping the set of distinct (scene, detail) bundles
         a serve touches finite and cacheable.
+    max_shards:
+        Ceiling on intra-frame tile sharding.  The default of 1
+        disables escalation entirely (the legacy detail-only
+        controller).  When larger, a session that keeps missing its
+        deadline *at the detail floor* — quality degradation is
+        exhausted — escalates to more parallel tile engines instead of
+        simply failing every frame.
+    shard_after:
+        Consecutive deadline misses at the detail floor before the
+        controller adds a shard.
+    shard_release:
+        Consecutive comfortably-met frames (margin above the
+        hysteresis band) before one shard is released again, so
+        hardware parallelism is returned once quality has recovered.
     """
 
     min_detail: float = 0.25
@@ -100,6 +114,9 @@ class QoSPolicy:
     increase: float = 0.05
     hysteresis: float = 0.1
     quantum: float = 0.05
+    max_shards: int = 1
+    shard_after: int = 3
+    shard_release: int = 8
 
     def __post_init__(self) -> None:
         if not 0 < self.min_detail <= self.max_detail:
@@ -114,6 +131,12 @@ class QoSPolicy:
             raise ValidationError("hysteresis cannot be negative")
         if self.quantum <= 0:
             raise ValidationError("detail quantum must be positive")
+        if self.max_shards < 1:
+            raise ValidationError("max_shards must be at least 1")
+        if self.shard_after < 1 or self.shard_release < 1:
+            raise ValidationError(
+                "shard escalation thresholds must be at least 1"
+            )
 
     @staticmethod
     def fixed() -> "QoSPolicy":
@@ -160,12 +183,18 @@ class QoSControllerState:
     """Exported controller state (checkpointed with the session).
 
     ``scale`` is the continuous internal detail scale; the counters
-    make the controller's cumulative statistics survive recovery.
+    make the controller's cumulative statistics survive recovery.  The
+    shard fields default to the legacy (no-escalation) values so
+    checkpoints taken before shard escalation existed restore
+    unchanged.
     """
 
     scale: float
     frames_observed: int
     misses: int
+    shards: int = 1
+    floor_misses: int = 0
+    comfortable_streak: int = 0
 
 
 class QualityController:
@@ -196,6 +225,9 @@ class QualityController:
         self._scale = self.policy.max_detail
         self._frames = 0
         self._misses = 0
+        self._shards = 1
+        self._floor_misses = 0
+        self._comfort = 0
 
     # -- emitted detail -------------------------------------------------
     @property
@@ -221,6 +253,25 @@ class QualityController:
         if rung == 1.0:
             return self.nominal_detail
         return rung * self.nominal_detail
+
+    @property
+    def next_shards(self) -> int:
+        """Tile shards the next frame should render with.
+
+        Stays 1 (no sharding) until the session has exhausted its
+        quality band — ``shard_after`` consecutive misses while parked
+        at the detail floor — then climbs one shard at a time toward
+        the policy's ``max_shards``; released again after
+        ``shard_release`` comfortable frames.
+        """
+        return self._shards
+
+    @property
+    def at_detail_floor(self) -> bool:
+        """Whether the emitted detail is pinned at the band floor."""
+        q = self.policy.quantum
+        rung = round(self._scale / q) * q
+        return max(rung, self.policy.min_detail) <= self.policy.min_detail
 
     # -- statistics -----------------------------------------------------
     @property
@@ -251,15 +302,39 @@ class QualityController:
         met = self.deadline.met(sim_seconds)
         margin = self.deadline.margin(sim_seconds)
         self._frames += 1
+        comfortable = (
+            met
+            and margin > self.policy.hysteresis * self.deadline.deadline_seconds
+        )
         if not met:
             self._misses += 1
+            was_at_floor = self.at_detail_floor
             self._scale = max(
                 self._scale * self.policy.decrease, self.policy.min_detail
             )
-        elif margin > self.policy.hysteresis * self.deadline.deadline_seconds:
-            self._scale = min(
-                self._scale + self.policy.increase, self.policy.max_detail
-            )
+            self._comfort = 0
+            # Quality degradation exhausted -> escalate parallelism.
+            if was_at_floor and self.policy.max_shards > 1:
+                self._floor_misses += 1
+                if (
+                    self._floor_misses >= self.policy.shard_after
+                    and self._shards < self.policy.max_shards
+                ):
+                    self._shards += 1
+                    self._floor_misses = 0
+        else:
+            self._floor_misses = 0
+            if comfortable:
+                self._scale = min(
+                    self._scale + self.policy.increase, self.policy.max_detail
+                )
+                if self._shards > 1:
+                    self._comfort += 1
+                    if self._comfort >= self.policy.shard_release:
+                        self._shards -= 1
+                        self._comfort = 0
+            else:
+                self._comfort = 0
         return QoSRecord(
             frame=frame,
             detail=detail,
@@ -274,6 +349,9 @@ class QualityController:
         self._scale = self.policy.max_detail
         self._frames = 0
         self._misses = 0
+        self._shards = 1
+        self._floor_misses = 0
+        self._comfort = 0
 
     # -- checkpointing --------------------------------------------------
     def export_state(self) -> QoSControllerState:
@@ -282,6 +360,9 @@ class QualityController:
             scale=self._scale,
             frames_observed=self._frames,
             misses=self._misses,
+            shards=self._shards,
+            floor_misses=self._floor_misses,
+            comfortable_streak=self._comfort,
         )
 
     def import_state(self, state: QoSControllerState) -> None:
@@ -298,6 +379,16 @@ class QualityController:
             0 <= state.misses <= state.frames_observed
         ):
             raise ValidationError("corrupt QoS controller counters")
+        if not 1 <= state.shards <= max(self.policy.max_shards, 1):
+            raise ValidationError(
+                f"checkpointed shard count {state.shards} is outside the "
+                f"policy's [1, {self.policy.max_shards}]"
+            )
+        if state.floor_misses < 0 or state.comfortable_streak < 0:
+            raise ValidationError("corrupt QoS shard-escalation counters")
         self._scale = float(state.scale)
         self._frames = int(state.frames_observed)
         self._misses = int(state.misses)
+        self._shards = int(state.shards)
+        self._floor_misses = int(state.floor_misses)
+        self._comfort = int(state.comfortable_streak)

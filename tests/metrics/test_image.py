@@ -78,3 +78,50 @@ class TestLpipsProxy:
     def test_grayscale_rejected(self, image):
         with pytest.raises(ValidationError):
             lpips_proxy(image[..., 0], image[..., 0])
+
+
+class TestInputChecking:
+    """Edge cases of the shared pair check: all-black frames, and the
+    distinct errors for representation vs resolution mismatches."""
+
+    def test_all_black_frames_compare_clean(self):
+        black = np.zeros((32, 48, 3))
+        assert mse(black, black) == 0.0
+        assert psnr(black, black) == float("inf")
+        assert ssim(black, black) == pytest.approx(1.0)
+
+    def test_all_black_vs_all_white_is_zero_db(self):
+        black = np.zeros((16, 16))
+        white = np.ones((16, 16))
+        assert psnr(black, white) == pytest.approx(0.0)
+
+    def test_dtype_kind_mismatch_is_distinct_error(self, image):
+        """A float render against a uint8 one is a units bug, reported
+        as a dtype error — not silently cast, not a shape error."""
+        quantized = (image * 255).astype(np.uint8)
+        with pytest.raises(ValidationError, match="dtype"):
+            psnr(image, quantized)
+        with pytest.raises(ValidationError, match="dtype"):
+            ssim(image, quantized)
+
+    def test_resolution_mismatch_is_distinct_error(self, image):
+        with pytest.raises(ValidationError, match="shape"):
+            mse(image, image[:-2, :-2])
+
+    def test_dtype_checked_before_shape(self, image):
+        """Both defects at once report the representation problem (it
+        is checked first, before any cast could mask it)."""
+        quantized = (image[:-1] * 255).astype(np.uint8)
+        with pytest.raises(ValidationError, match="dtype"):
+            psnr(image, quantized)
+
+    def test_same_kind_different_width_is_fine(self):
+        """Only the dtype *kind* must match; float32 vs float64 is the
+        same representation at different precision."""
+        a = np.full((16, 16), 0.5, dtype=np.float32)
+        b = np.full((16, 16), 0.5, dtype=np.float64)
+        assert psnr(a, b) == float("inf")
+
+    def test_non_image_rank_rejected(self):
+        with pytest.raises(ValidationError, match="HxW"):
+            mse(np.zeros(8), np.zeros(8))

@@ -183,3 +183,50 @@ class TestFleetSubcommand:
             with pytest.raises(SystemExit) as exc:
                 build_fleet_parser().parse_args(argv)
             assert exc.value.code == 2
+
+
+class TestRenderModeAndShards:
+    """The approx render mode and intra-frame sharding flags."""
+
+    def test_invalid_render_mode_is_argparse_choice_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--render-mode", "sloppy"])
+        assert exc.value.code == 2
+        assert "sloppy" in capsys.readouterr().err
+
+    def test_unknown_backend_lists_registered_names(self, capsys):
+        assert main(SMALL + ["--backend", "quantum"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "quantum" in err
+        # The clean exit names the valid choices.
+        assert "vectorized" in err and "reference" in err
+
+    def test_tolerance_requires_approx_mode(self, capsys):
+        assert main(SMALL + ["--tolerance", "0.3"]) == 2
+        assert "--render-mode approx" in capsys.readouterr().err
+
+    def test_tolerance_band_enforced(self, capsys):
+        args = SMALL + ["--render-mode", "approx", "--tolerance", "1.5"]
+        assert main(args) == 2
+        assert "--tolerance" in capsys.readouterr().err
+
+    def test_non_positive_shards_rejected(self, capsys):
+        assert main(SMALL + ["--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_approx_serve_smoke(self, capsys):
+        args = SMALL + ["--render-mode", "approx", "--tolerance", "0.4"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "frames" in out
+
+    def test_static_shard_serve_smoke(self, capsys, tmp_path):
+        """Without adaptive QoS, --shards N shards every frame; the
+        serve completes and reports all frames."""
+        report = tmp_path / "sharded.json"
+        args = SMALL + ["--shards", "2", "--json", str(report)]
+        assert main(args) == 0
+        body = json.loads(report.read_text())
+        frames = body["sessions"][0]["frames"]
+        assert len(frames) == 2

@@ -509,3 +509,148 @@ class TestQoSServing:
         # No direct hook into the internal scheduler after serve, but
         # dispatch accounting must show every frame was served.
         assert server.dispatch_counts == {"heavy": 8, "light": 8}
+
+
+class TestShardEscalation:
+    """Intra-frame shard escalation: the controller adds tile shards
+    only after quality degradation is exhausted (consecutive misses at
+    the detail floor), climbs one shard at a time, and releases shards
+    after a sustained comfortable streak."""
+
+    POLICY = QoSPolicy(
+        min_detail=0.5, decrease=0.5, increase=0.1, hysteresis=0.1,
+        max_shards=3, shard_after=2, shard_release=3,
+    )
+
+    def _miss(self, ctrl, frame):
+        return ctrl.observe(
+            frame=frame, detail=ctrl.next_detail,
+            sim_seconds=2 * ctrl.deadline.deadline_seconds,
+        )
+
+    def _comfortable(self, ctrl, frame):
+        return ctrl.observe(
+            frame=frame, detail=ctrl.next_detail,
+            sim_seconds=0.5 * ctrl.deadline.deadline_seconds,
+        )
+
+    def test_policy_validation(self):
+        with pytest.raises(ValidationError):
+            QoSPolicy(max_shards=0)
+        with pytest.raises(ValidationError):
+            QoSPolicy(shard_after=0)
+        with pytest.raises(ValidationError):
+            QoSPolicy(shard_release=0)
+
+    def test_default_policy_never_shards(self):
+        """max_shards=1 (the default) is the legacy detail-only loop:
+        identical detail trace, next_shards pinned at 1."""
+        legacy = _controller(QoSPolicy(min_detail=0.5, decrease=0.5))
+        for frame in range(12):
+            self._miss(legacy, frame)
+            assert legacy.next_shards == 1
+
+    def test_escalates_only_after_floor_misses(self):
+        ctrl = _controller(self.POLICY)
+        # Miss 0 drops detail to the floor but was observed above it.
+        self._miss(ctrl, 0)
+        assert ctrl.at_detail_floor and ctrl.next_shards == 1
+        # Two consecutive misses *at* the floor trip the escalation.
+        self._miss(ctrl, 1)
+        assert ctrl.next_shards == 1
+        self._miss(ctrl, 2)
+        assert ctrl.next_shards == 2
+
+    def test_climbs_one_shard_at_a_time_to_the_cap(self):
+        ctrl = _controller(self.POLICY)
+        shards_seen = []
+        for frame in range(12):
+            self._miss(ctrl, frame)
+            shards_seen.append(ctrl.next_shards)
+        assert shards_seen == [1, 1, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3]
+
+    def test_met_frame_resets_floor_miss_streak(self):
+        ctrl = _controller(self.POLICY)
+        self._miss(ctrl, 0)
+        self._miss(ctrl, 1)  # one floor miss accrued
+        self._comfortable(ctrl, 2)  # streak broken
+        self._miss(ctrl, 3)
+        self._miss(ctrl, 4)
+        assert ctrl.next_shards == 1  # needs shard_after consecutive again
+        self._miss(ctrl, 5)
+        assert ctrl.next_shards == 2
+
+    def test_released_after_comfortable_streak(self):
+        ctrl = _controller(self.POLICY)
+        for frame in range(5):
+            self._miss(ctrl, frame)
+        assert ctrl.next_shards == 3
+        frame = 5
+        for _ in range(self.POLICY.shard_release):
+            self._comfortable(ctrl, frame)
+            frame += 1
+        assert ctrl.next_shards == 2
+        # A tight (non-comfortable) met frame resets the streak.
+        for _ in range(self.POLICY.shard_release - 1):
+            self._comfortable(ctrl, frame)
+            frame += 1
+        ctrl.observe(
+            frame=frame, detail=ctrl.next_detail,
+            sim_seconds=0.99 * ctrl.deadline.deadline_seconds,
+        )
+        frame += 1
+        for _ in range(self.POLICY.shard_release - 1):
+            self._comfortable(ctrl, frame)
+            frame += 1
+        assert ctrl.next_shards == 2  # streak restarted after the reset
+        self._comfortable(ctrl, frame)
+        assert ctrl.next_shards == 1
+
+    def test_checkpoint_roundtrip_preserves_escalation(self):
+        ctrl = _controller(self.POLICY)
+        for frame in range(4):
+            self._miss(ctrl, frame)
+        clone = _controller(self.POLICY)
+        clone.import_state(ctrl.export_state())
+        assert clone.next_shards == ctrl.next_shards
+        # Both continue identically from the restored counters.
+        self._miss(ctrl, 4)
+        self._miss(clone, 4)
+        assert clone.next_shards == ctrl.next_shards == 3
+        assert clone.export_state() == ctrl.export_state()
+
+    def test_legacy_checkpoint_restores_unsharded(self):
+        """Pre-escalation checkpoints (no shard fields) restore with
+        the defaults: one shard, zeroed counters."""
+        from repro.stream.qos import QoSControllerState
+
+        state = QoSControllerState(scale=0.75, frames_observed=5, misses=2)
+        ctrl = _controller(self.POLICY)
+        ctrl.import_state(state)
+        assert ctrl.next_shards == 1
+
+    def test_import_validates_shard_state(self):
+        from repro.stream.qos import QoSControllerState
+
+        ctrl = _controller(self.POLICY)
+        with pytest.raises(ValidationError, match="shard count"):
+            ctrl.import_state(
+                QoSControllerState(
+                    scale=0.75, frames_observed=1, misses=0, shards=7
+                )
+            )
+        with pytest.raises(ValidationError, match="shard-escalation"):
+            ctrl.import_state(
+                QoSControllerState(
+                    scale=0.75, frames_observed=1, misses=0, floor_misses=-1
+                )
+            )
+
+    def test_reset_returns_to_one_shard(self):
+        ctrl = _controller(self.POLICY)
+        for frame in range(5):
+            self._miss(ctrl, frame)
+        assert ctrl.next_shards > 1
+        ctrl.reset()
+        assert ctrl.next_shards == 1
+        assert ctrl.export_state().floor_misses == 0
