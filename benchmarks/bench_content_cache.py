@@ -1,0 +1,184 @@
+"""Content-addressed render cache: co-located-viewer dedup sweep.
+
+N viewers stream the *identical* orbit over one scene — the SplatBus
+scenario the content cache exists for.  With the cache off, every
+viewer renders every frame; with it on, one viewer renders and the
+rest are served from the worker tier.  Writes
+``BENCH_content_cache.json`` at the repo root with, per viewer count:
+
+* **dedup throughput multiple** — host wall-clock of the cache-off
+  serve over the cache-on serve (interleaved best-of-N via the shared
+  harness, so runner load transients cancel out of the ratio);
+* **per-tier hit rates** — the session/worker/node economics of the
+  cache-on serve.  These are simulated-exact, so they are asserted
+  exactly: V viewers over F frames must produce ``(V - 1) * F``
+  worker-tier hits out of ``V * F`` lookups.
+
+A second section serves the largest sweep point on a two-node
+:class:`~repro.stream.fleet.EdgeFleet` (least-loaded router, so the
+viewers split across nodes) to exercise the fleet tier: lookups that
+miss a whole node's chain are served from the fleet tier instead of
+re-rendering, and the shared bundle intern builds the scene once per
+fleet rather than once per node.
+
+Acceptance bar: ``REPRO_BENCH_CONTENT_MIN_DEDUP`` (default 2x) dedup
+throughput at the largest viewer count, and at least one fleet-tier
+hit on the two-node serve.  Byte-identity of the dedup path is proven
+in ``tests/stream/test_content_cache.py`` and the property suite —
+this file only quantifies the wall-clock economics.
+
+Smoke knobs (used by CI): ``REPRO_BENCH_CONTENT_VIEWERS``
+(comma-separated counts), ``REPRO_BENCH_CONTENT_FRAMES``,
+``REPRO_BENCH_CONTENT_DETAIL``, ``REPRO_BENCH_CONTENT_REPEATS``,
+``REPRO_BENCH_CONTENT_MIN_DEDUP``, ``REPRO_BENCH_CONTENT_SCENE``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _harness import interleaved_best, write_bench_json
+from repro.scenes.catalog import CATALOG
+from repro.stream import (
+    CameraTrajectory,
+    ContentCacheConfig,
+    EdgeFleet,
+    StreamServer,
+    StreamSession,
+    economics_to_dict,
+)
+
+SCENE = os.environ.get("REPRO_BENCH_CONTENT_SCENE", "bicycle")
+N_FRAMES = int(os.environ.get("REPRO_BENCH_CONTENT_FRAMES", "8"))
+DETAIL = float(os.environ.get("REPRO_BENCH_CONTENT_DETAIL", "0.25"))
+REPEATS = int(os.environ.get("REPRO_BENCH_CONTENT_REPEATS", "3"))
+MIN_DEDUP = float(os.environ.get("REPRO_BENCH_CONTENT_MIN_DEDUP", "2.0"))
+VIEWER_COUNTS = [
+    int(v)
+    for v in os.environ.get("REPRO_BENCH_CONTENT_VIEWERS", "1,2,4,8").split(",")
+    if v.strip()
+]
+
+METHODOLOGY = (
+    "N co-located viewers stream the identical orbit over one scene "
+    "through StreamServer(workers=0), content cache off vs on "
+    "(pose_quant=0: only bit-identical poses dedup). Wall seconds are "
+    "interleaved best-of-N; the dedup multiple is off/on wall time. "
+    "Per-tier hit rates come from the serve's exact economics "
+    "counters. The fleet section serves the largest point on a "
+    "two-node EdgeFleet (least-loaded router) to exercise the fleet "
+    "tier across nodes."
+)
+
+
+def _viewers(count: int) -> list[StreamSession]:
+    spec = CATALOG[SCENE]
+    trajectory = CameraTrajectory.for_scene(
+        spec, "orbit", n_frames=N_FRAMES, detail=DETAIL
+    )
+    return [
+        StreamSession(f"viewer-{i:02d}", SCENE, trajectory, detail=DETAIL)
+        for i in range(count)
+    ]
+
+
+def _serve(count: int, cached: bool) -> dict:
+    content = ContentCacheConfig() if cached else None
+    with StreamServer(workers=0, content_cache=content) as server:
+        server.serve(_viewers(count))
+        return dict(server.content_totals)
+
+
+def _sweep_point(count: int) -> dict:
+    walls = interleaved_best(
+        {
+            "cache_off": lambda: _serve(count, cached=False),
+            "cache_on": lambda: _serve(count, cached=True),
+        },
+        repeats=REPEATS,
+    )
+    totals = _serve(count, cached=True)
+    worker = totals["worker"]
+    expected = ((count * N_FRAMES), (count - 1) * N_FRAMES)
+    assert (worker.accesses, worker.hits) == expected, (
+        f"{count} viewers: worker tier saw {worker.hits}/{worker.accesses} "
+        f"hits, expected {expected[1]}/{expected[0]}"
+    )
+    return {
+        "viewers": count,
+        "frames_per_viewer": N_FRAMES,
+        "wall_seconds_cache_off": walls["cache_off"],
+        "wall_seconds_cache_on": walls["cache_on"],
+        "dedup_throughput_multiple": walls["cache_off"] / walls["cache_on"],
+        "economics": economics_to_dict(totals),
+    }
+
+
+def _fleet_point(count: int) -> dict:
+    with EdgeFleet(
+        nodes=2,
+        node_capacity=max(1, count // 2),
+        router="least",
+        migration=False,
+        content_cache=ContentCacheConfig(),
+    ) as fleet:
+        result = fleet.serve_sessions(_viewers(count))
+    assert result.content["fleet"].hits >= 1, (
+        "two-node fleet served identical viewers without a single "
+        "fleet-tier hit"
+    )
+    return {
+        "nodes": 2,
+        "viewers": count,
+        "economics": economics_to_dict(result.content),
+        "bundle_intern_hits": result.bundle_intern_hits,
+        "bundle_intern_misses": result.bundle_intern_misses,
+    }
+
+
+def test_content_cache_dedup(benchmark):
+    sweep = [_sweep_point(count) for count in VIEWER_COUNTS]
+    fleet = _fleet_point(VIEWER_COUNTS[-1])
+    payload = {
+        "scene": SCENE,
+        "detail": DETAIL,
+        "frames_per_viewer": N_FRAMES,
+        "repeats": REPEATS,
+        "min_dedup_multiple": MIN_DEDUP,
+        "sweep": sweep,
+        "fleet": fleet,
+    }
+    out = write_bench_json("content_cache", METHODOLOGY, payload)
+
+    print(f"\n=== content-cache dedup sweep ({SCENE}) -> {out.name} ===")
+    print(
+        f"{'viewers':>8}{'off (s)':>10}{'on (s)':>10}{'dedup x':>9}"
+        f"{'worker hits':>13}"
+    )
+    for point in sweep:
+        econ = point["economics"]["worker"]
+        print(
+            f"{point['viewers']:>8}"
+            f"{point['wall_seconds_cache_off']:>10.3f}"
+            f"{point['wall_seconds_cache_on']:>10.3f}"
+            f"{point['dedup_throughput_multiple']:>9.2f}"
+            f"{econ['hits']:>7}/{econ['accesses']:<5}"
+        )
+    fleet_econ = fleet["economics"]["fleet"]
+    print(
+        f"fleet tier on 2 nodes: {fleet_econ['hits']}/{fleet_econ['accesses']}"
+        f" hits, bundle intern {fleet['bundle_intern_hits']} hit(s) / "
+        f"{fleet['bundle_intern_misses']} build(s)"
+    )
+
+    largest = sweep[-1]
+    assert largest["dedup_throughput_multiple"] >= MIN_DEDUP, (
+        f"{largest['viewers']} co-located viewers reached only "
+        f"{largest['dedup_throughput_multiple']:.2f}x dedup throughput "
+        f"(floor {MIN_DEDUP}x)"
+    )
+
+    # pytest-benchmark bookkeeping: one small cached twin serve.
+    benchmark.pedantic(
+        lambda: _serve(2, cached=True), rounds=3, iterations=1
+    )

@@ -21,8 +21,12 @@ Usage (defaults shown):
         --target src/repro/stream --tests tests/stream \\
         --min 85 --report coverage_stream.json
 
-Exit status: 0 when total coverage >= the floor and the test run
-passed; 1 otherwise.  The JSON report (per-file covered/missed lines)
+``--min-file PATH:PCT`` (repeatable) additionally enforces a per-file
+floor on files inside the target, so a new hot module cannot hide
+behind the directory average.
+
+Exit status: 0 when total coverage >= the floor, every per-file floor
+holds, and the test run passed; 1 otherwise.  The JSON report (per-file covered/missed lines)
 is written either way, so CI can upload it as an artifact.
 """
 
@@ -157,7 +161,30 @@ def main(argv: list[str] | None = None) -> int:
         help="JSON report path, repo-root relative (default: "
         "coverage_stream.json)",
     )
+    parser.add_argument(
+        "--min-file",
+        action="append",
+        default=[],
+        metavar="PATH:PCT",
+        help="per-file floor, repeatable (e.g. "
+        "src/repro/stream/content_cache.py:85); the path is repo-root "
+        "relative and must lie inside --target",
+    )
     args = parser.parse_args(argv)
+
+    file_floors: dict[str, float] = {}
+    for spec in args.min_file:
+        path_part, sep, pct_part = spec.rpartition(":")
+        try:
+            if not sep:
+                raise ValueError
+            file_floors[path_part] = float(pct_part)
+        except ValueError:
+            print(
+                f"error: --min-file '{spec}' is not PATH:PCT",
+                file=sys.stderr,
+            )
+            return 1
 
     target = (REPO_ROOT / args.target).resolve()
     if not target.is_dir():
@@ -198,10 +225,21 @@ def main(argv: list[str] | None = None) -> int:
         )
     total = 100.0 * total_hit / total_exec if total_exec else 100.0
 
+    by_file = {r["file"]: r for r in rows}
+    unknown = sorted(set(file_floors) - set(by_file))
+    if unknown:
+        print(
+            f"error: --min-file path(s) not under --target: "
+            f"{', '.join(unknown)}",
+            file=sys.stderr,
+        )
+        return 1
+
     report = {
         "target": args.target,
         "tests": args.tests,
         "floor_percent": args.min,
+        "file_floors": file_floors,
         "total_percent": total,
         "total_executable": total_exec,
         "total_covered": total_hit,
@@ -221,6 +259,17 @@ def main(argv: list[str] | None = None) -> int:
         f"{'TOTAL':<{width}}  {total_exec:>6}  {total_hit:>6}  {total:>6.1f}%"
         f"  (floor {args.min:.0f}%) -> {report_path.name}"
     )
+    failed = False
+    for file, floor in sorted(file_floors.items()):
+        row = by_file[file]
+        if row["percent"] < floor:
+            print(
+                f"error: {file} coverage {row['percent']:.1f}% is below "
+                f"its {floor:.0f}% floor "
+                f"(missed lines {row['missed_lines'][:10]}...)",
+                file=sys.stderr,
+            )
+            failed = True
     if total < args.min:
         worst = sorted(rows, key=lambda r: r["percent"])[:3]
         for r in worst:
@@ -233,8 +282,8 @@ def main(argv: list[str] | None = None) -> int:
             f"error: coverage {total:.1f}% is below the {args.min:.0f}% floor",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -125,6 +125,14 @@ class GBUReport:
     #: (``cache_state=`` in :meth:`GBUDevice.render`); ``cache`` then
     #: holds the warm counters and this sample adds stream context.
     cache_sample: FrameCacheSample | None = None
+    #: The frame-stable feature access trace and its tile ids, kept
+    #: only for warm-cache renders (``cache_state=`` given).  A
+    #: content-addressed frame cache replays this trace through a
+    #: *different* session's :class:`TemporalReuseSimulator` so a
+    #: dedup-served frame advances temporal cache state exactly as a
+    #: fresh render would (see :meth:`GBUDevice.replay_step3_seconds`).
+    feature_trace: np.ndarray | None = None
+    feature_tiles: np.ndarray | None = None
 
     @property
     def image(self) -> np.ndarray:
@@ -310,20 +318,9 @@ class GBUDevice:
                 for tiles in shard_tile_ranges(trace_lists, self.config.shards)
             )
         compute_s = compute_cycles * scales.fragment / self.spec.clock_hz
-        # Feature stream: every miss pulls the fp32 source record at
-        # DRAM burst granularity; hits are served from the 32 B fp16
-        # lines on chip.  Index lists and framebuffer writeback always
-        # go off-chip.
-        demanded = cache.accesses * self.spec.miss_burst_bytes * scales.instance
-        feature_fetch = cache.misses * self.spec.miss_burst_bytes * scales.instance
-        index_bytes = cache.accesses * self.spec.index_bytes * scales.instance
-        pixels = render.image.shape[0] * render.image.shape[1]
-        framebuffer_bytes = (
-            pixels * self.spec.framebuffer_bytes_per_pixel * scales.pixel
+        demanded, feature_fetch, memory_s = self._blend_memory_seconds(
+            cache, render.image.shape[0], render.image.shape[1], scales
         )
-        fetched = feature_fetch + index_bytes + framebuffer_bytes
-        bandwidth = self.host_gpu.dram_bandwidth * self.calib.gbu_dram_share
-        memory_s = fetched / bandwidth
         dnb_s = dnb_cycles * scales.instance / self.spec.clock_hz
 
         # --- Chunk pipeline: D&B overlaps the (roofline) blending ---
@@ -346,9 +343,62 @@ class GBUDevice:
             feature_bytes_fetched=feature_fetch,
             feature_bytes_demanded=demanded,
             cache_sample=cache_sample,
+            feature_trace=stable if cache_state is not None else None,
+            feature_tiles=tile_of_access if cache_state is not None else None,
         )
         self._last_report = report
         return report
+
+    def _blend_memory_seconds(
+        self, cache: CacheReport, height: int, width: int, scales: ScaleFactors
+    ) -> tuple[float, float, float]:
+        """Feature-stream byte counters and DRAM seconds for one frame.
+
+        Every miss pulls the fp32 source record at DRAM burst
+        granularity; hits are served from the 32 B fp16 lines on chip.
+        Index lists and framebuffer writeback always go off-chip.
+        Returns ``(demanded, feature_fetch, memory_seconds)``.  The
+        arithmetic (order included) is shared verbatim between
+        :meth:`render` and :meth:`replay_step3_seconds` so a replayed
+        frame's timing is bit-identical to the rendered original.
+        """
+        demanded = cache.accesses * self.spec.miss_burst_bytes * scales.instance
+        feature_fetch = cache.misses * self.spec.miss_burst_bytes * scales.instance
+        index_bytes = cache.accesses * self.spec.index_bytes * scales.instance
+        pixels = height * width
+        framebuffer_bytes = (
+            pixels * self.spec.framebuffer_bytes_per_pixel * scales.pixel
+        )
+        fetched = feature_fetch + index_bytes + framebuffer_bytes
+        bandwidth = self.host_gpu.dram_bandwidth * self.calib.gbu_dram_share
+        memory_s = fetched / bandwidth
+        return demanded, feature_fetch, memory_s
+
+    def replay_step3_seconds(
+        self,
+        cache: CacheReport,
+        height: int,
+        width: int,
+        scales: ScaleFactors,
+        compute_seconds: float,
+    ) -> float:
+        """Step-3 seconds for a frame served from a content cache.
+
+        A dedup-served frame skips the functional render but its
+        *timing* must match a fresh render bit-for-bit: the caller
+        replays the cached feature trace through its own session's
+        :class:`TemporalReuseSimulator` (yielding ``cache``) and passes
+        the cached ``compute_seconds``; this method reapplies the same
+        memory roofline as :meth:`render`.  Only valid for streaming
+        configurations (``use_dnb=False``), where step 3 is the plain
+        compute/memory max with no chunked D&B overlap.
+        """
+        if self.config.use_dnb:
+            raise ValidationError(
+                "replay_step3_seconds requires use_dnb=False (streaming mode)"
+            )
+        _, _, memory_s = self._blend_memory_seconds(cache, height, width, scales)
+        return max(compute_seconds, memory_s)
 
     def resolved_backend_name(self) -> str:
         """The backend name this device will actually render with."""

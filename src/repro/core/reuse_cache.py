@@ -41,6 +41,73 @@ from repro.errors import SimulationError, ValidationError
 
 
 @dataclass(frozen=True)
+class CacheEconomics:
+    """One cache's hit-rate / traffic economics, in a single shape.
+
+    Two cache families live in this repository: the per-frame feature
+    reuse cache of this module (reported through :class:`CacheReport`)
+    and the tiered content-addressed render cache of
+    :mod:`repro.stream.content_cache`.  Both ultimately answer the
+    same two questions — what fraction of accesses hit, and what
+    fraction of demanded bytes never went downstream — so both derive
+    those answers from this one dataclass.  :attr:`CacheReport.hit_rate`
+    and :attr:`CacheReport.traffic_reduction` delegate here (with
+    bit-identical arithmetic), and the fleet's per-tier economics are
+    sums of these objects, so the two report shapes cannot drift apart.
+
+    Attributes
+    ----------
+    accesses / hits / misses:
+        Access counters (one access per lookup).
+    miss_bytes / total_bytes:
+        Bytes fetched past this cache vs. bytes demanded of it.  Kept
+        as explicit counters, not derived from the hit counters: lines
+        (or cached frames) need not all cost the same bytes.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    miss_bytes: float = 0.0
+    total_bytes: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def traffic_reduction(self) -> float:
+        """Fraction of demanded bytes this cache kept from going
+        downstream (the paper's Fig. 17 metric at the feature level)."""
+        if self.total_bytes == 0:
+            return 0.0
+        return 1.0 - self.miss_bytes / self.total_bytes
+
+    def __add__(self, other: "CacheEconomics") -> "CacheEconomics":
+        return CacheEconomics(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            miss_bytes=self.miss_bytes + other.miss_bytes,
+            total_bytes=self.total_bytes + other.total_bytes,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe view (counters plus the derived rates)."""
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_bytes": self.miss_bytes,
+            "total_bytes": self.total_bytes,
+            "hit_rate": self.hit_rate,
+            "traffic_reduction": self.traffic_reduction,
+        }
+
+
+@dataclass(frozen=True)
 class CacheReport:
     """Outcome of simulating one frame of feature fetches.
 
@@ -61,10 +128,24 @@ class CacheReport:
     bytes_per_line: int
 
     @property
+    def economics(self) -> CacheEconomics:
+        """This report's counters in the shared economics shape.
+
+        The byte counters are computed from ``bytes_per_line`` here —
+        uniform line size is a property of *this* cache family, not of
+        the shared dataclass.
+        """
+        return CacheEconomics(
+            accesses=self.accesses,
+            hits=self.hits,
+            misses=self.misses,
+            miss_bytes=self.misses * self.bytes_per_line,
+            total_bytes=self.accesses * self.bytes_per_line,
+        )
+
+    @property
     def hit_rate(self) -> float:
-        if self.accesses == 0:
-            return 0.0
-        return self.hits / self.accesses
+        return self.economics.hit_rate
 
     @property
     def miss_bytes(self) -> float:
@@ -78,15 +159,13 @@ class CacheReport:
     def traffic_reduction(self) -> float:
         """Fraction of off-chip feature traffic removed (paper: 44.9%).
 
-        Computed from the byte counters (``miss_bytes`` vs
-        ``total_bytes``), not copied from :attr:`hit_rate`: the two
-        coincide only while every line costs the same
-        ``bytes_per_line``, and deriving both from one formula would
-        silently hide a future non-uniform line size.
+        Delegates to :attr:`CacheEconomics.traffic_reduction` over the
+        byte counters (``miss_bytes`` vs ``total_bytes``), not copied
+        from :attr:`hit_rate`: the two coincide only while every line
+        costs the same ``bytes_per_line``, and deriving both from one
+        formula would silently hide a future non-uniform line size.
         """
-        if self.total_bytes == 0:
-            return 0.0
-        return 1.0 - self.miss_bytes / self.total_bytes
+        return self.economics.traffic_reduction
 
 
 def _validate_trace(trace: np.ndarray, tile_of_access: np.ndarray) -> None:

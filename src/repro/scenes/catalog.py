@@ -426,12 +426,19 @@ class BundleCache:
     ``capacity`` is exceeded; an evicted rung is simply rebuilt on the
     next touch (scene builds are deterministic, so eviction never
     changes output, only build work).
+
+    ``builder`` overrides how a missed bundle is produced (default:
+    :func:`build_scene`).  Co-located workers pass a shared interner
+    (:class:`~repro.stream.content_cache.BundleIntern`) here so one
+    immutable bundle per ``(scene, detail)`` serves every worker on
+    the node instead of each building its own copy.
     """
 
-    def __init__(self, capacity: int = 8) -> None:
+    def __init__(self, capacity: int = 8, builder=None) -> None:
         if capacity < 1:
             raise ValidationError("bundle cache capacity must be at least 1")
         self.capacity = capacity
+        self._builder = build_scene if builder is None else builder
         self._bundles: dict[tuple[str, float], SceneBundle] = {}
         self.hits = 0
         self.misses = 0
@@ -452,7 +459,7 @@ class BundleCache:
             self._bundles[key] = bundle
             return bundle
         self.misses += 1
-        bundle = build_scene(scene, detail=detail)
+        bundle = self._builder(scene, detail=detail)
         self._bundles[key] = bundle
         while len(self._bundles) > self.capacity:
             self._bundles.pop(next(iter(self._bundles)))

@@ -24,6 +24,11 @@ single-frame renderer:
 * :mod:`repro.stream.checkpoint` — lightweight session snapshots
   (trajectory cursor + temporal-cache resident set) powering worker
   crash recovery and migrations;
+* :mod:`repro.stream.content_cache` — the fleet-wide
+  content-addressed render cache: session → worker → node → fleet
+  tiers keyed by (scene, quantized pose, detail, render mode), with
+  whole-frame dedup across co-located viewers, cost-aware eviction
+  and shared scene-bundle interning;
 * :mod:`repro.stream.server` — :class:`StreamServer`, multiplexing N
   client sessions over a ``concurrent.futures`` worker pool with one
   :class:`repro.core.gbu.GBUDevice` per worker, request batching of
@@ -47,6 +52,18 @@ from repro.stream.checkpoint import (
     SessionCheckpoint,
     capture_checkpoint,
     restore_checkpoint,
+)
+from repro.stream.content_cache import (
+    TIER_LEVELS,
+    BundleIntern,
+    CachedFrame,
+    CacheTier,
+    ContentCacheConfig,
+    SessionContentView,
+    canonical_camera,
+    economics_to_dict,
+    frame_content_key,
+    merge_economics,
 )
 from repro.stream.fleet import (
     ROUTERS,
@@ -111,6 +128,16 @@ __all__ = [
     "SessionCheckpoint",
     "capture_checkpoint",
     "restore_checkpoint",
+    "TIER_LEVELS",
+    "BundleIntern",
+    "CachedFrame",
+    "CacheTier",
+    "ContentCacheConfig",
+    "SessionContentView",
+    "canonical_camera",
+    "economics_to_dict",
+    "frame_content_key",
+    "merge_economics",
     "FrameRecord",
     "FrameStream",
     "StreamReport",

@@ -31,6 +31,13 @@ approximate backend (optionally tuned with ``--tolerance``), and
 without QoS, or the controller's escalation ceiling under
 ``--target-fps`` with adaptive QoS.
 
+``--content-cache`` enables the tiered content-addressed render cache
+(:mod:`repro.stream.content_cache`): co-located viewers whose poses
+fall in the same quantization cell (``--pose-quant``, scene units; 0
+dedups only bit-identical poses) are served one shared render product,
+and the summary gains a per-tier hit-rate/traffic line.  Both the main
+command and the ``fleet`` subcommand accept the pair.
+
 Each session gets its own trajectory: session ``i`` uses seed
 ``seed + i`` (head-jitter) or phase offset ``i`` (orbit), so concurrent
 clients view the scene from distinct, deterministic paths.
@@ -54,6 +61,7 @@ from repro.harness import format_table
 from repro.render.approx import APPROX_TOLERANCE_ENV_VAR
 from repro.render.backends import get_backend
 from repro.scenes.catalog import CATALOG
+from repro.stream.content_cache import ContentCacheConfig, economics_to_dict
 from repro.stream.fleet import ROUTERS, EdgeFleet
 from repro.stream.pipeline import streaming_config
 from repro.stream.qos import QoSPolicy
@@ -67,6 +75,49 @@ TRAJECTORIES = ("orbit", "dolly", "head_jitter", "frozen")
 QOS_MODES = ("adaptive", "fixed")
 
 RENDER_MODES = ("exact", "approx")
+
+
+def _add_content_cache_args(parser: argparse.ArgumentParser) -> None:
+    """The content-cache argument pair, shared by both commands."""
+    parser.add_argument(
+        "--content-cache",
+        action="store_true",
+        help="enable the tiered content-addressed render cache "
+        "(whole-frame dedup across co-located viewers)",
+    )
+    parser.add_argument(
+        "--pose-quant",
+        type=float,
+        default=0.0,
+        metavar="Q",
+        help="camera-eye quantization cell size in scene units; viewers "
+        "inside one cell share rendered frames (0 = exact poses only; "
+        "requires --content-cache)",
+    )
+
+
+def _validate_content_cache_args(args: argparse.Namespace) -> None:
+    if args.pose_quant < 0:
+        raise ValidationError("--pose-quant cannot be negative")
+    if args.pose_quant > 0 and not args.content_cache:
+        raise ValidationError("--pose-quant requires --content-cache")
+
+
+def _content_config(args: argparse.Namespace) -> ContentCacheConfig | None:
+    if not args.content_cache:
+        return None
+    return ContentCacheConfig(pose_quant=args.pose_quant)
+
+
+def _print_content_economics(totals: dict) -> None:
+    parts = []
+    for level, econ in economics_to_dict(totals).items():
+        parts.append(
+            f"{level} {econ['hits']}/{econ['accesses']} "
+            f"({econ['hit_rate']:.0%})"
+        )
+    line = ", ".join(parts) if parts else "no lookups"
+    print(f"content cache hits by tier: {line}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -171,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="base seed for jittered paths"
     )
+    _add_content_cache_args(parser)
     parser.add_argument(
         "--json",
         metavar="PATH",
@@ -213,6 +265,7 @@ def validate_args(args: argparse.Namespace) -> None:
             )
         if not 0.0 <= args.tolerance <= 1.0:
             raise ValidationError("--tolerance must be in [0, 1]")
+    _validate_content_cache_args(args)
 
 
 def make_sessions(args: argparse.Namespace) -> list[StreamSession]:
@@ -262,9 +315,11 @@ def _run(args: argparse.Namespace, sessions: list[StreamSession]) -> int:
         workers=args.workers,
         placement=args.placement,
         max_inflight=args.max_inflight,
+        content_cache=_content_config(args),
     ) as server:
         server.warm_up()
         results, summary = server.serve_timed(sessions)
+        content_totals = server.content_totals
 
     with_qos = args.target_fps is not None
     headers = [
@@ -313,6 +368,8 @@ def _run(args: argparse.Namespace, sessions: list[StreamSession]) -> int:
             f"QoS ({args.qos}, {args.target_fps:g} Hz): "
             f"{misses}/{summary.total_frames} deadline misses"
         )
+    if args.content_cache:
+        _print_content_economics(content_totals)
 
     if args.json is not None:
         payload = {
@@ -324,6 +381,14 @@ def _run(args: argparse.Namespace, sessions: list[StreamSession]) -> int:
             "qos": args.qos if with_qos else None,
             "sim_frames_per_sec": summary.sim_frames_per_sec,
             "wall_frames_per_sec": summary.wall_frames_per_sec,
+            **(
+                {
+                    "content_cache": economics_to_dict(content_totals),
+                    "pose_quant": args.pose_quant,
+                }
+                if args.content_cache
+                else {}
+            ),
             "sessions": [r.report.to_dict() for r in results],
         }
         text = json.dumps(payload, indent=2)
@@ -419,6 +484,7 @@ def build_fleet_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="traffic generator seed"
     )
+    _add_content_cache_args(parser)
     parser.add_argument(
         "--json",
         metavar="PATH",
@@ -448,6 +514,7 @@ def validate_fleet_args(args: argparse.Namespace) -> None:
         raise ValidationError("--min-nodes must be in [1, --nodes]")
     if args.seed < 0:
         raise ValidationError("--seed cannot be negative")
+    _validate_content_cache_args(args)
 
 
 def _run_fleet(args: argparse.Namespace) -> int:
@@ -468,6 +535,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
         min_nodes=args.min_nodes,
         max_nodes=args.max_nodes,
         migration=not args.no_migration,
+        content_cache=_content_config(args),
     ) as fleet:
         result = fleet.serve(arrivals)
 
@@ -504,6 +572,12 @@ def _run_fleet(args: argparse.Namespace) -> int:
         f"{len(result.migrations)} cross-node migration(s), "
         f"{len(result.spawns)} spawn(s), {len(result.drains)} drain(s)"
     )
+    if args.content_cache:
+        _print_content_economics(result.content)
+        print(
+            f"bundle intern: {result.bundle_intern_hits} hit(s), "
+            f"{result.bundle_intern_misses} build(s)"
+        )
 
     if args.json is not None:
         payload = {
@@ -521,6 +595,16 @@ def _run_fleet(args: argparse.Namespace) -> int:
             "max_queue_depth": result.max_queue_depth,
             "mean_admission_delay": result.mean_admission_delay,
             "migrations": len(result.migrations),
+            **(
+                {
+                    "content_cache": economics_to_dict(result.content),
+                    "pose_quant": args.pose_quant,
+                    "bundle_intern_hits": result.bundle_intern_hits,
+                    "bundle_intern_misses": result.bundle_intern_misses,
+                }
+                if args.content_cache
+                else {}
+            ),
             "autoscale_events": [
                 {
                     "action": e.action,

@@ -42,7 +42,14 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.core.reuse_cache import CacheEconomics
 from repro.errors import SimulationError, ValidationError
+from repro.stream.content_cache import (
+    BundleIntern,
+    CacheTier,
+    ContentCacheConfig,
+    merge_economics,
+)
 from repro.stream.server import (
     ServeSummary,
     SessionResult,
@@ -107,6 +114,14 @@ class FleetResult:
     ticks: int = 0
     #: Maximum number of simultaneously-alive nodes during the serve.
     peak_nodes: int = 0
+    #: Fleet-wide per-tier content-cache economics (session → worker →
+    #: node → fleet), summed over every node; empty without a content
+    #: cache.
+    content: dict[str, CacheEconomics] = field(default_factory=dict)
+    #: Scene-bundle interning counters (shared immutable bundles
+    #: across co-located workers); zero without a content cache.
+    bundle_intern_hits: int = 0
+    bundle_intern_misses: int = 0
 
     @property
     def total_frames(self) -> int:
@@ -207,6 +222,13 @@ class EdgeFleet:
         recovery inside a fleet serve.
     bundle_cache_size:
         Per-worker bundle LRU capacity, forwarded to the nodes.
+    content_cache:
+        Enable the fleet-wide content-addressed render cache
+        (:mod:`repro.stream.content_cache`).  The fleet owns the
+        top-level fleet tier and the cross-worker scene-bundle
+        interner; every spawned node's server chains its node tier to
+        the fleet tier, so co-located viewers dedup across nodes.
+        Per-tier economics land on :attr:`FleetResult.content`.
     """
 
     def __init__(
@@ -225,6 +247,7 @@ class EdgeFleet:
         migration_threshold: float = 0.5,
         fault_injector=None,
         bundle_cache_size: int = 8,
+        content_cache: ContentCacheConfig | None = None,
     ) -> None:
         if nodes < 1:
             raise ValidationError("fleet needs at least one node")
@@ -264,6 +287,13 @@ class EdgeFleet:
         self.migration_threshold = migration_threshold
         self.fault_injector = fault_injector
         self.bundle_cache_size = bundle_cache_size
+        self.content_cache = content_cache
+        self._fleet_tier: CacheTier | None = None
+        self._intern: BundleIntern | None = None
+        if content_cache is not None:
+            self._fleet_tier = CacheTier("fleet", content_cache.fleet_bytes)
+            self._intern = BundleIntern()
+        self._content_totals: dict[str, CacheEconomics] = {}
         self._nodes: list[_FleetNode] = []
         self._next_node_id = 0
 
@@ -293,6 +323,9 @@ class EdgeFleet:
             local=True,
             fault_injector=injector,
             bundle_cache_size=self.bundle_cache_size,
+            content_cache=self.content_cache,
+            content_parent=self._fleet_tier,
+            bundle_builder=self._intern.build if self._intern is not None else None,
         )
         server.begin([])
         node = _FleetNode(node_id, server, tick, clock_offset=clock)
@@ -412,6 +445,11 @@ class EdgeFleet:
         wall0 = time.perf_counter()
         self.close()
         self._next_node_id = 0
+        if self._fleet_tier is not None:
+            self._fleet_tier.clear()
+        if self._intern is not None:
+            self._intern.clear()
+        self._content_totals = {}
         for _ in range(self.initial_nodes):
             self._spawn_node(tick=0)
 
@@ -553,12 +591,16 @@ class EdgeFleet:
             admission_delays=admission_delays,
             ticks=tick,
             peak_nodes=peak_nodes,
+            content=dict(self._content_totals),
+            bundle_intern_hits=self._intern.hits if self._intern else 0,
+            bundle_intern_misses=self._intern.misses if self._intern else 0,
         )
 
     def _retire(
         self, node: _FleetNode, wall: float = 0.0
     ) -> tuple[list[SessionResult], ServeSummary]:
         """Finish a node's open serve and fold it into a summary."""
+        merge_economics(self._content_totals, node.server.content_totals)
         results = node.server.finish()
         summary = ServeSummary.from_results(
             results,

@@ -39,10 +39,11 @@ from repro.core.reuse_cache import FrameCacheSample
 from repro.errors import DeviceBusyError, ValidationError
 from repro.gaussians import project
 from repro.gpu import FrameWorkload, GPUTimingModel, ScaleFactors
-from repro.render.approx import tolerance_for_rung, use_approx_policy
+from repro.render.approx import default_policy, tolerance_for_rung, use_approx_policy
 from repro.scenes import BundleCache, SceneBundle, SceneSpec, build_scene
 from repro.scenes.catalog import CATALOG
 from repro.stream.binning import BinningStats, WarmBinner, camera_fingerprint
+from repro.stream.content_cache import CachedFrame, SessionContentView, render_mode_key
 from repro.stream.qos import QoSRecord, QualityController
 from repro.stream.trajectory import CameraTrajectory
 
@@ -98,6 +99,11 @@ class FrameRecord:
     shards:
         Parallel tile shards the frame rendered with (1 unless the
         controller escalated the session).
+    served_from:
+        Content-cache tier that served this frame ("session",
+        "worker", "node" or "fleet"), or ``None`` when the frame was
+        actually rendered (including every frame of a stream without a
+        content cache).
     """
 
     frame: int
@@ -111,6 +117,7 @@ class FrameRecord:
     detail: float = 1.0
     qos: QoSRecord | None = None
     shards: int = 1
+    served_from: str | None = None
 
     @property
     def sim_fps(self) -> float:
@@ -229,6 +236,13 @@ class StreamReport:
                     # serve summaries of unsharded runs (including the
                     # golden fixtures) keep their exact bytes.
                     **({"shards": f.shards} if f.shards > 1 else {}),
+                    # Same contract: only dedup-served frames carry the
+                    # tier, so cache-less runs keep their exact bytes.
+                    **(
+                        {"served_from": f.served_from}
+                        if f.served_from is not None
+                        else {}
+                    ),
                     **(
                         {
                             "deadline_met": f.qos.met,
@@ -279,6 +293,15 @@ class FrameStream:
         the controller switches detail.  The server passes its
         per-worker bounded :class:`~repro.scenes.BundleCache`; a
         standalone adaptive stream falls back to a private cache.
+    content:
+        Optional :class:`~repro.stream.content_cache.
+        SessionContentView` — this session's window onto the tiered
+        content-addressed render cache.  When given, each frame's
+        camera is canonicalized (pose quantization), the frame's
+        content address is looked up before rendering, and a hit
+        short-circuits the functional render while still advancing
+        timing, QoS and temporal cache state exactly as a fresh render
+        would (see :meth:`render_next`).
     """
 
     def __init__(
@@ -292,6 +315,7 @@ class FrameStream:
         device: GBUDevice | None = None,
         controller: QualityController | None = None,
         bundle_provider: Callable[..., SceneBundle] | None = None,
+        content: SessionContentView | None = None,
     ) -> None:
         spec = CATALOG[scene] if isinstance(scene, str) else scene
         if device is not None and config is not None and device.config != config:
@@ -329,6 +353,7 @@ class FrameStream:
             cache.put(spec, detail, self.bundle)
             bundle_provider = cache.get
         self._bundle_provider = bundle_provider
+        self.content = content
         self._gpu_model = GPUTimingModel()
         self.binner = WarmBinner(self.bundle.n_source_gaussians)
         self.cache_state = self.device.new_cache_state()
@@ -410,6 +435,23 @@ class FrameStream:
             width, height = self.spec.eval_resolution(detail)
             if (camera.width, camera.height) != (width, height):
                 camera = camera.with_resolution(width, height)
+        shards = 1 if self.controller is None else self.controller.next_shards
+        key = None
+        if self.content is not None:
+            # Canonical-pose rendering: the snapped camera is what gets
+            # rendered, so every viewer in the quantization cell sees
+            # the byte-identical product whether it hit or rendered.
+            camera = self.content.canonical_camera(camera)
+            key = self.content.frame_key(
+                self.spec,
+                camera,
+                self.bundle.frame_clock(k),
+                detail,
+                self._render_mode(shards, detail),
+            )
+            hit = self.content.lookup(key)
+            if hit is not None:
+                return self._serve_cached(k, *hit, detail=detail, shards=shards, t0=t0)
         cloud, extra_flops, source_ids = self.bundle.frame_cloud_indexed(k)
         projected = project(cloud, camera)
         lists, binning = self.binner.build(
@@ -417,11 +459,23 @@ class FrameStream:
             frame_key=(camera_fingerprint(camera), self.bundle.frame_clock(k)),
             source_ids=source_ids,
         )
-        shards = 1 if self.controller is None else self.controller.next_shards
         report = self._render_via_device(
             projected, lists, source_ids, shards=shards, detail=detail
         )
         sim_seconds = self._frame_seconds(report, len(projected), extra_flops)
+        if key is not None:
+            self.content.insert(
+                CachedFrame(
+                    key=key,
+                    image=report.image,
+                    trace=report.feature_trace,
+                    tiles=report.feature_tiles,
+                    compute_seconds=report.compute_seconds,
+                    n_visible=len(projected),
+                    n_instances=lists.n_instances,
+                    extra_flops=extra_flops,
+                )
+            )
         qos = None
         if self.controller is not None:
             qos = self.controller.observe(
@@ -440,6 +494,94 @@ class FrameStream:
             detail=detail,
             qos=qos,
             shards=shards,
+        )
+        self._next_frame = k + 1
+        return record
+
+    def _render_mode(self, shards: int, detail: float) -> tuple:
+        """The render-mode component of this frame's content address.
+
+        Mirrors exactly what :meth:`_render_via_device` is about to do:
+        the resolved backend, the effective approx tolerance (the QoS
+        rung's tolerance under a controller, the process default
+        otherwise, ``None`` for exact backends), and every device knob
+        that changes pixels or compute cycles.
+        """
+        backend = self.device.resolved_backend_name()
+        tolerance = None
+        if backend == "approx":
+            if self.controller is not None:
+                tolerance = float(tolerance_for_rung(detail / self.detail))
+            else:
+                tolerance = float(default_policy().tolerance)
+        config = self.device.config
+        return render_mode_key(
+            backend,
+            tolerance,
+            config.fp16,
+            shards,
+            config.interleaved_rows,
+            config.cross_tile_overlap,
+        )
+
+    def _serve_cached(
+        self,
+        k: int,
+        cached: CachedFrame,
+        level: str,
+        detail: float,
+        shards: int,
+        t0: float,
+    ) -> FrameRecord:
+        """Serve frame ``k`` from the content cache.
+
+        Only the functional render is skipped.  The cached feature
+        trace replays through *this session's* temporal cache state and
+        the step-3 roofline recomputes from the replayed counters plus
+        the cached compute seconds — bit-identical arithmetic to a
+        fresh render, so ``sim_seconds``, QoS verdicts and checkpoint
+        state cannot tell a dedup-served frame from a rendered one.
+        The warm binner is left untouched (it regenerates whatever
+        moved on the next actual render; binning stats are reported as
+        full reuse, mirroring that no instance was regenerated).
+        """
+        cache_sample = self.cache_state.observe_frame(cached.trace, cached.tiles)
+        height, width = cached.image.shape[0], cached.image.shape[1]
+        step3_s = self.device.replay_step3_seconds(
+            cache_sample.report, height, width, self.scales, cached.compute_seconds
+        )
+        sim_seconds = self._frame_seconds_from(
+            accesses=cache_sample.report.accesses,
+            height=height,
+            width=width,
+            step3_seconds=step3_s,
+            n_visible=cached.n_visible,
+            extra_flops=cached.extra_flops,
+        )
+        qos = None
+        if self.controller is not None:
+            qos = self.controller.observe(
+                frame=k, detail=detail, sim_seconds=sim_seconds
+            )
+        wall = time.perf_counter() - t0
+        record = FrameRecord(
+            frame=k,
+            n_visible=cached.n_visible,
+            n_instances=cached.n_instances,
+            sim_seconds=sim_seconds,
+            wall_seconds=wall,
+            cache=cache_sample,
+            binning=BinningStats(
+                total_instances=cached.n_instances,
+                reused_instances=cached.n_instances,
+                generated_instances=0,
+                full_reuse=True,
+            ),
+            image=cached.image if self.keep_images else None,
+            detail=detail,
+            qos=qos,
+            shards=shards,
+            served_from=level,
         )
         self._next_frame = k + 1
         return record
@@ -511,15 +653,40 @@ class FrameStream:
         Only the Step-1/Step-2 counters of the workload are consumed
         here; the Step-3 side comes from the device report.
         """
+        return self._frame_seconds_from(
+            accesses=report.cache.accesses,
+            height=report.image.shape[0],
+            width=report.image.shape[1],
+            step3_seconds=report.step3_seconds,
+            n_visible=n_visible,
+            extra_flops=extra_flops,
+        )
+
+    def _frame_seconds_from(
+        self,
+        accesses: int,
+        height: int,
+        width: int,
+        step3_seconds: float,
+        n_visible: int,
+        extra_flops: float,
+    ) -> float:
+        """The frame-latency arithmetic on its primitive inputs.
+
+        Shared between the render path (counters read off the device
+        report) and the content-cache hit path (counters replayed from
+        the cached frame), so both produce bit-identical latencies for
+        identical counters.
+        """
         workload = FrameWorkload(
             n_gaussians=n_visible * self.scales.gaussian,
             step1_extra_flops_per_gaussian=extra_flops,
-            n_instances=report.cache.accesses * self.scales.instance,
+            n_instances=accesses * self.scales.instance,
             pfs_fragments=0.0,
             irss_fragments=0.0,
             irss_segments=0.0,
             irss_serial_slots=0.0,
-            pixels=report.image.shape[0] * report.image.shape[1] * self.scales.pixel,
+            pixels=height * width * self.scales.pixel,
             feature_bytes=0.0,
         )
         step1_s = self._gpu_model.step1_seconds(workload)
@@ -528,7 +695,7 @@ class FrameStream:
         )
         pipe = PipelinedFrame(
             gpu_seconds=step1_s + step2_s,
-            gbu_seconds=report.step3_seconds,
+            gbu_seconds=step3_seconds,
             sync_seconds=SYNC_SECONDS,
         )
         return pipe.frame_seconds

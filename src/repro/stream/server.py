@@ -68,12 +68,19 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.gbu import GBUConfig, GBUDevice
+from repro.core.reuse_cache import CacheEconomics
 from repro.errors import SimulationError, ValidationError
 from repro.scenes import BundleCache
 from repro.stream.checkpoint import (
     SessionCheckpoint,
     capture_checkpoint,
     restore_checkpoint,
+)
+from repro.stream.content_cache import (
+    CacheTier,
+    ContentCacheConfig,
+    SessionContentView,
+    merge_economics,
 )
 from repro.stream.pipeline import (
     FrameRecord,
@@ -261,12 +268,14 @@ class TickResult:
     ``done`` names sessions whose frame budget is now exhausted (the
     scheduler drops them from future ticks); ``checkpoints`` snapshots
     every session that rendered, enabling crash recovery and
-    migration.
+    migration; ``content`` carries the tick's per-tier
+    content-cache economics (empty without a content cache).
     """
 
     frames: list[tuple[str, FrameRecord]] = field(default_factory=list)
     done: list[str] = field(default_factory=list)
     checkpoints: dict[str, SessionCheckpoint] = field(default_factory=dict)
+    content: dict[str, CacheEconomics] = field(default_factory=dict)
 
     @property
     def n_frames(self) -> int:
@@ -290,6 +299,7 @@ class TickResult:
             out.frames.extend(result.frames)
             out.done.extend(result.done)
             out.checkpoints.update(result.checkpoints)
+            merge_economics(out.content, result.content)
         return out
 
 
@@ -302,22 +312,52 @@ class _WorkerState:
     grow for the lifetime of the worker.
     """
 
-    def __init__(self, bundle_cache_size: int = 8) -> None:
+    def __init__(
+        self,
+        bundle_cache_size: int = 8,
+        content: ContentCacheConfig | None = None,
+        content_parent: CacheTier | None = None,
+        bundle_builder=None,
+    ) -> None:
         self.devices: dict[GBUConfig, GBUDevice] = {}
-        self.bundles = BundleCache(capacity=bundle_cache_size)
+        self.bundle_builder = bundle_builder
+        self.bundles = BundleCache(
+            capacity=bundle_cache_size, builder=bundle_builder
+        )
         self.streams: dict[str, FrameStream] = {}
         self.budgets: dict[str, int] = {}
         self.details: dict[str, float] = {}
+        # Content-addressed render cache: this worker owns the worker
+        # tier (chained to the server's node tier when in-process; a
+        # subprocess worker's chain ends here) and one session tier per
+        # live session, created in _stream_for.
+        self.content_config = content
+        self.content_parent = content_parent
+        self.worker_tier: CacheTier | None = None
+        if content is not None:
+            self.worker_tier = CacheTier(
+                "worker", content.worker_bytes, parent=content_parent
+            )
+        self.views: dict[str, SessionContentView] = {}
 
     def reset(self, bundle_cache_size: int | None = None) -> None:
         self.devices.clear()
         if bundle_cache_size is not None:
-            self.bundles = BundleCache(capacity=bundle_cache_size)
+            self.bundles = BundleCache(
+                capacity=bundle_cache_size, builder=self.bundle_builder
+            )
         else:
             self.bundles.clear()
         self.streams.clear()
         self.budgets.clear()
         self.details.clear()
+        if self.content_config is not None:
+            self.worker_tier = CacheTier(
+                "worker",
+                self.content_config.worker_bytes,
+                parent=self.content_parent,
+            )
+        self.views.clear()
 
     def _device_for(self, config: GBUConfig) -> GBUDevice:
         if config not in self.devices:
@@ -347,6 +387,15 @@ class _WorkerState:
                 session.qos,
                 nominal_detail=session.detail,
             )
+        view = None
+        if self.content_config is not None:
+            session_tier = CacheTier(
+                "session",
+                self.content_config.session_bytes,
+                parent=self.worker_tier,
+            )
+            view = SessionContentView(self.content_config, session_tier)
+            self.views[session.session_id] = view
         stream = FrameStream(
             session.scene,
             session.trajectory,
@@ -356,6 +405,7 @@ class _WorkerState:
             device=self._device_for(config),
             controller=controller,
             bundle_provider=self.bundles.get,
+            content=view,
         )
         self.streams[session.session_id] = stream
         self.budgets[session.session_id] = session.frame_budget
@@ -387,6 +437,9 @@ class _WorkerState:
             result.checkpoints[session_id] = capture_checkpoint(
                 session_id, stream, detail=self.details[session_id]
             )
+            view = self.views.get(session_id)
+            if view is not None:
+                merge_economics(result.content, view.drain())
             if stream.frames_rendered >= budget:
                 result.done.append(session_id)
         return result
@@ -412,6 +465,7 @@ class _WorkerState:
                 )
             self.streams.pop(session.session_id, None)
             self.budgets.pop(session.session_id, None)
+            self.views.pop(session.session_id, None)
             stream = self._stream_for(session)
             if ckpt is not None:
                 restore_checkpoint(stream, ckpt)
@@ -422,6 +476,7 @@ class _WorkerState:
             self.streams.pop(session_id, None)
             self.budgets.pop(session_id, None)
             self.details.pop(session_id, None)
+            self.views.pop(session_id, None)
 
 
 _STATE: _WorkerState | None = None
@@ -438,7 +493,24 @@ def _subprocess_render_tick(sessions: list[StreamSession | str]) -> TickResult:
     return _subprocess_state().render_tick(sessions)
 
 
-def _subprocess_reset(bundle_cache_size: int | None = None) -> None:
+def _subprocess_reset(
+    bundle_cache_size: int | None = None,
+    content: ContentCacheConfig | None = None,
+) -> None:
+    """Reset the subprocess worker, optionally (re)arming its content
+    cache.  Only the config crosses the process boundary: a subprocess
+    worker's tier chain ends at its own worker tier (node/fleet tiers
+    and bundle interning cannot share memory across processes — the
+    deterministic ``local`` modes exercise the full hierarchy)."""
+    global _STATE
+    if content is not None:
+        _STATE = _WorkerState(
+            bundle_cache_size=(
+                bundle_cache_size if bundle_cache_size is not None else 8
+            ),
+            content=content,
+        )
+        return
     _subprocess_state().reset(bundle_cache_size)
 
 
@@ -503,6 +575,24 @@ class StreamServer:
         Capacity of each worker's bounded ``(scene, detail)``
         bundle LRU (adaptive sessions touch one bundle per detail
         rung; see :class:`~repro.scenes.BundleCache`).
+    content_cache:
+        Enable the tiered content-addressed render cache
+        (:mod:`repro.stream.content_cache`).  The server owns the node
+        tier (cleared per :meth:`begin`); each worker owns a worker
+        tier chained to it, each session a session tier chained to
+        that.  Subprocess workers keep session+worker tiers only (no
+        shared memory across processes).  Per-tier economics accumulate
+        in :attr:`content_totals` and ride on each tick's
+        :class:`TickResult`.
+    content_parent:
+        Tier the node tier chains to (the fleet tier — set by
+        :class:`~repro.stream.fleet.EdgeFleet`).
+    bundle_builder:
+        ``(scene, detail) -> SceneBundle`` override for worker bundle
+        caches; the fleet passes its
+        :class:`~repro.stream.content_cache.BundleIntern` so
+        co-located workers share one immutable bundle per
+        ``(scene, detail)``.
     """
 
     def __init__(
@@ -516,6 +606,9 @@ class StreamServer:
         local: bool = False,
         estimator: Callable[[str, float], float] | None = None,
         bundle_cache_size: int = 8,
+        content_cache: ContentCacheConfig | None = None,
+        content_parent: CacheTier | None = None,
+        bundle_builder=None,
     ) -> None:
         if workers < 0:
             raise ValidationError("worker count cannot be negative")
@@ -532,6 +625,17 @@ class StreamServer:
         self.fault_injector = fault_injector
         self.estimator = estimator
         self.local = local or workers == 0
+        self.content_cache = content_cache
+        self._bundle_builder = bundle_builder
+        self._node_tier: CacheTier | None = None
+        if content_cache is not None:
+            self._node_tier = CacheTier(
+                "node", content_cache.node_bytes, parent=content_parent
+            )
+        #: Per-tier content-cache economics accumulated over the open
+        #: serve (reset by :meth:`begin`); empty without a content
+        #: cache.
+        self.content_totals: dict[str, CacheEconomics] = {}
         self._n_workers = max(workers, 1)
         self._executors: list[ProcessPoolExecutor] = []
         self._local_states: list[_WorkerState] = []
@@ -579,7 +683,12 @@ class StreamServer:
         if self.local:
             while len(self._local_states) < self._n_workers:
                 self._local_states.append(
-                    _WorkerState(bundle_cache_size=self.bundle_cache_size)
+                    _WorkerState(
+                        bundle_cache_size=self.bundle_cache_size,
+                        content=self.content_cache,
+                        content_parent=self._node_tier,
+                        bundle_builder=self._bundle_builder,
+                    )
                 )
             return
         while len(self._executors) < self.workers:
@@ -636,6 +745,9 @@ class StreamServer:
             raise ValidationError("session ids must be unique")
         self._ensure_pool()
         self._reset_workers()
+        if self._node_tier is not None:
+            self._node_tier.clear()
+        self.content_totals = {}
         kwargs = {} if self.estimator is None else {"estimator": self.estimator}
         self._scheduler = make_scheduler(
             self.placement,
@@ -704,7 +816,9 @@ class StreamServer:
         self._apply_migrations()
         self.worker_busy_seconds = dict(scheduler.busy_seconds)
         self._steps += 1
-        return TickResult.merged(results)
+        merged = TickResult.merged(results)
+        merge_economics(self.content_totals, merged.content)
+        return merged
 
     def finish(self) -> list[SessionResult]:
         """Close the open serve and return the per-session results.
@@ -993,8 +1107,14 @@ class StreamServer:
                 f"({self.max_respawns}); giving up"
             )
         if self.local:
+            # A crashed worker loses its worker-tier cache along with
+            # everything else; the node tier survives on the server, so
+            # replayed sessions re-warm from it.
             self._local_states[worker] = _WorkerState(
-                bundle_cache_size=self.bundle_cache_size
+                bundle_cache_size=self.bundle_cache_size,
+                content=self.content_cache,
+                content_parent=self._node_tier,
+                bundle_builder=self._bundle_builder,
             )
         else:
             self._executors[worker].shutdown(wait=False)
@@ -1039,7 +1159,7 @@ class StreamServer:
             return
         for executor in self._executors:
             executor.submit(
-                _subprocess_reset, self.bundle_cache_size
+                _subprocess_reset, self.bundle_cache_size, self.content_cache
             ).result()
 
     # -- convenience ----------------------------------------------------

@@ -28,8 +28,10 @@ import pytest
 from repro.scenes.catalog import CATALOG
 from repro.stream import (
     CameraTrajectory,
+    ContentCacheConfig,
     StreamServer,
     StreamSession,
+    economics_to_dict,
     streaming_config,
 )
 
@@ -111,6 +113,53 @@ def _snapshot(backend: str) -> dict:
     }
 
 
+def _content_sessions(backend: str) -> list[StreamSession]:
+    """Two viewers on the identical orbit — the dedup-path scenario."""
+    config = streaming_config(backend=backend)
+    spec = CATALOG["bicycle"]
+    trajectory = CameraTrajectory.for_scene(
+        spec, "orbit", n_frames=N_FRAMES, detail=DETAIL
+    )
+    return [
+        StreamSession(
+            f"golden-viewer-{tag}",
+            "bicycle",
+            trajectory,
+            detail=DETAIL,
+            keep_images=True,
+            config=config,
+        )
+        for tag in ("a", "b")
+    ]
+
+
+def _content_snapshot(backend: str) -> dict:
+    """Serve two co-located viewers through the content cache and pin
+    the dedup path: which tier served every frame, the exact per-tier
+    hit/miss/byte counters, and the served images' hashes (which must
+    equal the renderer's)."""
+    with StreamServer(workers=0, content_cache=ContentCacheConfig()) as server:
+        results = server.serve(_content_sessions(backend))
+        economics = economics_to_dict(server.content_totals)
+    return {
+        "economics": economics,
+        "sessions": {
+            r.session_id: [
+                {
+                    "frame": f.frame,
+                    "served_from": f.served_from,
+                    "sim_seconds": f.sim_seconds,
+                    "hit_rate": f.hit_rate,
+                    "cumulative_hit_rate": f.cache.cumulative_hit_rate,
+                    "image_sha256": _image_hash(f.image),
+                }
+                for f in r.report.frames
+            ]
+            for r in results
+        },
+    }
+
+
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_serve_matches_golden_snapshot(backend):
     assert FIXTURE.exists(), (
@@ -133,17 +182,51 @@ def test_serve_matches_golden_snapshot(backend):
             )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_content_dedup_matches_golden_snapshot(backend):
+    """The dedup serve is pinned end to end: tier provenance, per-tier
+    economics counters, timing and image hashes must all replay the
+    committed snapshot exactly."""
+    golden = json.loads(FIXTURE.read_text())
+    assert "content" in golden, (
+        f"golden fixture {FIXTURE} predates the content-cache section; "
+        "regenerate it (see module docstring)"
+    )
+    snapshot = _content_snapshot(backend)
+    assert snapshot["economics"] == golden["content"]["economics"], (
+        f"[{backend}] content-cache economics drifted from the golden "
+        "snapshot; if intentional, regenerate the fixture"
+    )
+    assert set(snapshot["sessions"]) == set(golden["content"]["sessions"])
+    for session_id, frames in snapshot["sessions"].items():
+        for mine, ref in zip(frames, golden["content"]["sessions"][session_id]):
+            assert mine == ref, (
+                f"[{backend}] {session_id} frame {mine['frame']} drifted "
+                f"from the golden content snapshot: {mine} != {ref}"
+            )
+    # The dedup-served viewer must re-emit the renderer's exact bytes.
+    viewer_a, viewer_b = (
+        snapshot["sessions"][f"golden-viewer-{tag}"] for tag in ("a", "b")
+    )
+    for fa, fb in zip(viewer_a, viewer_b):
+        assert fb["served_from"] == "worker"
+        assert fa["image_sha256"] == fb["image_sha256"]
+
+
 def _regenerate() -> None:  # pragma: no cover - maintenance entry point
     import sys
 
     snapshots = {backend: _snapshot(backend) for backend in BACKENDS}
+    contents = {backend: _content_snapshot(backend) for backend in BACKENDS}
     first = snapshots[BACKENDS[0]]
-    for backend, snap in snapshots.items():
-        if snap != first:
+    first_content = contents[BACKENDS[0]]
+    for backend in BACKENDS:
+        if snapshots[backend] != first or contents[backend] != first_content:
             sys.exit(
                 f"backend '{backend}' disagrees with '{BACKENDS[0]}'; "
                 "fix backend parity before committing a golden fixture"
             )
+    first["content"] = first_content
     FIXTURE.write_text(json.dumps(first, indent=2) + "\n")
     print(f"wrote {FIXTURE} ({first['summary']['total_frames']} frames)")
 
