@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Invariant static-analysis gate (CLI for ``repro.analyze``).
+
+Runs the registered rule families — determinism (DET1xx), checkpoint
+completeness (CKPT2xx), shared-state races (RACE3xx), import hygiene
+(IMP0xx) — over the repository and fails on findings that are neither
+inline-suppressed (``# analyze: allow[RULE] reason``) nor covered by a
+justified entry in ``analyze_baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/analyze.py [paths...] [options]
+
+    --json               machine-readable report on stdout
+    --baseline PATH      baseline file (default: analyze_baseline.json)
+    --update-baseline    rewrite the baseline to accept current findings
+                         (entries get a TODO justification to fill in)
+    --rules ID[,ID...]   run only these rules
+    --list-rules         print the rule catalog and exit
+
+Default paths: src benchmarks scripts tests examples (those that
+exist).  Exit status: 0 when there are no new findings, 1 otherwise.
+Rule catalog and suppression syntax: ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analyze import (  # noqa: E402
+    Baseline,
+    all_rules,
+    get_rule,
+    run_analysis,
+)
+from repro.analyze.baseline import BASELINE_FILENAME  # noqa: E402
+
+
+def _print_table(findings, label: str) -> None:
+    if not findings:
+        return
+    print(f"\n{label}:")
+    width = max(len(f.location()) for f in findings)
+    for f in findings:
+        print(
+            f"  {f.location():<{width}}  {f.rule_id}  "
+            f"[{f.severity.value}]  {f.message}"
+        )
+        if f.hint:
+            print(f"  {'':<{width}}  ↳ {f.hint}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[1],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to scan (default: src benchmarks "
+        "scripts tests examples)",
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / BASELINE_FILENAME),
+        help=f"baseline file (default: {BASELINE_FILENAME})",
+    )
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for r in all_rules():
+            print(f"{r.rule_id}  [{r.severity.value:7}]  {r.title}")
+            print(f"        {r.description}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [get_rule(rid.strip()) for rid in args.rules.split(",")]
+
+    baseline_path = Path(args.baseline)
+    baseline = Baseline.load(baseline_path)
+    report = run_analysis(
+        root=REPO_ROOT,
+        paths=args.paths or None,
+        rules=rules,
+        baseline=baseline,
+    )
+
+    if args.update_baseline:
+        Baseline.from_findings(
+            report.new + report.baselined,
+            justification="TODO: justify this suppression",
+        ).save(baseline_path)
+        print(
+            f"baseline updated: {len(report.new) + len(report.baselined)} "
+            f"entr(ies) written to {baseline_path}"
+        )
+        return 0
+
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.ok else 1
+
+    _print_table(report.new, "NEW findings (fail the gate)")
+    _print_table(report.baselined, "baselined findings")
+    _print_table(report.suppressed, "inline-suppressed findings")
+    if report.stale_entries:
+        print("\nstale baseline entries (matched nothing — delete them):")
+        for entry in report.stale_entries:
+            where = entry.path if entry.line is None else f"{entry.path}:{entry.line}"
+            print(f"  {entry.rule} at {where}: {entry.justification}")
+    counts = (
+        f"{len(report.new)} new, {len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    if report.ok:
+        print(f"analyze OK: {counts} ({len(report.rules)} rule(s))")
+        return 0
+    print(f"analyze FAILED: {counts}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

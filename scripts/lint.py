@@ -1,11 +1,17 @@
 #!/usr/bin/env python
 """Offline lint pass: unused imports (F401).
 
-The CI workflow runs the real ``ruff check`` (configured in
-``ruff.toml``, which also covers F811/F821/E401/E703); this script
-mirrors the unused-import check with the standard library only, so
-that part of the lint gate also runs in offline environments where
-ruff is not installed (``tests/test_lint.py``).
+Thin shim over the static-analysis framework (``repro.analyze``): the
+F401 check now lives there as rule ``IMP001``, next to the mutable-
+default (``IMP002``), determinism, checkpoint-completeness and
+shared-state rules — run ``scripts/analyze.py`` for the full gate.
+This script keeps the historical interface (same output format, same
+default paths, exit 1 on any unused import) so CI's "offline lint
+mirror" step and ``tests/test_lint.py`` are unchanged.
+
+The CI workflow also runs the real ``ruff check`` (configured in
+``ruff.toml``, covering F811/F821/E401/E703/B006 as well); this shim
+is the part that still works in offline environments without ruff.
 
 Usage: python scripts/lint.py [paths...]   (default: src benchmarks
 scripts tests examples)
@@ -13,68 +19,33 @@ scripts tests examples)
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-def _imported_names(node: ast.Import | ast.ImportFrom) -> list[tuple[str, str]]:
-    """(bound name, display name) pairs introduced by an import node."""
-    names = []
-    for alias in node.names:
-        if alias.name == "*":
-            continue
-        if alias.asname:
-            names.append((alias.asname, alias.name))
-        else:
-            # "import a.b" binds "a"; "from m import x" binds "x".
-            bound = alias.name.split(".")[0]
-            names.append((bound, alias.name))
-    return names
+from repro.analyze.project import ModuleInfo  # noqa: E402
+from repro.analyze.rules_imports import unused_imports  # noqa: E402
 
 
 def check_file(path: Path) -> list[str]:
-    """Return lint messages for one python file."""
-    source = path.read_text()
+    """Return F401 lint messages for one python file."""
     try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:  # pragma: no cover - lint target must parse
-        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
-
-    imports: dict[str, tuple[int, str]] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.Import, ast.ImportFrom)):
-            if isinstance(node, ast.ImportFrom) and node.module == "__future__":
-                continue
-            for bound, display in _imported_names(node):
-                imports[bound] = (node.lineno, display)
-
-    used: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            used.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            # "a.b.c" uses "a"; ast.Name covers it, nothing extra needed.
-            pass
-
-    # Names re-exported via __all__ strings count as used.
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Assign):
-            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
-            if "__all__" in targets and isinstance(node.value, (ast.List, ast.Tuple)):
-                for elt in node.value.elts:
-                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
-                        used.add(elt.value)
-
-    messages = []
-    for bound, (lineno, display) in sorted(imports.items(), key=lambda kv: kv[1][0]):
-        if bound not in used:
-            messages.append(f"{path}:{lineno}: F401 '{display}' imported but unused")
-    return messages
+        mod = ModuleInfo.from_source(str(path), path.read_text())
+    except Exception as exc:  # pragma: no cover - lint target must parse
+        return [f"{path}: syntax error: {exc}"]
+    return [
+        f"{path}:{lineno}: F401 '{display}' imported but unused"
+        for lineno, _bound, display in unused_imports(mod.tree)
+    ]
 
 
 def main(argv: list[str]) -> int:
-    roots = [Path(p) for p in (argv or ["src", "benchmarks", "scripts", "tests", "examples"])]
+    roots = [
+        Path(p)
+        for p in (argv or ["src", "benchmarks", "scripts", "tests", "examples"])
+    ]
     failures = []
     for root in roots:
         files = [root] if root.is_file() else sorted(root.rglob("*.py"))

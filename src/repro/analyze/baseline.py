@@ -1,0 +1,159 @@
+"""The committed baseline / suppression file.
+
+``analyze_baseline.json`` (repository root) records findings that are
+*known and justified*: the gate fails only on findings **not** in the
+baseline, so adopting a new rule on a large tree never blocks CI — but
+every baselined entry carries a mandatory per-entry justification, and
+the shipped baseline is empty (the tree is clean; see ISSUE 8's
+acceptance criteria).
+
+Entry shape::
+
+    {
+      "entries": [
+        {
+          "rule": "DET102",
+          "path": "src/repro/foo.py",
+          "line": 12,            # optional: null matches any line
+          "justification": "why this finding is acceptable"
+        }
+      ]
+    }
+
+Matching is by ``(rule, path[, line])`` — deliberately *not* by
+message text, so rewording a rule's message does not orphan the
+baseline.  ``line: null`` matches the whole file, which keeps entries
+stable across unrelated edits above the finding; prefer a line when
+the file is hot.  Entries that match nothing are reported as *stale*
+so the baseline shrinks as code is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analyze.findings import Finding
+from repro.errors import ValidationError
+
+#: Default baseline location, relative to the repository root.
+BASELINE_FILENAME = "analyze_baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One justified suppression (see module docstring)."""
+
+    rule: str
+    path: str
+    line: int | None
+    justification: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            self.rule == finding.rule_id
+            and self.path == finding.path
+            and (self.line is None or self.line == finding.line)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file."""
+
+    entries: list[BaselineEntry]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=[])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load ``path``; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls.empty()
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"baseline {path} is not valid JSON: {exc}")
+        entries = []
+        for raw in data.get("entries", []):
+            missing = {"rule", "path", "justification"} - set(raw)
+            if missing:
+                raise ValidationError(
+                    f"baseline entry {raw!r} is missing {sorted(missing)}"
+                )
+            if not str(raw["justification"]).strip():
+                raise ValidationError(
+                    f"baseline entry for {raw['rule']} at {raw['path']} has "
+                    "an empty justification — every suppression must say why"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    line=None if raw.get("line") is None else int(raw["line"]),
+                    justification=str(raw["justification"]),
+                )
+            )
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {"entries": [e.to_dict() for e in self.entries]}
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """``(new, baselined, stale entries)`` partition of ``findings``.
+
+        New findings fail the gate; baselined ones are reported but
+        pass; stale entries matched nothing and should be deleted.
+        """
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        used: set[int] = set()
+        for finding in findings:
+            hit = None
+            for i, entry in enumerate(self.entries):
+                if entry.matches(finding):
+                    hit = i
+                    break
+            if hit is None:
+                new.append(finding)
+            else:
+                used.add(hit)
+                baselined.append(finding)
+        stale = [e for i, e in enumerate(self.entries) if i not in used]
+        return new, baselined, stale
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], justification: str
+    ) -> "Baseline":
+        """A baseline accepting exactly ``findings`` (``--update-baseline``).
+
+        Every generated entry carries the same placeholder
+        justification; the author is expected to replace each with a
+        real reason before committing.
+        """
+        return cls(
+            entries=[
+                BaselineEntry(
+                    rule=f.rule_id,
+                    path=f.path,
+                    line=f.line,
+                    justification=justification,
+                )
+                for f in sorted(findings)
+            ]
+        )

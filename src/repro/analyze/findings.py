@@ -1,0 +1,75 @@
+"""The finding record every analysis rule emits.
+
+A :class:`Finding` pins one defect to a file and line, names the rule
+that produced it, carries a human message plus a *fix hint* (what to
+change, or how to suppress with a justification), and serializes to
+the JSON shape ``scripts/analyze.py --json`` emits and the baseline
+file matches against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break a stated invariant (unseeded RNG in a sim
+    path, a mutable field missing from its checkpoint); ``WARNING``
+    findings are strong smells the rule cannot prove fatal from the
+    AST alone (set iteration feeding an ordered output).  Both fail
+    the gate when new — the split exists for reporting and for
+    baseline triage, not for leniency.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Repository-root-relative file path (forward slashes).
+    line:
+        1-based line of the offending node.
+    rule_id:
+        The registered rule that produced this finding (e.g.
+        ``DET101``).
+    severity:
+        :class:`Severity` of the violation.
+    message:
+        One-line description of what is wrong *here*.
+    hint:
+        How to fix it — or how to suppress it with a justification
+        when the code is intentionally exempt.
+    """
+
+    path: str
+    line: int
+    rule_id: str
+    severity: Severity
+    message: str
+    hint: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> dict:
+        """JSON-safe view (the ``--json`` output shape)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }

@@ -1,0 +1,230 @@
+"""The parsed project the analysis rules walk.
+
+A :class:`Project` owns one :class:`ModuleInfo` per python file: the
+parsed AST, the resolved module name (``repro.stream.qos`` for files
+under ``src/``, a path-derived pseudo-name elsewhere), the inline
+suppression table, and whether the module is *sim-scoped* — i.e. part
+of the ``repro`` package whose simulated physics must be
+deterministic.  Rules that guard runtime invariants (determinism,
+checkpoints, shared state) restrict themselves to sim-scoped modules;
+hygiene rules (imports, mutable defaults) see everything.
+
+Files are parsed exactly once, whichever rules run; the import graph
+between project modules is derived on demand from the same ASTs.
+
+Inline suppressions
+-------------------
+Two comment forms, matched per physical line of the *reported* node:
+
+``# analyze: allow[RULE1,RULE2] reason``
+    Suppress the listed rules (or ``*`` for all) on this line.  The
+    reason is mandatory by convention — a bare allow is a review
+    smell — but not enforced by the parser.
+
+``# analyze: allow-module[RULE] reason``
+    Suppress the listed rules for the whole module (the allowlist
+    mechanism for wall-clock/benchmark modules).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ValidationError
+
+_ALLOW_RE = re.compile(r"#\s*analyze:\s*(allow|allow-module)\[([^\]]*)\]")
+
+#: Directory names that root a python package tree when scanning.
+_SRC_ROOT = "src"
+
+
+def _parse_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """``(line -> rule ids, module-wide rule ids)`` from allow comments."""
+    per_line: dict[int, set[str]] = {}
+    module_wide: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        for match in _ALLOW_RE.finditer(text):
+            kind, rules = match.group(1), match.group(2)
+            ids = {r.strip() for r in rules.split(",") if r.strip()}
+            if not ids:
+                continue
+            if kind == "allow-module":
+                module_wide |= ids
+            else:
+                per_line.setdefault(lineno, set()).update(ids)
+    return per_line, module_wide
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed python file.
+
+    Attributes
+    ----------
+    rel_path:
+        Repository-root-relative path with forward slashes — the path
+        findings report and the baseline matches.
+    name:
+        Dotted module name for files under ``src/`` (e.g.
+        ``repro.stream.qos``); for other files, the relative path with
+        ``/`` replaced by ``.`` and the suffix dropped, so every module
+        still has a unique, matchable name.
+    tree / source:
+        The parsed AST and raw text.
+    line_suppressions / module_suppressions:
+        Inline ``# analyze: allow[...]`` tables (see module docstring).
+    """
+
+    rel_path: str
+    name: str
+    tree: ast.Module
+    source: str
+    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    module_suppressions: set[str] = field(default_factory=set)
+
+    @property
+    def in_sim_scope(self) -> bool:
+        """Whether this module is part of the ``repro`` runtime package
+        (the tree whose simulated physics must be deterministic)."""
+        return self.name == "repro" or self.name.startswith("repro.")
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether an inline allow covers ``rule_id`` at ``line``."""
+        if rule_id in self.module_suppressions or "*" in self.module_suppressions:
+            return True
+        ids = self.line_suppressions.get(line, ())
+        return rule_id in ids or "*" in ids
+
+    @classmethod
+    def from_source(cls, rel_path: str, source: str) -> "ModuleInfo":
+        """Parse one in-memory module (how rule tests build fixtures)."""
+        tree = ast.parse(source, filename=rel_path)
+        per_line, module_wide = _parse_suppressions(source)
+        return cls(
+            rel_path=rel_path,
+            name=_module_name(rel_path),
+            tree=tree,
+            source=source,
+            line_suppressions=per_line,
+            module_suppressions=module_wide,
+        )
+
+
+def _module_name(rel_path: str) -> str:
+    """Dotted module name for a repository-relative path.
+
+    The package tree starts after the *last* ``src`` component, so
+    out-of-tree scan targets (``/tmp/.../src/repro/x.py`` in CLI
+    tests) resolve to the same sim-scoped names as in-repo files.
+    """
+    parts = Path(rel_path).with_suffix("").parts
+    if _SRC_ROOT in parts:
+        last = len(parts) - 1 - parts[::-1].index(_SRC_ROOT)
+        parts = parts[last + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    parts = tuple(p for p in parts if p not in ("/", "\\"))
+    return ".".join(parts) if parts else rel_path
+
+
+@dataclass
+class Project:
+    """The set of parsed modules one analysis run covers."""
+
+    root: Path
+    modules: list[ModuleInfo]
+
+    def __post_init__(self) -> None:
+        self._by_name = {m.name: m for m in self.modules}
+
+    @classmethod
+    def from_paths(cls, root: Path, paths: list[Path]) -> "Project":
+        """Parse every ``*.py`` under ``paths`` (files or directories).
+
+        Paths resolve against ``root``; files that fail to parse raise
+        :class:`~repro.errors.ValidationError` naming the file, so a
+        syntax error is a loud analysis failure rather than a silently
+        skipped module.
+        """
+        root = root.resolve()
+        files: list[Path] = []
+        for p in paths:
+            p = p if p.is_absolute() else root / p
+            if p.is_file():
+                files.append(p)
+            elif p.is_dir():
+                files.extend(sorted(p.rglob("*.py")))
+            else:
+                raise ValidationError(f"analysis path '{p}' does not exist")
+        modules = []
+        seen: set[Path] = set()
+        for f in sorted(set(files)):
+            if f in seen:  # pragma: no cover - defensive; set() dedups
+                continue
+            seen.add(f)
+            try:
+                rel = f.relative_to(root).as_posix()
+            except ValueError:
+                # Outside the root (explicit scan target): keep the
+                # absolute path so findings still point somewhere real.
+                rel = f.as_posix()
+            try:
+                modules.append(ModuleInfo.from_source(rel, f.read_text()))
+            except SyntaxError as exc:
+                raise ValidationError(
+                    f"{rel}:{exc.lineno}: cannot analyze: {exc.msg}"
+                ) from exc
+        return cls(root=root, modules=modules)
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str]) -> "Project":
+        """Build an in-memory project (unit-test fixtures)."""
+        return cls(
+            root=Path("."),
+            modules=[
+                ModuleInfo.from_source(rel, text)
+                for rel, text in sorted(sources.items())
+            ],
+        )
+
+    def module(self, name: str) -> ModuleInfo | None:
+        return self._by_name.get(name)
+
+    @property
+    def sim_modules(self) -> list[ModuleInfo]:
+        """Modules inside the ``repro`` runtime package."""
+        return [m for m in self.modules if m.in_sim_scope]
+
+    def import_graph(self) -> dict[str, set[str]]:
+        """``module -> imported project modules`` adjacency.
+
+        Only edges *within* the project are kept (stdlib/third-party
+        imports are dropped); ``from repro.stream import qos`` links to
+        ``repro.stream.qos`` when that module exists, else to
+        ``repro.stream``.
+        """
+        graph: dict[str, set[str]] = {}
+        for mod in self.modules:
+            edges: set[str] = set()
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.name in self._by_name:
+                            edges.add(alias.name)
+                elif isinstance(node, ast.ImportFrom):
+                    base = node.module or ""
+                    if node.level:  # relative import: resolve on the pkg
+                        pkg = mod.name.rsplit(".", node.level)[0]
+                        base = f"{pkg}.{base}" if base else pkg
+                    for alias in node.names:
+                        dotted = f"{base}.{alias.name}" if base else alias.name
+                        if dotted in self._by_name:
+                            edges.add(dotted)
+                        elif base in self._by_name:
+                            edges.add(base)
+            edges.discard(mod.name)
+            graph[mod.name] = edges
+        return graph

@@ -1,0 +1,103 @@
+"""The rule-plugin registry.
+
+A rule is a function ``(project: Project) -> Iterable[Finding]``
+registered under a stable id with the :func:`rule` decorator::
+
+    @rule(
+        "DET999",
+        title="example",
+        severity=Severity.ERROR,
+        description="what the rule guards, shown by --list-rules",
+    )
+    def check_example(project):
+        for mod in project.sim_modules:
+            ...
+            yield Finding(...)
+
+Registration is import-time: importing a ``rules_*`` module makes its
+rules available to :func:`~repro.analyze.engine.run_analysis` and the
+CLI.  Ids are namespaced by family (``DET1xx`` determinism, ``CKPT2xx``
+checkpoint completeness, ``RACE3xx`` shared-state races, ``IMP0xx``
+import/definition hygiene) and must be unique — a duplicate
+registration raises immediately, so two plugins cannot silently fight
+over one id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.project import Project
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: identity, metadata, and the check itself."""
+
+    rule_id: str
+    title: str
+    severity: Severity
+    description: str
+    check: Callable[[Project], Iterable[Finding]]
+
+    def run(self, project: Project) -> list[Finding]:
+        """Run the check, stamping id/severity onto emitted findings.
+
+        Rules construct findings with their own id already set; this
+        wrapper validates they did not emit under someone else's id —
+        a mislabeled finding would be suppressed by the wrong baseline
+        entry.
+        """
+        findings = []
+        for f in self.check(project):
+            if f.rule_id != self.rule_id:
+                raise ValidationError(
+                    f"rule {self.rule_id} emitted a finding labeled "
+                    f"'{f.rule_id}'"
+                )
+            findings.append(f)
+        return findings
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(
+    rule_id: str,
+    *,
+    title: str,
+    severity: Severity,
+    description: str,
+) -> Callable[[Callable[[Project], Iterable[Finding]]], Rule]:
+    """Register a rule function under ``rule_id`` (see module docstring)."""
+
+    def _register(check: Callable[[Project], Iterable[Finding]]) -> Rule:
+        if rule_id in _REGISTRY:
+            raise ValidationError(f"duplicate rule id '{rule_id}'")
+        registered = Rule(
+            rule_id=rule_id,
+            title=title,
+            severity=severity,
+            description=description,
+            check=check,
+        )
+        _REGISTRY[rule_id] = registered
+        return registered
+
+    return _register
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in id order."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    if rule_id not in _REGISTRY:
+        raise ValidationError(
+            f"unknown rule id '{rule_id}' (known: {', '.join(sorted(_REGISTRY))})"
+        )
+    return _REGISTRY[rule_id]

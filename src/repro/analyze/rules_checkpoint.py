@@ -1,0 +1,314 @@
+"""Checkpoint-completeness lints (CKPT2xx).
+
+The serving stack's crash-recovery/migration story depends on one
+discipline: *every* piece of mutable session state round-trips through
+its export/import pair.  PRs 4, 6 and 7 each had to retrofit a freshly
+added field into :class:`~repro.stream.checkpoint.SessionCheckpoint`
+after replay tests caught the drift; these rules turn that bug class
+into a static CI failure instead of a test-archaeology exercise.
+
+``CKPT201`` — **mutable attribute not checkpointed**.  For every class
+with an export/import method pair (``export_state``/``import_state``,
+``capture``/``restore``, ``save_state``/``load_state``), every
+``self.<attr>`` that is *mutated after construction* (assigned,
+augmented, or in-place mutated via ``append``/``update``/… in any
+method outside ``__init__``/``__post_init__`` and the pair itself)
+must be either **read** by the export method or **written** by the
+import method.  Attributes only ever assigned in ``__init__`` are
+construction-time configuration and exempt.
+
+``CKPT202`` — **state field never restored**.  When the export side
+returns a dataclass (``return QoSControllerState(...)``), every field
+of that dataclass must be *read* by the paired import/restore
+function; a field that is written at capture time but never consulted
+at restore time is dead weight at best and a silently-dropped piece of
+session state at worst.  The pairing covers method pairs and
+module-level ``capture_*``/``restore_*`` (or ``export_*``/``import_*``,
+``save_*``/``load_*``) function pairs — the
+:func:`~repro.stream.checkpoint.capture_checkpoint` /
+:func:`~repro.stream.checkpoint.restore_checkpoint` shape.
+
+Both rules are sim-scoped (``repro.*``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.project import ModuleInfo, Project
+from repro.analyze.registry import rule
+
+UNCHECKPOINTED_ATTR = "CKPT201"
+UNRESTORED_FIELD = "CKPT202"
+
+#: (export method, import method) name pairs, checked in order.
+METHOD_PAIRS = (
+    ("export_state", "import_state"),
+    ("capture", "restore"),
+    ("save_state", "load_state"),
+)
+
+#: Module-level function-name prefixes pairing a capture function with
+#: its restore counterpart (``capture_checkpoint`` -> ``restore_checkpoint``).
+FUNCTION_PREFIX_PAIRS = (
+    ("capture_", "restore_"),
+    ("export_", "import_"),
+    ("save_", "load_"),
+)
+
+#: Methods whose call on ``self.<attr>`` counts as in-place mutation.
+_MUTATORS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "insert", "pop", "popitem", "popleft", "remove", "reverse",
+        "setdefault", "sort", "update",
+    }
+)
+
+#: Methods that never count as post-construction mutation sites.
+_CONSTRUCTION_METHODS = frozenset({"__init__", "__post_init__"})
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _self_name(fn: ast.FunctionDef) -> str | None:
+    args = fn.args.posonlyargs + fn.args.args
+    return args[0].arg if args else None
+
+
+def _self_attr_events(
+    fn: ast.FunctionDef,
+) -> Iterator[tuple[str, str, int]]:
+    """``(attr, event, line)`` for every ``self.<attr>`` touch in ``fn``.
+
+    Events: ``load``, ``store`` (assignment/augmented assignment), and
+    ``mutate`` (a known in-place mutator called on the attribute).
+    """
+    self_name = _self_name(fn)
+    if self_name is None:
+        return
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+            and isinstance(node.func.value, ast.Attribute)
+            and isinstance(node.func.value.value, ast.Name)
+            and node.func.value.value.id == self_name
+        ):
+            yield node.func.value.attr, "mutate", node.lineno
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self_name
+        ):
+            if isinstance(node.ctx, ast.Store):
+                yield node.attr, "store", node.lineno
+            elif isinstance(node.ctx, ast.Load):
+                yield node.attr, "load", node.lineno
+        # Element writes through the attribute: self.attr[k] = v.
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Store)
+            and isinstance(node.value, ast.Attribute)
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id == self_name
+        ):
+            yield node.value.attr, "mutate", node.lineno
+
+
+def _checkpoint_pairs(
+    cls: ast.ClassDef,
+) -> Iterator[tuple[ast.FunctionDef, ast.FunctionDef]]:
+    methods = _methods(cls)
+    for export_name, import_name in METHOD_PAIRS:
+        if export_name in methods and import_name in methods:
+            yield methods[export_name], methods[import_name]
+
+
+@rule(
+    UNCHECKPOINTED_ATTR,
+    title="mutable attribute missing from its checkpoint pair",
+    severity=Severity.ERROR,
+    description=(
+        "a self attribute mutated after construction is neither read "
+        "by the class's export method nor written by its import method"
+    ),
+)
+def check_uncheckpointed_attrs(project: Project) -> Iterable[Finding]:
+    for mod in project.sim_modules:
+        for cls in (
+            n for n in ast.walk(mod.tree) if isinstance(n, ast.ClassDef)
+        ):
+            for export_fn, import_fn in _checkpoint_pairs(cls):
+                pair_names = {export_fn.name, import_fn.name}
+                mutated: dict[str, int] = {}
+                for name, fn in _methods(cls).items():
+                    if name in _CONSTRUCTION_METHODS or name in pair_names:
+                        continue
+                    for attr, event, line in _self_attr_events(fn):
+                        if event in ("store", "mutate"):
+                            mutated.setdefault(attr, line)
+                covered = {
+                    attr
+                    for attr, event, _ in _self_attr_events(export_fn)
+                    if event == "load"
+                } | {
+                    attr
+                    for attr, event, _ in _self_attr_events(import_fn)
+                    if event in ("store", "mutate")
+                }
+                for attr in sorted(set(mutated) - covered):
+                    yield Finding(
+                        path=mod.rel_path,
+                        line=mutated[attr],
+                        rule_id=UNCHECKPOINTED_ATTR,
+                        severity=Severity.ERROR,
+                        message=(
+                            f"mutable attribute '{attr}' of {cls.name} is "
+                            f"not read by {export_fn.name}() nor written "
+                            f"by {import_fn.name}()"
+                        ),
+                        hint=(
+                            f"thread '{attr}' through the checkpoint state "
+                            "(or reset it explicitly in "
+                            f"{import_fn.name}() if it is derived)"
+                        ),
+                    )
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> dict[str, int]:
+    """``field -> line`` for a dataclass body (``ClassVar`` excluded)."""
+    fields: dict[str, int] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            ann = ast.unparse(stmt.annotation)
+            if "ClassVar" in ann:
+                continue
+            fields[stmt.target.id] = stmt.lineno
+    return fields
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        node = deco.func if isinstance(deco, ast.Call) else deco
+        name = node.attr if isinstance(node, ast.Attribute) else getattr(
+            node, "id", None
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _returned_class_names(fn: ast.FunctionDef) -> set[str]:
+    """Simple class names constructed in ``return <Name>(...)`` stmts."""
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Return)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+        ):
+            names.add(node.value.func.id)
+    return names
+
+
+def _state_param(fn: ast.FunctionDef, state_class: str) -> str | None:
+    """The parameter of ``fn`` that carries the checkpoint state."""
+    params = fn.args.posonlyargs + fn.args.args
+    for arg in params:
+        if arg.annotation is not None and state_class in ast.unparse(
+            arg.annotation
+        ):
+            return arg.arg
+    if params:
+        candidate = params[-1].arg
+        return None if candidate in ("self", "cls") else candidate
+    return None
+
+
+def _restore_pairs(
+    mod: ModuleInfo,
+) -> Iterator[tuple[ast.FunctionDef, ast.FunctionDef]]:
+    """Every (export fn, import fn) pair in ``mod`` — methods and
+    module-level prefix pairs alike."""
+    for cls in (n for n in ast.walk(mod.tree) if isinstance(n, ast.ClassDef)):
+        yield from _checkpoint_pairs(cls)
+    top = {
+        stmt.name: stmt
+        for stmt in mod.tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    for cap_prefix, res_prefix in FUNCTION_PREFIX_PAIRS:
+        for name, fn in top.items():
+            if not name.startswith(cap_prefix):
+                continue
+            partner = top.get(res_prefix + name.removeprefix(cap_prefix))
+            if partner is not None:
+                yield fn, partner
+
+
+@rule(
+    UNRESTORED_FIELD,
+    title="checkpoint state field never read at restore",
+    severity=Severity.ERROR,
+    description=(
+        "a field of the dataclass returned by an export/capture "
+        "function is never read by the paired import/restore function"
+    ),
+)
+def check_unrestored_fields(project: Project) -> Iterable[Finding]:
+    for mod in project.sim_modules:
+        classes = {
+            n.name: n
+            for n in ast.walk(mod.tree)
+            if isinstance(n, ast.ClassDef) and _is_dataclass(n)
+        }
+        seen: set[tuple[str, str]] = set()
+        for export_fn, import_fn in _restore_pairs(mod):
+            for state_name in sorted(_returned_class_names(export_fn)):
+                cls = classes.get(state_name)
+                if cls is None:
+                    continue
+                key = (state_name, import_fn.name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                param = _state_param(import_fn, state_name)
+                if param is None:
+                    continue
+                read = {
+                    node.attr
+                    for node in ast.walk(import_fn)
+                    if isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == param
+                    and isinstance(node.ctx, ast.Load)
+                }
+                fields = _dataclass_fields(cls)
+                for field_name in sorted(set(fields) - read):
+                    yield Finding(
+                        path=mod.rel_path,
+                        line=fields[field_name],
+                        rule_id=UNRESTORED_FIELD,
+                        severity=Severity.ERROR,
+                        message=(
+                            f"field '{field_name}' of {state_name} is "
+                            f"never read by {import_fn.name}()"
+                        ),
+                        hint=(
+                            f"consume {param}.{field_name} in "
+                            f"{import_fn.name}() — or suppress with a "
+                            "justification if the field is telemetry-only"
+                        ),
+                    )

@@ -1,0 +1,384 @@
+"""Determinism lints (DET1xx).
+
+Simulated physics must be a pure function of its seeds: chaos-matrix
+and golden-regression tests assert *byte-identical* replays, and the
+GBU paper's bit-exactness claims are only reproducible if nothing in a
+sim path consults ambient entropy.  Three rules enforce that:
+
+``DET101`` — **unseeded RNG**.  ``np.random.default_rng()`` /
+``np.random.RandomState()`` / ``random.Random()`` called without a
+seed, and any call into the *global* RNGs (``random.random()``,
+``np.random.shuffle(...)``, ``np.random.seed(...)`` — global seeding
+included: it is cross-module action at a distance).  The fix is always
+the same: thread a seeded ``np.random.Generator`` through, as every
+scene/traffic/trajectory module already does.
+
+``DET102`` — **wall-clock reads**.  ``time.time``/``perf_counter``/
+``monotonic``/``process_time`` (+ ``_ns`` variants, ``localtime``,
+``gmtime``, ``ctime``) and ``datetime.now``/``utcnow``/``today``
+outside the allowlist of *wall-clock modules*
+(:data:`WALL_CLOCK_MODULES`).  Allowlisted modules report host
+wall-clock as telemetry (``wall_seconds``) next to simulated time; the
+invariant they uphold — asserted by the chaos tests — is that
+wall-clock never feeds simulated state.
+
+``DET103`` — **set iteration feeding an ordered output**.  Iterating a
+``set`` in a ``for`` loop or list/generator/dict comprehension bakes
+hash order into whatever the loop builds; wrapped in ``sorted(...)``
+(or feeding an order-insensitive reducer like ``sum``/``min``/``set``)
+it is fine.  Flow-insensitive and local: only names that are
+*unambiguously* set-valued within one scope are flagged, so the rule
+stays quiet on mixed or cross-scope bindings.
+
+All three rules restrict themselves to sim-scoped modules
+(``repro.*``): benchmarks, scripts and tests may use entropy and
+clocks freely.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Iterable, Iterator
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.project import ModuleInfo, Project
+from repro.analyze.registry import rule
+
+UNSEEDED_RNG = "DET101"
+WALL_CLOCK = "DET102"
+SET_ITERATION = "DET103"
+
+#: Sim modules allowed to read the wall clock (fnmatch patterns on the
+#: dotted module name).  These are the timing-labeled serving modules:
+#: they publish host wall-clock as explicit telemetry
+#: (``FrameRecord.wall_seconds``, serve/fleet wall totals) alongside —
+#: never inside — the simulated ``sim_seconds`` physics.
+WALL_CLOCK_MODULES = (
+    "repro.stream.pipeline",
+    "repro.stream.server",
+    "repro.stream.fleet",
+)
+
+#: Constructors that are deterministic when given a seed argument and
+#: entropy-backed when called bare.
+_SEEDABLE_CONSTRUCTORS = frozenset(
+    {"numpy.random.default_rng", "numpy.random.RandomState", "random.Random"}
+)
+
+#: The stdlib global-RNG functions (module-level ``random.*``).
+_STDLIB_GLOBAL_RNG = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+#: Wall-clock callables, by resolved dotted name.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time", "time.time_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.process_time", "time.process_time_ns",
+        "time.localtime", "time.gmtime", "time.ctime",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+)
+
+#: Builtin consumers whose result does not depend on iteration order.
+_ORDER_INSENSITIVE = frozenset(
+    {"sorted", "set", "frozenset", "len", "min", "max", "sum", "any", "all"}
+)
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """``bound name -> dotted origin`` for every import in ``tree``.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random
+    import default_rng as rng`` maps ``rng -> numpy.random.default_rng``.
+    Relative imports are skipped (they cannot name stdlib entropy).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                aliases[bound] = alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and not node.level and node.module:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_dotted(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """The fully-qualified dotted name of an expression, if resolvable.
+
+    Walks ``a.b.c`` attribute chains down to a root :class:`ast.Name`
+    and substitutes the root through the import table.  Returns
+    ``None`` for anything whose root is not an imported module/object
+    (locals, ``self.…``), so callers never mistake a local attribute
+    for a stdlib call.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    origin = aliases.get(node.id)
+    if origin is None:
+        return None
+    return ".".join([origin, *reversed(parts)]) if parts else origin
+
+
+def _calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@rule(
+    UNSEEDED_RNG,
+    title="unseeded RNG in a sim path",
+    severity=Severity.ERROR,
+    description=(
+        "RNG constructed without a seed, or global random/np.random "
+        "state used, inside repro.* — breaks byte-identical replay"
+    ),
+)
+def check_unseeded_rng(project: Project) -> Iterable[Finding]:
+    for mod in project.sim_modules:
+        aliases = import_aliases(mod.tree)
+        for call in _calls(mod.tree):
+            dotted = resolve_dotted(call.func, aliases)
+            if dotted is None:
+                continue
+            if dotted in _SEEDABLE_CONSTRUCTORS:
+                if not call.args and not call.keywords:
+                    yield Finding(
+                        path=mod.rel_path,
+                        line=call.lineno,
+                        rule_id=UNSEEDED_RNG,
+                        severity=Severity.ERROR,
+                        message=f"{dotted}() called without a seed",
+                        hint=(
+                            "pass an explicit seed (e.g. "
+                            "np.random.default_rng(spec.seed)) or accept a "
+                            "seeded Generator from the caller"
+                        ),
+                    )
+            elif (
+                dotted.startswith("numpy.random.")
+                and dotted not in _SEEDABLE_CONSTRUCTORS
+            ) or (
+                dotted.startswith("random.")
+                and dotted.removeprefix("random.") in _STDLIB_GLOBAL_RNG
+            ):
+                yield Finding(
+                    path=mod.rel_path,
+                    line=call.lineno,
+                    rule_id=UNSEEDED_RNG,
+                    severity=Severity.ERROR,
+                    message=f"global RNG call {dotted}()",
+                    hint=(
+                        "use a seeded np.random.Generator threaded from the "
+                        "call site instead of process-global RNG state"
+                    ),
+                )
+
+
+def _wall_clock_allowed(mod: ModuleInfo) -> bool:
+    return any(fnmatch.fnmatch(mod.name, pat) for pat in WALL_CLOCK_MODULES)
+
+
+@rule(
+    WALL_CLOCK,
+    title="wall-clock read in a sim path",
+    severity=Severity.ERROR,
+    description=(
+        "time.time/perf_counter/monotonic or datetime.now outside the "
+        "wall-clock module allowlist — sim state must not see host time"
+    ),
+)
+def check_wall_clock(project: Project) -> Iterable[Finding]:
+    for mod in project.sim_modules:
+        if _wall_clock_allowed(mod):
+            continue
+        aliases = import_aliases(mod.tree)
+        for call in _calls(mod.tree):
+            dotted = resolve_dotted(call.func, aliases)
+            if dotted in _WALL_CLOCK_CALLS:
+                yield Finding(
+                    path=mod.rel_path,
+                    line=call.lineno,
+                    rule_id=WALL_CLOCK,
+                    severity=Severity.ERROR,
+                    message=f"wall-clock call {dotted}()",
+                    hint=(
+                        "derive timing from the simulated clock; if this "
+                        "module legitimately reports host wall-clock "
+                        "telemetry, add it to WALL_CLOCK_MODULES in "
+                        "repro.analyze.rules_determinism"
+                    ),
+                )
+
+
+def _walk_scope(stmts: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk ``stmts`` without descending into nested scopes.
+
+    Nested function/class bodies are their own lexical scopes — the
+    set-tracking and iteration checks must not see their statements,
+    or every finding inside a function would double-report from the
+    module pass.
+    """
+    stack: list[ast.AST] = list(stmts)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _SetScope:
+    """Collects, per lexical scope, names unambiguously bound to sets."""
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr, known: dict[str, bool]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in {"set", "frozenset"}
+        if isinstance(node, ast.Name):
+            return known.get(node.id, False)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return _SetScope._is_set_expr(
+                node.left, known
+            ) and _SetScope._is_set_expr(node.right, known)
+        return False
+
+    def collect(self, body: list[ast.stmt]) -> set[str]:
+        """Names whose every assignment in ``body`` is set-valued."""
+        verdict: dict[str, bool] = {}
+
+        def note(target: ast.expr, is_set: bool) -> None:
+            if isinstance(target, ast.Name):
+                prior = verdict.get(target.id, True)
+                verdict[target.id] = prior and is_set
+
+        for node in _walk_scope(body):
+            if isinstance(node, ast.Assign):
+                is_set = self._is_set_expr(node.value, verdict)
+                for t in node.targets:
+                    note(t, is_set)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                note(node.target, self._is_set_expr(node.value, verdict))
+            elif isinstance(node, ast.AugAssign):
+                note(node.target, False)
+        return {name for name, is_set in verdict.items() if is_set}
+
+
+def _scopes(tree: ast.Module) -> Iterator[list[ast.stmt]]:
+    """Module body plus every function body (each a lexical scope)."""
+    yield tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.body
+
+
+def _parent_map(stmts: list[ast.stmt]) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+    return parents
+
+
+def _order_insensitive_context(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> bool:
+    """Whether ``node`` feeds an order-insensitive consumer.
+
+    True when an ancestor is a call like ``sorted(...)``/``sum(...)``
+    with ``node`` somewhere in its arguments, or a set comprehension —
+    either way the set's iteration order cannot leak into an ordered
+    output.
+    """
+    current = node
+    while current in parents:
+        parent = parents[current]
+        if isinstance(parent, ast.Call):
+            func = parent.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_INSENSITIVE
+                and current is not func
+            ):
+                return True
+        if isinstance(parent, ast.SetComp):
+            return True
+        current = parent
+    return False
+
+
+@rule(
+    SET_ITERATION,
+    title="set iteration feeding an ordered output",
+    severity=Severity.WARNING,
+    description=(
+        "for-loop or list/dict/generator comprehension over a set in "
+        "repro.* — hash order leaks into ordered results; wrap in "
+        "sorted(...)"
+    ),
+)
+def check_set_iteration(project: Project) -> Iterable[Finding]:
+    for mod in project.sim_modules:
+        for body in _scopes(mod.tree):
+            set_names = _SetScope().collect(body)
+            parents = _parent_map(body)
+            for node in _walk_scope(body):
+                iters: list[tuple[ast.expr, ast.AST]] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append((node.iter, node))
+                elif isinstance(
+                    node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)
+                ):
+                    iters.extend((g.iter, node) for g in node.generators)
+                for iter_expr, construct in iters:
+                    is_set = isinstance(
+                        iter_expr, (ast.Set, ast.SetComp)
+                    ) or (
+                        isinstance(iter_expr, ast.Name)
+                        and iter_expr.id in set_names
+                    ) or (
+                        isinstance(iter_expr, ast.Call)
+                        and isinstance(iter_expr.func, ast.Name)
+                        and iter_expr.func.id in {"set", "frozenset"}
+                    )
+                    if not is_set:
+                        continue
+                    if _order_insensitive_context(construct, parents):
+                        continue
+                    yield Finding(
+                        path=mod.rel_path,
+                        line=iter_expr.lineno,
+                        rule_id=SET_ITERATION,
+                        severity=Severity.WARNING,
+                        message=(
+                            "iteration over a set feeds an ordered "
+                            "output (hash-order dependent)"
+                        ),
+                        hint="iterate sorted(<set>) to pin the order",
+                    )

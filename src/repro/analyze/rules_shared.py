@@ -1,0 +1,329 @@
+"""Shared-state race lints (RACE3xx).
+
+Co-located workers share memory on purpose: interned
+:class:`~repro.scenes.catalog.SceneBundle` objects (one per
+``(scene, detail)`` across every worker of a node, via
+:class:`~repro.stream.content_cache.BundleIntern`) and content-cache
+:class:`~repro.stream.content_cache.CachedFrame` products (one buffer
+serving every viewer in a pose cell).  The sharing is only sound
+because those objects are *immutable after construction* — a single
+in-place write would be visible to every executor thread at once, and
+to every future cache hit.
+
+``RACE301`` — **in-place write to a shared object**.  Flags attribute
+assignments, element assignments, augmented assignments, and known
+in-place mutator calls (``append``/``update``/…, plus
+``setflags(write=True)`` re-arming a frozen numpy buffer) on any
+expression the rule can tie to a shared object:
+
+* a variable or parameter *annotated* with a shared class
+  (:data:`SHARED_CLASSES`);
+* a local assigned from a shared **producer** — ``build_scene(...)``,
+  an ``.build(...)`` call on an interner, a ``.get(...)``/
+  ``.lookup(...)`` call on a cache/tier receiver
+  (:data:`PRODUCER_METHODS`), or a shared-class constructor;
+* an expression whose attribute path passes through ``.bundle`` or a
+  ``*_bundle``/``bundle``-named local (:data:`SHARED_NAME_TAILS`) —
+  the naming convention the streaming stack uses for interned scene
+  bundles;
+* a value already **escaped** into shared machinery: once a name is
+  passed to ``<executor>.submit(...)``, ``<tier>.put(...)``, or
+  ``<cache/view>.insert(...)``, any later mutation in the same scope
+  is flagged (the object now has concurrent readers).
+
+Rebinding is always fine (``self.bundle = other`` replaces the
+reference, it does not mutate the referent), and the shared classes'
+own methods are exempt (that *is* construction).  Sim-scoped
+(``repro.*``) only.
+
+The rule is deliberately heuristic — a dependency-free AST dataflow
+cannot prove aliasing — so it favors the sharp edge: names and types
+that match the repository's sharing conventions are treated as shared,
+and intentional exceptions carry an inline
+``# analyze: allow[RACE301] reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.project import Project
+from repro.analyze.registry import rule
+
+SHARED_MUTATION = "RACE301"
+
+#: Classes whose instances are shared across executors once published.
+SHARED_CLASSES = frozenset({"SceneBundle", "CachedFrame"})
+
+#: Bare callables that return shared objects.
+PRODUCER_FUNCS = frozenset({"build_scene"})
+
+#: ``(method name, receiver-name regex)`` pairs returning shared
+#: objects: interner builds and cache/tier lookups.
+PRODUCER_METHODS = (
+    ("build", re.compile(r"intern")),
+    ("get", re.compile(r"tier|cache")),
+    ("lookup", re.compile(r"tier|cache|content")),
+)
+
+#: ``(method name, receiver-name regex)`` pairs that publish an
+#: argument into shared machinery (escape points).
+ESCAPE_METHODS = (
+    ("submit", re.compile(r"executor|pool")),
+    ("put", re.compile(r"tier|cache")),
+    ("insert", re.compile(r"tier|cache|content")),
+)
+
+#: Attribute/variable name tails treated as shared bundles by
+#: convention (``self.bundle``, ``scene_bundle``, …).
+SHARED_NAME_TAILS = re.compile(r"(^|_)bundle$")
+
+#: In-place mutators on containers/arrays.
+_MUTATORS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "fill", "insert", "pop", "popitem", "popleft", "remove",
+        "reverse", "sort", "update",
+    }
+)
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The rightmost identifier of a Name/Attribute chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _annotation_names(annotation: ast.expr | None) -> set[str]:
+    """Every identifier appearing in an annotation (handles ``X | None``,
+    ``Optional[X]``, and string annotations)."""
+    if annotation is None:
+        return set()
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return set()
+    names: set[str] = set()
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+@dataclass
+class _Scope:
+    """Flow-light tracking of shared bindings within one function."""
+
+    tracked: set[str] = field(default_factory=set)
+    escaped: dict[str, int] = field(default_factory=dict)
+
+    def is_tracked(self, name: str) -> bool:
+        return name in self.tracked or bool(SHARED_NAME_TAILS.search(name))
+
+
+def _is_producer_call(node: ast.expr, scope: _Scope) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in PRODUCER_FUNCS or func.id in SHARED_CLASSES
+    if isinstance(func, ast.Attribute):
+        if func.attr in SHARED_CLASSES or func.attr in PRODUCER_FUNCS:
+            return True
+        receiver = _terminal_name(func.value)
+        if receiver is None:
+            return False
+        return any(
+            func.attr == method and pattern.search(receiver)
+            for method, pattern in PRODUCER_METHODS
+        )
+    return False
+
+
+def _chain_shared(node: ast.expr, scope: _Scope, use_line: int) -> str | None:
+    """If mutating ``node`` mutates a shared object, say which one.
+
+    Walks the value chain of an attribute/subscript path; returns a
+    human-readable description of the shared link — a tracked/escaped
+    root name, a ``.bundle``-tailed attribute, or a producer call — or
+    ``None`` when the chain reaches nothing shared.
+    """
+    current = node
+    while True:
+        if isinstance(current, ast.Call):
+            if _is_producer_call(current, scope):
+                return ast.unparse(current.func)
+            return None
+        if isinstance(current, ast.Attribute):
+            if SHARED_NAME_TAILS.search(current.attr):
+                return ast.unparse(current)
+            current = current.value
+            continue
+        if isinstance(current, ast.Subscript):
+            current = current.value
+            continue
+        if isinstance(current, ast.Name):
+            if scope.is_tracked(current.id):
+                return current.id
+            escape_line = scope.escaped.get(current.id)
+            if escape_line is not None and use_line > escape_line:
+                return f"{current.id} (escaped at line {escape_line})"
+            return None
+        return None
+
+
+def _functions_outside_shared_classes(tree: ast.Module):
+    """Every function def not nested in a shared class body."""
+    shared_spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name in SHARED_CLASSES:
+            shared_spans.append((node.lineno, node.end_lineno or node.lineno))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if any(lo <= node.lineno <= hi for lo, hi in shared_spans):
+                continue
+            yield node
+
+
+def _build_scope(fn: ast.FunctionDef) -> _Scope:
+    scope = _Scope()
+    args = (
+        fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs
+    )
+    for arg in args:
+        if _annotation_names(arg.annotation) & SHARED_CLASSES:
+            scope.tracked.add(arg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and _is_producer_call(
+            node.value, scope
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    scope.tracked.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if _annotation_names(node.annotation) & SHARED_CLASSES or (
+                node.value is not None
+                and _is_producer_call(node.value, scope)
+            ):
+                scope.tracked.add(node.target.id)
+    # Alias propagation: y = x for tracked x (one extra pass suffices
+    # for the chain depths real code uses).
+    for _ in range(2):
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Name)
+                and scope.is_tracked(node.value.id)
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        scope.tracked.add(target.id)
+    # Escapes: names handed to submit/put/insert on shared machinery.
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            receiver = _terminal_name(node.func.value)
+            if receiver is None:
+                continue
+            if any(
+                node.func.attr == method and pattern.search(receiver)
+                for method, pattern in ESCAPE_METHODS
+            ):
+                for arg in node.args:
+                    if isinstance(arg, ast.Name):
+                        scope.escaped.setdefault(arg.id, node.lineno)
+    return scope
+
+
+def _setflags_rearm(node: ast.Call) -> bool:
+    """``.setflags(...)`` that re-enables writes (or might)."""
+    for kw in node.keywords:
+        if kw.arg == "write":
+            return not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is False
+            )
+    return bool(node.args)
+
+
+@rule(
+    SHARED_MUTATION,
+    title="in-place write to a shared object",
+    severity=Severity.ERROR,
+    description=(
+        "attribute/element write or in-place mutator call on an "
+        "interned bundle, cached frame, or other cross-executor "
+        "shared object outside its construction"
+    ),
+)
+def check_shared_mutation(project: Project) -> Iterable[Finding]:
+    for mod in project.sim_modules:
+        for fn in _functions_outside_shared_classes(mod.tree):
+            scope = _build_scope(fn)
+            for node in ast.walk(fn):
+                # Attribute / element stores: the *value* side of the
+                # target is the object being mutated.
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        shared = _chain_shared(
+                            target.value, scope, node.lineno
+                        )
+                        if shared is not None:
+                            yield Finding(
+                                path=mod.rel_path,
+                                line=node.lineno,
+                                rule_id=SHARED_MUTATION,
+                                severity=Severity.ERROR,
+                                message=(
+                                    f"in-place write to shared object "
+                                    f"'{shared}' in {fn.name}()"
+                                ),
+                                hint=(
+                                    "build a modified copy instead; shared "
+                                    "bundles/frames are immutable after "
+                                    "construction"
+                                ),
+                            )
+                # In-place mutator calls (incl. setflags re-arm).
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    is_mutator = node.func.attr in _MUTATORS or (
+                        node.func.attr == "setflags" and _setflags_rearm(node)
+                    )
+                    if not is_mutator:
+                        continue
+                    shared = _chain_shared(node.func.value, scope, node.lineno)
+                    if shared is not None:
+                        yield Finding(
+                            path=mod.rel_path,
+                            line=node.lineno,
+                            rule_id=SHARED_MUTATION,
+                            severity=Severity.ERROR,
+                            message=(
+                                f"in-place mutator .{node.func.attr}() on "
+                                f"shared object '{shared}' in {fn.name}()"
+                            ),
+                            hint=(
+                                "copy before mutating; the object is "
+                                "visible to other executors/cache readers"
+                            ),
+                        )

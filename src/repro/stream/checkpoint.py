@@ -80,7 +80,9 @@ class SessionCheckpoint:
     scene: str
     detail: float
     next_frame: int
-    frame_key: tuple | None
+    # Telemetry only: warm binning is exact from cold state, so replay
+    # correctness never consults the last frame key (class docstring).
+    frame_key: tuple | None  # analyze: allow[CKPT202] telemetry-only field
     cache: TemporalCacheState
     active_detail: float | None = None
     qos: QoSControllerState | None = None

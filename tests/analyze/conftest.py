@@ -1,0 +1,30 @@
+"""Shared helpers for the static-analysis tests.
+
+Rule tests build tiny in-memory projects from inline source strings
+(positive and negative fixtures side by side) and run one rule — or
+the whole engine — over them; nothing touches the real tree except
+the self-check test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze import Project, get_rule, run_analysis
+
+
+@pytest.fixture
+def run_rule():
+    """``run_rule(rule_id, sources) -> [Finding]`` over inline sources.
+
+    Sources live under ``src/repro/…`` by default (build them with
+    :func:`rule_fixtures.sim`) so sim-scoped rules see them; pass
+    explicit paths to test scoping itself.
+    """
+
+    def _run(rule_id: str, sources: dict[str, str]):
+        project = Project.from_sources(sources)
+        report = run_analysis(project=project, rules=[get_rule(rule_id)])
+        return report.new
+
+    return _run

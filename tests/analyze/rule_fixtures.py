@@ -1,0 +1,13 @@
+"""Fixture helpers for the per-rule analysis tests.
+
+Lives in its own uniquely-named module (not ``conftest``) so plain
+``from rule_fixtures import sim`` resolves unambiguously however
+pytest orders the suite's several ``conftest.py`` files.
+"""
+
+from __future__ import annotations
+
+
+def sim(source: str, name: str = "mod") -> dict[str, str]:
+    """Wrap one source string as a sim-scoped module mapping."""
+    return {f"src/repro/fixture/{name}.py": source}

@@ -1,0 +1,238 @@
+"""Unit tests for the checkpoint-completeness rules (CKPT201/CKPT202).
+
+Includes the ISSUE-mandated regression fixture: a synthetic "new field
+added to the dataclass but not to the serializer" module must be
+caught by the gate.
+"""
+
+import pytest
+
+from rule_fixtures import sim
+
+pytestmark = pytest.mark.analyze
+
+
+# ---------------------------------------------------------------------------
+# CKPT201 — mutable attribute missing from its checkpoint pair
+# ---------------------------------------------------------------------------
+COMPLETE_CONTROLLER = (
+    '"""m."""\n'
+    "class Controller:\n"
+    "    def __init__(self):\n"
+    "        self._scale = 1.0\n"
+    "        self._frames = 0\n"
+    "    def observe(self, miss):\n"
+    "        self._frames += 1\n"
+    "        self._scale *= 0.5 if miss else 1.0\n"
+    "    def export_state(self):\n"
+    "        return {'scale': self._scale, 'frames': self._frames}\n"
+    "    def import_state(self, state):\n"
+    "        self._scale = state['scale']\n"
+    "        self._frames = state['frames']\n"
+)
+
+
+def test_complete_pair_ok(run_rule):
+    assert not run_rule("CKPT201", sim(COMPLETE_CONTROLLER))
+
+
+def test_uncheckpointed_attr_flagged(run_rule):
+    findings = run_rule(
+        "CKPT201",
+        sim(
+            '"""m."""\n'
+            "class Controller:\n"
+            "    def __init__(self):\n"
+            "        self._scale = 1.0\n"
+            "        self._misses = 0\n"
+            "    def observe(self, miss):\n"
+            "        self._scale *= 0.5\n"
+            "        self._misses += 1\n"
+            "    def export_state(self):\n"
+            "        return {'scale': self._scale}\n"
+            "    def import_state(self, state):\n"
+            "        self._scale = state['scale']\n"
+        ),
+    )
+    assert len(findings) == 1
+    assert "'_misses'" in findings[0].message
+    assert findings[0].line == 8
+    assert "thread '_misses'" in findings[0].hint
+
+
+def test_mutator_call_counts_as_mutation(run_rule):
+    findings = run_rule(
+        "CKPT201",
+        sim(
+            '"""m."""\n'
+            "class Tracker:\n"
+            "    def __init__(self):\n"
+            "        self._samples = []\n"
+            "    def record(self, x):\n"
+            "        self._samples.append(x)\n"
+            "    def capture(self):\n"
+            "        return {}\n"
+            "    def restore(self, state):\n"
+            "        pass\n"
+        ),
+    )
+    assert len(findings) == 1
+    assert "'_samples'" in findings[0].message
+
+
+def test_import_side_store_covers(run_rule):
+    # An attribute reset by import_state is covered even when
+    # export_state never reads it (derived state).
+    assert not run_rule(
+        "CKPT201",
+        sim(
+            '"""m."""\n'
+            "class Tracker:\n"
+            "    def __init__(self):\n"
+            "        self._samples = []\n"
+            "    def record(self, x):\n"
+            "        self._samples.append(x)\n"
+            "    def capture(self):\n"
+            "        return {}\n"
+            "    def restore(self, state):\n"
+            "        self._samples = []\n"
+        ),
+    )
+
+
+def test_init_only_config_attr_exempt(run_rule):
+    assert not run_rule(
+        "CKPT201",
+        sim(
+            '"""m."""\n'
+            "class Controller:\n"
+            "    def __init__(self, deadline):\n"
+            "        self.deadline = deadline\n"
+            "        self._scale = 1.0\n"
+            "    def observe(self):\n"
+            "        self._scale *= 0.5\n"
+            "    def export_state(self):\n"
+            "        return {'scale': self._scale}\n"
+            "    def import_state(self, state):\n"
+            "        self._scale = state['scale']\n"
+        ),
+    )
+
+
+def test_class_without_pair_ignored(run_rule):
+    assert not run_rule(
+        "CKPT201",
+        sim(
+            '"""m."""\n'
+            "class Plain:\n"
+            "    def __init__(self):\n"
+            "        self.x = 0\n"
+            "    def bump(self):\n"
+            "        self.x += 1\n"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# CKPT202 — state field never read at restore
+# ---------------------------------------------------------------------------
+ROUND_TRIP = (
+    '"""m."""\n'
+    "from dataclasses import dataclass\n"
+    "@dataclass(frozen=True)\n"
+    "class State:\n"
+    "    scale: float\n"
+    "    frames: int\n"
+    "def capture_state(ctrl):\n"
+    "    return State(scale=ctrl.scale, frames=ctrl.frames)\n"
+    "def restore_state(ctrl, state):\n"
+    "    ctrl.scale = state.scale\n"
+    "    ctrl.frames = state.frames\n"
+)
+
+
+def test_round_trip_ok(run_rule):
+    assert not run_rule("CKPT202", sim(ROUND_TRIP))
+
+
+def test_new_field_not_in_checkpoint_caught(run_rule):
+    # The ISSUE's regression fixture: someone adds 'misses' to the
+    # state dataclass and the capture side, but forgets restore.
+    findings = run_rule(
+        "CKPT202",
+        sim(
+            '"""m."""\n'
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class State:\n"
+            "    scale: float\n"
+            "    misses: int\n"
+            "def capture_state(ctrl):\n"
+            "    return State(scale=ctrl.scale, misses=ctrl.misses)\n"
+            "def restore_state(ctrl, state):\n"
+            "    ctrl.scale = state.scale\n"
+        ),
+    )
+    assert len(findings) == 1
+    assert "'misses'" in findings[0].message
+    assert findings[0].line == 6  # points at the field declaration
+    assert "state.misses" in findings[0].hint
+
+
+def test_method_pair_with_dataclass_state(run_rule):
+    findings = run_rule(
+        "CKPT202",
+        sim(
+            '"""m."""\n'
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class State:\n"
+            "    scale: float\n"
+            "    comfort: float\n"
+            "class Controller:\n"
+            "    def export_state(self):\n"
+            "        return State(scale=1.0, comfort=0.5)\n"
+            "    def import_state(self, state: State):\n"
+            "        self._scale = state.scale\n"
+        ),
+    )
+    assert len(findings) == 1
+    assert "'comfort'" in findings[0].message
+
+
+def test_classvar_fields_exempt(run_rule):
+    assert not run_rule(
+        "CKPT202",
+        sim(
+            '"""m."""\n'
+            "from dataclasses import dataclass\n"
+            "from typing import ClassVar\n"
+            "@dataclass\n"
+            "class State:\n"
+            "    VERSION: ClassVar[int] = 2\n"
+            "    scale: float\n"
+            "def export_snap(ctrl):\n"
+            "    return State(scale=ctrl.scale)\n"
+            "def import_snap(ctrl, state):\n"
+            "    ctrl.scale = state.scale\n"
+        ),
+    )
+
+
+def test_inline_allow_on_field_line(run_rule):
+    findings = run_rule(
+        "CKPT202",
+        sim(
+            '"""m."""\n'
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class State:\n"
+            "    scale: float\n"
+            "    note: str  # analyze: allow[CKPT202] telemetry-only\n"
+            "def save_snap(ctrl):\n"
+            "    return State(scale=ctrl.scale, note='x')\n"
+            "def load_snap(ctrl, state):\n"
+            "    ctrl.scale = state.scale\n"
+        ),
+    )
+    assert not findings

@@ -1,0 +1,238 @@
+"""Unit tests for the determinism rules (DET101/DET102/DET103).
+
+Each test pairs positive fixtures (must flag) with negative ones
+(must stay quiet) as inline source strings — the rule's contract is
+the sum of these cases.
+"""
+
+import pytest
+
+from rule_fixtures import sim
+
+pytestmark = pytest.mark.analyze
+
+
+# ---------------------------------------------------------------------------
+# DET101 — unseeded RNG
+# ---------------------------------------------------------------------------
+def test_unseeded_default_rng_flagged(run_rule):
+    findings = run_rule(
+        "DET101",
+        sim(
+            '"""m."""\n'
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n"
+        ),
+    )
+    assert [f.line for f in findings] == [3]
+    assert "without a seed" in findings[0].message
+
+
+def test_seeded_default_rng_ok(run_rule):
+    assert not run_rule(
+        "DET101",
+        sim(
+            '"""m."""\n'
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1234)\n"
+            "rng2 = np.random.default_rng(seed=0)\n"
+        ),
+    )
+
+
+def test_global_numpy_rng_flagged(run_rule):
+    findings = run_rule(
+        "DET101",
+        sim(
+            '"""m."""\n'
+            "import numpy as np\n"
+            "x = np.random.uniform(0.0, 1.0)\n"
+            "np.random.seed(0)\n"
+        ),
+    )
+    assert sorted(f.line for f in findings) == [3, 4]
+
+
+def test_stdlib_global_rng_and_bare_random_flagged(run_rule):
+    findings = run_rule(
+        "DET101",
+        sim(
+            '"""m."""\n'
+            "import random\n"
+            "x = random.random()\n"
+            "r = random.Random()\n"
+            "ok = random.Random(42)\n"
+        ),
+    )
+    assert sorted(f.line for f in findings) == [3, 4]
+
+
+def test_from_import_alias_resolved(run_rule):
+    findings = run_rule(
+        "DET101",
+        sim(
+            '"""m."""\n'
+            "from numpy.random import default_rng as mk\n"
+            "rng = mk()\n"
+            "ok = mk(7)\n"
+        ),
+    )
+    assert [f.line for f in findings] == [3]
+
+
+def test_seeded_generator_param_ok(run_rule):
+    # The repository idiom: accept a seeded Generator from the caller.
+    assert not run_rule(
+        "DET101",
+        sim(
+            '"""m."""\n'
+            "import numpy as np\n"
+            "def jitter(rng: np.random.Generator):\n"
+            "    return rng.normal(size=3)\n"
+        ),
+    )
+
+
+def test_local_attribute_not_mistaken_for_module(run_rule):
+    # self.random.foo() has a non-import root: never flagged.
+    assert not run_rule(
+        "DET101",
+        sim(
+            '"""m."""\n'
+            "class C:\n"
+            "    def f(self):\n"
+            "        return self.random.shuffle([1])\n"
+        ),
+    )
+
+
+def test_rule_is_sim_scoped(run_rule):
+    src = '"""m."""\nimport numpy as np\nrng = np.random.default_rng()\n'
+    assert not run_rule("DET101", {"benchmarks/bench_x.py": src})
+    assert not run_rule("DET101", {"tests/test_x.py": src})
+
+
+# ---------------------------------------------------------------------------
+# DET102 — wall-clock reads
+# ---------------------------------------------------------------------------
+def test_wall_clock_calls_flagged(run_rule):
+    findings = run_rule(
+        "DET102",
+        sim(
+            '"""m."""\n'
+            "import time\n"
+            "from datetime import datetime\n"
+            "a = time.time()\n"
+            "b = time.perf_counter()\n"
+            "c = datetime.now()\n"
+        ),
+    )
+    assert sorted(f.line for f in findings) == [4, 5, 6]
+
+
+def test_wall_clock_module_allowlist(run_rule):
+    src = '"""m."""\nimport time\nwall = time.perf_counter()\n'
+    # The timing-labeled stream modules are allowlisted...
+    assert not run_rule(
+        "DET102", {"src/repro/stream/pipeline.py": src}
+    )
+    # ...arbitrary sim modules are not.
+    assert run_rule("DET102", {"src/repro/stream/qos.py": src})
+
+
+def test_simulated_time_arithmetic_ok(run_rule):
+    assert not run_rule(
+        "DET102",
+        sim(
+            '"""m."""\n'
+            "def advance(sim_seconds, dt):\n"
+            "    return sim_seconds + dt\n"
+        ),
+    )
+
+
+def test_inline_allow_suppresses_wall_clock(run_rule):
+    findings = run_rule(
+        "DET102",
+        sim(
+            '"""m."""\n'
+            "import time\n"
+            "t = time.time()  # analyze: allow[DET102] host telemetry\n"
+        ),
+    )
+    assert not findings
+
+
+# ---------------------------------------------------------------------------
+# DET103 — set iteration feeding ordered outputs
+# ---------------------------------------------------------------------------
+def test_for_loop_over_set_flagged(run_rule):
+    findings = run_rule(
+        "DET103",
+        sim(
+            '"""m."""\n'
+            "def f():\n"
+            "    seen = {1, 2, 3}\n"
+            "    out = []\n"
+            "    for x in seen:\n"
+            "        out.append(x)\n"
+            "    return out\n"
+        ),
+    )
+    assert [f.line for f in findings] == [5]
+
+
+def test_list_comp_over_set_call_flagged(run_rule):
+    findings = run_rule(
+        "DET103",
+        sim(
+            '"""m."""\n'
+            "def f(items):\n"
+            "    return [x for x in set(items)]\n"
+        ),
+    )
+    assert [f.line for f in findings] == [3]
+
+
+def test_sorted_and_reducers_ok(run_rule):
+    assert not run_rule(
+        "DET103",
+        sim(
+            '"""m."""\n'
+            "def f(items):\n"
+            "    s = set(items)\n"
+            "    a = sorted(s)\n"
+            "    b = [x for x in sorted(s)]\n"
+            "    c = sum(x for x in s)\n"
+            "    d = max(s)\n"
+            "    e = {x * 2 for x in s}\n"
+            "    return a, b, c, d, e\n"
+        ),
+    )
+
+
+def test_mixed_rebinding_stays_quiet(run_rule):
+    # A name that is sometimes a list is not unambiguously a set:
+    # flow-insensitive analysis must not guess.
+    assert not run_rule(
+        "DET103",
+        sim(
+            '"""m."""\n'
+            "def f(flag):\n"
+            "    xs = {1, 2}\n"
+            "    xs = [1, 2]\n"
+            "    return [x for x in xs]\n"
+        ),
+    )
+
+
+def test_module_level_scope_checked_once(run_rule):
+    findings = run_rule(
+        "DET103",
+        sim(
+            '"""m."""\n'
+            "S = {1, 2}\n"
+            "ORDERED = [x for x in S]\n"
+        ),
+    )
+    assert [f.line for f in findings] == [3]

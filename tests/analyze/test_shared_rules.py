@@ -1,0 +1,173 @@
+"""Unit tests for the shared-state race rule (RACE301).
+
+Includes the ISSUE-mandated fixture: a mutated shared bundle must
+fail the gate.
+"""
+
+import pytest
+
+from rule_fixtures import sim
+
+pytestmark = pytest.mark.analyze
+
+
+# ---------------------------------------------------------------------------
+# positives
+# ---------------------------------------------------------------------------
+def test_mutated_shared_bundle_flagged(run_rule):
+    # The ISSUE's acceptance fixture: a worker patches an interned
+    # bundle in place.
+    findings = run_rule(
+        "RACE301",
+        sim(
+            '"""m."""\n'
+            "def render(worker, scene, detail):\n"
+            "    bundle = worker.interner.build(scene, detail)\n"
+            "    bundle.detail = detail\n"
+        ),
+    )
+    assert len(findings) == 1
+    assert findings[0].line == 4
+    assert "'bundle'" in findings[0].message
+    assert "modified copy" in findings[0].hint
+
+
+def test_annotated_param_mutation_flagged(run_rule):
+    findings = run_rule(
+        "RACE301",
+        sim(
+            '"""m."""\n'
+            "def patch(sb: 'SceneBundle'):\n"
+            "    sb.positions[0] = 1.0\n"
+        ),
+    )
+    assert [f.line for f in findings] == [3]
+
+
+def test_bundle_attribute_tail_deep_mutation_flagged(run_rule):
+    findings = run_rule(
+        "RACE301",
+        sim(
+            '"""m."""\n'
+            "class Worker:\n"
+            "    def tweak(self, x):\n"
+            "        self.bundle.static_cloud.positions[0] = x\n"
+        ),
+    )
+    assert [f.line for f in findings] == [4]
+    assert "self.bundle" in findings[0].message
+
+
+def test_mutator_call_on_cache_product_flagged(run_rule):
+    findings = run_rule(
+        "RACE301",
+        sim(
+            '"""m."""\n'
+            "def refresh(tier, key):\n"
+            "    frame = tier.get(key)\n"
+            "    frame.tags.append('reused')\n"
+        ),
+    )
+    assert [f.line for f in findings] == [4]
+    assert ".append()" in findings[0].message
+
+
+def test_mutation_after_escape_flagged(run_rule):
+    # Once handed to tier.put() the frame has concurrent readers;
+    # mutating it afterwards is a race even though the name itself
+    # carries no shared annotation.
+    findings = run_rule(
+        "RACE301",
+        sim(
+            '"""m."""\n'
+            "def publish(tier, frame):\n"
+            "    tier.put(frame)\n"
+            "    frame.image[0, 0] = 1.0\n"
+        ),
+    )
+    assert [f.line for f in findings] == [4]
+    assert "escaped at line 3" in findings[0].message
+
+
+def test_setflags_rearm_flagged(run_rule):
+    findings = run_rule(
+        "RACE301",
+        sim(
+            '"""m."""\n'
+            "def thaw(frame_cache, key):\n"
+            "    frame = frame_cache.lookup(key)\n"
+            "    frame.image.setflags(write=True)\n"
+        ),
+    )
+    assert [f.line for f in findings] == [4]
+
+
+# ---------------------------------------------------------------------------
+# negatives
+# ---------------------------------------------------------------------------
+def test_rebinding_is_not_mutation(run_rule):
+    assert not run_rule(
+        "RACE301",
+        sim(
+            '"""m."""\n'
+            "class Worker:\n"
+            "    def swap(self, provider, scene):\n"
+            "        self.bundle = provider(scene)\n"
+        ),
+    )
+
+
+def test_mutation_before_escape_ok(run_rule):
+    # Construction-then-publish is the intended lifecycle: writes
+    # before the escape point are fine.
+    assert not run_rule(
+        "RACE301",
+        sim(
+            '"""m."""\n'
+            "def publish(tier, frame):\n"
+            "    frame.hits = 0\n"
+            "    tier.put(frame)\n"
+        ),
+    )
+
+
+def test_shared_class_own_methods_exempt(run_rule):
+    assert not run_rule(
+        "RACE301",
+        sim(
+            '"""m."""\n'
+            "class CachedFrame:\n"
+            "    def __post_init__(self):\n"
+            "        self.image.setflags(write=False)\n"
+        ),
+    )
+
+
+def test_unrelated_local_mutation_ok(run_rule):
+    assert not run_rule(
+        "RACE301",
+        sim(
+            '"""m."""\n'
+            "def tally(items):\n"
+            "    counts = {}\n"
+            "    for item in items:\n"
+            "        counts[item] = counts.get(item, 0) + 1\n"
+            "    out = []\n"
+            "    out.append(len(counts))\n"
+            "    return out\n"
+        ),
+    )
+
+
+def test_inline_allow_suppresses(run_rule):
+    findings = run_rule(
+        "RACE301",
+        sim(
+            '"""m."""\n'
+            "def warm(interner, scene):\n"
+            "    b = interner.build(scene, 1.0)\n"
+            "    b.tags.append('warm')  "
+            "# analyze: allow[RACE301] pre-publication warm-up\n"
+        ),
+    )
+    assert not findings
