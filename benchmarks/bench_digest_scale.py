@@ -1,0 +1,396 @@
+"""Digest-pipeline scale: 10^5+ concurrent sessions through the fleet.
+
+The exact pipeline renders pixels, which caps fleet benchmarks at tens
+of concurrent sessions; the digest pipeline
+(:class:`~repro.stream.digest.DigestFrameStream`) advances sessions
+from calibrated workload models, so the *serving* layers — scheduler,
+QoS, router, admission control, autoscaler — can be driven at the
+paper's deployment scale.  This benchmark calibrates models, proves
+the digest agrees with the full render, then writes
+``BENCH_digest_scale.json`` at the repo root:
+
+* **Fidelity** — every calibrated (scene, detail rung, trajectory
+  class) combination replayed through both pipelines and checked with
+  :func:`~repro.stream.digest.assert_trace_agreement` (identical
+  detail-ladder decisions, ``sim_seconds`` exact on the calibration
+  trajectory).
+* **Speedup** — wall-clock per frame, exact vs digest, on the same
+  session (floor ``REPRO_BENCH_DIGEST_MIN_SPEEDUP``, default 50x).
+* **Arrival analytics** — generated arrival counts vs the analytic
+  ``rate x duration x mean multiplier`` expectation at 10^5-scale
+  rates for constant, diurnal and ramp profiles (within 5 sigma of
+  the Poisson spread).
+* **Thundering herd** — one compact digest trace of ~1.3x the fleet's
+  admission capacity served on ``REPRO_BENCH_DIGEST_NODES`` nodes
+  behind the O(nodes) ``active`` router with round-robin placement:
+  peak concurrent sessions must reach
+  ``REPRO_BENCH_DIGEST_MIN_SESSIONS`` (default 10^5) and the router
+  queue must actually back up (the herd is real, not absorbed).
+* **Rebalance oscillation** — a 10^4-session probe with cross-node
+  checkpoint migration enabled, surfacing sessions that migrate more
+  than once (oscillation) and the per-tick migration cadence.
+
+Every asserted number is a simulated metric (peak concurrency, queue
+depths, event counts) or a host-ratio (speedup) derived from one
+seeded trace; wall-clock totals are recorded for information only.
+
+Smoke knobs (used by CI): ``REPRO_BENCH_DIGEST_RATE``,
+``REPRO_BENCH_DIGEST_DURATION``, ``REPRO_BENCH_DIGEST_NODES``,
+``REPRO_BENCH_DIGEST_CAPACITY``, ``REPRO_BENCH_DIGEST_MIN_SESSIONS``,
+``REPRO_BENCH_DIGEST_MIX``, ``REPRO_BENCH_DIGEST_SEED``,
+``REPRO_BENCH_DIGEST_DETAIL``, ``REPRO_BENCH_DIGEST_MIN_SPEEDUP``,
+``REPRO_BENCH_DIGEST_PROFILE_DURATION``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.scenes.catalog import CATALOG
+from repro.stream.digest import (
+    DigestFrameStream,
+    WorkloadModelTable,
+    assert_trace_agreement,
+)
+from repro.stream.fleet import EdgeFleet
+from repro.stream.pipeline import FrameStream, streaming_config
+from repro.stream.traffic import MIXES, RateProfile, TrafficGenerator
+from repro.stream.trajectory import CameraTrajectory
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_digest_scale.json"
+
+MIX = os.environ.get("REPRO_BENCH_DIGEST_MIX", "light")
+RATE = float(os.environ.get("REPRO_BENCH_DIGEST_RATE", "45000.0"))
+DURATION = float(os.environ.get("REPRO_BENCH_DIGEST_DURATION", "3.0"))
+DETAIL = float(os.environ.get("REPRO_BENCH_DIGEST_DETAIL", "0.25"))
+SEED = int(os.environ.get("REPRO_BENCH_DIGEST_SEED", "7"))
+NODES = int(os.environ.get("REPRO_BENCH_DIGEST_NODES", "30"))
+CAPACITY = int(os.environ.get("REPRO_BENCH_DIGEST_CAPACITY", "4000"))
+MIN_SESSIONS = int(
+    os.environ.get("REPRO_BENCH_DIGEST_MIN_SESSIONS", "100000")
+)
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_DIGEST_MIN_SPEEDUP", "50.0"))
+#: Window for the diurnal/ramp analytic checks — same 10^5-scale rate
+#: as the herd, shorter window so generation stays a side dish.
+PROFILE_DURATION = float(
+    os.environ.get("REPRO_BENCH_DIGEST_PROFILE_DURATION", "0.6")
+)
+CAL_FRAMES = 8
+
+
+def _mix_grid():
+    """The (scenes, details, trajectories) the mix's sessions draw."""
+    archetypes = MIXES[MIX]
+    scenes = sorted({a.scene for a in archetypes})
+    details = sorted({a.detail * DETAIL for a in archetypes})
+    trajectories = sorted({a.trajectory for a in archetypes})
+    return scenes, details, trajectories
+
+
+def test_digest_scale(benchmark):
+    scenes, details, trajectories = _mix_grid()
+
+    # -- calibration --------------------------------------------------
+    t0 = time.perf_counter()
+    models = WorkloadModelTable.calibrate(
+        scenes,
+        details=details,
+        trajectories=trajectories,
+        n_frames=CAL_FRAMES,
+        config=streaming_config(),
+        seed=SEED,
+    )
+    calibration_wall = time.perf_counter() - t0
+
+    # -- fidelity: digest vs full render on every calibrated combo ----
+    fidelity_rows = []
+    for model in models.models:
+        spec = CATALOG[model.scene]
+        trajectory = CameraTrajectory.for_scene(
+            spec,
+            model.trajectory,
+            n_frames=CAL_FRAMES,
+            seed=SEED,
+            detail=model.detail,
+        )
+        exact = FrameStream(spec, trajectory, detail=model.detail)
+        digest = DigestFrameStream(
+            spec, trajectory, models, detail=model.detail
+        )
+        agreement = assert_trace_agreement(
+            exact.run(CAL_FRAMES), digest.run(CAL_FRAMES)
+        )
+        fidelity_rows.append(
+            {
+                "scene": model.scene,
+                "detail": model.detail,
+                "trajectory": model.trajectory,
+                **agreement.to_dict(),
+            }
+        )
+    max_rel_err = max(r["max_sim_rel_err"] for r in fidelity_rows)
+
+    # -- speedup: wall clock per frame, exact vs digest ---------------
+    spec = CATALOG[scenes[0]]
+    trajectory = CameraTrajectory.for_scene(
+        spec, trajectories[0], n_frames=CAL_FRAMES, seed=SEED, detail=details[0]
+    )
+    t0 = time.perf_counter()
+    FrameStream(spec, trajectory, detail=details[0]).run(CAL_FRAMES)
+    exact_per_frame = (time.perf_counter() - t0) / CAL_FRAMES
+    reps = 50
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        DigestFrameStream(spec, trajectory, models, detail=details[0]).run(
+            CAL_FRAMES
+        )
+    digest_per_frame = (time.perf_counter() - t0) / (reps * CAL_FRAMES)
+    speedup = exact_per_frame / digest_per_frame
+
+    # -- arrival analytics at 10^5-scale rates ------------------------
+    analytic_rows = []
+    for name, profile, duration in (
+        ("constant", None, DURATION),
+        ("diurnal", RateProfile("diurnal", floor=0.2), PROFILE_DURATION),
+        ("ramp", RateProfile("ramp", floor=0.2), PROFILE_DURATION),
+    ):
+        gen = TrafficGenerator(
+            mix=MIX,
+            rate=RATE,
+            duration=duration,
+            seed=SEED,
+            detail=DETAIL,
+            profile=profile,
+            pipeline="digest",
+            compact=True,
+        )
+        arrivals = gen.generate()
+        expected = gen.expected_sessions()
+        z = (len(arrivals) - expected) / max(np.sqrt(expected), 1e-9)
+        analytic_rows.append(
+            {
+                "profile": name,
+                "rate": RATE,
+                "duration": duration,
+                "expected": expected,
+                "generated": len(arrivals),
+                "z_score": float(z),
+            }
+        )
+        if name == "constant":
+            herd_sessions = [a.session for a in arrivals]
+
+    # -- thundering herd: ~1.3x fleet capacity, one burst -------------
+    # All sessions connect at t=0 (a reconnect storm after an outage):
+    # the router must admit to capacity in one tick and queue the rest.
+    # Open-loop timed arrivals at these frame latencies reach a small
+    # steady state instead — the burst is what stresses admission.
+    t0 = time.perf_counter()
+    with EdgeFleet(
+        nodes=NODES,
+        node_capacity=CAPACITY,
+        router="active",
+        placement="rr",
+        migration=False,
+        models=models,
+    ) as fleet:
+        herd = fleet.serve_sessions(herd_sessions)
+    herd_wall = time.perf_counter() - t0
+
+    # -- rebalance oscillation probe at 10^4 --------------------------
+    probe_sessions = [
+        a.session
+        for a in TrafficGenerator(
+            mix=MIX,
+            rate=4000.0,
+            duration=2.5,
+            seed=SEED,
+            detail=DETAIL,
+            pipeline="digest",
+            compact=True,
+        ).generate()
+    ]
+    # The affinity router deliberately stacks same-scene sessions, so
+    # the rebalancer has real skew to fight — the probe surfaces how
+    # often it moves sessions and whether any session bounces (moves
+    # twice or more: rebalance oscillation).
+    with EdgeFleet(
+        nodes=8,
+        node_capacity=2000,
+        router="affinity",
+        placement="rr",
+        migration=True,
+        migration_threshold=0.3,
+        models=models,
+    ) as fleet:
+        probe = fleet.serve_sessions(probe_sessions)
+    moves_per_session: dict[str, int] = {}
+    for m in probe.migrations:
+        moves_per_session[m.session_id] = (
+            moves_per_session.get(m.session_id, 0) + 1
+        )
+    oscillating = sum(1 for n in moves_per_session.values() if n >= 2)
+
+    payload = {
+        "benchmark": "digest_scale",
+        "methodology": (
+            "workload models calibrated by one exact render per (scene, "
+            "detail rung, trajectory class); digest fidelity asserted "
+            "against the full render on every combo (identical detail "
+            "ladders, sim_seconds exact on the calibration trajectory); "
+            "one compact digest trace of ~1.3x fleet admission capacity "
+            "served through scheduler + admission + 'active' router at "
+            "round-robin placement; peak concurrent sessions, queue "
+            "backup, migration oscillation and analytic arrival counts "
+            "are simulated metrics from the seeded trace "
+            "(host-independent); speedup is a host wall-clock ratio."
+        ),
+        "traffic": {
+            "mix": MIX,
+            "rate": RATE,
+            "duration": DURATION,
+            "seed": SEED,
+            "detail": DETAIL,
+            "sessions": len(herd_sessions),
+        },
+        "summary": {
+            "peak_active": herd.peak_active,
+            "floor_sessions": MIN_SESSIONS,
+            "fleet_capacity": NODES * CAPACITY,
+            "max_queue_depth": herd.max_queue_depth,
+            "fidelity_max_sim_rel_err": max_rel_err,
+            "speedup_per_frame": speedup,
+            "speedup_floor": MIN_SPEEDUP,
+            "oscillating_sessions": oscillating,
+            "probe_migrations": len(probe.migrations),
+        },
+        "calibration": {
+            "models": len(models.models),
+            "n_frames": CAL_FRAMES,
+            "wall_seconds": calibration_wall,
+        },
+        "fidelity": fidelity_rows,
+        "speedup": {
+            "exact_seconds_per_frame": exact_per_frame,
+            "digest_seconds_per_frame": digest_per_frame,
+            "speedup": speedup,
+        },
+        "arrival_analytics": analytic_rows,
+        "herd": {
+            "nodes": NODES,
+            "node_capacity": CAPACITY,
+            "router": "active",
+            "placement": "rr",
+            "sessions": len(herd_sessions),
+            "total_frames": herd.total_frames,
+            "peak_active": herd.peak_active,
+            "active_trace": herd.active_trace,
+            "queue_depth_trace": herd.queue_depth_trace,
+            "ticks": herd.ticks,
+            "sim_makespan_seconds": herd.summary.sim_makespan_seconds,
+            "sim_frames_per_sec": herd.sim_frames_per_sec,
+            "wall_seconds": herd_wall,
+            "wall_frames_per_sec": (
+                herd.total_frames / herd_wall if herd_wall > 0 else 0.0
+            ),
+        },
+        "oscillation_probe": {
+            "sessions": len(probe_sessions),
+            "nodes": 8,
+            "node_capacity": 2000,
+            "migrations": len(probe.migrations),
+            "oscillating_sessions": oscillating,
+            "max_moves_per_session": max(
+                moves_per_session.values(), default=0
+            ),
+            "ticks": probe.ticks,
+            "max_queue_depth": probe.max_queue_depth,
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"\n=== digest scale ({MIX} mix, seed {SEED}) -> {OUTPUT.name} ===")
+    print(
+        f"{len(herd_sessions)} sessions on {NODES}x{CAPACITY} slots: "
+        f"peak {herd.peak_active} concurrent (floor {MIN_SESSIONS}), "
+        f"queue backed up to {herd.max_queue_depth}, "
+        f"{herd.total_frames} frames in {herd_wall:.1f}s wall "
+        f"({herd.ticks} ticks)"
+    )
+    print(
+        f"fidelity max rel err {max_rel_err:.4f} over "
+        f"{len(fidelity_rows)} combos; digest {speedup:.0f}x faster per "
+        f"frame (floor {MIN_SPEEDUP:.0f}x); oscillation probe: "
+        f"{len(probe.migrations)} migration(s), {oscillating} "
+        f"session(s) moved twice+"
+    )
+    for row in analytic_rows:
+        print(
+            f"  {row['profile']:>8}: {row['generated']} generated vs "
+            f"{row['expected']:.0f} expected (z={row['z_score']:+.2f})"
+        )
+
+    # Acceptance bars.
+    assert herd.peak_active >= MIN_SESSIONS, (
+        f"the digest fleet must hold >= {MIN_SESSIONS} concurrent "
+        f"sessions, measured {herd.peak_active}"
+    )
+    if len(herd_sessions) > NODES * CAPACITY:
+        assert herd.max_queue_depth > 0, (
+            "a herd exceeding fleet capacity must back up the router "
+            "queue"
+        )
+    assert herd.summary.sessions == len(herd_sessions), (
+        "every generated session must eventually be served"
+    )
+    for row in fidelity_rows:
+        assert not row["mismatches"], (
+            f"digest trace diverged on {row['scene']}: {row['mismatches']}"
+        )
+    assert max_rel_err == 0.0, (
+        "digest sim_seconds must replay the calibration trajectory "
+        f"exactly, measured max rel err {max_rel_err}"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"the digest pipeline must be >= {MIN_SPEEDUP}x faster per "
+        f"frame than the exact render, measured {speedup:.1f}x"
+    )
+    for row in analytic_rows:
+        assert abs(row["z_score"]) < 5.0, (
+            f"{row['profile']} arrivals must match the analytic "
+            f"expectation within 5 sigma, measured z={row['z_score']:.2f}"
+        )
+    assert probe.summary.sessions == len(probe_sessions)
+
+    # pytest-benchmark bookkeeping: a small compact digest fleet serve.
+    small = [
+        a.session
+        for a in TrafficGenerator(
+            mix=MIX,
+            rate=200.0,
+            duration=1.0,
+            seed=SEED,
+            detail=DETAIL,
+            pipeline="digest",
+            compact=True,
+        ).generate()
+    ]
+
+    def _small():
+        with EdgeFleet(
+            nodes=2,
+            node_capacity=200,
+            router="active",
+            placement="rr",
+            migration=False,
+            models=models,
+        ) as fleet:
+            return fleet.serve_sessions(small)
+
+    benchmark.pedantic(_small, rounds=3, iterations=1)

@@ -9,10 +9,19 @@ single-frame renderer:
 * :mod:`repro.stream.binning` — warm-started tile binning that carries
   (tile, Gaussian) instances across frames and regenerates only the
   Gaussians whose tile footprint moved;
-* :mod:`repro.stream.pipeline` — :class:`FrameStream`, the per-session
-  pipeline that renders a trajectory over any catalog scene while
-  persisting binning state and the temporal reuse-cache mode of
+* :mod:`repro.stream.pipeline` — the :class:`FramePipeline` protocol
+  and :class:`FrameStream`, the *exact* per-session pipeline that
+  renders a trajectory over any catalog scene while persisting binning
+  state and the temporal reuse-cache mode of
   :class:`repro.core.reuse_cache.TemporalReuseSimulator`;
+* :mod:`repro.stream.digest` — the *digest* pipeline:
+  :class:`DigestFrameStream` advances sessions from calibrated
+  :class:`WorkloadModel` tables instead of rendering pixels, keeping
+  sim-seconds, cache, QoS and checkpoint semantics while serving
+  10^5+ concurrent sessions;
+* :mod:`repro.stream.reporting` — the shared serving reports
+  (:class:`SessionResult`, :class:`ServeSummary`, :class:`TickResult`)
+  both pipelines and both serving layers emit through;
 * :mod:`repro.stream.qos` — deadline-aware adaptive quality control:
   per-session frame deadlines (target FPS) and a closed-loop AIMD
   controller that walks the detail ladder from observed frame
@@ -65,6 +74,14 @@ from repro.stream.content_cache import (
     frame_content_key,
     merge_economics,
 )
+from repro.stream.digest import (
+    DigestFrameStream,
+    TraceAgreement,
+    WorkloadModel,
+    WorkloadModelTable,
+    assert_trace_agreement,
+    trace_agreement,
+)
 from repro.stream.fleet import (
     ROUTERS,
     AutoscaleEvent,
@@ -73,11 +90,14 @@ from repro.stream.fleet import (
     NodeMigration,
 )
 from repro.stream.pipeline import (
+    PIPELINES,
+    FramePipeline,
     FrameRecord,
     FrameStream,
     StreamReport,
     streaming_config,
 )
+from repro.stream.reporting import ServeSummary, SessionResult, TickResult
 from repro.stream.qos import (
     FrameDeadline,
     QoSControllerState,
@@ -94,13 +114,7 @@ from repro.stream.scheduler import (
     make_scheduler,
     static_frame_estimate,
 )
-from repro.stream.server import (
-    ServeSummary,
-    SessionResult,
-    StreamServer,
-    StreamSession,
-    TickResult,
-)
+from repro.stream.server import StreamServer, StreamSession
 from repro.stream.traffic import (
     MIXES,
     PROFILES,
@@ -138,10 +152,18 @@ __all__ = [
     "economics_to_dict",
     "frame_content_key",
     "merge_economics",
+    "PIPELINES",
+    "FramePipeline",
     "FrameRecord",
     "FrameStream",
     "StreamReport",
     "streaming_config",
+    "DigestFrameStream",
+    "TraceAgreement",
+    "WorkloadModel",
+    "WorkloadModelTable",
+    "assert_trace_agreement",
+    "trace_agreement",
     "FrameDeadline",
     "QoSControllerState",
     "QoSPolicy",

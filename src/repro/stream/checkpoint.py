@@ -34,7 +34,7 @@ from dataclasses import dataclass
 
 from repro.core.reuse_cache import TemporalCacheState
 from repro.errors import ValidationError
-from repro.stream.pipeline import FrameStream
+from repro.stream.pipeline import FramePipeline
 from repro.stream.qos import QoSControllerState
 
 
@@ -108,7 +108,7 @@ class SessionCheckpoint:
 
 
 def capture_checkpoint(
-    session_id: str, stream: FrameStream, detail: float = 1.0
+    session_id: str, stream: FramePipeline, detail: float = 1.0
 ) -> SessionCheckpoint:
     """Snapshot a session's stream state after its latest frame."""
     return SessionCheckpoint(
@@ -127,8 +127,10 @@ def capture_checkpoint(
     )
 
 
-def restore_checkpoint(stream: FrameStream, checkpoint: SessionCheckpoint) -> None:
-    """Replay a checkpoint onto a freshly built :class:`FrameStream`.
+def restore_checkpoint(
+    stream: FramePipeline, checkpoint: SessionCheckpoint
+) -> None:
+    """Replay a checkpoint onto a freshly built pipeline stream.
 
     The stream must target the checkpoint's scene; its cache simulator
     must match the exported policy/geometry (enforced by
@@ -160,5 +162,9 @@ def restore_checkpoint(stream: FrameStream, checkpoint: SessionCheckpoint) -> No
         # imported cache state belongs to that bundle, and the next
         # frame must flush only on a *real* rung change.
         stream.load_detail(active)
-    stream.binner.reset()
+    binner = getattr(stream, "binner", None)
+    if binner is not None:
+        # Exact pipeline only: warm binning is exact from cold state,
+        # so the binner restarts cold (digest streams have no binner).
+        binner.reset()
     stream.seek(checkpoint.next_frame)

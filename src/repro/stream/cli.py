@@ -62,8 +62,9 @@ from repro.render.approx import APPROX_TOLERANCE_ENV_VAR
 from repro.render.backends import get_backend
 from repro.scenes.catalog import CATALOG
 from repro.stream.content_cache import ContentCacheConfig, economics_to_dict
+from repro.stream.digest import WorkloadModelTable
 from repro.stream.fleet import ROUTERS, EdgeFleet
-from repro.stream.pipeline import streaming_config
+from repro.stream.pipeline import PIPELINES, streaming_config
 from repro.stream.qos import QoSPolicy
 from repro.stream.scheduler import PLACEMENTS
 from repro.stream.server import StreamServer, StreamSession
@@ -75,6 +76,36 @@ TRAJECTORIES = ("orbit", "dolly", "head_jitter", "frozen")
 QOS_MODES = ("adaptive", "fixed")
 
 RENDER_MODES = ("exact", "approx")
+
+
+def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
+    """The frame-pipeline argument pair, shared by both serve commands."""
+    parser.add_argument(
+        "--pipeline",
+        default="exact",
+        choices=PIPELINES,
+        help="frame pipeline: 'exact' renders every frame; 'digest' "
+        "advances sessions from calibrated workload models "
+        "(default: exact)",
+    )
+    parser.add_argument(
+        "--models",
+        metavar="PATH",
+        default=None,
+        help="workload-model table JSON (see the 'calibrate' "
+        "subcommand); with --pipeline digest and no --models, a table "
+        "is calibrated in-process before serving",
+    )
+
+
+def _validate_pipeline_args(args: argparse.Namespace) -> None:
+    if args.models is not None and args.pipeline != "digest":
+        raise ValidationError("--models requires --pipeline digest")
+
+
+def _load_models(path: str) -> WorkloadModelTable:
+    with open(path) as fh:
+        return WorkloadModelTable.from_json(fh.read())
 
 
 def _add_content_cache_args(parser: argparse.ArgumentParser) -> None:
@@ -222,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="base seed for jittered paths"
     )
+    _add_pipeline_args(parser)
     _add_content_cache_args(parser)
     parser.add_argument(
         "--json",
@@ -265,6 +297,7 @@ def validate_args(args: argparse.Namespace) -> None:
             )
         if not 0.0 <= args.tolerance <= 1.0:
             raise ValidationError("--tolerance must be in [0, 1]")
+    _validate_pipeline_args(args)
     _validate_content_cache_args(args)
 
 
@@ -305,17 +338,38 @@ def make_sessions(args: argparse.Namespace) -> list[StreamSession]:
                 config=config,
                 target_fps=args.target_fps,
                 qos=qos,
+                pipeline=args.pipeline,
             )
         )
     return sessions
 
 
 def _run(args: argparse.Namespace, sessions: list[StreamSession]) -> int:
+    models = None
+    if args.pipeline == "digest":
+        if args.models is not None:
+            models = _load_models(args.models)
+        else:
+            # Self-calibration: one exact render of the requested
+            # workload, then every session digests from it.
+            models = WorkloadModelTable.calibrate(
+                [args.scene],
+                details=(args.detail,),
+                trajectories=(args.trajectory,),
+                n_frames=min(args.frames, 8),
+                config=sessions[0].config,
+                seed=args.seed,
+            )
+        print(
+            f"digest pipeline: {len(models)} workload model(s) "
+            + ("loaded" if args.models is not None else "calibrated")
+        )
     with StreamServer(
         workers=args.workers,
         placement=args.placement,
         max_inflight=args.max_inflight,
         content_cache=_content_config(args),
+        models=models,
     ) as server:
         server.warm_up()
         results, summary = server.serve_timed(sessions)
@@ -375,6 +429,7 @@ def _run(args: argparse.Namespace, sessions: list[StreamSession]) -> int:
         payload = {
             "scene": args.scene,
             "trajectory": args.trajectory,
+            "pipeline": args.pipeline,
             "workers": summary.workers,
             "placement": args.placement,
             "target_fps": args.target_fps,
@@ -484,6 +539,14 @@ def build_fleet_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="traffic generator seed"
     )
+    parser.add_argument(
+        "--compact",
+        action="store_true",
+        help="generate compact sessions (one-pose trajectories, frame "
+        "budgets on the session) — required at 10^5+ sessions; needs "
+        "--pipeline digest and no --content-cache",
+    )
+    _add_pipeline_args(parser)
     _add_content_cache_args(parser)
     parser.add_argument(
         "--json",
@@ -514,10 +577,48 @@ def validate_fleet_args(args: argparse.Namespace) -> None:
         raise ValidationError("--min-nodes must be in [1, --nodes]")
     if args.seed < 0:
         raise ValidationError("--seed cannot be negative")
+    _validate_pipeline_args(args)
+    if args.compact and args.pipeline != "digest":
+        raise ValidationError("--compact requires --pipeline digest")
+    if args.compact and args.content_cache:
+        raise ValidationError(
+            "--compact drops per-frame poses and cannot feed "
+            "--content-cache"
+        )
     _validate_content_cache_args(args)
 
 
+def _fleet_models(args: argparse.Namespace) -> WorkloadModelTable | None:
+    """The digest model table for a fleet serve (load or calibrate).
+
+    Self-calibration covers every (scene, detail, trajectory class)
+    the chosen mix can emit, at the CLI's global detail multiplier.
+    """
+    if args.pipeline != "digest":
+        return None
+    if args.models is not None:
+        return _load_models(args.models)
+    archetypes = MIXES[args.mix]
+    scenes = sorted({a.scene for a in archetypes})
+    details = sorted({a.detail * args.detail for a in archetypes})
+    trajectories = sorted({a.trajectory for a in archetypes})
+    return WorkloadModelTable.calibrate(
+        scenes,
+        details=details,
+        trajectories=trajectories,
+        n_frames=8,
+        config=streaming_config(),
+        seed=args.seed,
+    )
+
+
 def _run_fleet(args: argparse.Namespace) -> int:
+    models = _fleet_models(args)
+    if models is not None:
+        print(
+            f"digest pipeline: {len(models)} workload model(s) "
+            + ("loaded" if args.models is not None else "calibrated")
+        )
     generator = TrafficGenerator(
         mix=args.mix,
         rate=args.rate,
@@ -525,6 +626,8 @@ def _run_fleet(args: argparse.Namespace) -> int:
         seed=args.seed,
         profile=RateProfile(kind=args.profile),
         detail=args.detail,
+        pipeline=args.pipeline,
+        compact=args.compact,
     )
     arrivals = generator.generate()
     with EdgeFleet(
@@ -536,6 +639,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
         max_nodes=args.max_nodes,
         migration=not args.no_migration,
         content_cache=_content_config(args),
+        models=models,
     ) as fleet:
         result = fleet.serve(arrivals)
 
@@ -563,7 +667,8 @@ def _run_fleet(args: argparse.Namespace) -> int:
         f"({args.mix} mix, {args.rate:g}/s x {args.duration:g}s, "
         f"seed {args.seed}): {summary.total_frames} frames, "
         f"{summary.sim_frames_per_sec:.1f} simulated frames/sec over "
-        f"{result.peak_nodes} node(s)"
+        f"{result.peak_nodes} node(s), peak {result.peak_active} "
+        f"concurrent session(s) ('{args.pipeline}' pipeline)"
     )
     print(
         f"router '{args.router}': max queue depth "
@@ -586,8 +691,10 @@ def _run_fleet(args: argparse.Namespace) -> int:
             "duration": args.duration,
             "seed": args.seed,
             "router": args.router,
+            "pipeline": args.pipeline,
             "nodes": args.nodes,
             "peak_nodes": result.peak_nodes,
+            "peak_active": result.peak_active,
             "sessions": summary.sessions,
             "total_frames": summary.total_frames,
             "sim_frames_per_sec": summary.sim_frames_per_sec,
@@ -636,10 +743,134 @@ def _run_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# The `calibrate` subcommand: build a workload-model table for digest
+# ----------------------------------------------------------------------
+def build_calibrate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stream calibrate",
+        description="Calibrate digest-pipeline workload models by "
+        "running the exact pipeline, and write the table as JSON.",
+    )
+    parser.add_argument(
+        "--scenes",
+        nargs="+",
+        default=["bicycle"],
+        metavar="SCENE",
+        help="catalog scenes to calibrate (default: bicycle)",
+    )
+    parser.add_argument(
+        "--details",
+        nargs="+",
+        type=float,
+        default=[1.0],
+        metavar="D",
+        help="detail rungs to calibrate per scene (default: 1.0)",
+    )
+    parser.add_argument(
+        "--trajectories",
+        nargs="+",
+        default=["orbit"],
+        choices=TRAJECTORIES,
+        metavar="KIND",
+        help="trajectory classes to calibrate (default: orbit)",
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=8,
+        help="calibration frames per model (default: 8)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="vectorized",
+        help="render backend for the calibration runs (default: vectorized)",
+    )
+    parser.add_argument(
+        "--cache-policy",
+        default="reuse_distance",
+        choices=sorted(POLICIES),
+        help="reuse-cache policy (default: reuse_distance)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="calibration trajectory seed"
+    )
+    parser.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        metavar="J",
+        help="deterministic per-frame latency jitter fraction in [0, 1) "
+        "applied by digest streams replaying these models (default: 0)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="-",
+        help="where to write the model-table JSON (default: stdout)",
+    )
+    return parser
+
+
+def validate_calibrate_args(args: argparse.Namespace) -> None:
+    """Reject invalid calibration arguments with :class:`ValidationError`."""
+    for scene in args.scenes:
+        if scene not in CATALOG:
+            raise ValidationError(
+                f"unknown scene '{scene}'; choose from "
+                + ", ".join(sorted(CATALOG))
+            )
+    if any(d <= 0 for d in args.details):
+        raise ValidationError("--details must all be positive")
+    if args.frames <= 0:
+        raise ValidationError("--frames must be positive")
+    if args.seed < 0:
+        raise ValidationError("--seed cannot be negative")
+    if not 0.0 <= args.jitter < 1.0:
+        raise ValidationError("--jitter must be in [0, 1)")
+    get_backend(args.backend)
+
+
+def _run_calibrate(args: argparse.Namespace) -> int:
+    config = streaming_config(
+        backend=args.backend, cache_policy=args.cache_policy
+    )
+    table = WorkloadModelTable.calibrate(
+        args.scenes,
+        details=tuple(args.details),
+        trajectories=tuple(args.trajectories),
+        n_frames=args.frames,
+        config=config,
+        seed=args.seed,
+        jitter=args.jitter,
+    )
+    text = table.to_json()
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(
+            f"calibrated {len(table)} workload model(s) over "
+            f"{len(args.scenes)} scene(s) x {len(args.details)} detail "
+            f"rung(s) x {len(args.trajectories)} trajectory class(es) "
+            f"-> {args.out}"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # Manual subcommand dispatch keeps the original flat argument set
     # (and every existing invocation) working unchanged.
+    if argv and argv[0] == "calibrate":
+        calibrate_args = build_calibrate_parser().parse_args(argv[1:])
+        try:
+            validate_calibrate_args(calibrate_args)
+        except ValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _run_calibrate(calibrate_args)
     if argv and argv[0] == "fleet":
         fleet_args = build_fleet_parser().parse_args(argv[1:])
         try:

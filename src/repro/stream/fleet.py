@@ -50,16 +50,17 @@ from repro.stream.content_cache import (
     ContentCacheConfig,
     merge_economics,
 )
-from repro.stream.server import (
-    ServeSummary,
-    SessionResult,
-    StreamServer,
-    StreamSession,
-)
+from repro.stream.digest import WorkloadModelTable
+from repro.stream.reporting import ServeSummary, SessionResult
+from repro.stream.server import StreamServer, StreamSession
 from repro.stream.traffic import SessionArrival
 
-#: Fleet routing policies.
-ROUTERS = ("least", "affinity")
+#: Fleet routing policies.  ``"least"`` and ``"affinity"`` weigh
+#: estimated remaining cost; ``"active"`` routes on active-session
+#: count alone (O(1) per node per arrival — the only policy that holds
+#: up at 10^5+ queued arrivals, where cost-model recomputation per
+#: routed session dominates the serve).
+ROUTERS = ("least", "affinity", "active")
 
 
 @dataclass(frozen=True)
@@ -114,6 +115,12 @@ class FleetResult:
     ticks: int = 0
     #: Maximum number of simultaneously-alive nodes during the serve.
     peak_nodes: int = 0
+    #: Maximum number of concurrently admitted sessions across the
+    #: fleet (the headline scale number for digest-mode benchmarks).
+    peak_active: int = 0
+    #: Per-tick concurrently admitted session counts (post-routing),
+    #: aligned with ``queue_depth_trace``.
+    active_trace: list[int] = field(default_factory=list)
     #: Fleet-wide per-tier content-cache economics (session → worker →
     #: node → fleet), summed over every node; empty without a content
     #: cache.
@@ -229,6 +236,10 @@ class EdgeFleet:
         interner; every spawned node's server chains its node tier to
         the fleet tier, so co-located viewers dedup across nodes.
         Per-tier economics land on :attr:`FleetResult.content`.
+    models:
+        Calibrated :class:`~repro.stream.digest.WorkloadModelTable`
+        forwarded to every node's server; required before any
+        submitted session may request ``pipeline="digest"``.
     """
 
     def __init__(
@@ -248,6 +259,7 @@ class EdgeFleet:
         fault_injector=None,
         bundle_cache_size: int = 8,
         content_cache: ContentCacheConfig | None = None,
+        models: WorkloadModelTable | None = None,
     ) -> None:
         if nodes < 1:
             raise ValidationError("fleet needs at least one node")
@@ -288,6 +300,7 @@ class EdgeFleet:
         self.fault_injector = fault_injector
         self.bundle_cache_size = bundle_cache_size
         self.content_cache = content_cache
+        self.models = models
         self._fleet_tier: CacheTier | None = None
         self._intern: BundleIntern | None = None
         if content_cache is not None:
@@ -326,6 +339,7 @@ class EdgeFleet:
             content_cache=self.content_cache,
             content_parent=self._fleet_tier,
             bundle_builder=self._intern.build if self._intern is not None else None,
+            models=self.models,
         )
         server.begin([])
         node = _FleetNode(node_id, server, tick, clock_offset=clock)
@@ -348,14 +362,19 @@ class EdgeFleet:
         """Place queued sessions onto nodes with capacity (FIFO).
 
         Returns the arrivals still waiting; admitted sessions record
-        their router-queue delay in simulated seconds.
+        their router-queue delay in simulated seconds.  Routing stops
+        at the first arrival no node can take: ``_select_node`` returns
+        ``None`` only when *every* node is at capacity (it never
+        depends on the session itself), so the rest of the queue cannot
+        be placed either — a thundering herd of 10^5 arrivals must not
+        be re-scanned in full on every saturated tick.
         """
         still_queued: list[SessionArrival] = []
-        for arrival in queue:
+        for i, arrival in enumerate(queue):
             node = self._select_node(arrival.session)
             if node is None:
-                still_queued.append(arrival)
-                continue
+                still_queued.extend(queue[i:])
+                break
             node.server.submit(arrival.session)
             admission_delays[arrival.session_id] = max(
                 clock - arrival.time, 0.0
@@ -367,6 +386,12 @@ class EdgeFleet:
         open_nodes = [n for n in self._alive() if self._has_capacity(n)]
         if not open_nodes:
             return None
+        if self.router == "active":
+            # Count-only balancing: no cost-model query, so routing one
+            # arrival is O(nodes) with a trivial constant.
+            return min(
+                open_nodes, key=lambda n: (n.server.n_active, n.node_id)
+            )
         if self.router == "affinity":
             same_scene = [
                 n for n in open_nodes if session.scene in n.server.active_scenes()
@@ -460,6 +485,7 @@ class EdgeFleet:
         migrations: list[NodeMigration] = []
         events: list[AutoscaleEvent] = []
         queue_trace: list[int] = []
+        active_trace: list[int] = []
         admission_delays: dict[str, float] = {}
         finished: dict[int, tuple[list[SessionResult], ServeSummary]] = {}
 
@@ -508,6 +534,11 @@ class EdgeFleet:
             else:
                 breach_start = None
             peak_nodes = max(peak_nodes, len(self._alive()))
+            # Post-routing fleet concurrency: how many sessions are
+            # admitted somewhere right now (the scale headline).
+            active_trace.append(
+                sum(n.server.n_active for n in self._alive())
+            )
             # 4. Step every node that has work.
             stepped: list[_FleetNode] = []
             for node in self._alive():
@@ -591,6 +622,8 @@ class EdgeFleet:
             admission_delays=admission_delays,
             ticks=tick,
             peak_nodes=peak_nodes,
+            peak_active=max(active_trace, default=0),
+            active_trace=active_trace,
             content=dict(self._content_totals),
             bundle_intern_hits=self._intern.hits if self._intern else 0,
             bundle_intern_misses=self._intern.misses if self._intern else 0,

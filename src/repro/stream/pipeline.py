@@ -28,7 +28,7 @@ from __future__ import annotations
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -46,6 +46,51 @@ from repro.stream.binning import BinningStats, WarmBinner, camera_fingerprint
 from repro.stream.content_cache import CachedFrame, SessionContentView, render_mode_key
 from repro.stream.qos import QoSRecord, QualityController
 from repro.stream.trajectory import CameraTrajectory
+
+
+#: Frame-pipeline modes: ``"exact"`` renders every frame
+#: (:class:`FrameStream`); ``"digest"`` advances sessions from
+#: calibrated workload models
+#: (:class:`~repro.stream.digest.DigestFrameStream`).
+PIPELINES = ("exact", "digest")
+
+
+@runtime_checkable
+class FramePipeline(Protocol):
+    """The per-session surface everything above the renderer talks to.
+
+    Implemented by the exact :class:`FrameStream` and the digest
+    :class:`~repro.stream.digest.DigestFrameStream`.  The server,
+    scheduler, QoS controller, checkpoint capture/restore and the
+    fleet drive sessions exclusively through this protocol, so a
+    session's pipeline mode is invisible above the frame layer.
+
+    Beyond the members below, implementations expose ``spec``,
+    ``trajectory``, ``detail``, ``controller``, ``content`` and a
+    ``cache_state`` whose ``export_state()``/``import_state()`` round-
+    trips a :class:`~repro.core.reuse_cache.TemporalCacheState` — the
+    contract :func:`~repro.stream.checkpoint.capture_checkpoint`
+    snapshots.
+    """
+
+    @property
+    def frames_rendered(self) -> int: ...
+
+    @property
+    def active_detail(self) -> float: ...
+
+    @property
+    def frame_key(self) -> tuple | None: ...
+
+    def load_detail(self, detail: float) -> None: ...
+
+    def reset(self) -> None: ...
+
+    def seek(self, frame: int) -> None: ...
+
+    def render_next(self) -> "FrameRecord": ...
+
+    def run(self, n_frames: int | None = None) -> "StreamReport": ...
 
 
 def streaming_config(
@@ -357,6 +402,10 @@ class FrameStream:
         self._gpu_model = GPUTimingModel()
         self.binner = WarmBinner(self.bundle.n_source_gaussians)
         self.cache_state = self.device.new_cache_state()
+        #: Content-cache key sequence (one entry per frame when a
+        #: content cache is attached); the digest pipeline records the
+        #: same trace, and fidelity tests assert the two are identical.
+        self.key_trace: list = []
         self._active_detail = detail
         self._next_frame = 0
 
@@ -397,6 +446,7 @@ class FrameStream:
             self.controller.reset()
         self.binner.reset()
         self.cache_state.reset()
+        self.key_trace.clear()
         self._next_frame = 0
 
     def seek(self, frame: int) -> None:
@@ -449,6 +499,7 @@ class FrameStream:
                 detail,
                 self._render_mode(shards, detail),
             )
+            self.key_trace.append(key)
             hit = self.content.lookup(key)
             if hit is not None:
                 return self._serve_cached(k, *hit, detail=detail, shards=shards, t0=t0)

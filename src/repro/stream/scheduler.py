@@ -37,6 +37,7 @@ produce identical placements, admissions, and migrations.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
@@ -127,13 +128,28 @@ class StreamScheduler:
         self.max_inflight = max_inflight
         self._estimator = estimator
         self._plans = {s.session_id: _SessionPlan(s) for s in sessions}
+        #: Arrival-ordered subsequence of ``_plans`` that still has
+        #: work (queued or active).  Tick planning and cost accounting
+        #: iterate this instead of every plan ever registered, keeping
+        #: steady-state tick cost proportional to *live* sessions — at
+        #: 10^5+ arrivals over a serve, scanning finished plans each
+        #: tick dominates everything else.  Removal never reorders, so
+        #: iteration order (and therefore float accumulation order)
+        #: matches the historical full scan exactly.
+        self._undone = dict(self._plans)
+        #: Live count of admitted, unfinished sessions (``inflight``
+        #: without an O(sessions) scan on every admission check).
+        self._active_count = 0
         self._proxy: dict[tuple[str, float], float] = {}
         for s in sessions:
             self._proxy_for(s.scene, s.detail)
         self._observed: dict[tuple[str, float], float] = {}
         self.busy_seconds = {w: 0.0 for w in range(self.workers)}
         self.migrations: list[Migration] = []
-        self._queue = self._admission_order(sessions)
+        #: Memoized :meth:`remaining_cost`; ``None`` when any state it
+        #: depends on changed since the last computation.
+        self._cost_cache: dict[int, float] | None = None
+        self._queue: deque[str] = deque(self._admission_order(sessions))
         self.admit()
 
     # -- admission ------------------------------------------------------
@@ -154,7 +170,9 @@ class StreamScheduler:
             raise ValidationError(
                 f"session '{session.session_id}' is already scheduled"
             )
-        self._plans[session.session_id] = _SessionPlan(session)
+        plan = _SessionPlan(session)
+        self._plans[session.session_id] = plan
+        self._undone[session.session_id] = plan
         self._proxy_for(session.scene, session.detail)
         self._queue.append(session.session_id)
         return session.session_id in self.admit()
@@ -191,6 +209,10 @@ class StreamScheduler:
             )
         plan.done = plan.frames_left == 0
         self._plans[session.session_id] = plan
+        if not plan.done:
+            self._undone[session.session_id] = plan
+            self._active_count += 1
+        self._cost_cache = None
         return plan.worker
 
     def remove_session(self, session_id: str) -> "StreamSession":
@@ -203,10 +225,14 @@ class StreamScheduler:
         plan = self._plans.pop(session_id, None)
         if plan is None:
             raise ValidationError(f"unknown session '{session_id}'")
+        self._undone.pop(session_id, None)
+        self._cost_cache = None
         if session_id in self._queue:
             self._queue.remove(session_id)
         else:
             # An admitted session left; its capacity slot frees up.
+            if plan.active:
+                self._active_count -= 1
             self.admit()
         return plan.session
 
@@ -215,7 +241,7 @@ class StreamScheduler:
 
     @property
     def inflight(self) -> int:
-        return sum(1 for p in self._plans.values() if p.active)
+        return self._active_count
 
     @property
     def queued(self) -> list[str]:
@@ -226,11 +252,13 @@ class StreamScheduler:
         """Admit queued sessions while the pool has capacity."""
         admitted = []
         while self._queue and (
-            self.max_inflight is None or self.inflight < self.max_inflight
+            self.max_inflight is None or self._active_count < self.max_inflight
         ):
-            session_id = self._queue.pop(0)
+            session_id = self._queue.popleft()
             plan = self._plans[session_id]
             plan.worker = self._place(plan.session)
+            self._active_count += 1
+            self._cost_cache = None
             admitted.append(session_id)
         return admitted
 
@@ -298,14 +326,30 @@ class StreamScheduler:
         return proxy * (sum(ratios) / len(ratios)) if ratios else proxy
 
     def remaining_cost(self) -> dict[int, float]:
-        """Estimated outstanding seconds of work per worker."""
-        cost = {w: 0.0 for w in range(self.workers)}
-        for plan in self._plans.values():
-            if plan.active:
-                cost[plan.worker] += plan.frames_left * self.frame_estimate(
-                    plan.session
-                )
-        return cost
+        """Estimated outstanding seconds of work per worker.
+
+        Memoized until any input changes (admission, observation,
+        completion, migration): fleet routing queries every node's
+        cost for every arrival, and only the node that actually
+        changed needs a recompute.  The recompute memoizes
+        ``frame_estimate`` per ``(scene, detail)`` — the estimate is a
+        pure function of that key between observations, so thousands
+        of same-workload sessions collapse to one lookup without
+        changing a single accumulated float.
+        """
+        if self._cost_cache is None:
+            cost = {w: 0.0 for w in range(self.workers)}
+            estimates: dict[tuple[str, float], float] = {}
+            for plan in self._undone.values():
+                if not plan.active:
+                    continue
+                key = (plan.session.scene, self._detail_key(plan.current_detail))
+                estimate = estimates.get(key)
+                if estimate is None:
+                    estimate = estimates[key] = self.frame_estimate(plan.session)
+                cost[plan.worker] += plan.frames_left * estimate
+            self._cost_cache = cost
+        return dict(self._cost_cache)
 
     # -- observation / completion --------------------------------------
     def observe_frame(
@@ -321,6 +365,7 @@ class StreamScheduler:
         plan = self._plans[session_id]
         plan.frames_done += 1
         self.busy_seconds[plan.worker] += float(sim_seconds)
+        self._cost_cache = None
         if detail is None:
             detail = plan.current_detail
         else:
@@ -333,7 +378,11 @@ class StreamScheduler:
     def mark_done(self, session_id: str) -> list[str]:
         """Drop a finished session from future ticks; admit queued ones."""
         plan = self._plans[session_id]
+        if plan.active:
+            self._active_count -= 1
         plan.done = True
+        self._undone.pop(session_id, None)
+        self._cost_cache = None
         return self.admit()
 
     # -- queries --------------------------------------------------------
@@ -350,7 +399,7 @@ class StreamScheduler:
         """Admitted, unfinished sessions placed on ``worker``."""
         return [
             p.session
-            for p in self._plans.values()
+            for p in self._undone.values()
             if p.active and p.worker == worker
         ]
 
@@ -358,7 +407,7 @@ class StreamScheduler:
         """Per worker, the sessions to dispatch this tick (none when
         every session has drained)."""
         out: dict[int, list["StreamSession"]] = {}
-        for plan in self._plans.values():
+        for plan in self._undone.values():
             if plan.active:
                 out.setdefault(plan.worker, []).append(plan.session)
         return out
@@ -442,7 +491,7 @@ class LoadAwareScheduler(StreamScheduler):
         if gap / mean <= self.rebalance_threshold:
             return []
         best: tuple[float, str] | None = None
-        for plan in self._plans.values():
+        for plan in self._undone.values():
             if not plan.active or plan.worker != src:
                 continue
             move = plan.frames_left * self.frame_estimate(plan.session)
@@ -452,6 +501,7 @@ class LoadAwareScheduler(StreamScheduler):
             return []
         session_id = best[1]
         self._plans[session_id].worker = dst
+        self._cost_cache = None
         migration = Migration(session_id=session_id, src=src, dst=dst)
         self.migrations.append(migration)
         return [migration]

@@ -64,7 +64,7 @@ import os
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.gbu import GBUConfig, GBUDevice
@@ -82,15 +82,26 @@ from repro.stream.content_cache import (
     SessionContentView,
     merge_economics,
 )
+from repro.stream.digest import DigestFrameStream, WorkloadModelTable
 from repro.stream.pipeline import (
-    FrameRecord,
+    PIPELINES,
+    FramePipeline,
     FrameStream,
     StreamReport,
     streaming_config,
 )
 from repro.stream.qos import FrameDeadline, QoSPolicy, QualityController
+from repro.stream.reporting import ServeSummary, SessionResult, TickResult
 from repro.stream.scheduler import Migration, StreamScheduler, make_scheduler
 from repro.stream.trajectory import CameraTrajectory
+
+__all__ = [
+    "ServeSummary",
+    "SessionResult",
+    "StreamServer",
+    "StreamSession",
+    "TickResult",
+]
 
 
 @dataclass(frozen=True)
@@ -126,6 +137,12 @@ class StreamSession:
         defaults to the standard adaptive policy.  Use
         :meth:`QoSPolicy.fixed` to track deadlines without adapting.
         Ignored unless ``target_fps`` is set.
+    pipeline:
+        Frame-pipeline mode (:data:`~repro.stream.pipeline.PIPELINES`):
+        ``"exact"`` renders every frame; ``"digest"`` advances the
+        session from calibrated :class:`~repro.stream.digest.
+        WorkloadModel` s (the server must be given a model table).
+        Digest sessions cannot keep images.
     """
 
     session_id: str
@@ -137,172 +154,16 @@ class StreamSession:
     config: GBUConfig | None = None
     target_fps: float | None = None
     qos: QoSPolicy | None = None
+    pipeline: str = "exact"
 
     @property
     def frame_budget(self) -> int:
         return self.trajectory.n_frames if self.n_frames is None else self.n_frames
 
 
-@dataclass
-class SessionResult:
-    """What one session streamed: its report plus placement info."""
-
-    session_id: str
-    scene: str
-    worker: int
-    report: StreamReport
-
-    @property
-    def frames(self) -> list[FrameRecord]:
-        return self.report.frames
-
-
-@dataclass
-class ServeSummary:
-    """Aggregate serving metrics over one :meth:`StreamServer.serve` call.
-
-    Two throughput views are reported:
-
-    * ``sim_frames_per_sec`` — *simulated serving throughput*: every
-      worker is one simulated GBU+GPU unit, its busy time is the sum
-      of its frames' paper-scale latencies, and the makespan is the
-      busiest worker.  This is the deployment-scaling metric (how much
-      frame rate N workers serve), consistent with how every other
-      number in this repository is extrapolated.
-    * ``wall_frames_per_sec`` — host wall-clock throughput of the
-      simulation itself; scales with physical cores, not with the
-      modeled hardware.
-
-    ``recoveries`` and ``migrations`` count worker respawns and
-    checkpoint-replay session moves during the serve.
-    """
-
-    workers: int
-    sessions: int
-    total_frames: int
-    sim_makespan_seconds: float
-    wall_seconds: float
-    recoveries: int = 0
-    migrations: int = 0
-
-    @property
-    def sim_frames_per_sec(self) -> float:
-        if self.sim_makespan_seconds <= 0:
-            return 0.0
-        return self.total_frames / self.sim_makespan_seconds
-
-    @property
-    def wall_frames_per_sec(self) -> float:
-        if self.wall_seconds <= 0:
-            return 0.0
-        return self.total_frames / self.wall_seconds
-
-    @staticmethod
-    def merge(summaries: list["ServeSummary"]) -> "ServeSummary":
-        """Compose node-level summaries into one fleet-level summary.
-
-        Worker and session counts add; frames add; the makespan is the
-        busiest *node* (nodes serve concurrently, exactly like workers
-        within a node); wall seconds take the max for the same reason.
-        Used by :mod:`repro.stream.fleet` to report a fleet serve in
-        the same vocabulary as a single server.
-        """
-        if not summaries:
-            return ServeSummary(
-                workers=0,
-                sessions=0,
-                total_frames=0,
-                sim_makespan_seconds=0.0,
-                wall_seconds=0.0,
-            )
-        return ServeSummary(
-            workers=sum(s.workers for s in summaries),
-            sessions=sum(s.sessions for s in summaries),
-            total_frames=sum(s.total_frames for s in summaries),
-            sim_makespan_seconds=max(s.sim_makespan_seconds for s in summaries),
-            wall_seconds=max(s.wall_seconds for s in summaries),
-            recoveries=sum(s.recoveries for s in summaries),
-            migrations=sum(s.migrations for s in summaries),
-        )
-
-    @staticmethod
-    def from_results(
-        results: list[SessionResult],
-        workers: int,
-        wall_seconds: float,
-        recoveries: int = 0,
-        migrations: int = 0,
-        busy_seconds: dict[int, float] | None = None,
-    ) -> "ServeSummary":
-        """Aggregate results; ``busy_seconds`` is the scheduler's exact
-        per-worker busy accounting (frames attributed to the worker
-        that *rendered* them, which matters once a session migrated
-        mid-stream — the fallback attributes by final placement)."""
-        total = sum(r.report.n_frames for r in results)
-        if busy_seconds is None:
-            busy_seconds = {}
-            for r in results:
-                busy_seconds[r.worker] = busy_seconds.get(r.worker, 0.0) + float(
-                    sum(f.sim_seconds for f in r.frames)
-                )
-        makespan = max(busy_seconds.values(), default=0.0)
-        return ServeSummary(
-            workers=max(workers, 1),
-            sessions=len(results),
-            total_frames=total,
-            sim_makespan_seconds=makespan,
-            wall_seconds=wall_seconds,
-            recoveries=recoveries,
-            migrations=migrations,
-        )
-
-
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
-@dataclass
-class TickResult:
-    """One worker's answer to a dispatched tick batch.
-
-    ``frames`` holds the rendered (session, record) pairs;
-    ``done`` names sessions whose frame budget is now exhausted (the
-    scheduler drops them from future ticks); ``checkpoints`` snapshots
-    every session that rendered, enabling crash recovery and
-    migration; ``content`` carries the tick's per-tier
-    content-cache economics (empty without a content cache).
-    """
-
-    frames: list[tuple[str, FrameRecord]] = field(default_factory=list)
-    done: list[str] = field(default_factory=list)
-    checkpoints: dict[str, SessionCheckpoint] = field(default_factory=dict)
-    content: dict[str, CacheEconomics] = field(default_factory=dict)
-
-    @property
-    def n_frames(self) -> int:
-        return len(self.frames)
-
-    @property
-    def sim_seconds(self) -> float:
-        """Summed paper-scale latency of this tick's frames.
-
-        One worker's batches render serially, so this is the simulated
-        busy time the tick added — the composable unit the fleet's
-        clock advances on.
-        """
-        return float(sum(record.sim_seconds for _, record in self.frames))
-
-    @staticmethod
-    def merged(results: list["TickResult"]) -> "TickResult":
-        """Fold the per-batch results of one tick into a single view."""
-        out = TickResult()
-        for result in results:
-            out.frames.extend(result.frames)
-            out.done.extend(result.done)
-            out.checkpoints.update(result.checkpoints)
-            merge_economics(out.content, result.content)
-        return out
-
-
 class _WorkerState:
     """Per-worker serving state: one device, shared bundles, sessions.
 
@@ -318,13 +179,15 @@ class _WorkerState:
         content: ContentCacheConfig | None = None,
         content_parent: CacheTier | None = None,
         bundle_builder=None,
+        models: WorkloadModelTable | None = None,
     ) -> None:
         self.devices: dict[GBUConfig, GBUDevice] = {}
         self.bundle_builder = bundle_builder
         self.bundles = BundleCache(
             capacity=bundle_cache_size, builder=bundle_builder
         )
-        self.streams: dict[str, FrameStream] = {}
+        self.models = models
+        self.streams: dict[str, FramePipeline] = {}
         self.budgets: dict[str, int] = {}
         self.details: dict[str, float] = {}
         # Content-addressed render cache: this worker owns the worker
@@ -364,7 +227,7 @@ class _WorkerState:
             self.devices[config] = GBUDevice(config=config)
         return self.devices[config]
 
-    def _stream_for(self, session: StreamSession | str) -> FrameStream:
+    def _stream_for(self, session: StreamSession | str) -> FramePipeline:
         session_id = (
             session if isinstance(session, str) else session.session_id
         )
@@ -378,7 +241,11 @@ class _WorkerState:
             raise ValidationError(
                 f"session '{session_id}' referenced by id before registration"
             )
-        bundle = self.bundles.get(session.scene, session.detail)
+        if session.pipeline not in PIPELINES:
+            raise ValidationError(
+                f"unknown pipeline '{session.pipeline}' "
+                f"(choose from {PIPELINES})"
+            )
         config = streaming_config() if session.config is None else session.config
         controller = None
         if session.target_fps is not None:
@@ -396,17 +263,35 @@ class _WorkerState:
             )
             view = SessionContentView(self.content_config, session_tier)
             self.views[session.session_id] = view
-        stream = FrameStream(
-            session.scene,
-            session.trajectory,
-            detail=session.detail,
-            keep_images=session.keep_images,
-            bundle=bundle,
-            device=self._device_for(config),
-            controller=controller,
-            bundle_provider=self.bundles.get,
-            content=view,
-        )
+        if session.pipeline == "digest":
+            if self.models is None:
+                raise ValidationError(
+                    f"session '{session_id}' requests the digest pipeline "
+                    "but the server has no workload models (models=...)"
+                )
+            stream = DigestFrameStream(
+                session.scene,
+                session.trajectory,
+                self.models,
+                config=config,
+                detail=session.detail,
+                keep_images=session.keep_images,
+                controller=controller,
+                content=view,
+            )
+        else:
+            bundle = self.bundles.get(session.scene, session.detail)
+            stream = FrameStream(
+                session.scene,
+                session.trajectory,
+                detail=session.detail,
+                keep_images=session.keep_images,
+                bundle=bundle,
+                device=self._device_for(config),
+                controller=controller,
+                bundle_provider=self.bundles.get,
+                content=view,
+            )
         self.streams[session.session_id] = stream
         self.budgets[session.session_id] = session.frame_budget
         self.details[session.session_id] = session.detail
@@ -496,19 +381,22 @@ def _subprocess_render_tick(sessions: list[StreamSession | str]) -> TickResult:
 def _subprocess_reset(
     bundle_cache_size: int | None = None,
     content: ContentCacheConfig | None = None,
+    models: WorkloadModelTable | None = None,
 ) -> None:
     """Reset the subprocess worker, optionally (re)arming its content
-    cache.  Only the config crosses the process boundary: a subprocess
-    worker's tier chain ends at its own worker tier (node/fleet tiers
-    and bundle interning cannot share memory across processes — the
-    deterministic ``local`` modes exercise the full hierarchy)."""
+    cache and digest workload models.  Only config and models cross
+    the process boundary: a subprocess worker's tier chain ends at its
+    own worker tier (node/fleet tiers and bundle interning cannot
+    share memory across processes — the deterministic ``local`` modes
+    exercise the full hierarchy)."""
     global _STATE
-    if content is not None:
+    if content is not None or models is not None:
         _STATE = _WorkerState(
             bundle_cache_size=(
                 bundle_cache_size if bundle_cache_size is not None else 8
             ),
             content=content,
+            models=models,
         )
         return
     _subprocess_state().reset(bundle_cache_size)
@@ -593,6 +481,12 @@ class StreamServer:
         :class:`~repro.stream.content_cache.BundleIntern` so
         co-located workers share one immutable bundle per
         ``(scene, detail)``.
+    models:
+        Calibrated :class:`~repro.stream.digest.WorkloadModelTable`
+        backing sessions with ``pipeline="digest"``.  Required before
+        any digest session is served; exact sessions ignore it.  The
+        table is shipped to every worker (it is a plain picklable
+        registry).
     """
 
     def __init__(
@@ -609,6 +503,7 @@ class StreamServer:
         content_cache: ContentCacheConfig | None = None,
         content_parent: CacheTier | None = None,
         bundle_builder=None,
+        models: WorkloadModelTable | None = None,
     ) -> None:
         if workers < 0:
             raise ValidationError("worker count cannot be negative")
@@ -626,6 +521,7 @@ class StreamServer:
         self.estimator = estimator
         self.local = local or workers == 0
         self.content_cache = content_cache
+        self.models = models
         self._bundle_builder = bundle_builder
         self._node_tier: CacheTier | None = None
         if content_cache is not None:
@@ -688,6 +584,7 @@ class StreamServer:
                         content=self.content_cache,
                         content_parent=self._node_tier,
                         bundle_builder=self._bundle_builder,
+                        models=self.models,
                     )
                 )
             return
@@ -1115,6 +1012,7 @@ class StreamServer:
                 content=self.content_cache,
                 content_parent=self._node_tier,
                 bundle_builder=self._bundle_builder,
+                models=self.models,
             )
         else:
             self._executors[worker].shutdown(wait=False)
@@ -1159,7 +1057,10 @@ class StreamServer:
             return
         for executor in self._executors:
             executor.submit(
-                _subprocess_reset, self.bundle_cache_size, self.content_cache
+                _subprocess_reset,
+                self.bundle_cache_size,
+                self.content_cache,
+                self.models,
             ).result()
 
     # -- convenience ----------------------------------------------------

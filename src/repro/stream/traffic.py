@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.scenes.catalog import CATALOG
+from repro.stream.pipeline import PIPELINES
 from repro.stream.server import StreamSession
 from repro.stream.trajectory import CameraTrajectory
 
@@ -130,6 +131,15 @@ MIXES: dict[str, tuple[SessionArchetype, ...]] = {
 #: Rate-profile kinds accepted by :class:`RateProfile`.
 PROFILES = ("constant", "diurnal", "ramp")
 
+#: Ceiling on the *expected* candidate-arrival draws of one
+#: :meth:`TrafficGenerator.generate` call (``rate x duration``).
+#: Thinning draws one candidate per ``1/rate`` seconds regardless of
+#: how many survive, so a runaway rate would spin the generation loop
+#: (and the fleet's tick budget downstream) long before producing a
+#: usable scenario; uncapped generators above this raise
+#: :class:`~repro.errors.ValidationError` at construction.
+MAX_CANDIDATE_ARRIVALS = 2_000_000
+
 
 @dataclass(frozen=True)
 class RateProfile:
@@ -165,6 +175,34 @@ class RateProfile:
         return self.floor + (1.0 - self.floor) * 0.5 * (
             1.0 - float(np.cos(2.0 * np.pi * phase))
         )
+
+    def multiplier_array(self, phases: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`multiplier` for analytic validation.
+
+        High-rate tests integrate the profile over 10^5+ arrival
+        phases to predict counts; element-wise identical to the scalar
+        path.
+        """
+        phases = np.clip(np.asarray(phases, dtype=np.float64), 0.0, 1.0)
+        if self.kind == "constant":
+            return np.ones_like(phases)
+        if self.kind == "ramp":
+            return self.floor + (1.0 - self.floor) * phases
+        return self.floor + (1.0 - self.floor) * 0.5 * (
+            1.0 - np.cos(2.0 * np.pi * phases)
+        )
+
+    @property
+    def mean_multiplier(self) -> float:
+        """Window-averaged multiplier (the thinning acceptance rate).
+
+        ``constant`` is 1; ``ramp`` averages the linear climb and
+        ``diurnal`` the raised cosine — both integrate to the midpoint
+        of floor and peak over one window.
+        """
+        if self.kind == "constant":
+            return 1.0
+        return 0.5 * (1.0 + self.floor)
 
 
 @dataclass(frozen=True)
@@ -203,6 +241,20 @@ class TrafficGenerator:
     max_sessions:
         Optional hard cap on generated sessions (safety valve for
         high-rate sweeps).
+    pipeline:
+        Frame-pipeline mode stamped on every generated session
+        (``"exact"`` or ``"digest"``); digest scenarios are how the
+        fleet reaches 10^5+ concurrent sessions.
+    compact:
+        Build one-pose camera trajectories and carry the drawn frame
+        count on ``StreamSession.n_frames`` instead of materializing
+        every camera of every session.  Draw-for-draw identical RNG
+        consumption, so arrival times, session ids, frame budgets,
+        details and target-FPS picks are bitwise identical to the full
+        build — required at 10^5+ sessions, where camera-path
+        construction dominates generation.  Compact sessions cannot
+        feed the exact pipeline's content-addressed cache (no per-frame
+        poses); digest-scale benchmarks are their home.
     """
 
     def __init__(
@@ -214,6 +266,8 @@ class TrafficGenerator:
         profile: RateProfile | None = None,
         detail: float = 1.0,
         max_sessions: int | None = None,
+        pipeline: str = "exact",
+        compact: bool = False,
     ) -> None:
         if isinstance(mix, str):
             if mix not in MIXES:
@@ -238,6 +292,18 @@ class TrafficGenerator:
             raise ValidationError("max_sessions must be at least 1 when set")
         if seed < 0:
             raise ValidationError("traffic seed cannot be negative")
+        if pipeline not in PIPELINES:
+            raise ValidationError(
+                f"unknown pipeline '{pipeline}'; choose from "
+                + ", ".join(PIPELINES)
+            )
+        if max_sessions is None and rate * duration > MAX_CANDIDATE_ARRIVALS:
+            raise ValidationError(
+                f"rate {rate:g}/s over {duration:g}s implies "
+                f"~{rate * duration:.0f} arrival candidates, overflowing "
+                f"the generation budget of {MAX_CANDIDATE_ARRIVALS}; cap "
+                "the scenario with max_sessions or lower the rate"
+            )
         self.archetypes = archetypes
         self.rate = float(rate)
         self.duration = float(duration)
@@ -245,8 +311,24 @@ class TrafficGenerator:
         self.profile = RateProfile() if profile is None else profile
         self.detail = float(detail)
         self.max_sessions = max_sessions
+        self.pipeline = pipeline
+        self.compact = bool(compact)
         weights = np.array([a.weight for a in archetypes], dtype=np.float64)
         self._weights = weights / weights.sum()
+
+    def expected_sessions(self) -> float:
+        """Analytically expected surviving-arrival count.
+
+        The thinned process keeps candidates (drawn at the peak rate)
+        with probability ``profile.multiplier``, so the expectation is
+        ``rate x duration x mean_multiplier`` — the number high-rate
+        validation compares generated counts against (and the capacity
+        planner's first input).  ``max_sessions`` truncates it.
+        """
+        expected = self.rate * self.duration * self.profile.mean_multiplier
+        if self.max_sessions is not None:
+            expected = min(expected, float(self.max_sessions))
+        return expected
 
     def _build_session(
         self, rng: np.random.Generator, index: int
@@ -258,10 +340,12 @@ class TrafficGenerator:
         n_frames = int(rng.integers(lo, hi + 1))
         detail = arch.detail * self.detail
         spec = CATALOG[arch.scene]
+        # The compact branch consumes the RNG identically (same draws,
+        # same order) — only the trajectory materialization shrinks.
         trajectory = CameraTrajectory.for_scene(
             spec,
             kind=arch.trajectory,
-            n_frames=n_frames,
+            n_frames=1 if self.compact else n_frames,
             seed=int(rng.integers(0, 2**31 - 1)),
             detail=detail,
             phase_deg=float(rng.uniform(0.0, 360.0)),
@@ -275,8 +359,10 @@ class TrafficGenerator:
             session_id=f"{arch.name}-{index:04d}",
             scene=arch.scene,
             trajectory=trajectory,
+            n_frames=n_frames if self.compact else None,
             detail=detail,
             target_fps=target_fps,
+            pipeline=self.pipeline,
         )
 
     def generate(self) -> list[SessionArrival]:

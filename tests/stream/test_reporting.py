@@ -1,0 +1,164 @@
+"""Shared serving reports: summaries, tick results, economics merge."""
+
+import pytest
+
+from repro.core.reuse_cache import (
+    CacheEconomics,
+    CacheReport,
+    FrameCacheSample,
+)
+from repro.stream import ServeSummary, SessionResult, TickResult
+from repro.stream.binning import BinningStats
+from repro.stream.pipeline import FrameRecord, StreamReport
+
+
+def _record(frame, sim_seconds=0.5):
+    report = CacheReport(
+        accesses=10, hits=6, misses=4, capacity_lines=8, bytes_per_line=64
+    )
+    sample = FrameCacheSample(
+        frame=frame,
+        report=report,
+        carried_hits=2,
+        cumulative_accesses=10 * (frame + 1),
+        cumulative_hits=6 * (frame + 1),
+    )
+    binning = BinningStats(
+        total_instances=20,
+        reused_instances=5,
+        generated_instances=15,
+        full_reuse=False,
+    )
+    return FrameRecord(
+        frame=frame,
+        n_visible=100,
+        n_instances=20,
+        sim_seconds=sim_seconds,
+        wall_seconds=0.0,
+        cache=sample,
+        binning=binning,
+    )
+
+
+def _result(session_id="s0", worker=0, n_frames=3, sim_seconds=0.5):
+    report = StreamReport(
+        scene="bicycle",
+        trajectory="orbit",
+        frames=[_record(k, sim_seconds) for k in range(n_frames)],
+    )
+    return SessionResult(
+        session_id=session_id, scene="bicycle", worker=worker, report=report
+    )
+
+
+def test_session_result_frames_view():
+    result = _result(n_frames=4)
+    assert result.frames is result.report.frames
+    assert len(result.frames) == 4
+
+
+def test_from_results_attributes_by_final_placement():
+    results = [
+        _result("a", worker=0, n_frames=2, sim_seconds=1.0),
+        _result("b", worker=0, n_frames=1, sim_seconds=1.0),
+        _result("c", worker=1, n_frames=2, sim_seconds=0.5),
+    ]
+    summary = ServeSummary.from_results(results, workers=2, wall_seconds=2.0)
+    assert summary.sessions == 3
+    assert summary.total_frames == 5
+    # Worker 0 carries 3.0 busy seconds, worker 1 only 1.0.
+    assert summary.sim_makespan_seconds == pytest.approx(3.0)
+    assert summary.sim_frames_per_sec == pytest.approx(5 / 3.0)
+    assert summary.wall_frames_per_sec == pytest.approx(2.5)
+
+
+def test_from_results_prefers_scheduler_busy_accounting():
+    results = [_result("a", worker=0, n_frames=2, sim_seconds=1.0)]
+    summary = ServeSummary.from_results(
+        results,
+        workers=2,
+        wall_seconds=1.0,
+        recoveries=1,
+        migrations=2,
+        busy_seconds={0: 0.25, 1: 7.0},
+    )
+    # The explicit per-worker accounting wins over final placement.
+    assert summary.sim_makespan_seconds == pytest.approx(7.0)
+    assert summary.recoveries == 1 and summary.migrations == 2
+
+
+def test_zero_denominator_throughputs():
+    summary = ServeSummary.from_results([], workers=3, wall_seconds=0.0)
+    assert summary.total_frames == 0
+    assert summary.sim_frames_per_sec == 0.0
+    assert summary.wall_frames_per_sec == 0.0
+
+
+def test_merge_empty_is_identity_shaped():
+    merged = ServeSummary.merge([])
+    assert merged.workers == 0 and merged.sessions == 0
+    assert merged.sim_makespan_seconds == 0.0
+
+
+def test_merge_composes_node_summaries():
+    a = ServeSummary(
+        workers=2,
+        sessions=3,
+        total_frames=30,
+        sim_makespan_seconds=4.0,
+        wall_seconds=1.0,
+        recoveries=1,
+    )
+    b = ServeSummary(
+        workers=1,
+        sessions=2,
+        total_frames=10,
+        sim_makespan_seconds=6.0,
+        wall_seconds=0.5,
+        migrations=2,
+    )
+    merged = ServeSummary.merge([a, b])
+    assert merged.workers == 3 and merged.sessions == 5
+    assert merged.total_frames == 40
+    # Nodes serve concurrently: makespan and wall take the max.
+    assert merged.sim_makespan_seconds == 6.0
+    assert merged.wall_seconds == 1.0
+    assert merged.recoveries == 1 and merged.migrations == 2
+
+
+def test_tick_result_sim_seconds_sums_frames():
+    tick = TickResult(
+        frames=[("a", _record(0, 0.5)), ("b", _record(0, 0.25))]
+    )
+    assert tick.n_frames == 2
+    assert tick.sim_seconds == pytest.approx(0.75)
+
+
+def test_tick_result_merged_threads_economics():
+    a = TickResult(
+        frames=[("a", _record(0))],
+        done=["a"],
+        content={
+            "session": CacheEconomics(
+                accesses=4, hits=2, misses=2, miss_bytes=10.0, total_bytes=20.0
+            )
+        },
+    )
+    b = TickResult(
+        frames=[("b", _record(1))],
+        done=["b"],
+        content={
+            "session": CacheEconomics(
+                accesses=2, hits=1, misses=1, miss_bytes=5.0, total_bytes=10.0
+            ),
+            "fleet": CacheEconomics(accesses=1, hits=1),
+        },
+    )
+    merged = TickResult.merged([a, b])
+    assert merged.n_frames == 2
+    assert merged.done == ["a", "b"]
+    session = merged.content["session"]
+    assert session.accesses == 6 and session.hits == 3
+    assert session.miss_bytes == pytest.approx(15.0)
+    assert session.total_bytes == pytest.approx(30.0)
+    assert merged.content["fleet"].hits == 1

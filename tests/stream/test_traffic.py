@@ -119,6 +119,80 @@ def test_generate_sessions_matches_generate():
     ]
 
 
+def test_compact_mode_is_bitwise_equivalent():
+    """Compact generation (digest-scale) must change nothing observable
+    except the trajectory's materialized pose count."""
+    full = _gen(rate=40.0, duration=3.0, pipeline="digest").generate()
+    compact = _gen(
+        rate=40.0, duration=3.0, pipeline="digest", compact=True
+    ).generate()
+    assert len(full) == len(compact)
+    for a, b in zip(full, compact):
+        assert a.time == b.time
+        assert a.session_id == b.session_id
+        assert a.session.scene == b.session.scene
+        assert a.session.frame_budget == b.session.frame_budget
+        assert a.session.detail == b.session.detail
+        assert a.session.target_fps == b.session.target_fps
+        assert b.session.trajectory.n_frames == 1
+        assert np.array_equal(
+            np.asarray(a.session.trajectory.camera_at(0).position),
+            np.asarray(b.session.trajectory.camera_at(0).position),
+        )
+
+
+def test_compact_sessions_ride_the_digest_pipeline():
+    arrivals = _gen(pipeline="digest", compact=True).generate()
+    assert all(a.session.pipeline == "digest" for a in arrivals)
+
+
+@pytest.mark.parametrize(
+    "profile",
+    [None, RateProfile("diurnal", floor=0.2), RateProfile("ramp", floor=0.2)],
+)
+def test_arrival_counts_match_analytic_expectation(profile):
+    """At 10^4-session scale the thinned-Poisson arrival count must sit
+    within a few standard deviations of rate x duration x mean
+    multiplier (the 10^5-rate variant runs in the scale benchmark)."""
+    gen = _gen(
+        rate=2500.0,
+        duration=4.0,
+        seed=3,
+        profile=profile,
+        pipeline="digest",
+        compact=True,
+    )
+    expected = gen.expected_sessions()
+    mult = 1.0 if profile is None else profile.mean_multiplier
+    assert expected == pytest.approx(2500.0 * 4.0 * mult)
+    n = len(gen.generate())
+    # Poisson-dominated spread; 5 sigma keeps the test seed-robust.
+    assert abs(n - expected) < 5.0 * np.sqrt(expected)
+
+
+def test_expected_sessions_respects_cap():
+    gen = _gen(rate=50.0, duration=2.0, max_sessions=10)
+    assert gen.expected_sessions() == 10.0
+
+
+def test_multiplier_array_matches_scalar():
+    phases = np.linspace(0.0, 1.0, 33)
+    for profile in (
+        RateProfile("constant"),
+        RateProfile("diurnal", floor=0.15),
+        RateProfile("ramp", floor=0.3),
+    ):
+        scalar = np.array([profile.multiplier(p) for p in phases])
+        assert np.allclose(profile.multiplier_array(phases), scalar)
+
+
+def test_uncapped_overflow_rate_is_rejected():
+    with pytest.raises(ValidationError, match="generation budget"):
+        _gen(rate=1e6, duration=10.0, max_sessions=None)
+    # The same rate with a cap is fine: candidates are bounded.
+    _gen(rate=1e6, duration=10.0, max_sessions=100)
+
+
 def test_validation_errors():
     with pytest.raises(ValidationError):
         TrafficGenerator(mix="rush-hour")
