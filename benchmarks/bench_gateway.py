@@ -1,0 +1,216 @@
+"""Serving gateway: sustained loopback serving and reconnect storms.
+
+Drives :class:`~repro.stream.gateway.StreamGateway` with real asyncio
+clients over 127.0.0.1 and writes ``BENCH_gateway.json`` at the repo
+root:
+
+* **Sustained serve** — ``REPRO_BENCH_GATEWAY_SESSIONS`` concurrent
+  clients (default 120, floor 100) each stream a digest-pipeline
+  session end to end through one gateway.  Asserted: every session
+  completes with its full frame budget and the gateway's final results
+  cover every session.  Recorded: wall-clock frames/sec and
+  messages/sec at the wire.
+* **Reconnect storm** — ``REPRO_BENCH_GATEWAY_STORM`` sessions
+  (default 40) are killed mid-stream simultaneously (the post-outage
+  herd), then all resume at once.  Asserted: every resumed stream
+  completes with the full frame sequence intact (replay + live).
+  Recorded: p50/p95 server-side checkpoint-restore latency from
+  :class:`~repro.stream.reporting.ConnectionStats.restore_seconds`.
+
+Correctness bars (session counts, frame completeness) are
+deterministic; wall-clock numbers (throughput, restore percentiles)
+are recorded for trajectory tracking, not asserted — hosts vary.
+
+Smoke knobs (used by CI): ``REPRO_BENCH_GATEWAY_SESSIONS``,
+``REPRO_BENCH_GATEWAY_STORM``, ``REPRO_BENCH_GATEWAY_FRAMES``,
+``REPRO_BENCH_GATEWAY_SEED``, ``REPRO_BENCH_GATEWAY_DETAIL``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import numpy as np
+
+from repro.stream.digest import WorkloadModelTable
+from repro.stream.gateway import GatewayClient, StreamGateway
+from repro.stream.pipeline import streaming_config
+from repro.stream.server import StreamServer
+
+from _harness import write_bench_json
+
+SESSIONS = int(os.environ.get("REPRO_BENCH_GATEWAY_SESSIONS", "120"))
+STORM = int(os.environ.get("REPRO_BENCH_GATEWAY_STORM", "40"))
+FRAMES = int(os.environ.get("REPRO_BENCH_GATEWAY_FRAMES", "16"))
+SEED = int(os.environ.get("REPRO_BENCH_GATEWAY_SEED", "11"))
+DETAIL = float(os.environ.get("REPRO_BENCH_GATEWAY_DETAIL", "0.25"))
+
+SCENES = ("bicycle", "bonsai")
+CAL_FRAMES = 8
+
+METHODOLOGY = (
+    "Real asyncio clients over loopback TCP against one StreamGateway "
+    "fronting a digest-pipeline StreamServer (calibrated workload "
+    "models, so per-frame cost is paper-faithful but wall-cheap). "
+    "Sustained serve: all sessions stream concurrently end to end; "
+    "asserted on completeness, throughput recorded. Reconnect storm: "
+    "connections aborted mid-stream simultaneously, then resumed "
+    "simultaneously; restore latency percentiles come from the "
+    "gateway's per-connection restore_seconds telemetry."
+)
+
+
+def _calibrate() -> WorkloadModelTable:
+    return WorkloadModelTable.calibrate(
+        list(SCENES),
+        details=[DETAIL],
+        trajectories=["orbit"],
+        n_frames=CAL_FRAMES,
+        config=streaming_config(),
+        seed=SEED,
+    )
+
+
+def _desc(i: int) -> dict:
+    return {
+        "session_id": f"g{i}",
+        "scene": SCENES[i % len(SCENES)],
+        "frames": FRAMES,
+        "detail": DETAIL,
+        "trajectory": {"kind": "orbit", "seed": SEED + i},
+        "pipeline": "digest",
+        "target_fps": 300.0,
+    }
+
+
+async def _stream_one(gateway: StreamGateway, desc: dict) -> int:
+    client = GatewayClient(gateway.host, gateway.port)
+    await client.connect()
+    await client.hello(desc, timeout=120.0)
+    frames, end = await client.stream(timeout=120.0)
+    await client.bye()
+    await client.close()
+    assert end is not None, f"{desc['session_id']} never saw its end"
+    assert [f["frame"] for f in frames] == list(range(FRAMES))
+    return len(frames)
+
+
+async def _sustained(models: WorkloadModelTable) -> dict:
+    gateway = StreamGateway(StreamServer(workers=0, models=models))
+    await gateway.start()
+    t0 = time.perf_counter()
+    counts = await asyncio.gather(
+        *(_stream_one(gateway, _desc(i)) for i in range(SESSIONS))
+    )
+    wall = time.perf_counter() - t0
+    results = await gateway.stop()
+    assert len(results) == SESSIONS
+    assert all(r.report.n_frames == FRAMES for r in results)
+    total_frames = sum(counts)
+    messages = sum(s.messages_sent for s in gateway.connection_stats)
+    return {
+        "sessions": SESSIONS,
+        "frames_per_session": FRAMES,
+        "total_frames": total_frames,
+        "wall_seconds": wall,
+        "wall_frames_per_sec": total_frames / wall,
+        "wire_messages": messages,
+        "wire_messages_per_sec": messages / wall,
+    }
+
+
+async def _storm_one(gateway: StreamGateway, desc: dict, barrier) -> float:
+    """Stream half, abort, wait for the herd, resume, finish."""
+    first = GatewayClient(gateway.host, gateway.port)
+    await first.connect()
+    await first.hello(desc, timeout=120.0)
+    head, _ = await first.stream(limit=FRAMES // 2, timeout=120.0)
+    first.abort()
+    await barrier.wait()  # the whole herd reconnects together
+    last = head[-1]["frame"] if head else -1
+    for attempt in range(600):
+        second = GatewayClient(gateway.host, gateway.port)
+        await second.connect()
+        try:
+            await second.resume(desc["session_id"], last, timeout=120.0)
+            break
+        except Exception:
+            await second.close()
+            if attempt == 599:
+                raise
+            await asyncio.sleep(0.01)
+    tail, end = await second.stream(timeout=120.0)
+    await second.close()
+    assert end is not None
+    frames = [f["frame"] for f in head + tail]
+    assert frames == list(range(FRAMES)), (
+        f"{desc['session_id']} reassembled {frames}"
+    )
+    return 1.0
+
+
+async def _storm(models: WorkloadModelTable) -> dict:
+    gateway = StreamGateway(StreamServer(workers=0, models=models))
+    await gateway.start()
+    barrier = asyncio.Barrier(STORM)
+    t0 = time.perf_counter()
+    await asyncio.gather(
+        *(_storm_one(gateway, _desc(i), barrier) for i in range(STORM))
+    )
+    wall = time.perf_counter() - t0
+    results = await gateway.stop()
+    assert len(results) == STORM
+    restores = sorted(
+        s.restore_seconds for s in gateway.connection_stats if s.resumed
+    )
+    assert len(restores) == STORM, (
+        f"expected {STORM} resumed connections, saw {len(restores)}"
+    )
+    return {
+        "sessions": STORM,
+        "wall_seconds": wall,
+        "restore_p50_seconds": float(np.percentile(restores, 50)),
+        "restore_p95_seconds": float(np.percentile(restores, 95)),
+        "restore_max_seconds": restores[-1],
+    }
+
+
+def test_gateway_bench(benchmark):
+    assert SESSIONS >= 1 and STORM >= 2 and FRAMES >= 2
+    models = _calibrate()
+
+    sustained = _run(_sustained(models))
+    storm = _run(_storm(models))
+
+    print(
+        f"\ngateway sustained: {sustained['sessions']} sessions, "
+        f"{sustained['wall_frames_per_sec']:.0f} frames/s wall"
+    )
+    print(
+        f"gateway storm: {storm['sessions']} reconnects, restore "
+        f"p50 {storm['restore_p50_seconds'] * 1e3:.2f} ms, "
+        f"p95 {storm['restore_p95_seconds'] * 1e3:.2f} ms"
+    )
+
+    write_bench_json(
+        "gateway",
+        METHODOLOGY,
+        {"sustained": sustained, "reconnect_storm": storm},
+    )
+
+    # pytest-benchmark bookkeeping: a small end-to-end gateway serve.
+    async def _small():
+        gateway = StreamGateway(StreamServer(workers=0, models=models))
+        await gateway.start()
+        await asyncio.gather(
+            *(_stream_one(gateway, _desc(i)) for i in range(4))
+        )
+        await gateway.stop()
+
+    benchmark.pedantic(lambda: _run(_small()), rounds=3, iterations=1)
+
+
+def _run(coro):
+    return asyncio.run(coro)

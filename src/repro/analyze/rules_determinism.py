@@ -58,6 +58,10 @@ WALL_CLOCK_MODULES = (
     "repro.stream.pipeline",
     "repro.stream.server",
     "repro.stream.fleet",
+    # The serving gateway measures wire-side latencies (reconnect
+    # restore time, connection lifetimes) — host telemetry by nature;
+    # simulated physics still comes exclusively from the backend.
+    "repro.stream.gateway",
 )
 
 #: Constructors that are deterministic when given a seed argument and

@@ -51,16 +51,31 @@ single-frame renderer:
   behind a global router with fleet admission control, least-loaded/
   affinity node selection, checkpoint-based cross-node migration, and
   threshold-driven autoscaling;
+* :mod:`repro.stream.gateway` — :class:`StreamGateway`, the asyncio
+  wire boundary: length-prefixed JSON over loopback/TCP fronting a
+  server or fleet, with checkpoint-backed reconnects, bounded
+  per-connection send queues (slow clients pause their own stream),
+  and an HTTP shim for probes;
 * :mod:`repro.stream.cli` — the ``repro-stream`` command line
-  (also ``python -m repro.stream``), including the ``fleet``
-  subcommand.
+  (also ``python -m repro.stream``), including the ``fleet`` and
+  ``serve`` subcommands.
 """
 
 from repro.stream.binning import BinningStats, WarmBinner
 from repro.stream.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
     SessionCheckpoint,
     capture_checkpoint,
+    checkpoint_from_dict,
+    checkpoint_to_dict,
     restore_checkpoint,
+)
+from repro.stream.gateway import (
+    GatewayClient,
+    StreamGateway,
+    encode_message,
+    read_message,
+    session_from_payload,
 )
 from repro.stream.content_cache import (
     TIER_LEVELS,
@@ -97,7 +112,14 @@ from repro.stream.pipeline import (
     StreamReport,
     streaming_config,
 )
-from repro.stream.reporting import ServeSummary, SessionResult, TickResult
+from repro.stream.reporting import (
+    ConnectionStats,
+    ServeSummary,
+    SessionResult,
+    TickResult,
+    frame_evidence,
+    report_evidence,
+)
 from repro.stream.qos import (
     FrameDeadline,
     QoSControllerState,
@@ -139,9 +161,17 @@ __all__ = [
     "SessionArchetype",
     "SessionArrival",
     "TrafficGenerator",
+    "CHECKPOINT_FORMAT_VERSION",
     "SessionCheckpoint",
     "capture_checkpoint",
+    "checkpoint_from_dict",
+    "checkpoint_to_dict",
     "restore_checkpoint",
+    "GatewayClient",
+    "StreamGateway",
+    "encode_message",
+    "read_message",
+    "session_from_payload",
     "TIER_LEVELS",
     "BundleIntern",
     "CachedFrame",
@@ -176,10 +206,13 @@ __all__ = [
     "StreamScheduler",
     "make_scheduler",
     "static_frame_estimate",
+    "ConnectionStats",
     "ServeSummary",
     "SessionResult",
     "StreamServer",
     "StreamSession",
     "TickResult",
+    "frame_evidence",
+    "report_evidence",
     "CameraTrajectory",
 ]

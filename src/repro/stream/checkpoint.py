@@ -31,11 +31,25 @@ and the worker-crash tests of ``tests/stream/test_stream_server.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.core.reuse_cache import TemporalCacheState
 from repro.errors import ValidationError
 from repro.stream.pipeline import FramePipeline
 from repro.stream.qos import QoSControllerState
+
+#: Serialization format version written by :func:`checkpoint_to_dict`.
+#:
+#: * **v1** (pre-PR-9, implicit — blobs without a ``version`` key):
+#:   no QoS shard-escalation counters (``shards`` / ``floor_misses`` /
+#:   ``comfortable_streak``), and ``active_detail`` / ``qos`` may be
+#:   absent entirely.  Restored with the legacy defaults.
+#: * **v2** (current): all fields explicit.
+#:
+#: Blobs newer than this build understands are rejected with
+#: :class:`~repro.errors.ValidationError` instead of being silently
+#: misread.
+CHECKPOINT_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -168,3 +182,182 @@ def restore_checkpoint(
         # so the binner restarts cold (digest streams have no binner).
         binner.reset()
     stream.seek(checkpoint.next_frame)
+
+
+# -- JSON-safe serialization -------------------------------------------
+def _require(payload: Mapping[str, Any], key: str, context: str) -> Any:
+    """Fetch a required key, raising ValidationError (never KeyError)."""
+    if key not in payload:
+        raise ValidationError(f"checkpoint blob is missing {context} '{key}'")
+    return payload[key]
+
+
+def _key_to_json(value: Any) -> Any:
+    """JSON-encode one frame-key node.
+
+    Frame keys nest tuples of ints, floats (possibly numpy scalars)
+    and raw ``bytes`` camera fingerprints; JSON has none of those, so
+    tuples become lists, numpy scalars become Python numbers, and
+    bytes become a ``{"__bytes__": hex}`` marker object.
+    """
+    if isinstance(value, (tuple, list)):
+        return [_key_to_json(v) for v in value]
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": bytes(value).hex()}
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float) or hasattr(value, "item"):
+        # Covers numpy scalars without importing numpy here.
+        return float(value)
+    raise ValidationError(
+        f"frame key holds unserializable value of type "
+        f"{type(value).__name__}"
+    )
+
+
+def _key_from_json(value: Any) -> Any:
+    """Invert :func:`_key_to_json`: lists back to tuples, markers back
+    to bytes."""
+    if isinstance(value, list):
+        return tuple(_key_from_json(v) for v in value)
+    if isinstance(value, Mapping):
+        if set(value) != {"__bytes__"}:
+            raise ValidationError(
+                "frame key object must be a {'__bytes__': hex} marker"
+            )
+        try:
+            return bytes.fromhex(value["__bytes__"])
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"frame key bytes marker is not valid hex: {exc}"
+            ) from exc
+    return value
+
+
+def checkpoint_to_dict(checkpoint: SessionCheckpoint) -> dict[str, Any]:
+    """Serialize a checkpoint to a JSON-safe dict (current version).
+
+    The inverse of :func:`checkpoint_from_dict`; a round trip restores
+    the exact same frozen dataclass up to frame-key scalar types (JSON
+    has no tuples, bytes, or numpy scalars, so :func:`_key_to_json` /
+    :func:`_key_from_json` translate — numpy floats come back as
+    equal-valued Python floats).
+    """
+    cache = checkpoint.cache
+    qos = checkpoint.qos
+    return {
+        "version": CHECKPOINT_FORMAT_VERSION,
+        "session_id": checkpoint.session_id,
+        "scene": checkpoint.scene,
+        "detail": checkpoint.detail,
+        "next_frame": checkpoint.next_frame,
+        "frame_key": (
+            None
+            if checkpoint.frame_key is None
+            else _key_to_json(checkpoint.frame_key)
+        ),
+        "cache": {
+            "policy": cache.policy,
+            "capacity_lines": cache.capacity_lines,
+            "bytes_per_line": cache.bytes_per_line,
+            "resident_ids": list(cache.resident_ids),
+            "frames_observed": cache.frames_observed,
+            "cumulative_accesses": cache.cumulative_accesses,
+            "cumulative_hits": cache.cumulative_hits,
+        },
+        "active_detail": checkpoint.active_detail,
+        "qos": (
+            None
+            if qos is None
+            else {
+                "scale": qos.scale,
+                "frames_observed": qos.frames_observed,
+                "misses": qos.misses,
+                "shards": qos.shards,
+                "floor_misses": qos.floor_misses,
+                "comfortable_streak": qos.comfortable_streak,
+            }
+        ),
+    }
+
+
+def checkpoint_from_dict(payload: Mapping[str, Any]) -> SessionCheckpoint:
+    """Deserialize a checkpoint blob, tolerating older formats.
+
+    Blobs without a ``version`` key are treated as **v1** (pre-PR-9):
+    the QoS shard-escalation counters and the ``active_detail``/``qos``
+    keys may be absent and restore with their legacy defaults, so old
+    persisted checkpoints keep working instead of dying on ``KeyError``.
+    Blobs versioned *newer* than :data:`CHECKPOINT_FORMAT_VERSION` are
+    rejected with :class:`~repro.errors.ValidationError` — a silent
+    partial read of a future format could resume the wrong stream
+    state.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValidationError("checkpoint blob must be a JSON object")
+    version = payload.get("version", 1)
+    if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+        raise ValidationError(
+            f"checkpoint blob has invalid version {version!r}"
+        )
+    if version > CHECKPOINT_FORMAT_VERSION:
+        raise ValidationError(
+            f"checkpoint blob version {version} is newer than this build "
+            f"understands (max {CHECKPOINT_FORMAT_VERSION})"
+        )
+    cache_payload = _require(payload, "cache", "field")
+    if not isinstance(cache_payload, Mapping):
+        raise ValidationError("checkpoint 'cache' must be a JSON object")
+    cache = TemporalCacheState(
+        policy=_require(cache_payload, "policy", "cache field"),
+        capacity_lines=int(
+            _require(cache_payload, "capacity_lines", "cache field")
+        ),
+        bytes_per_line=int(
+            _require(cache_payload, "bytes_per_line", "cache field")
+        ),
+        resident_ids=tuple(
+            int(i)
+            for i in _require(cache_payload, "resident_ids", "cache field")
+        ),
+        frames_observed=int(
+            _require(cache_payload, "frames_observed", "cache field")
+        ),
+        cumulative_accesses=int(
+            _require(cache_payload, "cumulative_accesses", "cache field")
+        ),
+        cumulative_hits=int(
+            _require(cache_payload, "cumulative_hits", "cache field")
+        ),
+    )
+    qos_payload = payload.get("qos")
+    qos = None
+    if qos_payload is not None:
+        if not isinstance(qos_payload, Mapping):
+            raise ValidationError("checkpoint 'qos' must be a JSON object")
+        qos = QoSControllerState(
+            scale=float(_require(qos_payload, "scale", "qos field")),
+            frames_observed=int(
+                _require(qos_payload, "frames_observed", "qos field")
+            ),
+            misses=int(_require(qos_payload, "misses", "qos field")),
+            # Shard escalation postdates v1 checkpoints: restore the
+            # legacy no-escalation defaults when the keys are absent.
+            shards=int(qos_payload.get("shards", 1)),
+            floor_misses=int(qos_payload.get("floor_misses", 0)),
+            comfortable_streak=int(qos_payload.get("comfortable_streak", 0)),
+        )
+    frame_key = payload.get("frame_key")
+    active_detail = payload.get("active_detail")
+    return SessionCheckpoint(
+        session_id=_require(payload, "session_id", "field"),
+        scene=_require(payload, "scene", "field"),
+        detail=float(_require(payload, "detail", "field")),
+        next_frame=int(_require(payload, "next_frame", "field")),
+        frame_key=None if frame_key is None else _key_from_json(frame_key),
+        cache=cache,
+        active_detail=None if active_detail is None else float(active_detail),
+        qos=qos,
+    )

@@ -50,6 +50,7 @@ message, never a traceback.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import sys
@@ -104,8 +105,21 @@ def _validate_pipeline_args(args: argparse.Namespace) -> None:
 
 
 def _load_models(path: str) -> WorkloadModelTable:
-    with open(path) as fh:
-        return WorkloadModelTable.from_json(fh.read())
+    """Load a workload-model table from JSON.
+
+    Failures are argument-shaped — a missing/unreadable file or
+    malformed JSON is the user mistyping ``--models``, not a server
+    bug — so both routes surface as :class:`ValidationError` (one-line
+    ``error:`` message, exit 2), never a bare traceback.
+    ``from_json`` already maps ``json.JSONDecodeError`` to
+    :class:`ValidationError`; the I/O side is mapped here.
+    """
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise ValidationError(f"cannot read --models '{path}': {exc}") from exc
+    return WorkloadModelTable.from_json(text)
 
 
 def _add_content_cache_args(parser: argparse.ArgumentParser) -> None:
@@ -744,6 +758,173 @@ def _run_fleet(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# The `serve` subcommand: the asyncio gateway over a live server
+# ----------------------------------------------------------------------
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stream serve",
+        description="Run the asyncio serving gateway: clients connect "
+        "over TCP, open sessions with a JSON hello, and stream frame "
+        "metadata with checkpoint-backed reconnects "
+        "(see docs/streaming.md, 'Serving gateway').",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="listen address (default: 127.0.0.1 — loopback only)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port; 0 binds an ephemeral port and prints it "
+        "(default: 0)",
+    )
+    parser.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve GET /healthz and /stats on this HTTP port "
+        "(0 = ephemeral; default: no HTTP shim)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes; 0 = in-process (default: 0)",
+    )
+    parser.add_argument(
+        "--placement",
+        default="load",
+        choices=PLACEMENTS,
+        help="session->worker policy (default: load)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission control: serve at most N sessions concurrently "
+        "(default: unlimited)",
+    )
+    parser.add_argument(
+        "--queue-frames",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-connection send-queue bound; a client this many "
+        "frames behind pauses its own session until it catches up "
+        "(default: 8)",
+    )
+    parser.add_argument(
+        "--exit-after-sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drain and exit once N sessions have finished and every "
+        "client has disconnected (CI smoke; default: serve until "
+        "SIGINT/SIGTERM)",
+    )
+    _add_pipeline_args(parser)
+    _add_content_cache_args(parser)
+    return parser
+
+
+def validate_serve_args(args: argparse.Namespace) -> None:
+    """Reject invalid serve arguments with :class:`ValidationError`."""
+    if not 0 <= args.port <= 65535:
+        raise ValidationError("--port must be in [0, 65535]")
+    if args.http_port is not None and not 0 <= args.http_port <= 65535:
+        raise ValidationError("--http-port must be in [0, 65535]")
+    if args.workers < 0:
+        raise ValidationError("--workers cannot be negative")
+    if args.max_inflight is not None and args.max_inflight < 1:
+        raise ValidationError("--max-inflight must be at least 1")
+    if args.queue_frames < 2:
+        raise ValidationError("--queue-frames must be at least 2")
+    if args.exit_after_sessions is not None and args.exit_after_sessions < 1:
+        raise ValidationError("--exit-after-sessions must be at least 1")
+    if args.pipeline == "digest" and args.models is None:
+        # Clients name their scenes at connect time, so there is no
+        # workload to self-calibrate against up front.
+        raise ValidationError(
+            "serve --pipeline digest needs --models (see the "
+            "'calibrate' subcommand)"
+        )
+    _validate_pipeline_args(args)
+    _validate_content_cache_args(args)
+
+
+async def _serve_gateway(args: argparse.Namespace, server) -> int:
+    import signal
+
+    # Local import: the asyncio gateway stays out of the non-serving
+    # CLI paths entirely.
+    from repro.stream.gateway import StreamGateway
+
+    gateway = StreamGateway(
+        server,
+        host=args.host,
+        port=args.port,
+        send_queue_frames=args.queue_frames,
+        pipeline=args.pipeline,
+    )
+    await gateway.start()
+    # Flushed one-liner so scripts (and the CI smoke) can parse the
+    # ephemeral port.
+    print(f"listening on {gateway.host}:{gateway.port}", flush=True)
+    if args.http_port is not None:
+        http_port = await gateway.start_http(args.http_port)
+        print(f"http on {gateway.host}:{http_port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platform without signal handlers (e.g. Windows)
+    try:
+        if args.exit_after_sessions is not None:
+            while not stop.is_set():
+                live = gateway.stats()
+                if (
+                    live["sessions_done"] >= args.exit_after_sessions
+                    and live["sessions_connected"] == 0
+                ):
+                    break
+                await asyncio.sleep(0.05)
+        else:  # pragma: no cover - interactive mode, exercised manually
+            await stop.wait()
+    finally:
+        results = await gateway.stop()
+    reconnects = sum(1 for s in gateway.connection_stats if s.resumed)
+    print(
+        f"served {len(results)} session(s), "
+        f"{sum(r.report.n_frames for r in results)} frame(s) over "
+        f"{len(gateway.connection_stats)} connection(s) "
+        f"({reconnects} reconnect(s))"
+    )
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    models = _load_models(args.models) if args.models is not None else None
+    server = StreamServer(
+        workers=args.workers,
+        placement=args.placement,
+        max_inflight=args.max_inflight,
+        content_cache=_content_config(args),
+        models=models,
+    )
+    try:
+        return asyncio.run(_serve_gateway(args, server))
+    finally:
+        server.close()
+
+
+# ----------------------------------------------------------------------
 # The `calibrate` subcommand: build a workload-model table for digest
 # ----------------------------------------------------------------------
 def build_calibrate_parser() -> argparse.ArgumentParser:
@@ -860,36 +1041,38 @@ def _run_calibrate(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    # Argument-shaped failures exit like argparse does: one line on
+    # stderr and status 2, never a traceback.  That covers validation
+    # AND every ValidationError raised while setting a run up — a
+    # missing or malformed --models file surfaces here, not as a
+    # FileNotFoundError/JSONDecodeError traceback.  Non-ValidationError
+    # failures during a serve are server bugs and propagate.
     argv = list(sys.argv[1:]) if argv is None else list(argv)
+    try:
+        return _dispatch(argv)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(argv: list[str]) -> int:
     # Manual subcommand dispatch keeps the original flat argument set
     # (and every existing invocation) working unchanged.
     if argv and argv[0] == "calibrate":
         calibrate_args = build_calibrate_parser().parse_args(argv[1:])
-        try:
-            validate_calibrate_args(calibrate_args)
-        except ValidationError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+        validate_calibrate_args(calibrate_args)
         return _run_calibrate(calibrate_args)
     if argv and argv[0] == "fleet":
         fleet_args = build_fleet_parser().parse_args(argv[1:])
-        try:
-            validate_fleet_args(fleet_args)
-        except ValidationError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+        validate_fleet_args(fleet_args)
         return _run_fleet(fleet_args)
+    if argv and argv[0] == "serve":
+        serve_args = build_serve_parser().parse_args(argv[1:])
+        validate_serve_args(serve_args)
+        return _run_serve(serve_args)
     args = build_parser().parse_args(argv)
-    try:
-        validate_args(args)
-        sessions = make_sessions(args)
-    except ValidationError as exc:
-        # Argument-shaped failures exit like argparse does: one line on
-        # stderr and status 2, never a traceback.  Failures *during*
-        # the serve are server bugs, not argument mistakes — those
-        # propagate with their traceback.
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    validate_args(args)
+    sessions = make_sessions(args)
     if args.tolerance is not None:
         # Environment, not a process-global override: worker processes
         # inherit the environment, so approx renders use the same

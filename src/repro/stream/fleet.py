@@ -50,8 +50,10 @@ from repro.stream.content_cache import (
     ContentCacheConfig,
     merge_economics,
 )
+from repro.stream.checkpoint import SessionCheckpoint
 from repro.stream.digest import WorkloadModelTable
-from repro.stream.reporting import ServeSummary, SessionResult
+from repro.stream.pipeline import StreamReport
+from repro.stream.reporting import ServeSummary, SessionResult, TickResult
 from repro.stream.server import StreamServer, StreamSession
 from repro.stream.traffic import SessionArrival
 
@@ -192,6 +194,48 @@ class _FleetNode:
         return self.clock_offset + self.server.busy_makespan
 
 
+@dataclass
+class _OpenFleetServe:
+    """Mutable state of one open (incremental) fleet serve.
+
+    Everything that used to live as locals of the closed ``serve``
+    loop, lifted onto the fleet so :meth:`EdgeFleet.step` can run one
+    tick at a time — the serving gateway drives real client arrivals
+    through exactly the loop body the batch path uses, so both produce
+    byte-identical streams.
+    """
+
+    pending: list[SessionArrival]
+    wall0: float
+    queue: list[SessionArrival] = field(default_factory=list)
+    clock: float = 0.0
+    tick: int = 0
+    cursor: int = 0
+    breach_start: int | None = None
+    migrations: list[NodeMigration] = field(default_factory=list)
+    events: list[AutoscaleEvent] = field(default_factory=list)
+    queue_trace: list[int] = field(default_factory=list)
+    active_trace: list[int] = field(default_factory=list)
+    admission_delays: dict[str, float] = field(default_factory=dict)
+    finished: dict[int, tuple[list[SessionResult], ServeSummary]] = field(
+        default_factory=dict
+    )
+    #: Submission order of every session ever seen (result sort key).
+    order: dict[str, int] = field(default_factory=dict)
+    total_frames: int = 0
+    n_arrivals: int = 0
+    peak_nodes: int = 0
+    #: Set when a tick ends with nothing stepped, nothing queued, and
+    #: no pending arrivals — the batch loop's stop signal.  A later
+    #: :meth:`EdgeFleet.submit` clears it (gateway traffic is open-
+    #: ended).
+    drained: bool = False
+
+    @property
+    def max_ticks(self) -> int:
+        return self.total_frames + 2 * self.n_arrivals + 64
+
+
 class EdgeFleet:
     """Serve open-loop session traffic over a fleet of server nodes.
 
@@ -309,6 +353,7 @@ class EdgeFleet:
         self._content_totals: dict[str, CacheEconomics] = {}
         self._nodes: list[_FleetNode] = []
         self._next_node_id = 0
+        self._open: _OpenFleetServe | None = None
 
     # -- lifecycle ------------------------------------------------------
     def __enter__(self) -> "EdgeFleet":
@@ -322,6 +367,7 @@ class EdgeFleet:
         for node in self._nodes:
             node.server.close()
         self._nodes = []
+        self._open = None
 
     def _spawn_node(self, tick: int, clock: float = 0.0) -> _FleetNode:
         node_id = self._next_node_id
@@ -363,18 +409,32 @@ class EdgeFleet:
 
         Returns the arrivals still waiting; admitted sessions record
         their router-queue delay in simulated seconds.  Routing stops
-        at the first arrival no node can take: ``_select_node`` returns
-        ``None`` only when *every* node is at capacity (it never
-        depends on the session itself), so the rest of the queue cannot
-        be placed either — a thundering herd of 10^5 arrivals must not
-        be re-scanned in full on every saturated tick.
+        scanning at the first arrival no node can take *only* when the
+        whole fleet is saturated: today ``_select_node`` returns
+        ``None`` exactly when every node is at capacity (the affinity
+        scene filter narrows the choice among open nodes but never
+        empties it), so the rest of the queue cannot be placed either —
+        a thundering herd of 10^5 arrivals must not be re-scanned in
+        full on every saturated tick.  The saturation re-check guards
+        that invariant: if selection ever becomes genuinely
+        session-dependent (returning ``None`` for one session while
+        capacity remains), only *that* arrival parks and the scan
+        continues, so a placeable arrival is never stranded behind an
+        unplaceable one.  Pinned by
+        ``tests/stream/test_fleet.py::test_route_invariants``.
         """
         still_queued: list[SessionArrival] = []
         for i, arrival in enumerate(queue):
             node = self._select_node(arrival.session)
             if node is None:
-                still_queued.extend(queue[i:])
-                break
+                if not any(self._has_capacity(n) for n in self._alive()):
+                    # Fleet saturated: bulk-requeue the tail unscanned.
+                    still_queued.extend(queue[i:])
+                    break
+                # Session-specific refusal with capacity left: park it,
+                # keep FIFO order for the rest of the scan.
+                still_queued.append(arrival)
+                continue
             node.server.submit(arrival.session)
             admission_delays[arrival.session_id] = max(
                 clock - arrival.time, 0.0
@@ -451,22 +511,52 @@ class EdgeFleet:
     def serve(self, arrivals: list[SessionArrival]) -> FleetResult:
         """Serve an open-loop arrival sequence to completion.
 
-        The loop per tick: admit due arrivals into the router queue,
-        route queued sessions onto nodes with capacity, autoscale on
-        the sustained queue signal, step every node with work one tick
-        (one frame per admitted session), rebalance, then advance the
-        fleet clock.  Returns once every session has drained.
+        A thin wrapper over the incremental protocol: :meth:`begin`,
+        :meth:`step` until drained, :meth:`finish`.  The loop per tick:
+        admit due arrivals into the router queue, route queued sessions
+        onto nodes with capacity, autoscale on the sustained queue
+        signal, step every node with work one tick (one frame per
+        admitted session), rebalance, then advance the fleet clock.
+        Returns once every session has drained.
         """
-        ids = [a.session_id for a in arrivals]
-        if len(set(ids)) != len(ids):
-            raise ValidationError("session ids must be unique across arrivals")
+        self.begin(arrivals)
         try:
-            return self._serve(sorted(arrivals, key=lambda a: a.time))
+            while not self._open.drained:
+                self.step()
+            return self.finish()
         except BaseException:
             self.close()
             raise
 
-    def _serve(self, pending: list[SessionArrival]) -> FleetResult:
+    # -- incremental serving --------------------------------------------
+    @property
+    def serving(self) -> bool:
+        """A fleet serve is open (between :meth:`begin`/:meth:`finish`)."""
+        return self._open is not None
+
+    def _require_open(self, what: str) -> _OpenFleetServe:
+        if self._open is None:
+            raise ValidationError(
+                f"{what} requires an open fleet serve (begin first)"
+            )
+        return self._open
+
+    def begin(self, arrivals: list[SessionArrival] | None = None) -> None:
+        """Open an incremental fleet serve.
+
+        Mirrors :meth:`StreamServer.begin`: the caller drives ticks
+        with :meth:`step`, may :meth:`submit` sessions at any point
+        (the serving gateway submits one per accepted connection), and
+        collects results with :meth:`finish`.  ``arrivals`` seeds the
+        schedule with timestamped open-loop traffic; live traffic
+        starts empty.
+        """
+        if self.serving:
+            raise ValidationError("a fleet serve is already open")
+        pending = sorted(arrivals or [], key=lambda a: a.time)
+        ids = [a.session_id for a in pending]
+        if len(set(ids)) != len(ids):
+            raise ValidationError("session ids must be unique across arrivals")
         wall0 = time.perf_counter()
         self.close()
         self._next_node_id = 0
@@ -477,157 +567,305 @@ class EdgeFleet:
         self._content_totals = {}
         for _ in range(self.initial_nodes):
             self._spawn_node(tick=0)
+        self._open = _OpenFleetServe(
+            pending=pending,
+            wall0=wall0,
+            order={a.session_id: i for i, a in enumerate(pending)},
+            total_frames=sum(a.session.frame_budget for a in pending),
+            n_arrivals=len(pending),
+            peak_nodes=len(self._alive()),
+        )
 
-        queue: list[SessionArrival] = []
-        clock = 0.0
-        tick = 0
-        breach_start: int | None = None
-        migrations: list[NodeMigration] = []
-        events: list[AutoscaleEvent] = []
-        queue_trace: list[int] = []
-        active_trace: list[int] = []
-        admission_delays: dict[str, float] = {}
-        finished: dict[int, tuple[list[SessionResult], ServeSummary]] = {}
+    def submit(self, session: StreamSession, at: float | None = None) -> None:
+        """Enqueue a session on the open serve's router.
 
-        total_frames = sum(a.session.frame_budget for a in pending)
-        max_ticks = total_frames + 2 * len(pending) + 64
-        cursor = 0
-        peak_nodes = len(self._alive())
-        while True:
-            if tick > max_ticks:
-                raise SimulationError(
-                    "fleet serve did not drain within its tick budget"
+        ``at`` is the arrival's simulated timestamp and defaults to the
+        current fleet clock (a live connection arrives *now*).  The
+        session joins the router queue and is placed on the next tick
+        under the normal capacity/routing rules.
+        """
+        st = self._require_open("submit")
+        session_id = session.session_id
+        if session_id in st.order:
+            raise ValidationError(
+                f"session id '{session_id}' was already submitted"
+            )
+        st.order[session_id] = len(st.order)
+        st.total_frames += session.frame_budget
+        st.n_arrivals += 1
+        st.queue.append(
+            SessionArrival(st.clock if at is None else float(at), session)
+        )
+        st.drained = False
+
+    def step(self) -> TickResult:
+        """Run one fleet tick; returns the nodes' merged tick result.
+
+        The loop body of the historical closed ``serve`` — admission,
+        routing, autoscaling, node stepping, idle drains, rebalancing,
+        clock advance — executed exactly once.  Returns an empty
+        :class:`TickResult` once the serve has drained (no active
+        sessions, empty router queue, no pending arrivals); a later
+        :meth:`submit` re-opens the tap.
+        """
+        st = self._require_open("step")
+        if st.drained:
+            return TickResult()
+        if st.tick > st.max_ticks:
+            raise SimulationError(
+                "fleet serve did not drain within its tick budget"
+            )
+        # 1. Admit arrivals whose time has come.
+        while (
+            st.cursor < len(st.pending)
+            and st.pending[st.cursor].time <= st.clock
+        ):
+            st.queue.append(st.pending[st.cursor])
+            st.cursor += 1
+        # 2. Route queued sessions onto nodes with capacity.  The
+        # per-tick trace records the depth *after* routing — the
+        # autoscaling signal.
+        st.queue = self._route(st.queue, st.clock, st.admission_delays)
+        st.queue_trace.append(len(st.queue))
+        # 3. Autoscale on the sustained queue-depth signal (at most
+        # one spawn per tick; the new node is filled immediately at
+        # the same clock and steps below with everyone else).
+        if len(st.queue) >= self.scale_up_queue:
+            if st.breach_start is None:
+                st.breach_start = st.tick
+            sustained = st.tick - st.breach_start + 1
+            if (
+                sustained >= self.sustain
+                and len(self._alive()) < self.max_nodes
+            ):
+                node = self._spawn_node(st.tick, clock=st.clock)
+                st.events.append(
+                    AutoscaleEvent(
+                        action="spawn",
+                        node=node.node_id,
+                        tick=st.tick,
+                        sim_time=st.clock,
+                        queue_depth=len(st.queue),
+                        reaction_ticks=st.tick - st.breach_start,
+                    )
                 )
-            # 1. Admit arrivals whose time has come.
-            while cursor < len(pending) and pending[cursor].time <= clock:
-                queue.append(pending[cursor])
-                cursor += 1
-            # 2. Route queued sessions onto nodes with capacity.  The
-            # per-tick trace records the depth *after* routing — the
-            # autoscaling signal.
-            queue = self._route(queue, clock, admission_delays)
-            queue_trace.append(len(queue))
-            # 3. Autoscale on the sustained queue-depth signal (at most
-            # one spawn per tick; the new node is filled immediately at
-            # the same clock and steps below with everyone else).
-            if len(queue) >= self.scale_up_queue:
-                if breach_start is None:
-                    breach_start = tick
-                sustained = tick - breach_start + 1
-                if (
-                    sustained >= self.sustain
-                    and len(self._alive()) < self.max_nodes
-                ):
-                    node = self._spawn_node(tick, clock=clock)
-                    events.append(
+                st.breach_start = None
+                st.queue = self._route(st.queue, st.clock, st.admission_delays)
+        else:
+            st.breach_start = None
+        st.peak_nodes = max(st.peak_nodes, len(self._alive()))
+        # Post-routing fleet concurrency: how many sessions are
+        # admitted somewhere right now (the scale headline).
+        st.active_trace.append(sum(n.server.n_active for n in self._alive()))
+        # 4. Step every node that has work.
+        stepped: list[_FleetNode] = []
+        node_ticks: list[TickResult] = []
+        for node in self._alive():
+            if node.server.n_active > 0:
+                node_ticks.append(node.server.step())
+                node.idle_ticks = 0
+                stepped.append(node)
+            else:
+                node.idle_ticks += 1
+        # 5. Drain long-idle nodes while the queue is empty.
+        if not st.queue and len(self._alive()) > self.min_nodes:
+            for node in self._alive():
+                if node.idle_ticks >= self.scale_down_idle:
+                    st.finished[node.node_id] = self._retire(node)
+                    st.events.append(
                         AutoscaleEvent(
-                            action="spawn",
+                            action="drain",
                             node=node.node_id,
-                            tick=tick,
-                            sim_time=clock,
-                            queue_depth=len(queue),
-                            reaction_ticks=tick - breach_start,
+                            tick=st.tick,
+                            sim_time=st.clock,
+                            queue_depth=0,
+                            reaction_ticks=node.idle_ticks,
                         )
                     )
-                    breach_start = None
-                    queue = self._route(queue, clock, admission_delays)
-            else:
-                breach_start = None
-            peak_nodes = max(peak_nodes, len(self._alive()))
-            # Post-routing fleet concurrency: how many sessions are
-            # admitted somewhere right now (the scale headline).
-            active_trace.append(
-                sum(n.server.n_active for n in self._alive())
-            )
-            # 4. Step every node that has work.
-            stepped: list[_FleetNode] = []
-            for node in self._alive():
-                if node.server.n_active > 0:
-                    node.server.step()
-                    node.idle_ticks = 0
-                    stepped.append(node)
-                else:
-                    node.idle_ticks += 1
-            # 5. Drain long-idle nodes while the queue is empty.
-            if not queue and len(self._alive()) > self.min_nodes:
-                for node in self._alive():
-                    if node.idle_ticks >= self.scale_down_idle:
-                        finished[node.node_id] = self._retire(node)
-                        events.append(
-                            AutoscaleEvent(
-                                action="drain",
-                                node=node.node_id,
-                                tick=tick,
-                                sim_time=clock,
-                                queue_depth=0,
-                                reaction_ticks=node.idle_ticks,
-                            )
-                        )
-                        break  # at most one scale-down per tick
-            # 6. Cross-node rebalancing.
-            if self.migration:
-                self._rebalance(tick, clock, migrations)
-            # 7. Advance the fleet clock to the earliest absolute time
-            # a stepped node has worked through its issued frames
-            # (node horizons anchor busy ledgers at spawn time, so a
-            # freshly spawned node never drags the clock backwards).
-            if stepped:
-                candidate = min(n.horizon for n in stepped)
-                if cursor < len(pending) and any(
-                    self._has_capacity(n) for n in self._alive()
-                ):
-                    candidate = min(candidate, pending[cursor].time)
-                clock = max(clock, candidate)
-            elif cursor < len(pending):
-                clock = max(clock, pending[cursor].time)
-            elif not queue:
-                break
-            # 8. Re-anchor caught-up nodes to the present: a node whose
-            # horizon fell behind the clock (it sat idle through a
-            # jumped gap, or drained its issued work early) cannot
-            # serve in the past — its next frame completes after *now*.
-            # Without this, arrivals after an idle gap would wait for
-            # busy ledgers to catch up to absolute time and serialize.
-            for node in self._alive():
-                if node.horizon < clock:
-                    node.clock_offset = clock - node.server.busy_makespan
-            tick += 1
+                    break  # at most one scale-down per tick
+        # 6. Cross-node rebalancing.
+        if self.migration:
+            self._rebalance(st.tick, st.clock, st.migrations)
+        # 7. Advance the fleet clock to the earliest absolute time
+        # a stepped node has worked through its issued frames
+        # (node horizons anchor busy ledgers at spawn time, so a
+        # freshly spawned node never drags the clock backwards).
+        if stepped:
+            candidate = min(n.horizon for n in stepped)
+            if st.cursor < len(st.pending) and any(
+                self._has_capacity(n) for n in self._alive()
+            ):
+                candidate = min(candidate, st.pending[st.cursor].time)
+            st.clock = max(st.clock, candidate)
+        elif st.cursor < len(st.pending):
+            st.clock = max(st.clock, st.pending[st.cursor].time)
+        elif not st.queue:
+            st.drained = True
+            return TickResult.merged(node_ticks)
+        # 8. Re-anchor caught-up nodes to the present: a node whose
+        # horizon fell behind the clock (it sat idle through a
+        # jumped gap, or drained its issued work early) cannot
+        # serve in the past — its next frame completes after *now*.
+        # Without this, arrivals after an idle gap would wait for
+        # busy ledgers to catch up to absolute time and serialize.
+        for node in self._alive():
+            if node.horizon < st.clock:
+                node.clock_offset = st.clock - node.server.busy_makespan
+        st.tick += 1
+        return TickResult.merged(node_ticks)
 
-        wall = time.perf_counter() - wall0
-        results: list[SessionResult] = []
-        node_summaries: dict[int, ServeSummary] = {}
+    def finish(self) -> FleetResult:
+        """Close the open serve and assemble the :class:`FleetResult`."""
+        st = self._require_open("finish")
+        wall = time.perf_counter() - st.wall0
         for node in list(self._nodes):
             if node.alive:
-                finished[node.node_id] = self._retire(node, wall=wall)
-        for node_id in sorted(finished):
-            node_results, summary = finished[node_id]
+                st.finished[node.node_id] = self._retire(node, wall=wall)
+        results: list[SessionResult] = []
+        node_summaries: dict[int, ServeSummary] = {}
+        for node_id in sorted(st.finished):
+            node_results, summary = st.finished[node_id]
             results.extend(node_results)
             node_summaries[node_id] = summary
         self._nodes = []
-        order = {a.session_id: i for i, a in enumerate(pending)}
-        results.sort(key=lambda r: order[r.session_id])
+        results.sort(key=lambda r: st.order[r.session_id])
         fleet_summary = ServeSummary.merge(list(node_summaries.values()))
         fleet_summary.wall_seconds = wall
-        fleet_summary.migrations += len(migrations)
+        fleet_summary.migrations += len(st.migrations)
         # Worker capacity is what was ever alive *at once*, not the
         # sum over autoscale churn.
-        fleet_summary.workers = peak_nodes * self.node_workers
-        return FleetResult(
+        fleet_summary.workers = st.peak_nodes * self.node_workers
+        result = FleetResult(
             results=results,
             summary=fleet_summary,
             node_summaries=node_summaries,
-            migrations=migrations,
-            autoscale_events=events,
-            queue_depth_trace=queue_trace,
-            admission_delays=admission_delays,
-            ticks=tick,
-            peak_nodes=peak_nodes,
-            peak_active=max(active_trace, default=0),
-            active_trace=active_trace,
+            migrations=st.migrations,
+            autoscale_events=st.events,
+            queue_depth_trace=st.queue_trace,
+            admission_delays=st.admission_delays,
+            ticks=st.tick,
+            peak_nodes=st.peak_nodes,
+            peak_active=max(st.active_trace, default=0),
+            active_trace=st.active_trace,
             content=dict(self._content_totals),
             bundle_intern_hits=self._intern.hits if self._intern else 0,
             bundle_intern_misses=self._intern.misses if self._intern else 0,
         )
+        self._open = None
+        return result
+
+    # -- session forwarding (gateway surface) ---------------------------
+    @property
+    def n_active(self) -> int:
+        """Sessions admitted on some alive node right now."""
+        return sum(n.server.n_active for n in self._alive())
+
+    @property
+    def n_queued(self) -> int:
+        """Sessions waiting at the router or in node admission queues."""
+        queued = sum(n.server.n_queued for n in self._alive())
+        if self._open is not None:
+            queued += len(self._open.queue)
+            queued += len(self._open.pending) - self._open.cursor
+        return queued
+
+    def _node_of(self, session_id: str) -> _FleetNode | None:
+        for node in self._alive():
+            if node.server.has_session(session_id):
+                return node
+        return None
+
+    def has_session(self, session_id: str) -> bool:
+        """Whether the open serve tracks ``session_id`` anywhere."""
+        if not self.serving:
+            return False
+        if self._node_of(session_id) is not None:
+            return True
+        return any(a.session_id == session_id for a in self._open.queue)
+
+    def is_done(self, session_id: str) -> bool:
+        """Whether a tracked session has exhausted its frame budget."""
+        node = self._node_of(session_id)
+        if node is not None:
+            return node.server.is_done(session_id)
+        if self.has_session(session_id):
+            return False  # still waiting at the router
+        raise ValidationError(f"unknown session '{session_id}'")
+
+    def pause_session(self, session_id: str) -> None:
+        """Forward gateway backpressure to the session's node.
+
+        A session still waiting at the router is a no-op (it renders
+        nothing anyway); an unknown session raises.
+        """
+        node = self._node_of(session_id)
+        if node is not None:
+            node.server.pause_session(session_id)
+        elif not self.has_session(session_id):
+            raise ValidationError(f"unknown session '{session_id}'")
+
+    def resume_session(self, session_id: str) -> None:
+        """Re-enable dispatch for a paused session (idempotent)."""
+        node = self._node_of(session_id)
+        if node is not None:
+            node.server.resume_session(session_id)
+        elif not self.has_session(session_id):
+            raise ValidationError(f"unknown session '{session_id}'")
+
+    def report_of(self, session_id: str) -> StreamReport:
+        """The frames streamed so far for a node-admitted session."""
+        node = self._node_of(session_id)
+        if node is None:
+            raise ValidationError(f"unknown session '{session_id}'")
+        return node.server.report_of(session_id)
+
+    def extract_session(
+        self, session_id: str
+    ) -> tuple[StreamSession, SessionCheckpoint | None, StreamReport]:
+        """Remove a session from the open serve (gateway disconnect).
+
+        A session already admitted on a node extracts with its
+        checkpoint and report; one still waiting at the router leaves
+        with no checkpoint and an empty report.
+        """
+        st = self._require_open("extract")
+        node = self._node_of(session_id)
+        if node is not None:
+            return node.server.extract_session(session_id)
+        for i, arrival in enumerate(st.queue):
+            if arrival.session_id == session_id:
+                st.queue.pop(i)
+                session = arrival.session
+                report = StreamReport(
+                    scene=session.scene, trajectory=session.trajectory.kind
+                )
+                return session, None, report
+        raise ValidationError(f"unknown session '{session_id}'")
+
+    def inject_session(
+        self,
+        session: StreamSession,
+        checkpoint: SessionCheckpoint | None = None,
+        report: StreamReport | None = None,
+    ) -> int:
+        """Resume an extracted session (gateway reconnect).
+
+        Routed like a fresh arrival when capacity allows; a saturated
+        fleet readmits on the least-active node anyway — the client
+        was already admitted before it disconnected, and a reconnect
+        must never be refused by its own admission control.  Returns
+        the node the session landed on.
+        """
+        st = self._require_open("inject")
+        node = self._select_node(session)
+        if node is None:
+            node = min(
+                self._alive(), key=lambda n: (n.server.n_active, n.node_id)
+            )
+        node.server.inject_session(session, checkpoint, report)
+        st.order.setdefault(session.session_id, len(st.order))
+        st.drained = False
+        return node.node_id
 
     def _retire(
         self, node: _FleetNode, wall: float = 0.0

@@ -1,0 +1,1008 @@
+"""Asyncio serving gateway: stream sessions over real connections.
+
+Everything below :class:`StreamGateway` in this repository is a
+library — sessions are synthetic descriptors handed to
+:class:`~repro.stream.server.StreamServer` or
+:class:`~repro.stream.fleet.EdgeFleet` in-process.  This module is the
+wire boundary the paper's AR/VR deployment needs: clients connect over
+TCP (loopback in CI — the test suite never leaves 127.0.0.1), request
+a session with a JSON ``hello``, and receive one message per rendered
+frame carrying the QoS metadata a viewer adapts on (detail rung,
+deadline verdict, serving tier, simulated seconds).
+
+**Framing.**  Length-prefixed JSON: every message is a 4-byte
+big-endian unsigned length followed by that many bytes of UTF-8 JSON.
+Client→server types: ``hello`` (open or resume a session), ``bye``
+(detach cleanly).  Server→client types: ``welcome``, ``frame``,
+``end`` (terminal per-session report), ``error``.
+
+**Reconnects.**  A dropped connection does not kill the session: the
+gateway extracts it from the backend — descriptor, latest
+:class:`~repro.stream.checkpoint.SessionCheckpoint`, and the frames
+streamed so far — and parks it.  A later ``hello`` with
+``resume: true`` injects it back (checkpoint replay is byte-identical,
+so the resumed stream renders exactly what an uninterrupted one would)
+and re-sends the frame metadata the client missed, judged by the
+``last_frame`` index it reports.
+
+**Backpressure.**  Each connection owns a bounded send queue drained
+by one writer task.  Before every backend tick the pump pauses
+dispatch for any session whose queue is full
+(:meth:`StreamServer.pause_session`) and resumes it when the client
+catches up — a slow client freezes *its own* stream instead of growing
+an unbounded buffer, and every other session keeps ticking.  A tick
+produces at most one frame per session, so a queue with a free slot
+can never overflow.
+
+**Shutdown.**  :meth:`StreamGateway.stop` stops accepting, keeps
+ticking until every *connected* session finishes (drain), flushes and
+closes the send queues, then closes the backend serve and returns the
+merged results (parked sessions included, reported as far as they
+got).
+
+The gateway is wire-side telemetry only: simulated physics comes
+exclusively from the backend, and the ``perf_counter`` readings here
+(restore latency, connection accounting) never feed it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+import time
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.scenes.catalog import CATALOG
+from repro.stream.checkpoint import SessionCheckpoint
+from repro.stream.pipeline import PIPELINES, FrameRecord, StreamReport
+from repro.stream.qos import QoSPolicy
+from repro.stream.reporting import (
+    ConnectionStats,
+    SessionResult,
+    frame_evidence,
+    report_evidence,
+)
+from repro.stream.server import StreamSession
+from repro.stream.trajectory import CameraTrajectory
+
+__all__ = [
+    "GatewayClient",
+    "StreamGateway",
+    "encode_message",
+    "read_message",
+    "session_from_payload",
+]
+
+#: Wire protocol revision; ``hello`` may pin it, mismatches error out.
+PROTOCOL_VERSION = 1
+
+#: 4-byte big-endian unsigned message length.
+_HEADER = struct.Struct("!I")
+
+#: Upper bound on one message's JSON payload — a corrupt or hostile
+#: length prefix must not allocate gigabytes.
+MAX_MESSAGE_BYTES = 8 * 1024 * 1024
+
+#: Trajectory kinds a ``hello`` may request (mirrors
+#: :meth:`CameraTrajectory.for_scene`).
+TRAJECTORY_KINDS = ("orbit", "dolly", "head_jitter", "frozen")
+
+
+# ----------------------------------------------------------------------
+# Wire framing
+# ----------------------------------------------------------------------
+def encode_message(message: dict) -> bytes:
+    """Frame one JSON message: length prefix + compact UTF-8 body."""
+    data = json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(data) > MAX_MESSAGE_BYTES:
+        raise ValidationError(
+            f"message of {len(data)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte wire limit"
+        )
+    return _HEADER.pack(len(data)) + data
+
+
+async def read_message(reader: asyncio.StreamReader) -> dict | None:
+    """Read one framed message; ``None`` on EOF (clean or mid-frame).
+
+    A syntactically invalid frame (oversized length prefix, non-JSON
+    body, non-object payload) raises :class:`ValidationError` — the
+    peer is speaking the wrong protocol, not hanging up.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ValidationError(
+            f"incoming frame of {length} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte wire limit"
+        )
+    try:
+        data = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    try:
+        message = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"message is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict) or not isinstance(
+        message.get("type"), str
+    ):
+        raise ValidationError("message must be a JSON object with a 'type'")
+    return message
+
+
+# ----------------------------------------------------------------------
+# Session descriptors over the wire
+# ----------------------------------------------------------------------
+def session_from_payload(
+    payload, default_pipeline: str = "exact"
+) -> StreamSession:
+    """Build a :class:`StreamSession` from a ``hello`` descriptor.
+
+    Every field is validated; errors come back as
+    :class:`ValidationError` (the gateway relays the message in an
+    ``error`` frame instead of dropping the connection silently).
+    ``default_pipeline`` applies when the descriptor omits
+    ``pipeline`` (the ``repro-stream serve --pipeline`` default).
+    """
+    if not isinstance(payload, dict):
+        raise ValidationError("hello needs a 'session' object")
+    session_id = payload.get("session_id")
+    if not isinstance(session_id, str) or not session_id:
+        raise ValidationError("session descriptor needs a 'session_id'")
+    scene = payload.get("scene")
+    if scene not in CATALOG:
+        raise ValidationError(
+            f"unknown scene {scene!r}; choose from "
+            + ", ".join(sorted(CATALOG))
+        )
+    detail = float(payload.get("detail", 1.0))
+    trajectory = payload.get("trajectory") or {}
+    if not isinstance(trajectory, dict):
+        raise ValidationError("'trajectory' must be a JSON object")
+    kind = trajectory.get("kind", "orbit")
+    if kind not in TRAJECTORY_KINDS:
+        raise ValidationError(
+            f"unknown trajectory kind {kind!r}; choose from "
+            + ", ".join(TRAJECTORY_KINDS)
+        )
+    n_frames = int(trajectory.get("n_frames", payload.get("frames", 16)))
+    if n_frames < 1:
+        raise ValidationError("a session needs at least one frame")
+    pipeline = payload.get("pipeline", default_pipeline)
+    if pipeline not in PIPELINES:
+        raise ValidationError(
+            f"unknown pipeline {pipeline!r}; choose from "
+            + ", ".join(PIPELINES)
+        )
+    qos_mode = payload.get("qos", "adaptive")
+    if qos_mode not in ("adaptive", "fixed"):
+        raise ValidationError("'qos' must be 'adaptive' or 'fixed'")
+    target_fps = payload.get("target_fps")
+    camera = CameraTrajectory.for_scene(
+        CATALOG[scene],
+        kind,
+        n_frames=n_frames,
+        seed=int(trajectory.get("seed", 0)),
+        detail=detail,
+        phase_deg=float(trajectory.get("phase_deg", 0.0)),
+    )
+    return StreamSession(
+        session_id=session_id,
+        scene=scene,
+        trajectory=camera,
+        detail=detail,
+        keep_images=bool(payload.get("keep_images", False)),
+        target_fps=None if target_fps is None else float(target_fps),
+        qos=QoSPolicy.fixed() if qos_mode == "fixed" else None,
+        pipeline=pipeline,
+    )
+
+
+# ----------------------------------------------------------------------
+# Gateway internals
+# ----------------------------------------------------------------------
+@dataclass
+class _DetachedSession:
+    """A disconnected client's parked stream, ready to resume."""
+
+    session: StreamSession
+    checkpoint: SessionCheckpoint | None
+    report: StreamReport
+
+
+class _Connection:
+    """One accepted connection: reader loop state + bounded send queue."""
+
+    def __init__(
+        self,
+        gateway: "StreamGateway",
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        bound: int,
+    ) -> None:
+        self.gateway = gateway
+        self.reader = reader
+        self.writer = writer
+        peer = writer.get_extra_info("peername")
+        label = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else "?"
+        self.stats = ConnectionStats(peer=label)
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=bound)
+        self.session_id: str | None = None
+        self.keep_images = False
+        #: Ship raw image bytes in frame messages (hello opt-in; needs
+        #: ``keep_images`` on the session so the backend retains them).
+        self.deliver_images = False
+        self.writer_task: asyncio.Task | None = None
+        self._close_started = False
+
+    def _note_depth(self) -> None:
+        self.stats.queue_peak = max(self.stats.queue_peak, self.queue.qsize())
+
+    def try_send(self, message: dict) -> None:
+        """Enqueue without waiting — the pump's backpressure invariant
+        guarantees a free slot (full queues pause dispatch first)."""
+        self.queue.put_nowait(message)
+        self._note_depth()
+
+    async def send(self, message: dict) -> None:
+        """Enqueue, waiting for queue space (connection-local only)."""
+        await self.queue.put(message)
+        self._note_depth()
+
+    def send_soon(self, message: dict) -> None:
+        """Enqueue now if possible, else hand the wait to a task.
+
+        Used for the terminal ``end`` message, which may arrive while
+        the queue is momentarily full; the session is finished, so at
+        most one such deferred put can exist per connection and
+        ordering is preserved.
+        """
+        try:
+            self.try_send(message)
+        except asyncio.QueueFull:
+            asyncio.get_running_loop().create_task(self.send(message))
+
+    async def close(self, flush_timeout: float = 5.0) -> None:
+        """Flush the send queue (best effort) and close the socket.
+
+        Every flush wait is bounded: a peer that stopped reading must
+        not pin shutdown, so after ``flush_timeout`` the connection is
+        aborted with whatever made it onto the wire.
+        """
+        if self._close_started:
+            return
+        self._close_started = True
+        if self.writer_task is not None:
+            if not self.writer_task.done():
+                try:
+                    # The sentinel queues behind every pending message,
+                    # so the writer flushes before exiting.
+                    self.queue.put_nowait(None)
+                except asyncio.QueueFull:
+                    # Stalled client with a full queue: force-close.
+                    self.writer_task.cancel()
+            try:
+                # On timeout wait_for cancels the writer task itself.
+                await asyncio.wait_for(self.writer_task, flush_timeout)
+            except (
+                asyncio.TimeoutError,
+                asyncio.CancelledError,
+                ConnectionError,
+                OSError,
+            ):
+                pass
+        self.writer.close()
+        try:
+            await asyncio.wait_for(self.writer.wait_closed(), flush_timeout)
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            # Unflushed bytes and a vanished reader: drop the link.
+            transport = self.writer.transport
+            if transport is not None:
+                transport.abort()
+
+
+class StreamGateway:
+    """Serve stream sessions to real clients over loopback/TCP.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`~repro.stream.server.StreamServer` or
+        :class:`~repro.stream.fleet.EdgeFleet`.  The gateway drives it
+        through the incremental ``begin``/``submit``/``step``/
+        ``finish`` protocol (opening the serve itself unless the
+        caller already did) — both backends speak it, so one gateway
+        fronts a single node or a whole fleet.
+    host / port:
+        Listen address; port 0 binds an ephemeral port (see
+        :attr:`port` after :meth:`start`).
+    send_queue_frames:
+        Per-connection send-queue bound.  The backpressure guarantee
+        asserted by the tests: a connection's queue never holds more
+        than this many undelivered messages.
+    """
+
+    def __init__(
+        self,
+        backend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        send_queue_frames: int = 8,
+        pipeline: str = "exact",
+        sndbuf: int | None = None,
+    ) -> None:
+        if send_queue_frames < 2:
+            raise ValidationError(
+                "send queue needs at least 2 slots (welcome + frame)"
+            )
+        if pipeline not in PIPELINES:
+            raise ValidationError(
+                f"unknown pipeline {pipeline!r}; choose from "
+                + ", ".join(PIPELINES)
+            )
+        self.backend = backend
+        self.host = host
+        self._requested_port = port
+        self.send_queue_frames = send_queue_frames
+        self.pipeline = pipeline
+        #: Optional ``SO_SNDBUF`` cap per accepted socket.  Bounds the
+        #: kernel-side buffer a stalled client can consume (and keeps
+        #: the backpressure tests honest: without it, loopback TCP
+        #: autotuning absorbs megabytes before the queue ever fills).
+        self.sndbuf = sndbuf
+        self._server: asyncio.base_events.Server | None = None
+        self._http_server: asyncio.base_events.Server | None = None
+        self._pump_task: asyncio.Task | None = None
+        self._lock = asyncio.Lock()
+        self._wake = asyncio.Event()
+        self._by_session: dict[str, _Connection] = {}
+        self._detached: dict[str, _DetachedSession] = {}
+        self._paused: set[str] = set()
+        #: Sessions frozen by their own handler (welcome/replay still
+        #: being enqueued) — never auto-resumed by backpressure.
+        self._held: set[str] = set()
+        self._done: set[str] = set()
+        self._connections: list[_Connection] = []
+        self._closing = False
+        self._bound_port: int | None = None
+        self.results: list[SessionResult] | None = None
+        self.backend_result = None
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._bound_port is None:
+            raise ValidationError("gateway is not started")
+        return self._bound_port
+
+    async def start(self) -> None:
+        """Bind the listener, open the backend serve, start the pump."""
+        if self._server is not None:
+            raise ValidationError("gateway is already started")
+        if not self.backend.serving:
+            self.backend.begin([])
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        self._bound_port = self._server.sockets[0].getsockname()[1]
+        self._pump_task = asyncio.create_task(self._pump_loop())
+
+    async def stop(self, drain: bool = True) -> list[SessionResult]:
+        """Stop accepting, optionally drain, close, return results.
+
+        ``drain=True`` keeps ticking until every *connected* session
+        has finished its budget (parked/disconnected sessions do not
+        block shutdown — they are reported as far as they streamed).
+        ``drain=False`` stops the pump immediately.
+        """
+        if self._server is None:
+            raise ValidationError("gateway is not started")
+        self._closing = True
+        self._server.close()
+        await self._server.wait_closed()
+        if self._http_server is not None:
+            self._http_server.close()
+            await self._http_server.wait_closed()
+        self._wake.set()
+        if self._pump_task is not None:
+            if drain:
+                await self._pump_task
+            else:
+                self._pump_task.cancel()
+                try:
+                    await self._pump_task
+                except asyncio.CancelledError:
+                    pass
+        for conn in list(self._connections):
+            await conn.close()
+        async with self._lock:
+            raw = self.backend.finish()
+            # EdgeFleet returns a FleetResult; StreamServer a list.
+            results = list(getattr(raw, "results", raw))
+            for session_id in sorted(self._detached):
+                parked = self._detached[session_id]
+                results.append(
+                    SessionResult(
+                        session_id=session_id,
+                        scene=parked.session.scene,
+                        worker=-1,
+                        report=parked.report,
+                    )
+                )
+            self.backend_result = raw
+            self.results = results
+        return self.results
+
+    # -- introspection --------------------------------------------------
+    @property
+    def connection_stats(self) -> list[ConnectionStats]:
+        """Wire accounting for every connection ever accepted."""
+        return [conn.stats for conn in self._connections]
+
+    def stats(self) -> dict:
+        """Live counters (also served by the HTTP shim's ``/stats``)."""
+        return {
+            "connections_total": len(self._connections),
+            "sessions_connected": len(self._by_session),
+            "sessions_detached": len(self._detached),
+            "sessions_done": len(self._done),
+            "sessions_paused": len(self._paused),
+            "backend_active": self.backend.n_active,
+            "backend_queued": self.backend.n_queued,
+            "draining": self._closing,
+        }
+
+    # -- the pump -------------------------------------------------------
+    def _live_sessions(self) -> bool:
+        return any(sid not in self._done for sid in self._by_session)
+
+    def _dispatchable(self) -> bool:
+        """Whether a backend tick could render anything right now."""
+        live = self.backend.n_active + self.backend.n_queued
+        return live > len(self._paused) + len(self._held)
+
+    def _apply_backpressure(self) -> None:
+        """Pause full-queue sessions, resume drained ones (lock held)."""
+        for session_id, conn in self._by_session.items():
+            if session_id in self._held or session_id in self._done:
+                continue
+            if not self.backend.has_session(session_id):
+                continue
+            if conn.queue.full():
+                if session_id not in self._paused:
+                    self.backend.pause_session(session_id)
+                    self._paused.add(session_id)
+                    conn.stats.pauses += 1
+            elif session_id in self._paused:
+                self.backend.resume_session(session_id)
+                self._paused.discard(session_id)
+
+    async def _pump_loop(self) -> None:
+        """The single backend driver: tick, deliver, repeat.
+
+        All backend mutation happens either here or in connection
+        handlers holding :attr:`_lock`, so the synchronous backend is
+        never entered concurrently; the CPU-heavy ``step`` runs in a
+        worker thread to keep the event loop serving sockets.
+        """
+        while True:
+            if self._closing and not self._live_sessions():
+                return
+            # Clear before deciding: a wake that fires during the
+            # locked section below re-arms the event and the wait
+            # returns immediately instead of losing the signal.
+            self._wake.clear()
+            async with self._lock:
+                # Runs every iteration (not only when dispatchable):
+                # when ALL sessions are paused, un-pausing drained
+                # ones here is the only way forward.
+                self._apply_backpressure()
+                if self._dispatchable():
+                    tick = await asyncio.to_thread(self.backend.step)
+                else:
+                    tick = None
+            if tick is not None:
+                self._deliver(tick)
+                # Yield so handlers/writers interleave with a busy pump.
+                await asyncio.sleep(0)
+                continue
+            # Nothing to do: sleep until a waker fires (the timeout is
+            # a belt-and-braces backstop, not a correctness need).
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=0.25)
+            except asyncio.TimeoutError:
+                pass
+
+    def _frame_message(
+        self, conn: _Connection, record: FrameRecord, replayed: bool
+    ) -> dict:
+        message = {
+            "type": "frame",
+            "session_id": conn.session_id,
+            "replayed": replayed,
+        }
+        message.update(frame_evidence(record))
+        if conn.deliver_images and record.image is not None:
+            # Raw pixels as hex: heavyweight on purpose — a viewer that
+            # wants frames gets real payloads, and a stalled one fills
+            # socket buffers fast enough for backpressure to bite.
+            message["image"] = record.image.tobytes().hex()
+            message["image_shape"] = list(record.image.shape)
+            message["image_dtype"] = str(record.image.dtype)
+        return message
+
+    def _deliver(self, tick) -> None:
+        """Fan a tick's frames out to their connections' send queues."""
+        for session_id, record in tick.frames:
+            conn = self._by_session.get(session_id)
+            if conn is None:
+                # Disconnected while the tick was in flight: the frame
+                # is in the session's report and replays on reconnect.
+                continue
+            conn.try_send(self._frame_message(conn, record, False))
+        for session_id in tick.done:
+            self._done.add(session_id)
+            conn = self._by_session.get(session_id)
+            if conn is None:
+                continue
+            conn.stats.clean_close = True
+            conn.send_soon(
+                {
+                    "type": "end",
+                    "session_id": session_id,
+                    "report": report_evidence(
+                        self.backend.report_of(session_id)
+                    ),
+                }
+            )
+
+    # -- connection handling --------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self.sndbuf is not None:
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_SNDBUF, self.sndbuf
+                )
+        conn = _Connection(self, reader, writer, self.send_queue_frames)
+        self._connections.append(conn)
+        conn.writer_task = asyncio.create_task(self._writer_loop(conn))
+        try:
+            await self._serve_connection(conn)
+        except ValidationError as exc:
+            conn.send_soon({"type": "error", "message": str(exc)})
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            await self._teardown(conn)
+
+    async def _writer_loop(self, conn: _Connection) -> None:
+        """Drain one connection's send queue onto its socket."""
+        try:
+            while True:
+                message = await conn.queue.get()
+                if message is None:
+                    return
+                data = encode_message(message)
+                conn.writer.write(data)
+                await conn.writer.drain()
+                conn.stats.messages_sent += 1
+                conn.stats.bytes_sent += len(data)
+                if message.get("type") == "frame":
+                    conn.stats.frames_sent += 1
+                # Queue space freed: the pump may have paused this
+                # session and is waiting for exactly this signal.
+                self._wake.set()
+        except (ConnectionError, OSError):
+            # Peer vanished mid-write; the reader loop sees EOF and
+            # tears the connection down (checkpointing the session).
+            return
+
+    async def _serve_connection(self, conn: _Connection) -> None:
+        message = await read_message(conn.reader)
+        if message is None:
+            return
+        if message["type"] != "hello":
+            raise ValidationError(
+                f"expected a hello, got {message['type']!r}"
+            )
+        protocol = message.get("protocol", PROTOCOL_VERSION)
+        if protocol != PROTOCOL_VERSION:
+            raise ValidationError(
+                f"protocol {protocol!r} is not supported "
+                f"(this gateway speaks {PROTOCOL_VERSION})"
+            )
+        if message.get("resume"):
+            await self._resume_session(conn, message)
+        else:
+            await self._open_session(conn, message)
+        while True:
+            message = await read_message(conn.reader)
+            if message is None:
+                return
+            if message["type"] == "bye":
+                conn.stats.clean_close = True
+                return
+            raise ValidationError(
+                f"unexpected message type {message['type']!r} mid-stream"
+            )
+
+    async def _open_session(self, conn: _Connection, message: dict) -> None:
+        session = session_from_payload(
+            message.get("session"), default_pipeline=self.pipeline
+        )
+        session_id = session.session_id
+        async with self._lock:
+            if self._closing:
+                raise ValidationError("gateway is draining; try another node")
+            if (
+                session_id in self._by_session
+                or session_id in self._detached
+                or self.backend.has_session(session_id)
+            ):
+                raise ValidationError(
+                    f"session id '{session_id}' is already in use"
+                )
+            self.backend.submit(session)
+            conn.session_id = session_id
+            conn.stats.session_id = session_id
+            conn.keep_images = session.keep_images
+            conn.deliver_images = bool(
+                message.get("deliver_images", False)
+            ) and session.keep_images
+            # put_nowait on the fresh (empty) queue: the welcome is
+            # enqueued before the session is visible to the pump, so
+            # it always precedes frame 0 on the wire.
+            conn.try_send(
+                {
+                    "type": "welcome",
+                    "session_id": session_id,
+                    "resumed": False,
+                    "next_frame": 0,
+                    "protocol": PROTOCOL_VERSION,
+                }
+            )
+            self._by_session[session_id] = conn
+        self._wake.set()
+
+    async def _resume_session(self, conn: _Connection, message: dict) -> None:
+        session_id = message.get("session_id")
+        if not isinstance(session_id, str) or not session_id:
+            raise ValidationError("resume hello needs a 'session_id'")
+        last_frame = int(message.get("last_frame", -1))
+        restore_t0 = time.perf_counter()
+        async with self._lock:
+            if session_id in self._by_session:
+                raise ValidationError(
+                    f"session '{session_id}' is already connected"
+                )
+            parked = self._detached.pop(session_id, None)
+            if parked is None:
+                if self.backend.has_session(session_id) and (
+                    self.backend.is_done(session_id)
+                ):
+                    # The session finished between the disconnect and
+                    # this resume (its last frames were rendered while
+                    # the tick was in flight): nothing to inject —
+                    # replay the missed tail and close with the report.
+                    tail = self._prepare_finished_resume(
+                        conn, session_id, last_frame, restore_t0
+                    )
+                else:
+                    raise ValidationError(
+                        f"no detached session '{session_id}' to resume"
+                    )
+        if parked is None:
+            # Bounded puts outside the lock: a slow client stalls only
+            # its own replay, never the gateway.
+            for message in tail:
+                await conn.send(message)
+            return
+        async with self._lock:
+            conn.deliver_images = bool(
+                message.get("deliver_images", False)
+            ) and parked.session.keep_images
+            self.backend.inject_session(
+                parked.session, parked.checkpoint, parked.report
+            )
+            # Hold the session until the missed frames are replayed —
+            # a live frame must never overtake a replayed one.
+            self.backend.pause_session(session_id)
+            self._held.add(session_id)
+            conn.session_id = session_id
+            conn.stats.session_id = session_id
+            conn.stats.resumed = True
+            conn.keep_images = parked.session.keep_images
+            next_frame = (
+                parked.checkpoint.next_frame
+                if parked.checkpoint is not None
+                else len(parked.report.frames)
+            )
+            replay = [
+                self._frame_message(conn, record, True)
+                for record in parked.report.frames
+                if record.frame > last_frame
+            ]
+            conn.try_send(
+                {
+                    "type": "welcome",
+                    "session_id": session_id,
+                    "resumed": True,
+                    "next_frame": next_frame,
+                    "replayed": len(replay),
+                    "protocol": PROTOCOL_VERSION,
+                }
+            )
+            self._by_session[session_id] = conn
+        conn.stats.restore_seconds = time.perf_counter() - restore_t0
+        for frame in replay:
+            # Bounded puts: replaying a long history obeys the same
+            # per-connection backpressure as live frames.
+            await conn.send(frame)
+        async with self._lock:
+            self._held.discard(session_id)
+            # Hand the (still backend-paused) session to the
+            # backpressure logic, which resumes it as space allows.
+            self._paused.add(session_id)
+        self._wake.set()
+
+    def _prepare_finished_resume(
+        self,
+        conn: _Connection,
+        session_id: str,
+        last_frame: int,
+        restore_t0: float,
+    ) -> list[dict]:
+        """Resume of a session that already rendered its whole budget:
+        enqueue the welcome, return the replay tail + end message for
+        the caller to send outside the lock (which it holds here)."""
+        conn.session_id = session_id
+        conn.stats.session_id = session_id
+        conn.stats.resumed = True
+        conn.stats.clean_close = True
+        self._done.add(session_id)
+        report = self.backend.report_of(session_id)
+        replay = [
+            self._frame_message(conn, record, True)
+            for record in report.frames
+            if record.frame > last_frame
+        ]
+        conn.try_send(
+            {
+                "type": "welcome",
+                "session_id": session_id,
+                "resumed": True,
+                "next_frame": len(report.frames),
+                "replayed": len(replay),
+                "protocol": PROTOCOL_VERSION,
+            }
+        )
+        conn.stats.restore_seconds = time.perf_counter() - restore_t0
+        replay.append(
+            {
+                "type": "end",
+                "session_id": session_id,
+                "report": report_evidence(report),
+            }
+        )
+        return replay
+
+    async def _teardown(self, conn: _Connection) -> None:
+        async with self._lock:
+            session_id = conn.session_id
+            if (
+                session_id is not None
+                and self._by_session.get(session_id) is conn
+            ):
+                del self._by_session[session_id]
+                self._held.discard(session_id)
+                backend_paused = session_id in self._paused
+                self._paused.discard(session_id)
+                if self.backend.has_session(session_id) and not (
+                    self.backend.is_done(session_id)
+                ):
+                    if backend_paused:
+                        self.backend.resume_session(session_id)
+                    self._detached[session_id] = _DetachedSession(
+                        *self.backend.extract_session(session_id)
+                    )
+        await conn.close()
+        self._wake.set()
+
+    # -- HTTP shim ------------------------------------------------------
+    async def start_http(self, port: int = 0) -> int:
+        """Serve ``GET /healthz`` and ``GET /stats`` as JSON over HTTP.
+
+        A dependency-free shim for probes and dashboards (plain
+        ``asyncio`` HTTP/1.0 — no web framework in this repository).
+        Returns the bound port.
+        """
+        if self._http_server is not None:
+            raise ValidationError("HTTP shim is already started")
+        self._http_server = await asyncio.start_server(
+            self._handle_http, self.host, port
+        )
+        return self._http_server.sockets[0].getsockname()[1]
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            parts = request.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            while True:  # drain request headers
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"", b"\r\n", b"\n"):
+                    break
+            if path == "/healthz":
+                status, body = "200 OK", {"status": "ok"}
+            elif path == "/stats":
+                status, body = "200 OK", self.stats()
+            else:
+                status, body = "404 Not Found", {"error": "not found"}
+            payload = json.dumps(body, sort_keys=True).encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+                + payload
+            )
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+# ----------------------------------------------------------------------
+# Client helper (tests, benchmarks, CLI smoke)
+# ----------------------------------------------------------------------
+class GatewayClient:
+    """Minimal asyncio client for the gateway's wire protocol.
+
+    Used by the offline test suite and the loopback benchmark; real
+    viewers only need the framing above, not this class.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+
+    async def connect(self, rcvbuf: int | None = None) -> None:
+        """Open the connection.
+
+        ``rcvbuf`` pins ``SO_RCVBUF`` *before* connecting (which also
+        disables kernel autotuning for the socket) — the backpressure
+        tests use a deliberately tiny buffer so a non-reading client's
+        TCP window closes after a frame or two instead of letting
+        loopback absorb megabytes.
+        """
+        if rcvbuf is None:
+            self.reader, self.writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+            return
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+        sock.setblocking(False)
+        await asyncio.get_running_loop().sock_connect(
+            sock, (self.host, self.port)
+        )
+        self.reader, self.writer = await asyncio.open_connection(sock=sock)
+
+    async def send(self, message: dict) -> None:
+        self.writer.write(encode_message(message))
+        await self.writer.drain()
+
+    async def recv(self, timeout: float = 30.0) -> dict | None:
+        return await asyncio.wait_for(
+            read_message(self.reader), timeout=timeout
+        )
+
+    async def hello(
+        self,
+        session: dict,
+        deliver_images: bool = False,
+        timeout: float = 30.0,
+    ) -> dict:
+        """Open a new session; returns the ``welcome`` (or raises on
+        an ``error`` reply).  ``deliver_images`` asks for raw pixels in
+        every frame message (the session must set ``keep_images``)."""
+        message = {"type": "hello", "session": session}
+        if deliver_images:
+            message["deliver_images"] = True
+        await self.send(message)
+        return self._expect_welcome(await self.recv(timeout))
+
+    async def resume(
+        self,
+        session_id: str,
+        last_frame: int,
+        deliver_images: bool = False,
+        timeout: float = 30.0,
+    ) -> dict:
+        """Resume a detached session from ``last_frame``."""
+        message = {
+            "type": "hello",
+            "resume": True,
+            "session_id": session_id,
+            "last_frame": last_frame,
+        }
+        if deliver_images:
+            message["deliver_images"] = True
+        await self.send(message)
+        return self._expect_welcome(await self.recv(timeout))
+
+    @staticmethod
+    def _expect_welcome(message: dict | None) -> dict:
+        if message is None:
+            raise ValidationError("connection closed before welcome")
+        if message["type"] == "error":
+            raise ValidationError(message.get("message", "gateway error"))
+        if message["type"] != "welcome":
+            raise ValidationError(
+                f"expected welcome, got {message['type']!r}"
+            )
+        return message
+
+    async def stream(
+        self, limit: int | None = None, timeout: float = 30.0
+    ) -> tuple[list[dict], dict | None]:
+        """Collect frame messages until ``end`` (or ``limit`` frames).
+
+        Returns ``(frames, end)``; ``end`` is ``None`` when the limit
+        stopped the read first.
+        """
+        frames: list[dict] = []
+        while limit is None or len(frames) < limit:
+            message = await self.recv(timeout)
+            if message is None:
+                return frames, None
+            if message["type"] == "frame":
+                frames.append(message)
+            elif message["type"] == "end":
+                return frames, message
+            elif message["type"] == "error":
+                raise ValidationError(message.get("message", "gateway error"))
+        return frames, None
+
+    async def bye(self) -> None:
+        await self.send({"type": "bye"})
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def abort(self) -> None:
+        """Drop the connection abruptly (no bye, no graceful close) —
+        the chaos tests' client-crash primitive."""
+        if self.writer is not None:
+            transport = self.writer.transport
+            if transport is not None:
+                transport.abort()

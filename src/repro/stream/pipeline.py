@@ -155,7 +155,9 @@ class FrameRecord:
     n_visible: int
     n_instances: int
     sim_seconds: float
-    wall_seconds: float
+    # Host timing is telemetry: two frames with identical simulated
+    # output are equal, regardless of how loaded the host was.
+    wall_seconds: float = field(compare=False)
     cache: FrameCacheSample
     binning: BinningStats
     image: np.ndarray | None = None

@@ -25,6 +25,7 @@ single path.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.core.reuse_cache import CacheEconomics
@@ -32,7 +33,14 @@ from repro.stream.checkpoint import SessionCheckpoint
 from repro.stream.content_cache import merge_economics
 from repro.stream.pipeline import FrameRecord, StreamReport
 
-__all__ = ["ServeSummary", "SessionResult", "TickResult"]
+__all__ = [
+    "ConnectionStats",
+    "ServeSummary",
+    "SessionResult",
+    "TickResult",
+    "frame_evidence",
+    "report_evidence",
+]
 
 
 @dataclass
@@ -73,7 +81,11 @@ class ServeSummary:
     sessions: int
     total_frames: int
     sim_makespan_seconds: float
-    wall_seconds: float
+    #: Host wall-clock of the serve.  Excluded from equality: two
+    #: serves that produced identical simulated output ARE equal, and
+    #: golden/merge comparisons must not flake on host load
+    #: (``perf_counter`` timings differ on every run).
+    wall_seconds: float = field(compare=False)
     recoveries: int = 0
     migrations: int = 0
 
@@ -190,3 +202,89 @@ class TickResult:
             out.checkpoints.update(result.checkpoints)
             merge_economics(out.content, result.content)
         return out
+
+
+@dataclass
+class ConnectionStats:
+    """Wire-side accounting for one gateway connection.
+
+    One physical connection serves at most one session; a session that
+    reconnects appears as *several* connections sharing a
+    ``session_id`` (``resumed`` marks the later ones).  ``queue_peak``
+    vs. the gateway's configured bound is the backpressure audit:
+    the send queue must never exceed the bound, and ``pauses`` counts
+    how often dispatch was paused to enforce that.
+    """
+
+    peer: str
+    session_id: str | None = None
+    frames_sent: int = 0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    #: Deepest the bounded send queue ever got (<= the bound, always).
+    queue_peak: int = 0
+    #: Full-queue pause transitions backpressure applied (each one
+    #: froze dispatch for this session until the client caught up).
+    pauses: int = 0
+    #: This connection resumed a detached session's checkpoint.
+    resumed: bool = False
+    #: The client said ``bye`` or streamed to completion (vs.
+    #: vanishing mid-stream).
+    clean_close: bool = False
+    #: Server-side checkpoint-restore latency for resumed connections
+    #: (wall telemetry; never feeds simulated physics).
+    restore_seconds: float = 0.0
+
+
+def frame_evidence(record: FrameRecord, image_hash: bool = True) -> dict:
+    """Deterministic, wall-clock-free view of one rendered frame.
+
+    The gateway's per-frame wire message and the byte-identity tests
+    both read frames through this projection, so "what the client saw"
+    is exactly "what the simulation produced" minus host timing —
+    ``wall_seconds`` and anything else ``perf_counter``-derived never
+    reaches a comparison that must hold across runs.
+    """
+    out: dict = {
+        "frame": int(record.frame),
+        "detail": float(record.detail),
+        "sim_seconds": float(record.sim_seconds),
+        "sim_fps": float(record.sim_fps),
+        "n_visible": int(record.n_visible),
+        "n_instances": int(record.n_instances),
+        "shards": int(record.shards),
+        "served_from": record.served_from,
+        "hit_rate": float(record.hit_rate),
+        "cumulative_hit_rate": float(record.cache.cumulative_hit_rate),
+    }
+    if record.qos is None:
+        out["deadline"] = None
+    else:
+        out["deadline"] = {
+            "met": bool(record.qos.met),
+            "margin_seconds": float(record.qos.margin_seconds),
+        }
+    if image_hash and record.image is not None:
+        out["image_sha256"] = hashlib.sha256(
+            record.image.tobytes()
+        ).hexdigest()
+    return out
+
+
+def report_evidence(report: StreamReport) -> dict:
+    """Deterministic, wall-clock-free summary of one streamed session.
+
+    Shipped in the gateway's ``end`` message and compared in the
+    reconnect chaos tests: equal evidence means equal images (hashes),
+    detail traces, and cache counters — the replay invariant.
+    """
+    return {
+        "scene": report.scene,
+        "trajectory": report.trajectory,
+        "n_frames": int(report.n_frames),
+        "mean_detail": float(report.mean_detail),
+        "detail_trace": [float(d) for d in report.detail_trace],
+        "deadline_miss_rate": float(report.deadline_miss_rate()),
+        "warm_hit_rate": float(report.warm_hit_rate),
+        "frames": [frame_evidence(f) for f in report.frames],
+    }

@@ -149,6 +149,12 @@ class StreamScheduler:
         #: Memoized :meth:`remaining_cost`; ``None`` when any state it
         #: depends on changed since the last computation.
         self._cost_cache: dict[int, float] | None = None
+        #: Sessions excluded from tick dispatch (gateway backpressure).
+        #: A paused session keeps its worker, its admission slot, and
+        #: its crash-recovery registration — it simply renders no new
+        #: frames until resumed, so a slow client stalls *its own*
+        #: stream instead of growing an unbounded send queue.
+        self._paused: set[str] = set()
         self._queue: deque[str] = deque(self._admission_order(sessions))
         self.admit()
 
@@ -226,6 +232,7 @@ class StreamScheduler:
         if plan is None:
             raise ValidationError(f"unknown session '{session_id}'")
         self._undone.pop(session_id, None)
+        self._paused.discard(session_id)
         self._cost_cache = None
         if session_id in self._queue:
             self._queue.remove(session_id)
@@ -382,8 +389,36 @@ class StreamScheduler:
             self._active_count -= 1
         plan.done = True
         self._undone.pop(session_id, None)
+        self._paused.discard(session_id)
         self._cost_cache = None
         return self.admit()
+
+    # -- pause / resume (gateway backpressure) --------------------------
+    def pause_session(self, session_id: str) -> None:
+        """Stop dispatching ``session_id`` until :meth:`resume_session`.
+
+        The session keeps its worker and admission slot (pausing is a
+        flow-control signal, not an eviction), so resuming continues
+        the stream exactly where it stopped.  Pausing an already-paused
+        or queued session is a no-op.
+        """
+        if session_id not in self._plans:
+            raise ValidationError(f"unknown session '{session_id}'")
+        self._paused.add(session_id)
+
+    def resume_session(self, session_id: str) -> None:
+        """Re-enable tick dispatch for a paused session (idempotent)."""
+        if session_id not in self._plans:
+            raise ValidationError(f"unknown session '{session_id}'")
+        self._paused.discard(session_id)
+
+    def is_paused(self, session_id: str) -> bool:
+        return session_id in self._paused
+
+    @property
+    def paused(self) -> list[str]:
+        """Session ids currently excluded from dispatch (sorted)."""
+        return sorted(self._paused)
 
     # -- queries --------------------------------------------------------
     def session(self, session_id: str) -> "StreamSession":
@@ -408,7 +443,7 @@ class StreamScheduler:
         every session has drained)."""
         out: dict[int, list["StreamSession"]] = {}
         for plan in self._undone.values():
-            if plan.active:
+            if plan.active and plan.session.session_id not in self._paused:
                 out.setdefault(plan.worker, []).append(plan.session)
         return out
 

@@ -857,6 +857,47 @@ class StreamServer:
             for session in scheduler.active_on(w)
         }
 
+    # -- flow control (gateway backpressure) ----------------------------
+    def has_session(self, session_id: str) -> bool:
+        """Whether the open serve is tracking ``session_id``."""
+        return self.serving and session_id in self._reports
+
+    def is_done(self, session_id: str) -> bool:
+        """Whether a tracked session has exhausted its frame budget."""
+        if not self.has_session(session_id):
+            raise ValidationError(f"unknown session '{session_id}'")
+        return self._scheduler.is_done(session_id)
+
+    def pause_session(self, session_id: str) -> None:
+        """Exclude a session from tick dispatch until resumed.
+
+        Gateway backpressure: a client that stops draining its send
+        queue pauses *its* session — the stream simply stops advancing
+        (no frames rendered, no queue growth) while every other session
+        keeps ticking.  The session keeps its worker, its admission
+        slot, and its crash-recovery registration.
+        """
+        if not self.has_session(session_id):
+            raise ValidationError(f"unknown session '{session_id}'")
+        self._scheduler.pause_session(session_id)
+
+    def resume_session(self, session_id: str) -> None:
+        """Re-enable tick dispatch for a paused session (idempotent)."""
+        if not self.has_session(session_id):
+            raise ValidationError(f"unknown session '{session_id}'")
+        self._scheduler.resume_session(session_id)
+
+    @property
+    def paused_sessions(self) -> list[str]:
+        """Session ids currently paused by flow control (sorted)."""
+        return self._scheduler.paused if self.serving else []
+
+    def report_of(self, session_id: str) -> StreamReport:
+        """The frames streamed so far for a tracked session."""
+        if not self.has_session(session_id):
+            raise ValidationError(f"unknown session '{session_id}'")
+        return self._reports[session_id]
+
     # -- serving --------------------------------------------------------
     def serve(self, sessions: list[StreamSession]) -> list[SessionResult]:
         """Stream every session to completion; returns per-session results.

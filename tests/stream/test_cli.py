@@ -230,3 +230,76 @@ class TestRenderModeAndShards:
         body = json.loads(report.read_text())
         frames = body["sessions"][0]["frames"]
         assert len(frames) == 2
+
+
+class TestModelsErrorRouting:
+    """--models failures are argument-shaped: exit 2 with an `error:`
+    line, never a FileNotFoundError/JSONDecodeError traceback."""
+
+    def test_missing_models_file_main_command(self, capsys):
+        argv = SMALL + ["--pipeline", "digest", "--models", "/no/such.json"]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "/no/such.json" in err
+
+    def test_missing_models_file_fleet_command(self, capsys):
+        argv = FLEET_SMALL + ["--pipeline", "digest", "--models", "/no/such.json"]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "/no/such.json" in err
+
+    def test_malformed_models_json(self, capsys, tmp_path):
+        bad = tmp_path / "models.json"
+        bad.write_text("{this is not json")
+        argv = SMALL + ["--pipeline", "digest", "--models", str(bad)]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not valid JSON" in err
+
+    def test_wrong_shape_models_json(self, capsys, tmp_path):
+        bad = tmp_path / "models.json"
+        bad.write_text(json.dumps({"surprise": []}))
+        argv = SMALL + ["--pipeline", "digest", "--models", str(bad)]
+        assert main(argv) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_models_without_digest_pipeline(self, capsys, tmp_path):
+        table = tmp_path / "models.json"
+        table.write_text("{}")
+        assert main(SMALL + ["--models", str(table)]) == 2
+        assert "--pipeline digest" in capsys.readouterr().err
+
+
+class TestServeSubcommand:
+    """Argument validation for `repro-stream serve` (the gateway's
+    live behavior is covered in tests/stream/test_gateway.py)."""
+
+    def test_bad_port(self, capsys):
+        assert main(["serve", "--port", "70000"]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_bad_http_port(self, capsys):
+        assert main(["serve", "--http-port", "-1"]) == 2
+        assert "--http-port" in capsys.readouterr().err
+
+    def test_bad_queue_frames(self, capsys):
+        assert main(["serve", "--queue-frames", "1"]) == 2
+        assert "--queue-frames" in capsys.readouterr().err
+
+    def test_bad_exit_after_sessions(self, capsys):
+        assert main(["serve", "--exit-after-sessions", "0"]) == 2
+        assert "--exit-after-sessions" in capsys.readouterr().err
+
+    def test_digest_serve_requires_models(self, capsys):
+        assert main(["serve", "--pipeline", "digest"]) == 2
+        assert "--models" in capsys.readouterr().err
+
+    def test_serve_missing_models_file_is_clean_error(self, capsys):
+        argv = ["serve", "--pipeline", "digest", "--models", "/no/such.json"]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "/no/such.json" in err

@@ -11,9 +11,11 @@ import numpy as np
 import pytest
 
 from repro.errors import ValidationError
+from repro.scenes.catalog import CATALOG
 from repro.stream.fleet import EdgeFleet, FleetResult
-from repro.stream.server import ServeSummary, StreamServer
+from repro.stream.server import ServeSummary, StreamServer, StreamSession
 from repro.stream.traffic import SessionArrival, TrafficGenerator
+from repro.stream.trajectory import CameraTrajectory
 
 pytestmark = pytest.mark.fleet
 
@@ -281,3 +283,84 @@ def test_keep_images_rides_through_migration():
     for r in result.results:
         for mine, ref in zip(r.report.frames, baseline[r.session_id].frames):
             assert np.array_equal(mine.image, ref.image)
+
+
+# -- router-queue FIFO invariants ---------------------------------------
+def _session(session_id, scene):
+    spec = CATALOG[scene]
+    trajectory = CameraTrajectory.for_scene(
+        spec, "frozen", n_frames=2, detail=DETAIL
+    )
+    return StreamSession(
+        session_id=session_id, scene=scene, trajectory=trajectory, detail=DETAIL
+    )
+
+
+def _arrival(session_id, scene, time=0.0):
+    return SessionArrival(time, _session(session_id, scene))
+
+
+class TestRouteInvariants:
+    """Pin `_route`'s contract: `_select_node` returns None only when
+    every node is saturated, and the first-unplaceable-breaks-FIFO
+    shortcut must never strand a placeable arrival behind an
+    unplaceable one (see the `_route` docstring)."""
+
+    def test_saturated_fleet_requeues_whole_queue_in_order(self):
+        with EdgeFleet(nodes=2, node_capacity=1, router="affinity") as fleet:
+            fleet.begin()
+            fleet._nodes[0].server.submit(_session("a0", "bicycle"))
+            fleet._nodes[1].server.submit(_session("a1", "bonsai"))
+            queue = [
+                _arrival("q0", "bicycle"),
+                _arrival("q1", "bonsai"),
+                _arrival("q2", "bicycle"),
+            ]
+            delays = {}
+            still = fleet._route(list(queue), 0.0, delays)
+            # Mixed scenes, affinity router, zero capacity: nothing is
+            # admitted and FIFO order survives untouched.
+            assert [a.session_id for a in still] == ["q0", "q1", "q2"]
+            assert delays == {}
+
+    def test_single_slot_admits_fifo_head_regardless_of_affinity(self):
+        with EdgeFleet(nodes=2, node_capacity=1, router="affinity") as fleet:
+            fleet.begin()
+            # Node 1 serves bonsai; node 0 is the only open slot.
+            fleet._nodes[1].server.submit(_session("a1", "bonsai"))
+            queue = [
+                _arrival("q0", "bicycle"),
+                _arrival("q1", "bonsai"),  # affinity points at full node 1
+                _arrival("q2", "bicycle"),
+            ]
+            delays = {}
+            still = fleet._route(list(queue), 2.5, delays)
+            # The head takes the slot — a later arrival must not jump
+            # the queue because of scene affinity.
+            assert [a.session_id for a in still] == ["q1", "q2"]
+            assert set(delays) == {"q0"}
+            assert delays["q0"] == pytest.approx(2.5)
+            assert fleet._nodes[0].server.n_active == 1
+
+    def test_refused_arrival_does_not_strand_placeable_ones(self, monkeypatch):
+        """If selection ever refuses one session while capacity
+        remains, only that arrival may park — the scan continues."""
+        with EdgeFleet(nodes=1, node_capacity=4) as fleet:
+            fleet.begin()
+            original = fleet._select_node
+
+            def picky(session):
+                if session.session_id == "poison":
+                    return None
+                return original(session)
+
+            monkeypatch.setattr(fleet, "_select_node", picky)
+            queue = [
+                _arrival("poison", "bicycle"),
+                _arrival("ok0", "bicycle"),
+                _arrival("ok1", "bonsai"),
+            ]
+            delays = {}
+            still = fleet._route(list(queue), 0.0, delays)
+            assert [a.session_id for a in still] == ["poison"]
+            assert set(delays) == {"ok0", "ok1"}

@@ -1,0 +1,708 @@
+"""Asyncio serving gateway: wire protocol, checkpoint-backed
+reconnects, bounded-queue backpressure, graceful drain.
+
+Everything runs on loopback inside the test process — the suite never
+opens a non-local socket.  The reconnect chaos matrix mirrors the
+worker-crash matrix of ``test_stream_server.py``: killing the
+connection at *every* frame index and resuming must reproduce the
+uninterrupted serve byte-for-byte (image hashes, detail traces, cache
+counters), because the gateway parks sessions as checkpoints and
+checkpoint replay is exact.
+"""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.stream.fleet import EdgeFleet
+from repro.stream.gateway import (
+    MAX_MESSAGE_BYTES,
+    PROTOCOL_VERSION,
+    GatewayClient,
+    StreamGateway,
+    encode_message,
+    read_message,
+    session_from_payload,
+)
+from repro.stream.reporting import report_evidence
+from repro.stream.server import StreamServer
+
+DETAIL = 0.25
+N_FRAMES = 5
+
+
+def _desc(session_id, scene="bicycle", frames=N_FRAMES, **overrides):
+    base = {
+        "session_id": session_id,
+        "scene": scene,
+        "frames": frames,
+        "detail": DETAIL,
+        "keep_images": True,
+        "target_fps": 300.0,
+    }
+    base.update(overrides)
+    return base
+
+
+def _baseline(descs):
+    """Uninterrupted single-server evidence for the same descriptors."""
+    with StreamServer(workers=0) as server:
+        results = server.serve([session_from_payload(d) for d in descs])
+    return {r.session_id: report_evidence(r.report) for r in results}
+
+
+async def _with_gateway(scenario, backend=None, **gateway_kwargs):
+    """Run ``scenario(gateway)`` against a started gateway; always stop."""
+    backend = StreamServer(workers=0) if backend is None else backend
+    gateway = StreamGateway(backend, **gateway_kwargs)
+    await gateway.start()
+    try:
+        value = await scenario(gateway)
+    except BaseException:
+        await gateway.stop(drain=False)
+        raise
+    results = await gateway.stop()
+    return value, results, gateway
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _resume_with_retry(gateway, session_id, last_frame, attempts=100):
+    """Resume with a fresh connection per attempt.
+
+    The gateway needs a beat to notice an abort and park the session,
+    and an ``error`` reply closes the connection — so each retry must
+    reconnect, not reuse the refused socket.
+    """
+    for attempt in range(attempts):
+        client = GatewayClient(gateway.host, gateway.port)
+        await client.connect()
+        try:
+            welcome = await client.resume(session_id, last_frame)
+            return client, welcome
+        except ValidationError:
+            await client.close()
+            if attempt == attempts - 1:
+                raise
+            await asyncio.sleep(0.02)
+
+
+# ----------------------------------------------------------------------
+# Framing and descriptor validation (no sockets needed)
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_encode_roundtrip(self):
+        data = encode_message({"type": "hello", "n": 3})
+        (length,) = struct.unpack("!I", data[:4])
+        assert length == len(data) - 4
+        assert json.loads(data[4:]) == {"type": "hello", "n": 3}
+
+    def test_encode_rejects_oversized_message(self):
+        with pytest.raises(ValidationError, match="wire limit"):
+            encode_message({"type": "x", "pad": "a" * (MAX_MESSAGE_BYTES + 1)})
+
+    def test_read_rejects_oversized_prefix(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack("!I", MAX_MESSAGE_BYTES + 1))
+            with pytest.raises(ValidationError, match="wire limit"):
+                await read_message(reader)
+
+        run(scenario())
+
+    def test_read_rejects_non_json_body(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            body = b"\xff\xfenot json"
+            reader.feed_data(struct.pack("!I", len(body)) + body)
+            with pytest.raises(ValidationError, match="JSON"):
+                await read_message(reader)
+
+        run(scenario())
+
+    def test_read_rejects_untyped_object(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            body = json.dumps(["a", "list"]).encode()
+            reader.feed_data(struct.pack("!I", len(body)) + body)
+            with pytest.raises(ValidationError, match="'type'"):
+                await read_message(reader)
+
+        run(scenario())
+
+    def test_read_returns_none_on_eof(self):
+        async def scenario():
+            clean = asyncio.StreamReader()
+            clean.feed_eof()
+            assert await read_message(clean) is None
+            midframe = asyncio.StreamReader()
+            midframe.feed_data(b"\x00\x00")  # half a header, then EOF
+            midframe.feed_eof()
+            assert await read_message(midframe) is None
+
+        run(scenario())
+
+
+class TestSessionFromPayload:
+    def test_builds_full_descriptor(self):
+        session = session_from_payload(
+            _desc(
+                "s",
+                trajectory={"kind": "head_jitter", "n_frames": 7, "seed": 4},
+                qos="fixed",
+            )
+        )
+        assert session.session_id == "s"
+        assert session.frame_budget == 7
+        assert session.keep_images
+        assert session.target_fps == 300.0
+        assert session.qos is not None  # fixed policy object
+        assert session.pipeline == "exact"
+
+    def test_default_pipeline_applies_when_omitted(self):
+        session = session_from_payload(_desc("s"), default_pipeline="digest")
+        assert session.pipeline == "digest"
+        explicit = session_from_payload(
+            _desc("s", pipeline="exact"), default_pipeline="digest"
+        )
+        assert explicit.pipeline == "exact"
+
+    @pytest.mark.parametrize(
+        "mutation, match",
+        [
+            ({"scene": "atlantis"}, "unknown scene"),
+            ({"session_id": ""}, "session_id"),
+            ({"session_id": 7}, "session_id"),
+            ({"frames": 0}, "at least one frame"),
+            ({"trajectory": {"kind": "warp"}}, "trajectory kind"),
+            ({"trajectory": "orbit"}, "JSON object"),
+            ({"pipeline": "quantum"}, "unknown pipeline"),
+            ({"qos": "psychic"}, "'qos'"),
+        ],
+    )
+    def test_invalid_descriptors_raise(self, mutation, match):
+        payload = _desc("s")
+        payload.update(mutation)
+        with pytest.raises(ValidationError, match=match):
+            session_from_payload(payload)
+
+    def test_non_object_payload_raises(self):
+        with pytest.raises(ValidationError, match="'session'"):
+            session_from_payload(None)
+
+
+class TestConstruction:
+    def test_queue_bound_floor(self):
+        with pytest.raises(ValidationError, match="at least 2"):
+            StreamGateway(StreamServer(workers=0), send_queue_frames=1)
+
+    def test_unknown_default_pipeline(self):
+        with pytest.raises(ValidationError, match="pipeline"):
+            StreamGateway(StreamServer(workers=0), pipeline="quantum")
+
+    def test_port_requires_start(self):
+        gateway = StreamGateway(StreamServer(workers=0))
+        with pytest.raises(ValidationError, match="not started"):
+            gateway.port
+
+
+# ----------------------------------------------------------------------
+# Live serving over loopback
+# ----------------------------------------------------------------------
+class TestServing:
+    def test_single_session_matches_uninterrupted_serve(self):
+        desc = _desc("solo")
+
+        async def scenario(gateway):
+            client = GatewayClient(gateway.host, gateway.port)
+            await client.connect()
+            welcome = await client.hello(desc)
+            assert welcome["resumed"] is False
+            assert welcome["next_frame"] == 0
+            frames, end = await client.stream()
+            await client.bye()
+            await client.close()
+            assert [f["frame"] for f in frames] == list(range(N_FRAMES))
+            assert all(not f["replayed"] for f in frames)
+            assert all("image_sha256" in f for f in frames)
+            return end["report"]
+
+        report, results, gateway = run(_with_gateway(scenario))
+        assert report == _baseline([desc])["solo"]
+        assert len(results) == 1 and results[0].report.n_frames == N_FRAMES
+        (stats,) = gateway.connection_stats
+        assert stats.session_id == "solo"
+        assert stats.frames_sent == N_FRAMES
+        assert stats.clean_close
+        assert stats.bytes_sent > 0
+        assert stats.messages_sent == N_FRAMES + 2  # welcome + frames + end
+
+    def test_two_concurrent_clients_both_match_baseline(self):
+        descs = [_desc("a"), _desc("b", scene="bonsai")]
+
+        async def one(gateway, desc):
+            client = GatewayClient(gateway.host, gateway.port)
+            await client.connect()
+            await client.hello(desc)
+            _, end = await client.stream()
+            await client.bye()
+            await client.close()
+            return end["report"]
+
+        async def scenario(gateway):
+            return await asyncio.gather(
+                *(one(gateway, d) for d in descs)
+            )
+
+        reports, results, _ = run(_with_gateway(scenario))
+        want = _baseline(descs)
+        assert reports[0] == want["a"]
+        assert reports[1] == want["b"]
+        assert len(results) == 2
+
+    def test_duplicate_session_id_is_refused(self):
+        async def scenario(gateway):
+            first = GatewayClient(gateway.host, gateway.port)
+            await first.connect()
+            await first.hello(_desc("dup", frames=3))
+            second = GatewayClient(gateway.host, gateway.port)
+            await second.connect()
+            with pytest.raises(ValidationError, match="already in use"):
+                await second.hello(_desc("dup", frames=3))
+            await second.close()
+            _, end = await first.stream()
+            await first.bye()
+            await first.close()
+            return end
+
+        end, results, _ = run(_with_gateway(scenario))
+        assert end is not None and len(results) == 1
+
+    def test_invalid_hello_gets_error_reply(self):
+        async def scenario(gateway):
+            client = GatewayClient(gateway.host, gateway.port)
+            await client.connect()
+            with pytest.raises(ValidationError, match="unknown scene"):
+                await client.hello(_desc("bad", scene="atlantis"))
+            await client.close()
+
+        _, results, _ = run(_with_gateway(scenario))
+        assert results == []
+
+    def test_first_message_must_be_hello(self):
+        async def scenario(gateway):
+            client = GatewayClient(gateway.host, gateway.port)
+            await client.connect()
+            await client.send({"type": "bye"})
+            reply = await client.recv()
+            assert reply["type"] == "error"
+            assert "hello" in reply["message"]
+            await client.close()
+
+        run(_with_gateway(scenario))
+
+    def test_unsupported_protocol_version_is_refused(self):
+        async def scenario(gateway):
+            client = GatewayClient(gateway.host, gateway.port)
+            await client.connect()
+            await client.send(
+                {
+                    "type": "hello",
+                    "protocol": PROTOCOL_VERSION + 1,
+                    "session": _desc("v"),
+                }
+            )
+            reply = await client.recv()
+            assert reply["type"] == "error"
+            assert "protocol" in reply["message"]
+            await client.close()
+
+        run(_with_gateway(scenario))
+
+    def test_resume_of_unknown_session_is_refused(self):
+        async def scenario(gateway):
+            client = GatewayClient(gateway.host, gateway.port)
+            await client.connect()
+            with pytest.raises(ValidationError, match="no detached session"):
+                await client.resume("ghost", last_frame=-1)
+            await client.close()
+
+        run(_with_gateway(scenario))
+
+    def test_mid_stream_chatter_is_a_protocol_error(self):
+        async def scenario(gateway):
+            client = GatewayClient(gateway.host, gateway.port)
+            await client.connect()
+            await client.hello(_desc("chatty", frames=3))
+            await client.send({"type": "hello", "session": _desc("again")})
+            # An error eventually arrives (frames may precede it).
+            while True:
+                message = await client.recv()
+                if message is None or message["type"] == "error":
+                    break
+            assert message is not None
+            assert "unexpected message" in message["message"]
+            await client.close()
+
+        run(_with_gateway(scenario))
+
+
+# ----------------------------------------------------------------------
+# Reconnect chaos matrix — byte identity at every kill point
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+class TestReconnectChaos:
+    @pytest.mark.parametrize("kill_after", list(range(N_FRAMES + 1)))
+    def test_kill_and_resume_at_every_frame_is_byte_identical(
+        self, kill_after
+    ):
+        """Abort the connection after ``kill_after`` delivered frames,
+        resume, and require the full stream to equal the uninterrupted
+        serve — frames, hashes, detail trace, cache counters."""
+        desc = _desc("phoenix")
+
+        async def scenario(gateway):
+            first = GatewayClient(gateway.host, gateway.port)
+            await first.connect()
+            await first.hello(desc)
+            head, _ = await first.stream(limit=kill_after)
+            first.abort()
+
+            last = head[-1]["frame"] if head else -1
+            second, welcome = await _resume_with_retry(
+                gateway, desc["session_id"], last
+            )
+            assert welcome["resumed"] is True
+            tail, end = await second.stream()
+            await second.bye()
+            await second.close()
+            return head, tail, end["report"]
+
+        (head, tail, report), results, gateway = run(_with_gateway(scenario))
+        # Replayed + live frames reassemble the full stream in order.
+        frames = head + tail
+        assert [f["frame"] for f in frames] == list(range(N_FRAMES))
+        assert report == _baseline([desc])["phoenix"]
+        # Exactly one reconnect happened and was recorded.
+        resumed = [s for s in gateway.connection_stats if s.resumed]
+        assert len(resumed) == 1
+        assert resumed[0].restore_seconds >= 0.0
+        assert len(results) == 1 and results[0].report.n_frames == N_FRAMES
+
+    def test_bye_detach_is_resumable_and_clean(self):
+        """A polite ``bye`` parks the session exactly like a crash,
+        but records a clean close."""
+        desc = _desc("polite")
+
+        async def scenario(gateway):
+            first = GatewayClient(gateway.host, gateway.port)
+            await first.connect()
+            await first.hello(desc)
+            head, _ = await first.stream(limit=2)
+            await first.bye()
+            await first.close()
+
+            second, _ = await _resume_with_retry(
+                gateway, desc["session_id"], head[-1]["frame"]
+            )
+            tail, end = await second.stream()
+            await second.bye()
+            await second.close()
+            return head, tail, end["report"]
+
+        (head, tail, report), _, gateway = run(_with_gateway(scenario))
+        assert [f["frame"] for f in head + tail] == list(range(N_FRAMES))
+        assert report == _baseline([desc])["polite"]
+        first_stats = gateway.connection_stats[0]
+        assert first_stats.clean_close and not first_stats.resumed
+
+    def test_replay_covers_frames_lost_in_flight(self):
+        """Frames rendered but never delivered (lost with the dropped
+        connection) come back as replayed messages."""
+        desc = _desc("lossy")
+
+        async def scenario(gateway):
+            first = GatewayClient(gateway.host, gateway.port)
+            await first.connect()
+            await first.hello(desc)
+            head, _ = await first.stream(limit=1)
+            first.abort()
+
+            second, welcome = await _resume_with_retry(
+                gateway, desc["session_id"], head[-1]["frame"]
+            )
+            tail, end = await second.stream()
+            await second.close()
+            return welcome, head, tail
+
+        (welcome, head, tail), _, _ = run(_with_gateway(scenario))
+        # Whatever was rendered beyond the last delivered frame arrived
+        # flagged as replayed, then the stream continued live.
+        replayed = [f for f in tail if f["replayed"]]
+        live = [f for f in tail if not f["replayed"]]
+        assert welcome["replayed"] == len(replayed)
+        assert [f["frame"] for f in head + replayed + live] == list(
+            range(N_FRAMES)
+        )
+
+    def test_detached_session_without_reconnect_is_reported(self):
+        """A session whose client vanished and never came back still
+        appears in the final results, reported as far as it streamed,
+        with worker -1 (parked, not placed)."""
+        desc = _desc("ghosted")
+
+        async def scenario(gateway):
+            client = GatewayClient(gateway.host, gateway.port)
+            await client.connect()
+            await client.hello(desc)
+            head, _ = await client.stream(limit=2)
+            client.abort()
+            # Wait for the gateway to park the session.
+            for _ in range(100):
+                if gateway.stats()["sessions_detached"]:
+                    break
+                await asyncio.sleep(0.02)
+            return head
+
+        head, results, _ = run(_with_gateway(scenario))
+        assert len(results) == 1
+        assert results[0].worker == -1
+        # Parked with at least the delivered frames rendered.
+        assert results[0].report.n_frames >= len(head)
+
+
+# ----------------------------------------------------------------------
+# Backpressure: bounded queues pause dispatch, never overflow
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    BOUND = 3
+    SLOW_FRAMES = 10
+    #: Pinned kernel buffers (server SO_SNDBUF / client SO_RCVBUF):
+    #: loopback TCP autotuning otherwise absorbs megabytes, and a
+    #: non-reading client would never stall the writer.
+    KERNEL_BUF = 16384
+
+    def test_slow_client_is_paused_not_buffered(self):
+        desc = _desc("tortoise", frames=self.SLOW_FRAMES)
+
+        async def scenario(gateway):
+            client = GatewayClient(gateway.host, gateway.port)
+            await client.connect(rcvbuf=self.KERNEL_BUF)
+            # deliver_images makes every frame message carry real pixel
+            # payloads — heavy enough that a non-reading client stalls
+            # the writer (metadata alone fits in kernel socket buffers
+            # and would never exert backpressure).
+            await client.hello(desc, deliver_images=True)
+            # Let the pump render against a non-reading client until
+            # backpressure must have engaged.
+            for _ in range(200):
+                if gateway.stats()["sessions_paused"]:
+                    break
+                await asyncio.sleep(0.02)
+            assert gateway.stats()["sessions_paused"] == 1
+            # Now drain: the stream resumes and completes in order.
+            frames, end = await client.stream()
+            await client.bye()
+            await client.close()
+            return frames, end
+
+        (frames, end), results, gateway = run(
+            _with_gateway(
+                scenario,
+                send_queue_frames=self.BOUND,
+                sndbuf=self.KERNEL_BUF,
+            )
+        )
+        assert [f["frame"] for f in frames] == list(range(self.SLOW_FRAMES))
+        assert all("image" in f for f in frames)  # pixels were shipped
+        assert end is not None
+        (stats,) = gateway.connection_stats
+        assert stats.pauses >= 1
+        assert stats.queue_peak <= self.BOUND  # the hard bound held
+        assert results[0].report.n_frames == self.SLOW_FRAMES
+
+    def test_slow_client_does_not_stall_fast_client(self):
+        slow = _desc("slow", frames=self.SLOW_FRAMES)
+        fast = _desc("fast", frames=3, scene="bonsai")
+
+        async def scenario(gateway):
+            tortoise = GatewayClient(gateway.host, gateway.port)
+            await tortoise.connect(rcvbuf=self.KERNEL_BUF)
+            await tortoise.hello(slow, deliver_images=True)
+
+            hare = GatewayClient(gateway.host, gateway.port)
+            await hare.connect()
+            await hare.hello(fast)
+            # The fast client streams to completion while the slow one
+            # refuses to read a single frame.
+            fast_frames, fast_end = await hare.stream()
+            await hare.bye()
+            await hare.close()
+
+            slow_frames, slow_end = await tortoise.stream()
+            await tortoise.bye()
+            await tortoise.close()
+            return fast_frames, fast_end, slow_frames, slow_end
+
+        (fast_frames, fast_end, slow_frames, slow_end), results, gateway = (
+            run(
+                _with_gateway(
+                    scenario,
+                    send_queue_frames=self.BOUND,
+                    sndbuf=self.KERNEL_BUF,
+                )
+            )
+        )
+        assert len(fast_frames) == 3 and fast_end is not None
+        assert len(slow_frames) == self.SLOW_FRAMES and slow_end is not None
+        assert all(
+            s.queue_peak <= self.BOUND for s in gateway.connection_stats
+        )
+        assert {r.session_id for r in results} == {"slow", "fast"}
+
+
+# ----------------------------------------------------------------------
+# Fleet backend and drain shutdown
+# ----------------------------------------------------------------------
+@pytest.mark.fleet
+class TestFleetBackend:
+    def test_gateway_over_fleet_matches_baseline(self):
+        descs = [_desc(f"f{i}", scene=s) for i, s in enumerate(
+            ["bicycle", "bonsai", "bicycle"]
+        )]
+
+        async def one(gateway, desc):
+            client = GatewayClient(gateway.host, gateway.port)
+            await client.connect()
+            await client.hello(desc)
+            _, end = await client.stream()
+            await client.bye()
+            await client.close()
+            return end["report"]
+
+        async def scenario(gateway):
+            return await asyncio.gather(*(one(gateway, d) for d in descs))
+
+        fleet = EdgeFleet(nodes=2, node_capacity=4)
+        reports, results, _ = run(_with_gateway(scenario, backend=fleet))
+        want = _baseline(descs)
+        for desc, report in zip(descs, reports):
+            assert report == want[desc["session_id"]]
+        assert len(results) == len(descs)
+
+    def test_fleet_reconnect_is_byte_identical(self):
+        desc = _desc("nomad")
+
+        async def scenario(gateway):
+            first = GatewayClient(gateway.host, gateway.port)
+            await first.connect()
+            await first.hello(desc)
+            head, _ = await first.stream(limit=2)
+            first.abort()
+
+            second, _ = await _resume_with_retry(
+                gateway, desc["session_id"], head[-1]["frame"]
+            )
+            tail, end = await second.stream()
+            await second.close()
+            return head, tail, end["report"]
+
+        fleet = EdgeFleet(nodes=2, node_capacity=4)
+        (head, tail, report), results, _ = run(
+            _with_gateway(scenario, backend=fleet)
+        )
+        assert [f["frame"] for f in head + tail] == list(range(N_FRAMES))
+        assert report == _baseline([desc])["nomad"]
+        assert len(results) == 1
+
+
+class TestShutdown:
+    def test_drain_finishes_connected_sessions(self):
+        """stop(drain=True) keeps serving until connected sessions
+        complete: the client still gets every frame and the end."""
+        desc = _desc("finisher", frames=6)
+
+        async def main():
+            server = StreamServer(workers=0)
+            gateway = StreamGateway(server)
+            await gateway.start()
+            client = GatewayClient(gateway.host, gateway.port)
+            await client.connect()
+            await client.hello(desc)
+            await client.stream(limit=1)
+            stopper = asyncio.create_task(gateway.stop())
+            frames, end = await client.stream()
+            await client.close()
+            results = await stopper
+            return frames, end, results
+
+        frames, end, results = run(main())
+        assert end is not None
+        assert len(frames) == 5  # the remaining frames all arrived
+        assert results[0].report.n_frames == 6
+
+    def test_new_sessions_refused_while_draining(self):
+        async def main():
+            server = StreamServer(workers=0)
+            gateway = StreamGateway(server)
+            await gateway.start()
+            results = await gateway.stop()
+            # The listener is closed: connecting again must fail.
+            with pytest.raises(OSError):
+                await asyncio.open_connection(gateway.host, gateway.port)
+            return results
+
+        assert run(main()) == []
+
+    def test_double_start_and_unstarted_stop_raise(self):
+        async def main():
+            server = StreamServer(workers=0)
+            gateway = StreamGateway(server)
+            with pytest.raises(ValidationError, match="not started"):
+                await gateway.stop()
+            await gateway.start()
+            with pytest.raises(ValidationError, match="already started"):
+                await gateway.start()
+            await gateway.stop()
+
+        run(main())
+
+
+# ----------------------------------------------------------------------
+# HTTP shim
+# ----------------------------------------------------------------------
+class TestHttpShim:
+    @staticmethod
+    async def _get(host, port, path):
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(
+            f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode()
+        )
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        return head.decode().splitlines()[0], json.loads(body)
+
+    def test_healthz_stats_and_404(self):
+        async def scenario(gateway):
+            port = await gateway.start_http()
+            status, body = await self._get(gateway.host, port, "/healthz")
+            assert status.endswith("200 OK")
+            assert body == {"status": "ok"}
+            status, stats = await self._get(gateway.host, port, "/stats")
+            assert status.endswith("200 OK")
+            assert stats["sessions_connected"] == 0
+            assert stats["draining"] is False
+            status, _ = await self._get(gateway.host, port, "/missing")
+            assert status.endswith("404 Not Found")
+            with pytest.raises(ValidationError, match="already started"):
+                await gateway.start_http()
+
+        run(_with_gateway(scenario))

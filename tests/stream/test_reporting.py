@@ -1,5 +1,8 @@
 """Shared serving reports: summaries, tick results, economics merge."""
 
+import json
+from dataclasses import replace
+
 import pytest
 
 from repro.core.reuse_cache import (
@@ -10,6 +13,11 @@ from repro.core.reuse_cache import (
 from repro.stream import ServeSummary, SessionResult, TickResult
 from repro.stream.binning import BinningStats
 from repro.stream.pipeline import FrameRecord, StreamReport
+from repro.stream.reporting import (
+    ConnectionStats,
+    frame_evidence,
+    report_evidence,
+)
 
 
 def _record(frame, sim_seconds=0.5):
@@ -162,3 +170,58 @@ def test_tick_result_merged_threads_economics():
     assert session.miss_bytes == pytest.approx(15.0)
     assert session.total_bytes == pytest.approx(30.0)
     assert merged.content["fleet"].hits == 1
+
+
+# -- wall-clock exclusion from equality paths ---------------------------
+def test_serve_summary_equality_ignores_wall_seconds():
+    """Two serves with identical simulated output ARE equal even when
+    host load made their wall clocks differ — golden comparisons and
+    merge-path assertions must never flake on ``perf_counter``."""
+    a = ServeSummary(
+        workers=1,
+        sessions=2,
+        total_frames=8,
+        sim_makespan_seconds=1.5,
+        wall_seconds=0.1,
+    )
+    b = replace(a, wall_seconds=42.0)
+    assert a == b
+    assert replace(a, total_frames=9) != b  # simulated fields still count
+
+
+def test_frame_record_equality_ignores_wall_seconds():
+    a = _record(0)
+    b = replace(a, wall_seconds=99.0)
+    assert a == b
+    assert replace(a, sim_seconds=123.0) != b
+
+
+def test_frame_evidence_is_wall_free_and_json_safe():
+    evidence = frame_evidence(_record(2, sim_seconds=0.5))
+    assert "wall" not in json.dumps(evidence)  # no wall-clock leakage
+    assert evidence["frame"] == 2
+    assert evidence["sim_seconds"] == pytest.approx(0.5)
+    assert evidence["deadline"] is None  # no QoS on this record
+    assert "image_sha256" not in evidence  # no image kept
+    # Every value survives a JSON round trip unchanged (numpy scalars
+    # would not).
+    assert json.loads(json.dumps(evidence)) == evidence
+
+
+def test_report_evidence_covers_every_frame():
+    result = _result(n_frames=3)
+    evidence = report_evidence(result.report)
+    assert evidence["scene"] == "bicycle"
+    assert evidence["n_frames"] == 3
+    assert [f["frame"] for f in evidence["frames"]] == [0, 1, 2]
+    assert "wall" not in json.dumps(evidence)
+    assert json.loads(json.dumps(evidence)) == evidence
+
+
+def test_connection_stats_defaults():
+    stats = ConnectionStats(peer="127.0.0.1:1")
+    assert stats.session_id is None
+    assert stats.frames_sent == 0 and stats.bytes_sent == 0
+    assert stats.queue_peak == 0 and stats.pauses == 0
+    assert not stats.resumed and not stats.clean_close
+    assert stats.restore_seconds == 0.0
