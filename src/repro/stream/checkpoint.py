@@ -208,9 +208,14 @@ def _key_to_json(value: Any) -> Any:
         return value
     if isinstance(value, int):
         return int(value)
-    if isinstance(value, float) or hasattr(value, "item"):
-        # Covers numpy scalars without importing numpy here.
+    if isinstance(value, float):
         return float(value)
+    if hasattr(value, "item"):
+        # Numpy scalar (numpy stays unimported here): unwrap to the
+        # equivalent Python scalar and re-dispatch, so integral nodes
+        # round-trip as int — a float()-coerced integer key would no
+        # longer compare equal to a freshly computed frame key.
+        return _key_to_json(value.item())
     raise ValidationError(
         f"frame key holds unserializable value of type "
         f"{type(value).__name__}"
@@ -242,8 +247,8 @@ def checkpoint_to_dict(checkpoint: SessionCheckpoint) -> dict[str, Any]:
     The inverse of :func:`checkpoint_from_dict`; a round trip restores
     the exact same frozen dataclass up to frame-key scalar types (JSON
     has no tuples, bytes, or numpy scalars, so :func:`_key_to_json` /
-    :func:`_key_from_json` translate — numpy floats come back as
-    equal-valued Python floats).
+    :func:`_key_from_json` translate — numpy scalars come back as
+    equal-valued Python numbers of the matching kind, ints as ints).
     """
     cache = checkpoint.cache
     qos = checkpoint.qos

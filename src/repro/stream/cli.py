@@ -818,6 +818,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "(default: 8)",
     )
     parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="on shutdown, wait this long for connected sessions to "
+        "finish before force-detaching stalled clients (their sessions "
+        "are checkpointed like a disconnect; default: 30)",
+    )
+    parser.add_argument(
         "--exit-after-sessions",
         type=int,
         default=None,
@@ -843,6 +852,8 @@ def validate_serve_args(args: argparse.Namespace) -> None:
         raise ValidationError("--max-inflight must be at least 1")
     if args.queue_frames < 2:
         raise ValidationError("--queue-frames must be at least 2")
+    if args.drain_timeout <= 0:
+        raise ValidationError("--drain-timeout must be positive")
     if args.exit_after_sessions is not None and args.exit_after_sessions < 1:
         raise ValidationError("--exit-after-sessions must be at least 1")
     if args.pipeline == "digest" and args.models is None:
@@ -898,7 +909,10 @@ async def _serve_gateway(args: argparse.Namespace, server) -> int:
         else:  # pragma: no cover - interactive mode, exercised manually
             await stop.wait()
     finally:
-        results = await gateway.stop()
+        # Bounded drain: a SIGINT must stop the process even when a
+        # connected client has stopped reading (its session is parked
+        # like a disconnect once the deadline passes).
+        results = await gateway.stop(drain_timeout=args.drain_timeout)
     reconnects = sum(1 for s in gateway.connection_stats if s.resumed)
     print(
         f"served {len(results)} session(s), "

@@ -230,6 +230,11 @@ class _OpenFleetServe:
     #: :meth:`EdgeFleet.submit` clears it (gateway traffic is open-
     #: ended).
     drained: bool = False
+    #: Ticks that rendered nothing because gateway flow control paused
+    #: the admitted sessions (slow clients).  Excused from the tick
+    #: budget: a stalled reader can idle an open serve indefinitely,
+    #: and that is backpressure working, not a scheduler livelock.
+    flow_stalls: int = 0
 
     @property
     def max_ticks(self) -> int:
@@ -611,7 +616,7 @@ class EdgeFleet:
         st = self._require_open("step")
         if st.drained:
             return TickResult()
-        if st.tick > st.max_ticks:
+        if st.tick - st.flow_stalls > st.max_ticks:
             raise SimulationError(
                 "fleet serve did not drain within its tick budget"
             )
@@ -711,8 +716,19 @@ class EdgeFleet:
         for node in self._alive():
             if node.horizon < st.clock:
                 node.clock_offset = st.clock - node.server.busy_makespan
+        merged = TickResult.merged(node_ticks)
+        if (
+            not merged.frames
+            and not merged.done
+            and any(n.server.paused_sessions for n in self._alive())
+        ):
+            # Nothing rendered and at least one session is paused by
+            # gateway flow control: a stall tick, not budget-billable
+            # progress (the budget exists to catch scheduler livelock,
+            # not slow readers — see ``flow_stalls``).
+            st.flow_stalls += 1
         st.tick += 1
-        return TickResult.merged(node_ticks)
+        return merged
 
     def finish(self) -> FleetResult:
         """Close the open serve and assemble the :class:`FleetResult`."""

@@ -38,7 +38,11 @@ can never overflow.
 ticking until every *connected* session finishes (drain), flushes and
 closes the send queues, then closes the backend serve and returns the
 merged results (parked sessions included, reported as far as they
-got).
+got).  A dead peer can never hang the server: a writer-side connection
+error closes that connection's send path (blocked replay sends raise
+and the session parks), and a connected client that stops reading is
+force-detached after the drain deadline — checkpointed exactly like a
+disconnect — so ``stop`` always returns.
 
 The gateway is wire-side telemetry only: simulated physics comes
 exclusively from the backend, and the ``perf_counter`` readings here
@@ -142,6 +146,23 @@ async def read_message(reader: asyncio.StreamReader) -> dict | None:
 # ----------------------------------------------------------------------
 # Session descriptors over the wire
 # ----------------------------------------------------------------------
+def _number(value, cast, label: str):
+    """Coerce a client-supplied numeric field.
+
+    Malformed input (``"x"``, a list, ...) raises
+    :class:`ValidationError` — the documented ``error`` reply — rather
+    than the bare ``ValueError``/``TypeError`` the handler does not
+    catch (which would drop the connection with an unhandled task
+    exception instead of answering).
+    """
+    try:
+        return cast(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"'{label}' must be a number, got {value!r}"
+        ) from exc
+
+
 def session_from_payload(
     payload, default_pipeline: str = "exact"
 ) -> StreamSession:
@@ -164,7 +185,7 @@ def session_from_payload(
             f"unknown scene {scene!r}; choose from "
             + ", ".join(sorted(CATALOG))
         )
-    detail = float(payload.get("detail", 1.0))
+    detail = _number(payload.get("detail", 1.0), float, "detail")
     trajectory = payload.get("trajectory") or {}
     if not isinstance(trajectory, dict):
         raise ValidationError("'trajectory' must be a JSON object")
@@ -174,7 +195,11 @@ def session_from_payload(
             f"unknown trajectory kind {kind!r}; choose from "
             + ", ".join(TRAJECTORY_KINDS)
         )
-    n_frames = int(trajectory.get("n_frames", payload.get("frames", 16)))
+    n_frames = _number(
+        trajectory.get("n_frames", payload.get("frames", 16)),
+        int,
+        "n_frames",
+    )
     if n_frames < 1:
         raise ValidationError("a session needs at least one frame")
     pipeline = payload.get("pipeline", default_pipeline)
@@ -191,9 +216,11 @@ def session_from_payload(
         CATALOG[scene],
         kind,
         n_frames=n_frames,
-        seed=int(trajectory.get("seed", 0)),
+        seed=_number(trajectory.get("seed", 0), int, "seed"),
         detail=detail,
-        phase_deg=float(trajectory.get("phase_deg", 0.0)),
+        phase_deg=_number(
+            trajectory.get("phase_deg", 0.0), float, "phase_deg"
+        ),
     )
     return StreamSession(
         session_id=session_id,
@@ -201,7 +228,11 @@ def session_from_payload(
         trajectory=camera,
         detail=detail,
         keep_images=bool(payload.get("keep_images", False)),
-        target_fps=None if target_fps is None else float(target_fps),
+        target_fps=(
+            None
+            if target_fps is None
+            else _number(target_fps, float, "target_fps")
+        ),
         qos=QoSPolicy.fixed() if qos_mode == "fixed" else None,
         pipeline=pipeline,
     )
@@ -243,19 +274,68 @@ class _Connection:
         self.deliver_images = False
         self.writer_task: asyncio.Task | None = None
         self._close_started = False
+        #: Set once the writer hit a connection error: nothing will
+        #: ever be written again, so sends must not wait for queue
+        #: space a dead writer will never free.
+        self.dead = False
 
     def _note_depth(self) -> None:
         self.stats.queue_peak = max(self.stats.queue_peak, self.queue.qsize())
 
+    def mark_dead(self) -> None:
+        """Close the send path after a writer-side connection error.
+
+        Drains the queue so coroutines blocked in :meth:`send` wake up
+        (and then raise), letting the connection handler fall through
+        to teardown — a vanished peer must never wedge a replay loop,
+        and through it, drain shutdown.
+        """
+        if self.dead:
+            return
+        self.dead = True
+        while True:
+            try:
+                self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+        self.gateway._wake.set()
+
+    def kill(self) -> None:
+        """Force-detach primitive: sever the wire *now*.
+
+        Marks the connection dead (unblocking any pending send) and
+        aborts the transport, so the handler's read returns and
+        teardown parks the session exactly like a client disconnect.
+        """
+        self.mark_dead()
+        transport = self.writer.transport
+        if transport is not None:
+            transport.abort()
+
     def try_send(self, message: dict) -> None:
         """Enqueue without waiting — the pump's backpressure invariant
-        guarantees a free slot (full queues pause dispatch first)."""
+        guarantees a free slot (full queues pause dispatch first).
+        Dropped silently on a dead connection: the session is about to
+        be parked and the frame replays on reconnect."""
+        if self.dead:
+            return
         self.queue.put_nowait(message)
         self._note_depth()
 
     async def send(self, message: dict) -> None:
-        """Enqueue, waiting for queue space (connection-local only)."""
+        """Enqueue, waiting for queue space (connection-local only).
+
+        Raises :class:`ConnectionError` once the connection is dead:
+        queue slots only free when the writer drains them, so waiting
+        on a dead writer would block forever.
+        """
+        if self.dead:
+            raise ConnectionError("peer is gone; send queue is closed")
         await self.queue.put(message)
+        if self.dead:
+            # The writer died while we waited for a slot; the message
+            # will never reach the wire.
+            raise ConnectionError("peer is gone; send queue is closed")
         self._note_depth()
 
     def send_soon(self, message: dict) -> None:
@@ -269,7 +349,13 @@ class _Connection:
         try:
             self.try_send(message)
         except asyncio.QueueFull:
-            asyncio.get_running_loop().create_task(self.send(message))
+            asyncio.get_running_loop().create_task(self._send_quietly(message))
+
+    async def _send_quietly(self, message: dict) -> None:
+        try:
+            await self.send(message)
+        except ConnectionError:
+            pass  # Peer vanished first; the report survives in the backend.
 
     async def close(self, flush_timeout: float = 5.0) -> None:
         """Flush the send queue (best effort) and close the socket.
@@ -397,13 +483,20 @@ class StreamGateway:
         self._bound_port = self._server.sockets[0].getsockname()[1]
         self._pump_task = asyncio.create_task(self._pump_loop())
 
-    async def stop(self, drain: bool = True) -> list[SessionResult]:
+    async def stop(
+        self, drain: bool = True, drain_timeout: float | None = 30.0
+    ) -> list[SessionResult]:
         """Stop accepting, optionally drain, close, return results.
 
         ``drain=True`` keeps ticking until every *connected* session
         has finished its budget (parked/disconnected sessions do not
         block shutdown — they are reported as far as they streamed).
-        ``drain=False`` stops the pump immediately.
+        A connected client that simply stops reading would pin the
+        drain forever (its session stays backpressure-paused), so
+        after ``drain_timeout`` seconds every still-connected session
+        is force-detached — checkpointed and parked exactly like a
+        disconnect — and shutdown completes; ``drain_timeout=None``
+        waits unboundedly.  ``drain=False`` stops the pump immediately.
         """
         if self._server is None:
             raise ValidationError("gateway is not started")
@@ -416,7 +509,17 @@ class StreamGateway:
         self._wake.set()
         if self._pump_task is not None:
             if drain:
-                await self._pump_task
+                try:
+                    await asyncio.wait_for(
+                        asyncio.shield(self._pump_task), drain_timeout
+                    )
+                except asyncio.TimeoutError:
+                    # Stalled connected clients: park their sessions
+                    # the way a disconnect would and finish the drain.
+                    for conn in list(self._by_session.values()):
+                        conn.kill()
+                    self._wake.set()
+                    await self._pump_task
             else:
                 self._pump_task.cancel()
                 try:
@@ -467,7 +570,13 @@ class StreamGateway:
         return any(sid not in self._done for sid in self._by_session)
 
     def _dispatchable(self) -> bool:
-        """Whether a backend tick could render anything right now."""
+        """Whether a backend tick *might* render anything right now.
+
+        An optimistic hint: queued sessions count even when admission
+        capacity is exhausted, so a step may still come back empty —
+        the pump treats an empty tick as "nothing to do" and waits for
+        a waker rather than re-stepping in a busy loop.
+        """
         live = self.backend.n_active + self.backend.n_queued
         return live > len(self._paused) + len(self._held)
 
@@ -476,6 +585,8 @@ class StreamGateway:
         for session_id, conn in self._by_session.items():
             if session_id in self._held or session_id in self._done:
                 continue
+            if conn.dead:
+                continue  # Teardown is imminent; leave the pause as-is.
             if not self.backend.has_session(session_id):
                 continue
             if conn.queue.full():
@@ -511,13 +622,17 @@ class StreamGateway:
                     tick = await asyncio.to_thread(self.backend.step)
                 else:
                     tick = None
-            if tick is not None:
+            if tick is not None and (tick.frames or tick.done):
                 self._deliver(tick)
                 # Yield so handlers/writers interleave with a busy pump.
                 await asyncio.sleep(0)
                 continue
-            # Nothing to do: sleep until a waker fires (the timeout is
-            # a belt-and-braces backstop, not a correctness need).
+            # Nothing to do — or a step that rendered nothing because
+            # every dispatchable-looking session is actually paused or
+            # stuck behind admission (:meth:`_dispatchable` is an
+            # optimistic hint): sleep until a waker fires instead of
+            # hammering the backend with empty ticks.  The timeout is
+            # a belt-and-braces backstop, not a correctness need.
             try:
                 await asyncio.wait_for(self._wake.wait(), timeout=0.25)
             except asyncio.TimeoutError:
@@ -606,8 +721,12 @@ class StreamGateway:
                 # session and is waiting for exactly this signal.
                 self._wake.set()
         except (ConnectionError, OSError):
-            # Peer vanished mid-write; the reader loop sees EOF and
-            # tears the connection down (checkpointing the session).
+            # Peer vanished mid-write: close the send path so blocked
+            # senders (resume replay, deferred end messages) raise
+            # instead of waiting on queue space that will never free;
+            # the reader loop then tears the connection down
+            # (checkpointing the session).
+            conn.mark_dead()
             return
 
     async def _serve_connection(self, conn: _Connection) -> None:
@@ -681,7 +800,7 @@ class StreamGateway:
         session_id = message.get("session_id")
         if not isinstance(session_id, str) or not session_id:
             raise ValidationError("resume hello needs a 'session_id'")
-        last_frame = int(message.get("last_frame", -1))
+        last_frame = _number(message.get("last_frame", -1), int, "last_frame")
         restore_t0 = time.perf_counter()
         async with self._lock:
             if session_id in self._by_session:

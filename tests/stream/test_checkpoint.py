@@ -200,6 +200,27 @@ def test_checkpoint_dict_roundtrip_is_exact():
     assert checkpoint_from_dict(blob) == ckpt
 
 
+def test_numpy_integer_key_nodes_round_trip_as_int():
+    """Numpy integer scalars inside frame keys must come back as
+    Python ints — a float-coerced node would silently stop comparing
+    equal to a freshly computed key, defeating cache-key matching
+    after restore."""
+    from repro.stream.checkpoint import _key_from_json, _key_to_json
+
+    key = (
+        np.int64(7),
+        np.float32(0.5),
+        np.bool_(True),
+        (np.int32(-3), b"\x01\xff"),
+    )
+    restored = _key_from_json(json.loads(json.dumps(_key_to_json(key))))
+    assert restored == (7, np.float32(0.5).item(), True, (-3, b"\x01\xff"))
+    assert type(restored[0]) is int
+    assert type(restored[1]) is float
+    assert type(restored[2]) is bool
+    assert type(restored[3][0]) is int
+
+
 def test_pre_pr9_fixture_restores_cleanly():
     """A committed v1 blob (no version key, no shard counters, no
     active_detail) must deserialize with legacy defaults — never a

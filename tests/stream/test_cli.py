@@ -293,6 +293,10 @@ class TestServeSubcommand:
         assert main(["serve", "--exit-after-sessions", "0"]) == 2
         assert "--exit-after-sessions" in capsys.readouterr().err
 
+    def test_bad_drain_timeout(self, capsys):
+        assert main(["serve", "--drain-timeout", "0"]) == 2
+        assert "--drain-timeout" in capsys.readouterr().err
+
     def test_digest_serve_requires_models(self, capsys):
         assert main(["serve", "--pipeline", "digest"]) == 2
         assert "--models" in capsys.readouterr().err

@@ -364,3 +364,28 @@ class TestRouteInvariants:
             still = fleet._route(list(queue), 0.0, delays)
             assert [a.session_id for a in still] == ["poison"]
             assert set(delays) == {"ok0", "ok1"}
+
+
+# -- gateway flow-control stalls vs. the tick budget ----------------------
+def test_paused_stall_ticks_do_not_trip_the_tick_budget():
+    """Gateway backpressure can idle an open serve indefinitely (every
+    admitted session paused by a slow client); those empty ticks must
+    not count against the drain budget, or the serving pump dies with
+    SimulationError mid-serve instead of waiting the client out."""
+    with EdgeFleet(nodes=1, node_capacity=2) as fleet:
+        fleet.begin()
+        fleet.submit(_session("stall", "bicycle"))
+        first = fleet.step()
+        assert [sid for sid, _ in first.frames] == ["stall"]
+        fleet.pause_session("stall")
+        budget = fleet._open.max_ticks
+        # Far past the budget: every tick is an excused flow stall.
+        for _ in range(budget + 8):
+            tick = fleet.step()
+            assert not tick.frames and not tick.done
+        fleet.resume_session("stall")
+        second = fleet.step()
+        assert [sid for sid, _ in second.frames] == ["stall"]
+        assert second.done == ["stall"]  # the 2-frame session drained
+        result = fleet.finish()
+    assert result.results[0].report.n_frames == 2

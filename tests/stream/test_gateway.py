@@ -183,6 +183,14 @@ class TestSessionFromPayload:
             ({"trajectory": "orbit"}, "JSON object"),
             ({"pipeline": "quantum"}, "unknown pipeline"),
             ({"qos": "psychic"}, "'qos'"),
+            # Malformed numerics must surface as ValidationError (the
+            # wire replies with an error frame), never a raw
+            # ValueError/TypeError that drops the connection.
+            ({"detail": "x"}, "'detail'"),
+            ({"frames": "x"}, "'n_frames'"),
+            ({"target_fps": "fast"}, "'target_fps'"),
+            ({"trajectory": {"seed": "x"}}, "'seed'"),
+            ({"trajectory": {"phase_deg": []}}, "'phase_deg'"),
         ],
     )
     def test_invalid_descriptors_raise(self, mutation, match):
@@ -320,6 +328,19 @@ class TestServing:
             reply = await client.recv()
             assert reply["type"] == "error"
             assert "protocol" in reply["message"]
+            await client.close()
+
+        run(_with_gateway(scenario))
+
+    def test_malformed_resume_last_frame_gets_error_reply(self):
+        """A non-numeric ``last_frame`` answers with an ``error`` frame
+        (not an unhandled-task-exception connection drop)."""
+
+        async def scenario(gateway):
+            client = GatewayClient(gateway.host, gateway.port)
+            await client.connect()
+            with pytest.raises(ValidationError, match="last_frame"):
+                await client.resume("whoever", last_frame="x")
             await client.close()
 
         run(_with_gateway(scenario))
@@ -474,6 +495,88 @@ class TestReconnectChaos:
         assert results[0].worker == -1
         # Parked with at least the delivered frames rendered.
         assert results[0].report.n_frames >= len(head)
+
+
+# ----------------------------------------------------------------------
+# Dead peers: a vanished client can never hang the server
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+class TestDeadPeer:
+    """A peer that vanishes while its bounded replay is in flight used
+    to deadlock the handler: the writer died on the reset socket but
+    the replay loop kept waiting for queue space nobody would ever
+    free, pinning the session as connected and wedging drain shutdown.
+    Now the dead writer closes the send path, blocked sends raise, and
+    the session parks like any other disconnect."""
+
+    BOUND = 2
+    KERNEL_BUF = 4096
+    FRAMES = 8
+
+    def test_vanishing_mid_replay_parks_the_session_again(self):
+        desc = _desc("houdini", frames=self.FRAMES)
+
+        async def scenario(gateway):
+            first = GatewayClient(gateway.host, gateway.port)
+            await first.connect(rcvbuf=self.KERNEL_BUF)
+            await first.hello(desc, deliver_images=True)
+            # Stream well past the queue bound so the replay below has
+            # more frames than send-queue slots — a dead writer then
+            # leaves the replay's bounded send with no space to wait
+            # for (the original deadlock).
+            head, _ = await first.stream(limit=5)
+            first.abort()
+
+            # Resume with a client that asks for the bulky image
+            # replay, reads none of it, and dies immediately — the
+            # replay's bounded sends run into the dead writer.
+            second = None
+            for attempt in range(100):
+                second = GatewayClient(gateway.host, gateway.port)
+                await second.connect(rcvbuf=self.KERNEL_BUF)
+                try:
+                    await second.resume(
+                        desc["session_id"], -1, deliver_images=True
+                    )
+                    break
+                except ValidationError:
+                    await second.close()
+                    assert attempt < 99
+                    await asyncio.sleep(0.02)
+            second.abort()
+
+            # The handler falls through to teardown and parks the
+            # session promptly (pre-fix it stayed connected forever).
+            for _ in range(250):
+                if gateway.stats()["sessions_connected"] == 0:
+                    break
+                await asyncio.sleep(0.02)
+            assert gateway.stats()["sessions_connected"] == 0
+
+            # A healthy third client still finishes the stream.
+            third, _ = await _resume_with_retry(
+                gateway, desc["session_id"], head[-1]["frame"]
+            )
+            tail, end = await third.stream()
+            await third.close()
+            return head, tail, end["report"]
+
+        async def guarded(gateway):
+            # Bound the whole scenario so a regression of the old
+            # deadlock fails fast instead of hanging the suite.
+            return await asyncio.wait_for(scenario(gateway), timeout=60)
+
+        (head, tail, report), results, _ = run(
+            _with_gateway(
+                guarded,
+                send_queue_frames=self.BOUND,
+                sndbuf=self.KERNEL_BUF,
+            )
+        )
+        assert [f["frame"] for f in head + tail] == list(range(self.FRAMES))
+        assert report == _baseline([desc])["houdini"]
+        assert len(results) == 1
+        assert results[0].report.n_frames == self.FRAMES
 
 
 # ----------------------------------------------------------------------
@@ -645,6 +748,39 @@ class TestShutdown:
         assert end is not None
         assert len(frames) == 5  # the remaining frames all arrived
         assert results[0].report.n_frames == 6
+
+    def test_drain_timeout_force_detaches_stalled_client(self):
+        """A client that stays connected but stops reading cannot pin
+        shutdown: past the drain deadline its session is checkpointed
+        and parked exactly like a disconnect, and stop() returns."""
+        desc = _desc("statue", frames=10)
+
+        async def main():
+            server = StreamServer(workers=0)
+            gateway = StreamGateway(
+                server, send_queue_frames=3, sndbuf=16384
+            )
+            await gateway.start()
+            client = GatewayClient(gateway.host, gateway.port)
+            await client.connect(rcvbuf=16384)
+            await client.hello(desc, deliver_images=True)
+            # Wait until backpressure paused the non-reading client,
+            # the state that used to stall the drain indefinitely.
+            for _ in range(200):
+                if gateway.stats()["sessions_paused"]:
+                    break
+                await asyncio.sleep(0.02)
+            assert gateway.stats()["sessions_paused"] == 1
+            results = await asyncio.wait_for(
+                gateway.stop(drain_timeout=0.5), timeout=30
+            )
+            await client.close()
+            return results
+
+        results = run(main())
+        assert len(results) == 1
+        assert results[0].worker == -1  # parked mid-stream, not completed
+        assert 0 < results[0].report.n_frames < 10
 
     def test_new_sessions_refused_while_draining(self):
         async def main():
